@@ -1,0 +1,41 @@
+//! Criterion microbenchmark: the PLR (MARS) baseline's fit cost — the
+//! reason per-query PLR execution is orders of magnitude slower than
+//! model prediction in Fig. 12.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regq_bench as bench;
+use regq_exact::{fit_ols, Mars, MarsParams};
+use std::hint::black_box;
+
+fn bench_mars(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mars_fit");
+    group.sample_size(10);
+    for (n, d) in [(200usize, 2usize), (1_000, 2), (1_000, 5)] {
+        let data = bench::r1_dataset(d, n, 26);
+        let ids: Vec<usize> = (0..n).collect();
+        let params = MarsParams {
+            max_terms: 11,
+            max_knots_per_dim: 12,
+            ..Default::default()
+        };
+        group.bench_function(BenchmarkId::new("fit", format!("n{n}_d{d}")), |b| {
+            b.iter(|| black_box(Mars::fit(&data, &ids, params).unwrap().n_basis()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ols_fit");
+    for (n, d) in [(1_000usize, 2usize), (10_000, 5)] {
+        let data = bench::r1_dataset(d, n, 27);
+        let ids: Vec<usize> = (0..n).collect();
+        group.bench_function(BenchmarkId::new("fit", format!("n{n}_d{d}")), |b| {
+            b.iter(|| black_box(fit_ols(&data, &ids).unwrap().intercept))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mars, bench_ols);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion microbenchmark behind Fig. 12: per-query latency of the
+//! model's Q1/Q2 prediction vs exact execution, across dataset sizes and
+//! codebook sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regq_bench as bench;
+use regq_bench::Family;
+use regq_data::rng::seeded;
+use regq_exact::ExactEngine;
+use regq_store::AccessPathKind;
+use std::hint::black_box;
+
+fn bench_llm_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("llm_prediction");
+    for (a, label) in [(0.5, "small_k"), (0.1, "large_k")] {
+        let t = bench::train(Family::R1, 2, 50_000, a, 1e-2, 30_000, 21);
+        let mut rng = seeded(210);
+        let queries = t.gen.generate_many(256, &mut rng);
+        group.bench_function(BenchmarkId::new("q1", format!("{label}_k{}", t.model.k())), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(t.model.predict_q1(black_box(q)).unwrap())
+            })
+        });
+        group.bench_function(BenchmarkId::new("q2", format!("{label}_k{}", t.model.k())), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(t.model.predict_q2(black_box(q)).unwrap().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_execution");
+    group.sample_size(20);
+    for n in [10_000usize, 100_000] {
+        let data = bench::r1_dataset(2, n, 22);
+        let gen = bench::generator(Family::R1, 2);
+        let mut rng = seeded(220);
+        let queries = gen.generate_many(64, &mut rng);
+        for path in [AccessPathKind::Scan, AccessPathKind::KdTree] {
+            let engine = ExactEngine::new(data.clone(), path);
+            group.bench_function(BenchmarkId::new(format!("q1_{path}"), n), |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    black_box(engine.q1(&q.center, q.radius))
+                })
+            });
+            group.bench_function(BenchmarkId::new(format!("q2_reg_{path}"), n), |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    black_box(engine.q2_reg(&q.center, q.radius).is_ok())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_llm_prediction, bench_exact_execution);
+criterion_main!(benches);

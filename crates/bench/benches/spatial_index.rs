@@ -1,0 +1,55 @@
+//! Criterion microbenchmark: the dNN selection operator across access
+//! paths (the index-choice ablation; constants behind Fig. 12's exact
+//! curves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regq_bench as bench;
+use regq_data::rng::seeded;
+use regq_store::{GridIndex, KdTree, LinearScan, Norm, SpatialIndex};
+use std::hint::black_box;
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    for d in [2usize, 5] {
+        let data = bench::r1_dataset(d, 100_000, 23);
+        let gen = bench::generator(bench::Family::R1, d);
+        let mut rng = seeded(230);
+        let queries = gen.generate_many(64, &mut rng);
+
+        let scan = LinearScan::new(data.clone());
+        let kd = KdTree::build(data.clone());
+        let grid = GridIndex::build(data.clone());
+        let indexes: [(&str, &dyn SpatialIndex); 3] =
+            [("scan", &scan), ("kdtree", &kd), ("grid", &grid)];
+
+        for (name, index) in indexes {
+            group.bench_function(BenchmarkId::new(name, format!("d{d}")), |b| {
+                let mut out = Vec::new();
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    index.query_ball(&q.center, q.radius, Norm::L2, &mut out);
+                    black_box(out.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    let data = bench::r1_dataset(2, 100_000, 24);
+    group.bench_function("kdtree_100k", |b| {
+        b.iter(|| black_box(KdTree::build(data.clone()).node_count()))
+    });
+    group.bench_function("grid_100k", |b| {
+        b.iter(|| black_box(GridIndex::build(data.clone()).resolution()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_index_build);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion microbenchmark: model-side training-step throughput (the
+//! non-DBMS 0.38 % of the paper's training cost breakdown).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regq_bench as bench;
+use regq_bench::Family;
+use regq_core::{LlmModel, ModelConfig};
+use regq_data::rng::seeded;
+use std::hint::black_box;
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    for d in [2usize, 5] {
+        let gen = bench::generator(Family::R1, d);
+        let mut rng = seeded(250);
+        let queries = gen.generate_many(4096, &mut rng);
+
+        // Pre-grow a codebook so the winner search reflects steady state.
+        let mut cfg = ModelConfig::with_vigilance(d, 0.1);
+        cfg.gamma = 1e-300; // never freeze inside the bench
+        let mut model = LlmModel::new(cfg).expect("config");
+        for q in &queries {
+            model.train_step(q, 0.5).expect("train");
+        }
+        let k = model.k();
+
+        group.bench_function(BenchmarkId::new("steady_state", format!("d{d}_k{k}")), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(model.train_step(black_box(q), 0.5).unwrap().winner)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_winner_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("winner_search");
+    let gen = bench::generator(Family::R1, 5);
+    let mut rng = seeded(251);
+    let queries = gen.generate_many(1024, &mut rng);
+    let mut cfg = ModelConfig::with_vigilance(5, 0.08);
+    cfg.gamma = 1e-300;
+    let mut model = LlmModel::new(cfg).expect("config");
+    for q in &queries {
+        model.train_step(q, 0.5).expect("train");
+    }
+    group.bench_function(format!("k{}", model.k()), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(model.winner(black_box(q)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step, bench_winner_search);
+criterion_main!(benches);

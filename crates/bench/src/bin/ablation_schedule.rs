@@ -1,0 +1,84 @@
+//! Ablation A1a — learning-rate schedule and slope-update rule (design
+//! decisions D-1 / D-8): per-prototype vs global hyperbolic schedules,
+//! NLMS vs raw Theorem-4 slope steps, and the coefficient-rate power.
+//!
+//! Run: `cargo run --release -p regq-bench --bin ablation_schedule`
+
+use regq_bench as bench;
+use regq_bench::Family;
+use regq_core::config::SlopeUpdate;
+use regq_core::{LearningSchedule, LlmModel};
+use regq_data::rng::seeded;
+use regq_exact::ExactEngine;
+use regq_store::AccessPathKind;
+use regq_workload::eval::{evaluate_q1, evaluate_q2};
+use regq_workload::train_from_engine;
+
+fn main() {
+    let d = 2;
+    let data = bench::r1_dataset(d, bench::default_rows(), 14);
+    let engine = ExactEngine::new(data, AccessPathKind::KdTree);
+    let gen = bench::generator(Family::R1, d);
+
+    let variants: Vec<(&str, LearningSchedule, SlopeUpdate, f64)> = vec![
+        (
+            "per-proto + NLMS + p=0.6 (default)",
+            LearningSchedule::HyperbolicPerPrototype,
+            SlopeUpdate::Normalized { epsilon: 1e-3 },
+            0.6,
+        ),
+        (
+            "per-proto + NLMS + p=1.0",
+            LearningSchedule::HyperbolicPerPrototype,
+            SlopeUpdate::Normalized { epsilon: 1e-3 },
+            1.0,
+        ),
+        (
+            "per-proto + raw Theorem-4",
+            LearningSchedule::HyperbolicPerPrototype,
+            SlopeUpdate::Raw,
+            1.0,
+        ),
+        (
+            "global schedule + NLMS + p=0.6",
+            LearningSchedule::HyperbolicGlobal,
+            SlopeUpdate::Normalized { epsilon: 1e-3 },
+            0.6,
+        ),
+        (
+            "constant eta=0.05 + NLMS",
+            LearningSchedule::Constant(0.05),
+            SlopeUpdate::Normalized { epsilon: 1e-3 },
+            0.6,
+        ),
+    ];
+
+    println!("variant\t|T|\tK\tconverged\tQ1_RMSE\tQ2_FVU_median");
+    for (name, schedule, slope, power) in variants {
+        let mut cfg = bench::model_config(Family::R1, d, 0.25);
+        cfg.gamma = 0.01;
+        cfg.schedule = schedule;
+        cfg.slope_update = slope;
+        cfg.coeff_rate_power = power;
+        let mut model = LlmModel::new(cfg).expect("config");
+        let mut rng = seeded(140);
+        let report = train_from_engine(
+            &mut model,
+            &engine,
+            &gen,
+            bench::default_train_budget(),
+            &mut rng,
+        )
+        .expect("training");
+        let q1 = evaluate_q1(&model, &engine, &gen, 2_000, &mut rng);
+        let q2 = evaluate_q2(&model, &engine, &gen, 60, None, &mut rng);
+        println!(
+            "{name}\t{}\t{}\t{}\t{:.4}\t{:.3}",
+            report.consumed,
+            model.k(),
+            report.converged,
+            q1.rmse,
+            q2.llm_fvu_median
+        );
+    }
+}

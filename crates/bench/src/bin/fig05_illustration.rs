@@ -1,0 +1,127 @@
+//! Fig. 5 — the illustration figure: a 1-D non-linear `u = g(x)` over
+//! `D(0.5, 0.5)` approximated by (left) K local linear mappings vs a
+//! global REG line vs PLR, and (right) the `y = f(x, θ)` surface
+//! approximated by LLMs over the query space.
+//!
+//! Run: `cargo run --release -p regq-bench --bin fig05_illustration`
+
+use regq_bench as bench;
+use regq_core::{LlmModel, Query};
+use regq_data::generators::SineRidge1d;
+use regq_data::rng::seeded;
+use regq_data::{DataFunction, Dataset, SampleOptions};
+use regq_exact::{ExactEngine, GoodnessOfFit, MarsParams};
+use regq_store::AccessPathKind;
+use regq_workload::experiment::SeriesTable;
+use regq_workload::{train_from_engine, QueryGenerator};
+use std::sync::Arc;
+
+fn main() {
+    let field = SineRidge1d;
+    let mut rng = seeded(5);
+    let n = bench::default_rows();
+    let data = Dataset::from_function(
+        &field,
+        n,
+        SampleOptions {
+            normalize_output: false,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let engine = ExactEngine::new(Arc::new(data), AccessPathKind::KdTree);
+    let gen = QueryGenerator::for_function(&field, 0.08);
+
+    let mut cfg = regq_core::ModelConfig::with_vigilance(1, 0.15);
+    cfg.gamma = 1e-3;
+    let mut model = LlmModel::new(cfg).expect("config");
+    let report = train_from_engine(
+        &mut model,
+        &engine,
+        &gen,
+        bench::default_train_budget(),
+        &mut rng,
+    )
+    .expect("training");
+    println!(
+        "# Fig. 5 setup: |T| = {}, K = {} LLMs (paper uses K = 6)",
+        report.consumed,
+        model.k()
+    );
+
+    // ---- Left panel: g(x) vs the three approximations ------------------
+    let whole = Query::new(vec![0.5], 0.5).expect("valid");
+    let reg = engine.q2_reg(&whole.center, whole.radius).expect("REG");
+    let plr = engine
+        .q2_plr(&whole.center, whole.radius, MarsParams::for_k_models(model.k()))
+        .expect("PLR");
+    let s = model.predict_q2(&whole).expect("prediction");
+
+    let mut left = SeriesTable::new(
+        "Fig. 5 (left): g(x) vs LLM / REG / PLR over D(0.5, 0.5)",
+        "x",
+        vec!["g".into(), "LLM".into(), "REG".into(), "PLR".into()],
+    );
+    for i in 0..=60 {
+        let x = i as f64 / 60.0;
+        let nearest = s
+            .iter()
+            .min_by(|a, b| {
+                (a.center[0] - x)
+                    .abs()
+                    .partial_cmp(&(b.center[0] - x).abs())
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        left.push(
+            x,
+            vec![
+                field.eval(&[x]),
+                nearest.predict(&[x]),
+                reg.predict(&[x]),
+                plr.predict(&[x]),
+            ],
+        );
+    }
+    left.print();
+
+    // FVU summary (the figure's caption claim: LLM ≈ PLR « REG).
+    let ids = engine.select(&whole.center, whole.radius);
+    let ds = engine.relation().dataset();
+    let actual: Vec<f64> = ids.iter().map(|&i| ds.y(i)).collect();
+    let fvu = |pred: Vec<f64>| GoodnessOfFit::evaluate(&actual, &pred).expect("eval").fvu;
+    let reg_fvu = fvu(ids.iter().map(|&i| reg.predict(ds.x(i))).collect());
+    let plr_fvu = fvu(ids.iter().map(|&i| plr.predict(ds.x(i))).collect());
+    let llm_fvu = fvu(
+        ids.iter()
+            .map(|&i| model.predict_value_at(ds.x(i), 0.08).expect("pred"))
+            .collect(),
+    );
+    println!("# FVU over D: REG = {reg_fvu:.3}  PLR = {plr_fvu:.3}  LLM = {llm_fvu:.3}\n");
+
+    // ---- Right panel: the f(x, θ) surface along θ slices ----------------
+    let mut right = SeriesTable::new(
+        "Fig. 5 (right): y = f(x, θ) and the LLM approximation (θ slices)",
+        "x",
+        vec![
+            "exact(θ=0.05)".into(),
+            "LLM(θ=0.05)".into(),
+            "exact(θ=0.15)".into(),
+            "LLM(θ=0.15)".into(),
+        ],
+    );
+    for i in 0..=40 {
+        let x = 0.05 + 0.9 * i as f64 / 40.0;
+        let mut row = Vec::with_capacity(4);
+        for theta in [0.05, 0.15] {
+            let exact = engine.q1(&[x], theta).unwrap_or(f64::NAN);
+            let pred = model
+                .predict_q1(&Query::new_unchecked(vec![x], theta))
+                .expect("pred");
+            row.push(exact);
+            row.push(pred);
+        }
+        right.push(x, row);
+    }
+    right.print();
+}

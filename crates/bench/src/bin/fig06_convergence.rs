@@ -1,0 +1,41 @@
+//! Fig. 6 — training termination criterion `Γ = max(Γ_J, Γ_H)` vs the
+//! number of training pairs `|T|`, on R1 (left) and R2 (right) for
+//! d ∈ {2, 5}, a = 0.25, γ = 0.01.
+//!
+//! Run: `cargo run --release -p regq-bench --bin fig06_convergence`
+
+use regq_bench as bench;
+use regq_bench::Family;
+use regq_workload::experiment::SeriesTable;
+
+fn main() {
+    for family in [Family::R1, Family::R2] {
+        for d in [2usize, 5] {
+            let t = bench::train(
+                family,
+                d,
+                bench::default_rows(),
+                0.25,
+                0.01,
+                bench::default_train_budget(),
+                6,
+            );
+            let mut table = SeriesTable::new(
+                format!(
+                    "Fig. 6: termination criterion, {family}, d = {d} (K = {}, converged = {})",
+                    t.report.prototypes, t.report.converged
+                ),
+                "pairs",
+                vec!["Gamma".into()],
+            );
+            for (step, gamma) in bench::downsample(&t.report.gamma_trace, 60) {
+                table.push(step as f64, vec![gamma]);
+            }
+            table.print();
+            println!(
+                "# {family} d={d}: converged after |T| = {} pairs (paper: ≈5300); γ = 0.01\n",
+                t.report.consumed
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Fig. 7 — Q1 prediction RMSE `e` vs the vigilance coefficient `a`, on
+//! R2 (left) and R1 (right), d ∈ {2, 3, 5}.
+//!
+//! Run: `cargo run --release -p regq-bench --bin fig07_rmse_vs_a`
+
+use regq_bench as bench;
+use regq_bench::Family;
+use regq_data::rng::seeded;
+use regq_workload::eval::evaluate_q1;
+use regq_workload::experiment::SeriesTable;
+
+fn main() {
+    let sweep = [0.05, 0.1, 0.15, 0.25, 0.4, 0.6, 0.75, 0.9];
+    for family in [Family::R2, Family::R1] {
+        let mut table = SeriesTable::new(
+            format!("Fig. 7: Q1 RMSE e vs coefficient a, {family}"),
+            "a",
+            vec!["d=2".into(), "d=3".into(), "d=5".into()],
+        );
+        let mut k_note = String::new();
+        for &a in &sweep {
+            let mut row = Vec::with_capacity(3);
+            for d in [2usize, 3, 5] {
+                let t = bench::train(
+                    family,
+                    d,
+                    bench::default_rows(),
+                    a,
+                    0.01,
+                    bench::default_train_budget(),
+                    7,
+                );
+                let mut rng = seeded(70 + d as u64);
+                let eval = evaluate_q1(
+                    &t.model,
+                    &t.engine,
+                    &t.gen,
+                    bench::default_test_queries(),
+                    &mut rng,
+                );
+                row.push(eval.rmse);
+                if (a - 0.25).abs() < 1e-9 {
+                    k_note.push_str(&format!("K(d={d}) = {}; ", t.model.k()));
+                }
+            }
+            table.push(a, row);
+        }
+        table.print();
+        println!("# {family} prototype counts at a = 0.25: {k_note}\n");
+    }
+}

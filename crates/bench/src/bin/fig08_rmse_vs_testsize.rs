@@ -1,0 +1,52 @@
+//! Fig. 8 — Q1 RMSE vs the number of testing pairs `|V|` (robustness of
+//! predictions to the test-set size), a = 0.25, d ∈ {2, 3, 5}.
+//!
+//! Run: `cargo run --release -p regq-bench --bin fig08_rmse_vs_testsize`
+
+use regq_bench as bench;
+use regq_bench::Family;
+use regq_data::rng::seeded;
+use regq_workload::eval::evaluate_q1;
+use regq_workload::experiment::SeriesTable;
+
+fn main() {
+    let sizes: Vec<usize> = if bench::full_scale() {
+        vec![2_000, 4_000, 8_000, 12_000, 16_000, 20_000]
+    } else {
+        vec![1_000, 2_000, 4_000, 6_000]
+    };
+    for family in [Family::R2, Family::R1] {
+        let mut table = SeriesTable::new(
+            format!("Fig. 8: Q1 RMSE e vs |V|, {family}, a = 0.25"),
+            "|V|",
+            vec!["d=2".into(), "d=3".into(), "d=5".into()],
+        );
+        // Train once per dimension; sweep only the test size.
+        let trained: Vec<_> = [2usize, 3, 5]
+            .iter()
+            .map(|&d| {
+                bench::train(
+                    family,
+                    d,
+                    bench::default_rows(),
+                    0.25,
+                    0.01,
+                    bench::default_train_budget(),
+                    8,
+                )
+            })
+            .collect();
+        for &m in &sizes {
+            let row: Vec<f64> = trained
+                .iter()
+                .map(|t| {
+                    let mut rng = seeded(80 + m as u64);
+                    evaluate_q1(&t.model, &t.engine, &t.gen, m, &mut rng).rmse
+                })
+                .collect();
+            table.push(m as f64, row);
+        }
+        table.print();
+        println!();
+    }
+}

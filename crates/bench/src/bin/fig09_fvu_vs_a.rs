@@ -1,0 +1,74 @@
+//! Fig. 9 — Q2 goodness of fit: FVU `s` of LLM vs (global) REG vs PLR as
+//! the vigilance coefficient `a` sweeps, on R2 (left) and R1 (right),
+//! d ∈ {2, 5}.
+//!
+//! Medians are printed alongside means: per-query FVU is a heavy-tailed
+//! ratio statistic (see `Q2Eval` docs), and the orderings the paper plots
+//! are the stable medians.
+//!
+//! Run: `cargo run --release -p regq-bench --bin fig09_fvu_vs_a`
+
+use regq_bench as bench;
+use regq_bench::Family;
+use regq_data::rng::seeded;
+use regq_exact::MarsParams;
+use regq_workload::eval::evaluate_q2;
+use regq_workload::experiment::SeriesTable;
+
+fn main() {
+    let sweep = [0.05, 0.1, 0.25, 0.5, 0.75, 1.0];
+    let plr_params = MarsParams {
+        max_terms: 11,
+        max_knots_per_dim: 12,
+        ..Default::default()
+    };
+    let q2_queries = if bench::full_scale() { 200 } else { 60 };
+
+    for family in [Family::R2, Family::R1] {
+        for d in [2usize, 5] {
+            let mut table = SeriesTable::new(
+                format!("Fig. 9: FVU s vs coefficient a, {family}, d = {d} (medians)"),
+                "a",
+                vec![
+                    "LLM".into(),
+                    "REG(global)".into(),
+                    "PLR".into(),
+                    "LLM_mean".into(),
+                    "REG_mean".into(),
+                ],
+            );
+            for &a in &sweep {
+                let t = bench::train(
+                    family,
+                    d,
+                    bench::default_rows(),
+                    a,
+                    2e-3, // tighter than the paper's 0.01: slope coefficients need deeper training at our |T| scale (D-8)
+                    bench::default_train_budget(),
+                    9,
+                );
+                let mut rng = seeded(90 + d as u64);
+                let eval = evaluate_q2(
+                    &t.model,
+                    &t.engine,
+                    &t.gen,
+                    q2_queries,
+                    Some(plr_params),
+                    &mut rng,
+                );
+                table.push(
+                    a,
+                    vec![
+                        eval.llm_fvu_median,
+                        eval.reg_global_fvu_median,
+                        eval.plr_fvu_median.unwrap_or(f64::NAN),
+                        eval.llm_fvu,
+                        eval.reg_global_fvu,
+                    ],
+                );
+            }
+            table.print();
+            println!();
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Fig. 10 (left) — coefficient of determination R² vs the number of
+//! prototypes K for LLM / REG / PLR on R1, d ∈ {2, 5}. K is driven by the
+//! vigilance sweep (each `a` yields its K).
+//!
+//! Run: `cargo run --release -p regq-bench --bin fig10_cod_vs_k`
+
+use regq_bench as bench;
+use regq_bench::Family;
+use regq_data::rng::seeded;
+use regq_exact::MarsParams;
+use regq_workload::eval::evaluate_q2;
+use regq_workload::experiment::SeriesTable;
+
+fn main() {
+    let sweep = [1.0, 0.75, 0.5, 0.25, 0.15, 0.1, 0.05];
+    let plr_params = MarsParams {
+        max_terms: 11,
+        max_knots_per_dim: 12,
+        ..Default::default()
+    };
+    let q2_queries = if bench::full_scale() { 200 } else { 60 };
+
+    for d in [2usize, 5] {
+        let mut table = SeriesTable::new(
+            format!("Fig. 10 (left): CoD R² vs prototypes K, R1, d = {d} (medians)"),
+            "K",
+            vec!["LLM".into(), "REG(global)".into(), "PLR".into()],
+        );
+        for &a in &sweep {
+            let t = bench::train(
+                Family::R1,
+                d,
+                bench::default_rows(),
+                a,
+                2e-3, // tighter γ for slope depth (see fig09)
+                bench::default_train_budget(),
+                10,
+            );
+            let mut rng = seeded(100 + d as u64);
+            let eval = evaluate_q2(
+                &t.model,
+                &t.engine,
+                &t.gen,
+                q2_queries,
+                Some(plr_params),
+                &mut rng,
+            );
+            table.push(
+                t.model.k() as f64,
+                vec![
+                    1.0 - eval.llm_fvu_median,
+                    1.0 - eval.reg_global_fvu_median,
+                    eval.plr_fvu_median.map(|f| 1.0 - f).unwrap_or(f64::NAN),
+                ],
+            );
+        }
+        table.print();
+        println!();
+    }
+}

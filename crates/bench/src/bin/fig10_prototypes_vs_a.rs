@@ -1,0 +1,37 @@
+//! Fig. 10 (right) — number of prototypes K vs the vigilance coefficient
+//! `a` on R1, d ∈ {2, 3, 5}.
+//!
+//! Run: `cargo run --release -p regq-bench --bin fig10_prototypes_vs_a`
+
+use regq_bench as bench;
+use regq_bench::Family;
+use regq_workload::experiment::SeriesTable;
+
+fn main() {
+    let sweep = [0.05, 0.1, 0.15, 0.25, 0.4, 0.6, 0.75, 0.9];
+    let mut table = SeriesTable::new(
+        "Fig. 10 (right): prototypes K vs coefficient a, R1",
+        "a",
+        vec!["d=2".into(), "d=3".into(), "d=5".into()],
+    );
+    for &a in &sweep {
+        let row: Vec<f64> = [2usize, 3, 5]
+            .iter()
+            .map(|&d| {
+                bench::train(
+                    Family::R1,
+                    d,
+                    bench::default_rows(),
+                    a,
+                    0.01,
+                    bench::default_train_budget(),
+                    10,
+                )
+                .model
+                .k() as f64
+            })
+            .collect();
+        table.push(a, row);
+    }
+    table.print();
+}

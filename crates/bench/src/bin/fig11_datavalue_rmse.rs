@@ -1,0 +1,65 @@
+//! Fig. 11 — data-value prediction RMSE `v` (metric A2, Eq. 14) for
+//! LLM / global REG / PLR vs the test-set size |V|, d ∈ {2, 5}, a = 0.25.
+//!
+//! Run: `cargo run --release -p regq-bench --bin fig11_datavalue_rmse`
+
+use regq_bench as bench;
+use regq_bench::Family;
+use regq_data::rng::seeded;
+use regq_exact::MarsParams;
+use regq_workload::eval::evaluate_data_values;
+use regq_workload::experiment::SeriesTable;
+
+fn main() {
+    let sizes: Vec<usize> = if bench::full_scale() {
+        vec![50, 100, 200, 400]
+    } else {
+        vec![30, 60, 120]
+    };
+    let plr_params = MarsParams {
+        max_terms: 11,
+        max_knots_per_dim: 12,
+        ..Default::default()
+    };
+
+    for family in [Family::R2, Family::R1] {
+        for d in [2usize, 5] {
+            let t = bench::train(
+                family,
+                d,
+                bench::default_rows(),
+                0.25,
+                0.01,
+                bench::default_train_budget(),
+                11,
+            );
+            let mut table = SeriesTable::new(
+                format!("Fig. 11: data-value RMSE v vs #probe queries, {family}, d = {d}"),
+                "queries",
+                vec!["LLM".into(), "REG(global)".into(), "PLR".into()],
+            );
+            for &m in &sizes {
+                let mut rng = seeded(110 + m as u64);
+                let eval = evaluate_data_values(
+                    &t.model,
+                    &t.engine,
+                    &t.gen,
+                    m,
+                    20,
+                    Some(plr_params),
+                    &mut rng,
+                );
+                table.push(
+                    m as f64,
+                    vec![
+                        eval.rmse_llm,
+                        eval.rmse_reg_global,
+                        eval.rmse_plr.unwrap_or(f64::NAN),
+                    ],
+                );
+            }
+            table.print();
+            println!();
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Fig. 12 — query execution time (ms) vs dataset size for Q1 (left) and
+//! Q2 (right): LLM prediction vs exact REG execution (scan access path —
+//! the DBMS-style baseline — and kd-tree) vs exact PLR, on R2, d ∈ {2, 5}.
+//!
+//! The paper sweeps 10⁷–10¹⁰ rows on a PostgreSQL server; we sweep
+//! 10⁴–10⁶ (10⁷ under `REGQ_SCALE=full`) in memory. The claim under test
+//! is the *shape*: exact engines scale with n, the model is flat, and the
+//! separation at the largest size spans orders of magnitude.
+//!
+//! Run: `cargo run --release -p regq-bench --bin fig12_execution_time`
+
+use regq_bench as bench;
+use regq_bench::Family;
+use regq_data::rng::seeded;
+use regq_exact::{ExactEngine, MarsParams};
+use regq_store::AccessPathKind;
+use regq_workload::eval::{
+    time_q1_exact, time_q1_llm, time_q2_llm, time_q2_plr_exact, time_q2_reg_exact,
+};
+use regq_workload::experiment::SeriesTable;
+
+fn main() {
+    let sizes: Vec<usize> = if bench::full_scale() {
+        vec![10_000, 100_000, 1_000_000, 10_000_000]
+    } else {
+        vec![10_000, 100_000, 1_000_000]
+    };
+    let n_queries = if bench::full_scale() { 200 } else { 100 };
+    let n_plr_queries = 10; // PLR is minutes-per-query at scale
+    let plr_params = MarsParams {
+        max_terms: 11,
+        max_knots_per_dim: 12,
+        ..Default::default()
+    };
+
+    for d in [2usize, 5] {
+        // One trained model per dimension (training set size is irrelevant
+        // to prediction latency; K is what matters).
+        let trained = bench::train(
+            Family::R2,
+            d,
+            100_000,
+            0.25,
+            0.01,
+            bench::default_train_budget(),
+            12,
+        );
+        let model = &trained.model;
+        let gen = bench::generator(Family::R2, d);
+        let mut rng = seeded(120 + d as u64);
+        let queries = gen.generate_many(n_queries, &mut rng);
+
+        let mut q1 = SeriesTable::new(
+            format!("Fig. 12 (left): Q1 execution time (ms) vs #points, R2, d = {d} (K = {})", model.k()),
+            "points",
+            vec!["LLM".into(), "REG-scan".into(), "REG-kdtree".into()],
+        );
+        let mut q2 = SeriesTable::new(
+            format!("Fig. 12 (right): Q2 execution time (ms) vs #points, R2, d = {d}"),
+            "points",
+            vec![
+                "LLM".into(),
+                "REG-scan".into(),
+                "REG-kdtree".into(),
+                "PLR".into(),
+            ],
+        );
+
+        for &n in &sizes {
+            let data = bench::r2_dataset(d, n, 12);
+            let scan = ExactEngine::new(data.clone(), AccessPathKind::Scan);
+            let kd = ExactEngine::new(data, AccessPathKind::KdTree);
+
+            let llm_q1 = time_q1_llm(model, &queries).mean_ms();
+            let scan_q1 = time_q1_exact(&scan, &queries).mean_ms();
+            let kd_q1 = time_q1_exact(&kd, &queries).mean_ms();
+            q1.push(n as f64, vec![llm_q1, scan_q1, kd_q1]);
+
+            let llm_q2 = time_q2_llm(model, &queries).mean_ms();
+            let scan_q2 = time_q2_reg_exact(&scan, &queries).mean_ms();
+            let kd_q2 = time_q2_reg_exact(&kd, &queries).mean_ms();
+            let plr_q2 =
+                time_q2_plr_exact(&kd, &queries[..n_plr_queries], plr_params).mean_ms();
+            q2.push(n as f64, vec![llm_q2, scan_q2, kd_q2, plr_q2]);
+        }
+        q1.print();
+        println!();
+        q2.print();
+        println!();
+    }
+}

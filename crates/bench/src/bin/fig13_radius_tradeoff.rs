@@ -1,0 +1,44 @@
+//! Fig. 13 — impact of the mean query radius µ_θ: (left) Q1 RMSE vs µ_θ;
+//! (right) training size |T| to convergence vs the achieved CoD, with µ_θ
+//! as the trajectory parameter. R1, d ∈ {2, 5}, a = 0.25, σ_θ = 0.1 fixed.
+//!
+//! Run: `cargo run --release -p regq-bench --bin fig13_radius_tradeoff`
+
+use regq_bench as bench;
+use regq_workload::experiment::SeriesTable;
+
+fn main() {
+    let mus: Vec<f64> = if bench::full_scale() {
+        vec![0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9, 0.99]
+    } else {
+        vec![0.01, 0.05, 0.1, 0.3, 0.6, 0.9]
+    };
+
+    for d in [2usize, 5] {
+        let points = bench::radius_sweep(
+            d,
+            &mus,
+            bench::default_rows(),
+            bench::default_train_budget(),
+        );
+
+        let mut left = SeriesTable::new(
+            format!("Fig. 13 (left): Q1 RMSE e vs mean θ (µ_θ), R1, d = {d}"),
+            "mu_theta",
+            vec!["RMSE".into()],
+        );
+        let mut right = SeriesTable::new(
+            format!("Fig. 13 (right): |T| vs CoD trajectory (µ_θ parameter), R1, d = {d}"),
+            "CoD",
+            vec!["|T|".into(), "mu_theta".into()],
+        );
+        for p in &points {
+            left.push(p.mu, vec![p.rmse]);
+            right.push(p.cod, vec![p.consumed as f64, p.mu]);
+        }
+        left.print();
+        println!();
+        right.print();
+        println!();
+    }
+}

@@ -1,0 +1,34 @@
+//! Fig. 14 — the 3-D trajectory (|T|, RMSE e, CoD R²) traced as µ_θ sweeps
+//! from 0.01 to 0.99, R1, d ∈ {2, 5}, a = 0.25.
+//!
+//! Run: `cargo run --release -p regq-bench --bin fig14_radius_trajectory`
+
+use regq_bench as bench;
+use regq_workload::experiment::SeriesTable;
+
+fn main() {
+    let mus: Vec<f64> = if bench::full_scale() {
+        vec![0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99]
+    } else {
+        vec![0.01, 0.1, 0.3, 0.6, 0.99]
+    };
+
+    for d in [2usize, 5] {
+        let points = bench::radius_sweep(
+            d,
+            &mus,
+            bench::default_rows(),
+            bench::default_train_budget(),
+        );
+        let mut table = SeriesTable::new(
+            format!("Fig. 14: (|T|, RMSE, CoD) trajectory over µ_θ, R1, d = {d}"),
+            "mu_theta",
+            vec!["|T|".into(), "RMSE".into(), "CoD".into()],
+        );
+        for p in &points {
+            table.push(p.mu, vec![p.consumed as f64, p.rmse, p.cod]);
+        }
+        table.print();
+        println!();
+    }
+}

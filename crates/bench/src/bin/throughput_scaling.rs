@@ -1,0 +1,42 @@
+//! The paper's second scalability dimension (§I, desideratum D4):
+//! model-served answers free DBMS resources, so sustained query
+//! *throughput* scales with serving threads while exact execution is
+//! data-bandwidth-bound.
+//!
+//! Run: `cargo run --release -p regq-bench --bin throughput_scaling`
+
+use regq_bench as bench;
+use regq_bench::Family;
+use regq_data::rng::seeded;
+use regq_workload::experiment::SeriesTable;
+use regq_workload::throughput::throughput_sweep;
+
+fn main() {
+    let t = bench::train(
+        Family::R1,
+        2,
+        bench::default_rows(),
+        0.25,
+        0.01,
+        bench::default_train_budget(),
+        16,
+    );
+    let mut rng = seeded(160);
+    let queries = if bench::full_scale() { 50_000 } else { 10_000 };
+    let threads = [1usize, 2, 4, 8];
+    let rows = throughput_sweep(&t.model, &t.engine, &t.gen, queries, &threads, &mut rng);
+
+    let mut table = SeriesTable::new(
+        format!(
+            "Throughput scaling (Q1 queries/s), R1 d=2, {} rows, K = {}",
+            t.engine.relation().len(),
+            t.model.k()
+        ),
+        "threads",
+        vec!["LLM_qps".into(), "exact_qps".into(), "ratio".into()],
+    );
+    for (th, m, e) in rows {
+        table.push(th as f64, vec![m, e, m / e.max(1e-9)]);
+    }
+    table.print();
+}

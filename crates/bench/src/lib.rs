@@ -1,0 +1,302 @@
+//! # regq-bench
+//!
+//! Shared harness for the figure-regeneration binaries (`src/bin/fig*.rs`)
+//! and the Criterion microbenchmarks (`benches/`).
+//!
+//! Every binary prints the same series the corresponding paper figure
+//! plots, as titled TSV blocks (see `regq_workload::experiment`). Scale is
+//! controlled by the `REGQ_SCALE` environment variable:
+//!
+//! * `quick` — CI-sized runs (default when unset): small datasets, short
+//!   sweeps; shapes are already visible.
+//! * `full`  — the sizes recorded in `EXPERIMENTS.md` (minutes per figure).
+//!
+//! ## Dataset conventions (paper §VI-A)
+//!
+//! * **R1** — [`r1_dataset`]: gas-sensor surrogate, features and outputs
+//!   in `[0, 1]`, Gaussian target noise; queries `θ ~ N(0.1, 0.1²)`.
+//! * **R2** — [`r2_dataset`]: Rosenbrock over `[-10, 10]^d`, outputs
+//!   normalized to `[0, 1]`, `N(0, 1)` feature noise; queries
+//!   `θ ~ N(1, 0.5²)` (the paper's `N(1, 0.25)` variance).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use regq_core::{LlmModel, ModelConfig};
+use regq_data::generators::{GasSensorSurrogate, Rosenbrock};
+use regq_data::rng::seeded;
+use regq_data::{Dataset, SampleOptions};
+use regq_exact::ExactEngine;
+use regq_store::AccessPathKind;
+use regq_workload::{train_from_engine, QueryGenerator, StreamReport};
+use std::sync::Arc;
+
+/// Which dataset family an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Gas-sensor surrogate (paper's R1).
+    R1,
+    /// Rosenbrock (paper's R2).
+    R2,
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Family::R1 => write!(f, "R1"),
+            Family::R2 => write!(f, "R2"),
+        }
+    }
+}
+
+/// `true` when `REGQ_SCALE=full` (record-grade sizes).
+pub fn full_scale() -> bool {
+    std::env::var("REGQ_SCALE").map(|v| v == "full").unwrap_or(false)
+}
+
+/// Default dataset size for accuracy experiments.
+pub fn default_rows() -> usize {
+    if full_scale() {
+        1_000_000
+    } else {
+        100_000
+    }
+}
+
+/// Default training budget (issued queries).
+pub fn default_train_budget() -> usize {
+    if full_scale() {
+        200_000
+    } else {
+        60_000
+    }
+}
+
+/// Default test-set size `|V|`.
+pub fn default_test_queries() -> usize {
+    if full_scale() {
+        10_000
+    } else {
+        2_000
+    }
+}
+
+/// The R1 data function for dimension `d` (deterministic).
+pub fn r1_function(d: usize) -> GasSensorSurrogate {
+    GasSensorSurrogate::new(d, 42)
+}
+
+/// The R2 data function for dimension `d`.
+pub fn r2_function(d: usize) -> Rosenbrock {
+    Rosenbrock::new(d)
+}
+
+/// Materialize the R1 dataset (`n` rows, seeded).
+pub fn r1_dataset(d: usize, n: usize, seed: u64) -> Arc<Dataset> {
+    let f = r1_function(d);
+    let mut rng = seeded(seed);
+    let opts = SampleOptions {
+        // The paper pads R1 with Gaussian-noise rows; we model the same
+        // effect as target measurement noise (≈1.5 % of the output range).
+        target_noise_std: 0.05,
+        ..Default::default()
+    };
+    Arc::new(Dataset::from_function(&f, n, opts, &mut rng))
+}
+
+/// Materialize the R2 dataset (`n` rows, seeded).
+pub fn r2_dataset(d: usize, n: usize, seed: u64) -> Arc<Dataset> {
+    let f = r2_function(d);
+    let mut rng = seeded(seed);
+    let opts = SampleOptions {
+        // §VI-A: "we generate vectors adding noise ε ~ N(0, 1) to each
+        // feature".
+        feature_noise_std: 1.0,
+        ..Default::default()
+    };
+    Arc::new(Dataset::from_function(&f, n, opts, &mut rng))
+}
+
+/// Build a dataset of the given family.
+pub fn dataset(family: Family, d: usize, n: usize, seed: u64) -> Arc<Dataset> {
+    match family {
+        Family::R1 => r1_dataset(d, n, seed),
+        Family::R2 => r2_dataset(d, n, seed),
+    }
+}
+
+/// The paper's query workload for a family (`µ_θ` fraction of the range;
+/// R1: θ ~ N(0.1, 0.1²) on unit ranges, R2: θ ~ N(1, 0.5²) on `[-10,10]`).
+///
+/// **Scale substitution (documented in EXPERIMENTS.md):** at the paper's
+/// R2 radius (θ = 1) a ball in `[-10,10]^5` holds ~10⁻⁶ of the volume —
+/// fine at their 10¹⁰ rows, empty at our in-memory sizes. For `d ≥ 4` the
+/// radius is widened to `θ ~ N(3, 0.5²)` so subspaces hold enough tuples
+/// for the *accuracy* experiments; the efficiency experiment (Fig. 12)
+/// depends on selection cost, not subspace cardinality, and is unaffected.
+pub fn generator(family: Family, d: usize) -> QueryGenerator {
+    match family {
+        Family::R1 => QueryGenerator::for_function(&r1_function(d), 0.1),
+        Family::R2 if d < 4 => {
+            QueryGenerator::for_function(&r2_function(d), 0.05).with_theta(1.0, 0.5)
+        }
+        Family::R2 => {
+            QueryGenerator::for_function(&r2_function(d), 0.05).with_theta(3.0, 0.5)
+        }
+    }
+}
+
+/// Model configuration for a family at vigilance coefficient `a`
+/// (range-scaled for R2 — see `ModelConfig::with_vigilance_ranges`).
+pub fn model_config(family: Family, d: usize, a: f64) -> ModelConfig {
+    match family {
+        Family::R1 => ModelConfig::with_vigilance(d, a),
+        Family::R2 => ModelConfig::with_vigilance_ranges(d, a, &vec![20.0; d], 2.0),
+    }
+}
+
+/// Result of [`train`]: the model plus its stream report.
+pub struct Trained {
+    /// The trained model.
+    pub model: LlmModel,
+    /// Stream accounting (|T|, Γ trace, wall-clock split).
+    pub report: StreamReport,
+    /// The engine the model was trained against.
+    pub engine: ExactEngine,
+    /// The workload generator used for training (reuse for testing).
+    pub gen: QueryGenerator,
+}
+
+/// End-to-end Fig. 2 loop at the given settings.
+///
+/// `gamma` follows the paper's default (0.01) unless overridden by the
+/// experiment; seeds make every figure reproducible.
+pub fn train(
+    family: Family,
+    d: usize,
+    n_rows: usize,
+    a: f64,
+    gamma: f64,
+    budget: usize,
+    seed: u64,
+) -> Trained {
+    let data = dataset(family, d, n_rows, seed);
+    let engine = ExactEngine::new(data, AccessPathKind::KdTree);
+    let gen = generator(family, d);
+    let mut cfg = model_config(family, d, a);
+    cfg.gamma = gamma;
+    let mut model = LlmModel::new(cfg).expect("valid config");
+    let mut rng = seeded(seed ^ 0xbe9c);
+    let report =
+        train_from_engine(&mut model, &engine, &gen, budget, &mut rng).expect("training");
+    Trained {
+        model,
+        report,
+        engine,
+        gen,
+    }
+}
+
+/// One point of the µ_θ sweep shared by the Fig. 13 / Fig. 14 harnesses.
+#[derive(Debug, Clone, Copy)]
+pub struct RadiusPoint {
+    /// Mean radius µ_θ.
+    pub mu: f64,
+    /// Training pairs consumed to convergence (or budget exhaustion).
+    pub consumed: usize,
+    /// Whether Γ ≤ γ was reached.
+    pub converged: bool,
+    /// Q1 RMSE `e` on unseen queries at the same µ_θ.
+    pub rmse: f64,
+    /// Median LLM CoD (`1 − median FVU`) on unseen Q2 queries.
+    pub cod: f64,
+}
+
+/// The µ_θ sweep of Figs. 13–14 on R1: fixed radius variance σ = 0.1
+/// (paper protocol), paper-default a = 0.25 and γ = 0.01.
+pub fn radius_sweep(d: usize, mus: &[f64], n_rows: usize, budget: usize) -> Vec<RadiusPoint> {
+    use regq_workload::eval::{evaluate_q1, evaluate_q2};
+    let data = r1_dataset(d, n_rows, 11);
+    let engine = ExactEngine::new(data, AccessPathKind::KdTree);
+    let mut out = Vec::with_capacity(mus.len());
+    for (i, &mu) in mus.iter().enumerate() {
+        let gen = QueryGenerator::for_function(&r1_function(d), 0.1).with_theta(mu, 0.1);
+        let mut cfg = model_config(Family::R1, d, 0.25);
+        // Tighter than the paper's 0.01: the CoD side of this trade-off
+        // needs slope depth at our |T| scale (see D-8 / fig09).
+        cfg.gamma = 2e-3;
+        let mut model = LlmModel::new(cfg).expect("valid config");
+        let mut rng = seeded(1000 + i as u64);
+        let report =
+            train_from_engine(&mut model, &engine, &gen, budget, &mut rng).expect("training");
+        let q1 = evaluate_q1(&model, &engine, &gen, default_test_queries() / 2, &mut rng);
+        let q2 = evaluate_q2(&model, &engine, &gen, 60, None, &mut rng);
+        out.push(RadiusPoint {
+            mu,
+            consumed: report.consumed,
+            converged: report.converged,
+            rmse: q1.rmse,
+            cod: 1.0 - q2.llm_fvu_median,
+        });
+    }
+    out
+}
+
+/// Downsample a Γ trace to at most `max_points` for printing.
+pub fn downsample(trace: &[f64], max_points: usize) -> Vec<(usize, f64)> {
+    if trace.is_empty() {
+        return Vec::new();
+    }
+    let stride = (trace.len() / max_points).max(1);
+    trace
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % stride == 0 || *i == trace.len() - 1)
+        .map(|(i, &g)| (i + 1, g))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r1_and_r2_datasets_have_requested_shape() {
+        let r1 = r1_dataset(2, 500, 1);
+        assert_eq!((r1.dim(), r1.len()), (2, 500));
+        let r2 = r2_dataset(3, 400, 1);
+        assert_eq!((r2.dim(), r2.len()), (3, 400));
+        // R2 outputs normalized to [0, 1].
+        let (lo, hi) = r2.output_bounds().unwrap();
+        assert!(lo >= 0.0 && hi <= 1.0);
+    }
+
+    #[test]
+    fn r2_generator_uses_paper_radius() {
+        let g = generator(Family::R2, 2);
+        assert_eq!(g.theta_mean(), 1.0);
+    }
+
+    #[test]
+    fn r2_config_scales_vigilance_with_range() {
+        let r1 = model_config(Family::R1, 2, 0.25).rho();
+        let r2 = model_config(Family::R2, 2, 0.25).rho();
+        assert!(r2 > 10.0 * r1, "R2 rho {r2} must scale with the domain");
+    }
+
+    #[test]
+    fn quick_scale_training_runs_end_to_end() {
+        let t = train(Family::R1, 2, 5_000, 0.25, 0.01, 5_000, 7);
+        assert!(t.report.consumed > 100);
+        assert!(t.model.k() >= 1);
+    }
+
+    #[test]
+    fn downsample_keeps_first_and_last() {
+        let trace: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let ds = downsample(&trace, 50);
+        assert!(ds.len() <= 52);
+        assert_eq!(ds.first().unwrap().0, 1);
+        assert_eq!(ds.last().unwrap().0, 1000);
+    }
+}

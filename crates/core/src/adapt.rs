@@ -1,0 +1,261 @@
+//! Extensions E-2 / E-3 — adaptation to data-space updates and codebook
+//! compaction (the paper's conclusion lists "adaptations to data space
+//! updates" as future work).
+//!
+//! * **Drift adaptation**: unfreeze the model and keep training with a
+//!   constant-floor learning rate so prototypes track a moving target
+//!   ([`enable_drift_tracking`]).
+//! * **Prototype merging**: after vigilance-driven growth, prototypes can
+//!   end up closer than the quantization warrants (queries arrived in an
+//!   unlucky order). [`merge_close_prototypes`] fuses pairs within a
+//!   distance threshold, weighting by update counts.
+//! * **Pruning**: prototypes that won almost no queries carry noisy,
+//!   under-trained LLMs; [`prune_rare_prototypes`] drops them.
+
+use crate::model::LlmModel;
+use crate::schedule::LearningSchedule;
+
+/// Unfreeze and switch to a constant learning rate (plasticity floor) so
+/// continued training tracks non-stationary data.
+///
+/// # Panics
+/// Panics if `eta` is outside `(0, 1)`.
+pub fn enable_drift_tracking(model: &mut LlmModel, eta: f64) {
+    assert!(eta > 0.0 && eta < 1.0, "eta must be in (0,1)");
+    model.unfreeze();
+    // Rebuild the model config in place via prototype-preserving surgery:
+    // the schedule lives in the config, which is immutable by design, so we
+    // go through the sanctioned mutation point.
+    set_schedule(model, LearningSchedule::Constant(eta));
+}
+
+/// Replace the learning schedule (sanctioned config mutation used by the
+/// drift extension and the schedule ablation bench).
+pub fn set_schedule(model: &mut LlmModel, schedule: LearningSchedule) {
+    let mut cfg = model.config().clone();
+    cfg.schedule = schedule;
+    // Validation cannot fail here unless the schedule itself is invalid.
+    cfg.schedule
+        .validate()
+        .expect("schedule validated by caller");
+    *model = LlmModel::from_parts_public(cfg, model.prototypes().to_vec(), model.steps(), false)
+        .expect("existing model parts are consistent");
+}
+
+/// Merge prototype pairs whose joint query-space distance is below
+/// `min_dist`. The survivor is the member with more updates; its parameters
+/// become the update-count-weighted average of the pair. Returns the number
+/// of merges performed.
+pub fn merge_close_prototypes(model: &mut LlmModel, min_dist: f64) -> usize {
+    let mut merged = 0usize;
+    loop {
+        let protos = model.prototypes();
+        let k = protos.len();
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let d = protos[i].sq_dist_to(&protos[j].as_query()).sqrt();
+                if d < min_dist && best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let Some((i, j, _)) = best else { break };
+        let protos = model.prototypes_mut();
+        // Weighted average into i, remove j (i < j so removal is safe).
+        let (wi, wj) = (
+            (protos[i].updates.max(1)) as f64,
+            (protos[j].updates.max(1)) as f64,
+        );
+        let total = wi + wj;
+        let pj = protos[j].clone();
+        let pi = &mut protos[i];
+        for (ci, cj) in pi.center.iter_mut().zip(pj.center.iter()) {
+            *ci = (*ci * wi + cj * wj) / total;
+        }
+        pi.radius = (pi.radius * wi + pj.radius * wj) / total;
+        pi.y = (pi.y * wi + pj.y * wj) / total;
+        for (bi, bj) in pi.b_x.iter_mut().zip(pj.b_x.iter()) {
+            *bi = (*bi * wi + bj * wj) / total;
+        }
+        pi.b_theta = (pi.b_theta * wi + pj.b_theta * wj) / total;
+        pi.updates += pj.updates;
+        protos.remove(j);
+        merged += 1;
+    }
+    merged
+}
+
+/// Drop prototypes with fewer than `min_updates` SGD updates, keeping at
+/// least one prototype. Returns the number pruned.
+pub fn prune_rare_prototypes(model: &mut LlmModel, min_updates: u64) -> usize {
+    let protos = model.prototypes_mut();
+    if protos.len() <= 1 {
+        return 0;
+    }
+    let before = protos.len();
+    // Keep the best-trained prototype unconditionally so the model never
+    // empties.
+    let max_updates = protos.iter().map(|p| p.updates).max().unwrap_or(0);
+    let mut kept_one = false;
+    protos.retain(|p| {
+        if p.updates >= min_updates {
+            kept_one = true;
+            true
+        } else if !kept_one && p.updates == max_updates {
+            kept_one = true;
+            true
+        } else {
+            false
+        }
+    });
+    if protos.is_empty() {
+        unreachable!("retain keeps at least one prototype");
+    }
+    before - protos.len()
+}
+
+impl LlmModel {
+    /// Public wrapper over the crate-private constructor (used by `adapt`
+    /// and `persist`).
+    pub(crate) fn from_parts_public(
+        config: crate::config::ModelConfig,
+        prototypes: Vec<crate::prototype::Prototype>,
+        steps: u64,
+        frozen: bool,
+    ) -> Result<Self, crate::error::CoreError> {
+        Self::from_parts(config, prototypes, steps, frozen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::query::Query;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn trained(seed: u64, a: f64) -> LlmModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cfg = ModelConfig::with_vigilance(2, a);
+        cfg.gamma = 1e-4;
+        let mut m = LlmModel::new(cfg).unwrap();
+        let stream = (0..20_000).map(|_| {
+            let c: Vec<f64> = (0..2).map(|_| rng.random_range(0.0..1.0)).collect();
+            let y = c[0] * 2.0 - c[1];
+            (Query::new_unchecked(c, rng.random_range(0.05..0.15)), y)
+        });
+        m.fit_stream(stream).unwrap();
+        m
+    }
+
+    #[test]
+    fn merge_reduces_k_and_preserves_accuracy_roughly() {
+        // Deterministic setup: two near-duplicate prototypes plus one far
+        // away. Merging at threshold 0.05 must fuse exactly the close pair
+        // and leave predictions essentially unchanged (the duplicates carry
+        // near-identical coefficients).
+        use crate::prototype::Prototype;
+        let mk = |cx: f64, y: f64, updates: u64| Prototype {
+            center: vec![cx, 0.5],
+            radius: 0.1,
+            y,
+            b_x: vec![1.0, 1.0],
+            b_theta: 0.0,
+            updates,
+        };
+        let mut m = LlmModel::from_parts_public(
+            ModelConfig::paper_defaults(2),
+            vec![mk(0.30, 2.0, 10), mk(0.31, 2.02, 30), mk(0.90, 5.0, 20)],
+            60,
+            true,
+        )
+        .unwrap();
+        let q = Query::new_unchecked(vec![0.3, 0.5], 0.1);
+        let before = m.predict_q1(&q).unwrap();
+        let merged = merge_close_prototypes(&mut m, 0.05);
+        assert_eq!(merged, 1);
+        assert_eq!(m.k(), 2);
+        // Survivor is the update-weighted average: center x ≈ 0.3075.
+        let survivor = &m.prototypes()[0];
+        assert!((survivor.center[0] - (0.30 * 10.0 + 0.31 * 30.0) / 40.0).abs() < 1e-12);
+        assert_eq!(survivor.updates, 40);
+        let after = m.predict_q1(&q).unwrap();
+        assert!(
+            (before - after).abs() < 0.05,
+            "merge distorted predictions: {before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn merge_with_zero_threshold_is_noop() {
+        let mut m = trained(5, 0.25);
+        let k0 = m.k();
+        assert_eq!(merge_close_prototypes(&mut m, 0.0), 0);
+        assert_eq!(m.k(), k0);
+    }
+
+    #[test]
+    fn prune_drops_under_trained_prototypes() {
+        let mut m = trained(7, 0.05);
+        let k0 = m.k();
+        let rare = m
+            .prototypes()
+            .iter()
+            .filter(|p| p.updates < 3)
+            .count();
+        let pruned = prune_rare_prototypes(&mut m, 3);
+        assert!(pruned <= rare);
+        assert_eq!(m.k(), k0 - pruned);
+        assert!(m.k() >= 1);
+    }
+
+    #[test]
+    fn prune_never_empties_model() {
+        let mut m = LlmModel::new(ModelConfig::paper_defaults(1)).unwrap();
+        m.train_step(&Query::new_unchecked(vec![0.5], 0.1), 1.0)
+            .unwrap();
+        let pruned = prune_rare_prototypes(&mut m, 1_000_000);
+        assert_eq!(pruned, 0);
+        assert_eq!(m.k(), 1);
+    }
+
+    #[test]
+    fn drift_tracking_follows_moving_teacher() {
+        let mut m = trained(9, 0.25);
+        assert!(m.is_frozen());
+        let probe = Query::new_unchecked(vec![0.5, 0.5], 0.1);
+        let before = m.predict_q1(&probe).unwrap();
+        // Teacher jumps: y' = y + 5. Without adaptation the model keeps
+        // predicting the old level.
+        enable_drift_tracking(&mut m, 0.2);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5_000 {
+            let c: Vec<f64> = (0..2).map(|_| rng.random_range(0.0..1.0)).collect();
+            let y = c[0] * 2.0 - c[1] + 5.0;
+            m.train_step(
+                &Query::new_unchecked(c, rng.random_range(0.05..0.15)),
+                y,
+            )
+            .unwrap();
+        }
+        let after = m.predict_q1(&probe).unwrap();
+        assert!(
+            (after - (before + 5.0)).abs() < 0.5,
+            "did not track drift: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn set_schedule_preserves_prototypes() {
+        let mut m = trained(13, 0.25);
+        let protos = m.prototypes().to_vec();
+        set_schedule(&mut m, LearningSchedule::HyperbolicGlobal);
+        assert_eq!(m.prototypes(), &protos[..]);
+        assert_eq!(
+            m.config().schedule,
+            LearningSchedule::HyperbolicGlobal
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Prediction-confidence assessment (paper desideratum **D2**: "can the
+//! system provide these linear regression models … *with high
+//! confidence*?").
+//!
+//! The model can always produce a number — even for a query ball in a
+//! region no analyst ever explored (Algorithm 2's closest-prototype
+//! fallback). A serving layer needs to know *when to trust it*. This
+//! extension scores each query on three interpretable axes:
+//!
+//! * **overlap mass** — the raw (unnormalized) `Σ δ(q, w_k)` over `W(q)`:
+//!   how much of the query ball is covered by learned subspaces;
+//! * **support maturity** — the `δ̃`-weighted SGD update count of the
+//!   contributing prototypes: how well-trained the local models are;
+//! * **proximity** — the joint distance to the winner relative to the
+//!   vigilance `ρ`: beyond `ρ` the answer is an extrapolation.
+//!
+//! The combined `score ∈ [0, 1]` is a *heuristic* (the paper does not
+//! define one); its component axes are exact model quantities, and the
+//! tests pin the monotonicity properties that make it usable for
+//! serve-or-fall-back-to-DBMS routing.
+
+use crate::error::CoreError;
+use crate::model::LlmModel;
+use crate::overlap::overlap_degree;
+use crate::query::Query;
+use serde::{Deserialize, Serialize};
+
+/// Update count at which a prototype is considered half-mature.
+const MATURITY_HALF_LIFE: f64 = 20.0;
+
+/// Confidence breakdown for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Confidence {
+    /// Raw overlap mass `Σ δ(q, w_k)` (0 = no learned subspace overlaps).
+    pub overlap_mass: f64,
+    /// `δ̃`-weighted mean update count of contributing prototypes (the
+    /// winner's count when `W(q) = ∅`).
+    pub support_updates: f64,
+    /// Joint distance to the winner divided by the vigilance `ρ`
+    /// (> 1 means the answer extrapolates beyond the quantization cell).
+    pub winner_distance_ratio: f64,
+    /// Combined score in `[0, 1]`.
+    pub score: f64,
+}
+
+impl LlmModel {
+    /// Assess prediction confidence for a query (extension; see module
+    /// docs for the axes and the heuristic combination).
+    ///
+    /// # Errors
+    /// [`CoreError::EmptyModel`] on an untrained model;
+    /// [`CoreError::DimensionMismatch`] on a wrong-dimension query.
+    pub fn confidence(&self, q: &Query) -> Result<Confidence, CoreError> {
+        if q.dim() != self.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim(),
+                actual: q.dim(),
+            });
+        }
+        let Some((winner, winner_sq)) = self.winner(q) else {
+            return Err(CoreError::EmptyModel);
+        };
+        let rho = self.config().rho();
+        let winner_distance_ratio = winner_sq.sqrt() / rho;
+
+        let mut mass = 0.0;
+        let mut weighted_updates = 0.0;
+        for p in self.prototypes() {
+            let d = overlap_degree(q, &p.as_query());
+            if d > 0.0 {
+                mass += d;
+                weighted_updates += d * p.updates as f64;
+            }
+        }
+        let support_updates = if mass > 0.0 {
+            weighted_updates / mass
+        } else {
+            self.prototypes()[winner].updates as f64
+        };
+
+        // Heuristic combination: each axis maps to [0, 1] and the score is
+        // their product, with a floor on the mass term so a mature, nearby
+        // winner still yields a usable (if discounted) score when W(q) is
+        // empty.
+        let mass_term = mass / (1.0 + mass);
+        let maturity = support_updates / (support_updates + MATURITY_HALF_LIFE);
+        let proximity = 1.0 / (1.0 + (winner_distance_ratio - 1.0).max(0.0));
+        let score = (0.25 + 0.75 * mass_term) * maturity * proximity;
+
+        Ok(Confidence {
+            overlap_mass: mass,
+            support_updates,
+            winner_distance_ratio,
+            score: score.clamp(0.0, 1.0),
+        })
+    }
+
+    /// Predict Q1 together with its confidence (convenience for serving
+    /// layers that route low-confidence queries back to the DBMS).
+    ///
+    /// # Errors
+    /// Same as [`LlmModel::predict_q1`].
+    pub fn predict_q1_with_confidence(&self, q: &Query) -> Result<(f64, Confidence), CoreError> {
+        let y = self.predict_q1(q)?;
+        let c = self.confidence(q)?;
+        Ok((y, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn trained(seed: u64) -> LlmModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cfg = ModelConfig::with_vigilance(2, 0.15);
+        cfg.gamma = 1e-3;
+        let mut m = LlmModel::new(cfg).unwrap();
+        let stream = (0..30_000).map(|_| {
+            let c: Vec<f64> = (0..2).map(|_| rng.random_range(0.0..1.0)).collect();
+            let y = c[0] + c[1];
+            (Query::new_unchecked(c, rng.random_range(0.05..0.15)), y)
+        });
+        m.fit_stream(stream).unwrap();
+        m
+    }
+
+    fn q(center: &[f64], r: f64) -> Query {
+        Query::new_unchecked(center.to_vec(), r)
+    }
+
+    #[test]
+    fn in_distribution_queries_score_high() {
+        let m = trained(1);
+        // Probe at a mature prototype's own ball: overlap is guaranteed
+        // (δ = 1 for the coincident prototype) and support is maximal.
+        let p = m
+            .prototypes()
+            .iter()
+            .max_by_key(|p| p.updates)
+            .expect("trained model");
+        let c = m.confidence(&q(&p.center.clone(), p.radius)).unwrap();
+        assert!(c.overlap_mass >= 1.0 - 1e-9, "mass {}", c.overlap_mass);
+        assert!(c.score > 0.4, "score {}", c.score);
+        assert!(c.winner_distance_ratio < 1.0);
+    }
+
+    #[test]
+    fn far_extrapolation_scores_low() {
+        let m = trained(2);
+        let near = m.confidence(&q(&[0.5, 0.5], 0.1)).unwrap();
+        let far = m.confidence(&q(&[30.0, 30.0], 0.1)).unwrap();
+        assert_eq!(far.overlap_mass, 0.0);
+        assert!(far.winner_distance_ratio > 1.0);
+        assert!(far.score < near.score / 3.0, "near {} far {}", near.score, far.score);
+    }
+
+    #[test]
+    fn score_decreases_monotonically_with_distance() {
+        let m = trained(3);
+        let mut last = f64::INFINITY;
+        for step in 0..6 {
+            let x = 0.5 + step as f64 * 2.0;
+            let c = m.confidence(&q(&[x, 0.5], 0.1)).unwrap();
+            assert!(
+                c.score <= last + 1e-12,
+                "score rose at x = {x}: {} > {last}",
+                c.score
+            );
+            last = c.score;
+        }
+    }
+
+    #[test]
+    fn fresh_prototype_support_is_flagged_immature() {
+        let mut m = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
+        m.train_step(&q(&[0.5, 0.5], 0.1), 1.0).unwrap();
+        let c = m.confidence(&q(&[0.5, 0.5], 0.1)).unwrap();
+        // A single-update prototype: maturity term ~ 1/21.
+        assert!(c.support_updates <= 1.0 + 1e-9);
+        assert!(c.score < 0.1, "score {}", c.score);
+    }
+
+    #[test]
+    fn predict_with_confidence_matches_parts() {
+        let m = trained(4);
+        let query = q(&[0.4, 0.6], 0.1);
+        let (y, c) = m.predict_q1_with_confidence(&query).unwrap();
+        assert_eq!(y, m.predict_q1(&query).unwrap());
+        assert_eq!(c, m.confidence(&query).unwrap());
+    }
+
+    #[test]
+    fn errors_mirror_prediction_errors() {
+        let empty = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
+        assert!(matches!(
+            empty.confidence(&q(&[0.5, 0.5], 0.1)),
+            Err(CoreError::EmptyModel)
+        ));
+        let m = trained(5);
+        assert!(matches!(
+            m.confidence(&q(&[0.5], 0.1)),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn score_is_always_in_unit_interval() {
+        let m = trained(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let c: Vec<f64> = (0..2).map(|_| rng.random_range(-5.0..5.0)).collect();
+            let conf = m.confidence(&Query::new_unchecked(c, rng.random_range(0.01..2.0))).unwrap();
+            assert!((0.0..=1.0).contains(&conf.score));
+        }
+    }
+}

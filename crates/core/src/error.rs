@@ -1,0 +1,44 @@
+//! Error type for model construction, training and prediction.
+
+use std::fmt;
+
+/// Errors surfaced by `regq-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A query/input had the wrong dimensionality.
+    DimensionMismatch {
+        /// Expected input dimension `d`.
+        expected: usize,
+        /// Supplied dimension.
+        actual: usize,
+    },
+    /// Prediction was requested from a model with no prototypes.
+    EmptyModel,
+    /// A query or answer contained NaN/inf.
+    NonFinite {
+        /// Where the value was found.
+        location: &'static str,
+    },
+    /// Invalid configuration (message explains the constraint).
+    InvalidConfig(String),
+    /// Persistence failure (IO or format).
+    Persist(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            CoreError::EmptyModel => write!(f, "model has no prototypes (train first)"),
+            CoreError::NonFinite { location } => {
+                write!(f, "non-finite value in {location}")
+            }
+            CoreError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            CoreError::Persist(msg) => write!(f, "persistence error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

@@ -1,0 +1,606 @@
+//! The [`LlmModel`]: conditionally-growing AVQ + SGD-trained Local Linear
+//! Mappings (paper Section IV, Algorithm 1, Theorem 4).
+//!
+//! Training consumes a stream of `(q_t, y_t)` pairs (query, exact answer)
+//! obtained from the DBMS — the Fig. 2 loop. Each step:
+//!
+//! 1. find the winner `j = argmin_k ‖q − w_k‖₂` (joint query-space `L2`);
+//! 2. if `‖q − w_j‖₂ ≤ ρ`, apply the Theorem 4 SGD updates
+//!    ```text
+//!    Δw_j = η (q − w_j)
+//!    e    = y − y_j − b_j (q − w_j)ᵀ
+//!    Δb_j = η e (q − w_j)
+//!    Δy_j = η e
+//!    ```
+//! 3. otherwise spawn a new prototype at `q` with zeroed coefficients;
+//! 4. track `Γ_J = Σ_k ‖w_{k,t} − w_{k,t−1}‖₂` and
+//!    `Γ_H = Σ_k ‖b_{k,t} − b_{k,t−1}‖₂ + |y_{k,t} − y_{k,t−1}|` — only the
+//!    winner moves, so the sums collapse to its displacement; a spawning
+//!    step contributes `ρ` (design decision D-2);
+//! 5. stop once `Γ = max(Γ_J, Γ_H) ≤ γ` for `convergence_window`
+//!    consecutive steps.
+//!
+//! After convergence the model freezes (the paper performs no further
+//! modification at prediction time); extension E-2 ([`crate::adapt`]) can
+//! unfreeze it for drift tracking.
+
+use crate::config::ModelConfig;
+use crate::error::CoreError;
+use crate::prototype::Prototype;
+use crate::query::Query;
+use regq_linalg::vector;
+use serde::{Deserialize, Serialize};
+
+/// What a single training step did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// Index of the winning (updated or spawned) prototype.
+    pub winner: usize,
+    /// `true` when the step spawned a new prototype.
+    pub spawned: bool,
+    /// This step's `Γ_J` contribution.
+    pub gamma_j: f64,
+    /// This step's `Γ_H` contribution.
+    pub gamma_h: f64,
+    /// `true` once the convergence criterion is met (model froze).
+    pub converged: bool,
+}
+
+/// Summary of a full training run ([`LlmModel::fit_stream`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Number of `(q, y)` pairs consumed.
+    pub steps: usize,
+    /// Final number of prototypes `K`.
+    pub prototypes: usize,
+    /// Whether `Γ ≤ γ` was reached (vs. stream exhausted / max_steps).
+    pub converged: bool,
+    /// Per-step `Γ = max(Γ_J, Γ_H)` trace (feeds the Fig. 6 experiment).
+    pub gamma_trace: Vec<f64>,
+}
+
+/// The query-driven predictive model (Section III–V of the paper).
+///
+/// # Example
+///
+/// ```
+/// use regq_core::{LlmModel, ModelConfig, Query};
+///
+/// // Teacher: the mean of u over any ball centered at x is 2 + x  (a
+/// // linear data function makes the ball-mean equal the center value).
+/// let mut model = LlmModel::new(ModelConfig::paper_defaults(1)).unwrap();
+/// let stream = (0..20_000).map(|i| {
+///     let x = (i % 100) as f64 / 100.0;
+///     let theta = 0.05 + (i % 7) as f64 * 0.01;
+///     (Query::new_unchecked(vec![x], theta), 2.0 + x)
+/// });
+/// let report = model.fit_stream(stream).unwrap();
+/// assert!(report.converged);
+///
+/// // Prediction needs no data access:
+/// let q = Query::new(vec![0.4], 0.08).unwrap();
+/// let y = model.predict_q1(&q).unwrap();
+/// assert!((y - 2.4).abs() < 0.1, "got {y}");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LlmModel {
+    config: ModelConfig,
+    prototypes: Vec<Prototype>,
+    /// Global SGD step counter `t`.
+    global_step: u64,
+    /// Consecutive steps with `Γ ≤ γ` so far.
+    quiet_steps: usize,
+    /// Frozen after convergence: training steps become no-ops.
+    frozen: bool,
+}
+
+impl LlmModel {
+    /// Create an untrained model.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: ModelConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        Ok(LlmModel {
+            config,
+            prototypes: Vec::new(),
+            global_step: 0,
+            quiet_steps: 0,
+            frozen: false,
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The current prototype set (the learned parameters `α`).
+    pub fn prototypes(&self) -> &[Prototype] {
+        &self.prototypes
+    }
+
+    /// Number of prototypes `K`.
+    pub fn k(&self) -> usize {
+        self.prototypes.len()
+    }
+
+    /// Input dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// `true` once the convergence criterion froze the model.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Number of training steps consumed so far.
+    pub fn steps(&self) -> u64 {
+        self.global_step
+    }
+
+    /// Unfreeze (extension E-2): subsequent [`LlmModel::train_step`] calls
+    /// update parameters again.
+    pub fn unfreeze(&mut self) {
+        self.frozen = false;
+        self.quiet_steps = 0;
+    }
+
+    /// Freeze: training steps become no-ops (prediction-only serving).
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Winner search: index and squared joint distance of the closest
+    /// prototype. `None` for an empty model.
+    pub fn winner(&self, q: &Query) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (k, p) in self.prototypes.iter().enumerate() {
+            let d = p.sq_dist_to(q);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((k, d));
+            }
+        }
+        best
+    }
+
+    /// One step of Algorithm 1 on a `(q, y)` pair.
+    ///
+    /// # Errors
+    /// * [`CoreError::DimensionMismatch`] if `q.dim() != config.dim`;
+    /// * [`CoreError::NonFinite`] for NaN/inf query or answer.
+    pub fn train_step(&mut self, q: &Query, y: f64) -> Result<StepOutcome, CoreError> {
+        self.step_inner(q, y, true)
+    }
+
+    /// Like [`LlmModel::train_step`] but with the convergence accounting
+    /// disabled: the model never freezes itself. Callers that coordinate
+    /// several heads over one logical codebook (e.g.
+    /// [`crate::moments::MomentsModel`]) drive convergence externally and
+    /// call [`LlmModel::freeze`] themselves.
+    pub fn train_step_plastic(&mut self, q: &Query, y: f64) -> Result<StepOutcome, CoreError> {
+        self.step_inner(q, y, false)
+    }
+
+    fn step_inner(
+        &mut self,
+        q: &Query,
+        y: f64,
+        convergence_accounting: bool,
+    ) -> Result<StepOutcome, CoreError> {
+        if q.dim() != self.config.dim {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.config.dim,
+                actual: q.dim(),
+            });
+        }
+        if !vector::all_finite(&q.center) || !q.radius.is_finite() || !y.is_finite() {
+            return Err(CoreError::NonFinite {
+                location: "train_step input",
+            });
+        }
+
+        let rho = self.config.rho();
+
+        // First pair initializes the codebook (Algorithm 1 init phase).
+        if self.prototypes.is_empty() {
+            self.prototypes.push(Prototype::from_query(q));
+            self.global_step += 1;
+            return Ok(StepOutcome {
+                winner: 0,
+                spawned: true,
+                gamma_j: rho,
+                gamma_h: 0.0,
+                converged: false,
+            });
+        }
+
+        let (j, sq) = self.winner(q).expect("non-empty codebook");
+        let dist = sq.sqrt();
+        self.global_step += 1;
+
+        if self.frozen {
+            // Paper: after convergence "no further modification is
+            // performed".
+            return Ok(StepOutcome {
+                winner: j,
+                spawned: false,
+                gamma_j: 0.0,
+                gamma_h: 0.0,
+                converged: true,
+            });
+        }
+
+        let (gamma_j, gamma_h, winner, spawned) = if dist <= rho {
+            let p = &mut self.prototypes[j];
+            let eta = self.config.schedule.rate(p.updates, self.global_step);
+
+            // Joint query-space residual vector (q − w_j), split into its
+            // input part and radius part. Theorem 4 updates all of α_j
+            // simultaneously against this *pre-update* residual.
+            let dq = vector::sub(&q.center, &p.center);
+            let dtheta = q.radius - p.radius;
+            let dq_sq = vector::dot(&dq, &dq) + dtheta * dtheta;
+
+            // Prediction error of the current LLM at q (Theorem 4's e).
+            let err = y - p.y - vector::dot(&p.b_x, &dq) - p.b_theta * dtheta;
+
+            // Δw_j = η (q − w_j).
+            let w_disp = eta * dq_sq.sqrt();
+            vector::axpy(eta, &dq, &mut p.center);
+            p.radius += eta * dtheta;
+
+            // Coefficient steps run on their own (slower-decaying)
+            // Robbins–Monro schedule — see coeff_rate_power (D-8).
+            let eta_c = self.config.schedule.coeff_rate(
+                p.updates,
+                self.global_step,
+                self.config.coeff_rate_power,
+            );
+
+            // Slope step: Δb_j = η_c e (q − w_j), optionally
+            // NLMS-normalized by (ε + ‖q − w_j‖²) — see SlopeUpdate (D-8).
+            let slope_scale = match self.config.slope_update {
+                crate::config::SlopeUpdate::Normalized { epsilon } => {
+                    eta_c * err / (epsilon + dq_sq)
+                }
+                crate::config::SlopeUpdate::Raw => eta_c * err,
+            };
+            let mut b_disp_sq = 0.0;
+            for (b, dqi) in p.b_x.iter_mut().zip(dq.iter()) {
+                let delta = slope_scale * dqi;
+                *b += delta;
+                b_disp_sq += delta * delta;
+            }
+            let delta_btheta = slope_scale * dtheta;
+            p.b_theta += delta_btheta;
+            b_disp_sq += delta_btheta * delta_btheta;
+            let delta_y = eta_c * err;
+            p.y += delta_y;
+            p.updates += 1;
+
+            // Γ contributions: ‖Δw‖₂ and ‖Δb‖₂ + |Δy| of the winner.
+            (w_disp, b_disp_sq.sqrt() + delta_y.abs(), j, false)
+        } else {
+            // Vigilance violated: grow the codebook (K += 1).
+            self.prototypes.push(Prototype::from_query(q));
+            (rho, 0.0, self.prototypes.len() - 1, true)
+        };
+
+        // Convergence accounting.
+        if convergence_accounting {
+            let gamma = gamma_j.max(gamma_h);
+            if gamma <= self.config.gamma {
+                self.quiet_steps += 1;
+                if self.quiet_steps >= self.config.convergence_window {
+                    self.frozen = true;
+                }
+            } else {
+                self.quiet_steps = 0;
+            }
+        }
+
+        Ok(StepOutcome {
+            winner,
+            spawned,
+            gamma_j,
+            gamma_h,
+            converged: self.frozen,
+        })
+    }
+
+    /// Train on a stream of pairs until convergence, stream exhaustion or
+    /// `config.max_steps` (Algorithm 1).
+    ///
+    /// # Errors
+    /// Propagates the first [`CoreError`] from [`LlmModel::train_step`].
+    pub fn fit_stream<I>(&mut self, pairs: I) -> Result<TrainReport, CoreError>
+    where
+        I: IntoIterator<Item = (Query, f64)>,
+    {
+        let mut trace = Vec::new();
+        let mut steps = 0usize;
+        for (q, y) in pairs {
+            let out = self.train_step(&q, y)?;
+            steps += 1;
+            trace.push(out.gamma_j.max(out.gamma_h));
+            if out.converged {
+                break;
+            }
+            if self.config.max_steps > 0 && steps >= self.config.max_steps {
+                break;
+            }
+        }
+        Ok(TrainReport {
+            steps,
+            prototypes: self.k(),
+            converged: self.frozen,
+            gamma_trace: trace,
+        })
+    }
+
+    /// Mutable prototype access for the adaptation extensions
+    /// ([`crate::adapt`]). Not part of the paper's interface.
+    pub(crate) fn prototypes_mut(&mut self) -> &mut Vec<Prototype> {
+        &mut self.prototypes
+    }
+
+    /// Rebuild from parts (persistence).
+    pub(crate) fn from_parts(
+        config: ModelConfig,
+        prototypes: Vec<Prototype>,
+        global_step: u64,
+        frozen: bool,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        for p in &prototypes {
+            if p.dim() != config.dim || p.b_x.len() != config.dim {
+                return Err(CoreError::DimensionMismatch {
+                    expected: config.dim,
+                    actual: p.dim(),
+                });
+            }
+        }
+        Ok(LlmModel {
+            config,
+            prototypes,
+            global_step,
+            quiet_steps: 0,
+            frozen,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::LearningSchedule;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn q(center: &[f64], r: f64) -> Query {
+        Query::new(center.to_vec(), r).unwrap()
+    }
+
+    /// Stream of queries over [0,1]^d answered by a linear function of the
+    /// center (the easiest consistent teacher for the LLM).
+    fn linear_stream(
+        d: usize,
+        n: usize,
+        seed: u64,
+    ) -> impl Iterator<Item = (Query, f64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(move |_| {
+            let center: Vec<f64> = (0..d).map(|_| rng.random_range(0.0..1.0)).collect();
+            let radius = rng.random_range(0.05..0.15);
+            let y = 2.0 + center.iter().sum::<f64>();
+            (Query::new_unchecked(center, radius), y)
+        })
+    }
+
+    #[test]
+    fn first_query_becomes_first_prototype() {
+        let mut m = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
+        let out = m.train_step(&q(&[0.3, 0.4], 0.1), 1.0).unwrap();
+        assert!(out.spawned);
+        assert_eq!(m.k(), 1);
+        let p = &m.prototypes()[0];
+        assert_eq!(p.center, vec![0.3, 0.4]);
+        assert_eq!(p.radius, 0.1);
+        assert_eq!(p.y, 0.0);
+    }
+
+    #[test]
+    fn far_query_spawns_new_prototype() {
+        // Tiny vigilance: every distinct query becomes its own prototype.
+        let mut cfg = ModelConfig::paper_defaults(2);
+        cfg.vigilance_override = Some(1e-6);
+        let mut m = LlmModel::new(cfg).unwrap();
+        m.train_step(&q(&[0.0, 0.0], 0.1), 1.0).unwrap();
+        let out = m.train_step(&q(&[0.5, 0.5], 0.1), 2.0).unwrap();
+        assert!(out.spawned);
+        assert_eq!(m.k(), 2);
+    }
+
+    #[test]
+    fn near_query_updates_winner_not_k() {
+        let mut m = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
+        m.train_step(&q(&[0.5, 0.5], 0.1), 1.0).unwrap();
+        let out = m.train_step(&q(&[0.52, 0.5], 0.1), 1.0).unwrap();
+        assert!(!out.spawned);
+        assert_eq!(m.k(), 1);
+        // Winner moved toward the query.
+        let p = &m.prototypes()[0];
+        assert!(p.center[0] > 0.5 && p.center[0] < 0.52);
+    }
+
+    #[test]
+    fn accepted_update_respects_vigilance_invariant() {
+        // After an update, the winner has moved toward q, so the distance
+        // can only have shrunk: ‖q − w_j'‖ = (1−η)‖q − w_j‖ ≤ ρ.
+        let mut m = LlmModel::new(ModelConfig::paper_defaults(1)).unwrap();
+        let rho = m.config().rho();
+        m.train_step(&q(&[0.0], 0.1), 0.0).unwrap();
+        let query = q(&[rho * 0.7], 0.1);
+        m.train_step(&query, 1.0).unwrap();
+        let (j, sq) = m.winner(&query).unwrap();
+        assert_eq!(j, 0);
+        assert!(sq.sqrt() <= rho);
+    }
+
+    #[test]
+    fn theorem4_update_reduces_local_prediction_error() {
+        // Disable the convergence freeze: this test studies the raw SGD
+        // fixed-point behaviour on a repeated pair.
+        let mut cfg = ModelConfig::paper_defaults(1);
+        cfg.gamma = 1e-300;
+        let mut m = LlmModel::new(cfg).unwrap();
+        m.train_step(&q(&[0.5], 0.1), 3.0).unwrap();
+        // Repeatedly show the same pair; f_j(q) must approach y = 3.
+        // The error trend is decreasing (small transient wobbles are
+        // allowed: the w/y/b updates jointly correct the same residual and
+        // can briefly overshoot while the prototype is still moving).
+        let query = q(&[0.55], 0.1);
+        let mut errs = Vec::with_capacity(400);
+        for _ in 0..400 {
+            m.train_step(&query, 3.0).unwrap();
+            let p = &m.prototypes()[0];
+            errs.push((3.0 - p.eval(&query.center, query.radius)).abs());
+        }
+        assert!(errs[399] < 0.02, "did not converge to teacher: {}", errs[399]);
+        assert!(errs[399] < errs[10], "no overall decrease");
+        assert!(errs[100] < errs[5], "no early decrease");
+    }
+
+    #[test]
+    fn gamma_decreases_and_training_converges() {
+        let mut m = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
+        let report = m.fit_stream(linear_stream(2, 50_000, 42)).unwrap();
+        assert!(report.converged, "did not converge in 50k steps");
+        assert!(m.is_frozen());
+        assert!(report.prototypes > 1);
+        assert_eq!(report.gamma_trace.len(), report.steps);
+        // Early Γ is large, late Γ is at/below γ.
+        let early: f64 = report.gamma_trace[..20].iter().sum::<f64>() / 20.0;
+        let gamma = m.config().gamma;
+        assert!(early > gamma);
+        assert!(*report.gamma_trace.last().unwrap() <= gamma);
+    }
+
+    #[test]
+    fn frozen_model_ignores_training() {
+        let mut m = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
+        m.fit_stream(linear_stream(2, 50_000, 1)).unwrap();
+        assert!(m.is_frozen());
+        let before = m.prototypes().to_vec();
+        let k = m.k();
+        // Even a far-away query must not mutate a frozen model.
+        let out = m.train_step(&q(&[100.0, 100.0], 0.1), 5.0).unwrap();
+        assert!(!out.spawned);
+        assert_eq!(m.k(), k);
+        assert_eq!(m.prototypes(), &before[..]);
+    }
+
+    #[test]
+    fn unfreeze_restores_plasticity() {
+        let mut m = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
+        m.fit_stream(linear_stream(2, 50_000, 2)).unwrap();
+        assert!(m.is_frozen());
+        m.unfreeze();
+        let k = m.k();
+        m.train_step(&q(&[100.0, 100.0], 0.1), 5.0).unwrap();
+        assert_eq!(m.k(), k + 1);
+    }
+
+    #[test]
+    fn smaller_vigilance_grows_more_prototypes() {
+        let mut coarse = LlmModel::new(ModelConfig::with_vigilance(2, 0.9)).unwrap();
+        let mut fine = LlmModel::new(ModelConfig::with_vigilance(2, 0.05)).unwrap();
+        coarse.fit_stream(linear_stream(2, 2000, 3)).unwrap();
+        fine.fit_stream(linear_stream(2, 2000, 3)).unwrap();
+        assert!(
+            fine.k() > coarse.k(),
+            "fine {} vs coarse {}",
+            fine.k(),
+            coarse.k()
+        );
+    }
+
+    #[test]
+    fn a_equal_one_yields_single_prototype_on_unit_data() {
+        // ρ = 1·(√2+1) ≈ 2.41 covers the whole [0,1]² query space.
+        let mut m = LlmModel::new(ModelConfig::with_vigilance(2, 1.0)).unwrap();
+        m.fit_stream(linear_stream(2, 2000, 4)).unwrap();
+        assert_eq!(m.k(), 1);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut m = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
+        assert!(matches!(
+            m.train_step(&q(&[0.1], 0.1), 0.0),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_answer_is_rejected() {
+        let mut m = LlmModel::new(ModelConfig::paper_defaults(1)).unwrap();
+        assert!(matches!(
+            m.train_step(&q(&[0.1], 0.1), f64::NAN),
+            Err(CoreError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn max_steps_caps_training() {
+        let mut cfg = ModelConfig::paper_defaults(2);
+        cfg.max_steps = 100;
+        // Make convergence impossible quickly: huge gamma requirement off.
+        cfg.gamma = 1e-12;
+        let mut m = LlmModel::new(cfg).unwrap();
+        let report = m.fit_stream(linear_stream(2, 10_000, 5)).unwrap();
+        assert_eq!(report.steps, 100);
+        assert!(!report.converged);
+    }
+
+    #[test]
+    fn global_schedule_also_converges() {
+        let mut cfg = ModelConfig::paper_defaults(2);
+        cfg.schedule = LearningSchedule::HyperbolicGlobal;
+        let mut m = LlmModel::new(cfg).unwrap();
+        let report = m.fit_stream(linear_stream(2, 50_000, 6)).unwrap();
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn winner_on_empty_model_is_none() {
+        let m = LlmModel::new(ModelConfig::paper_defaults(1)).unwrap();
+        assert!(m.winner(&q(&[0.0], 0.1)).is_none());
+    }
+
+    #[test]
+    fn prototype_radii_track_query_radii() {
+        // All queries share θ = 0.12; converged prototypes should sit near
+        // that radius (w_k holds E[θ] over its subspace).
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
+        for _ in 0..3000 {
+            let c: Vec<f64> = (0..2).map(|_| rng.random_range(0.0..1.0)).collect();
+            let y = c[0] + c[1];
+            if m.train_step(&Query::new_unchecked(c, 0.12), y).unwrap().converged {
+                break;
+            }
+        }
+        for p in m.prototypes() {
+            if p.updates >= 5 {
+                assert!(
+                    (p.radius - 0.12).abs() < 0.05,
+                    "radius {} far from 0.12",
+                    p.radius
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Query overlap predicate (Definition 6) and degree (Eq. 9).
+//!
+//! Two queries overlap when their balls intersect:
+//! `A(q, q') = (‖x − x'‖₂ ≤ θ + θ')`. The *degree* of overlap is
+//!
+//! ```text
+//! δ(q, q') = 1 − max(‖x − x'‖₂, |θ − θ'|) / (θ + θ')   if A(q, q')
+//!          = 0                                          otherwise
+//! ```
+//!
+//! `δ ∈ [0, 1]`; `δ = 1` exactly for identical (concentric, equal-radius)
+//! balls; the `|θ − θ'|` term discounts concentric-but-nested balls (the
+//! paper's "remaining area from perfect inclusion").
+
+use crate::query::Query;
+use regq_linalg::vector;
+
+/// Overlap predicate `A(q, q')` (Definition 6).
+#[inline]
+pub fn overlaps(a: &Query, b: &Query) -> bool {
+    vector::l2_dist(&a.center, &b.center) <= a.radius + b.radius
+}
+
+/// Degree of overlap `δ(q, q') ∈ [0, 1]` (Eq. 9).
+#[inline]
+pub fn overlap_degree(a: &Query, b: &Query) -> f64 {
+    let center_dist = vector::l2_dist(&a.center, &b.center);
+    let radius_sum = a.radius + b.radius;
+    if center_dist > radius_sum {
+        return 0.0;
+    }
+    let spread = center_dist.max((a.radius - b.radius).abs());
+    1.0 - spread / radius_sum
+}
+
+/// Normalize raw degrees into weights summing to 1 (`δ̃` of Algorithm 2).
+/// Returns `None` when every degree is zero.
+pub fn normalized_weights(degrees: &[f64]) -> Option<Vec<f64>> {
+    let total: f64 = degrees.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    Some(degrees.iter().map(|d| d / total).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(center: &[f64], r: f64) -> Query {
+        Query::new(center.to_vec(), r).unwrap()
+    }
+
+    #[test]
+    fn identical_queries_have_degree_one() {
+        let a = q(&[0.5, 0.5], 0.2);
+        assert_eq!(overlap_degree(&a, &a), 1.0);
+        assert!(overlaps(&a, &a));
+    }
+
+    #[test]
+    fn tangent_balls_have_degree_zero_but_overlap() {
+        let a = q(&[0.0], 0.5);
+        let b = q(&[1.0], 0.5);
+        assert!(overlaps(&a, &b));
+        assert_eq!(overlap_degree(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn disjoint_balls_have_degree_zero() {
+        let a = q(&[0.0], 0.3);
+        let b = q(&[1.0], 0.3);
+        assert!(!overlaps(&a, &b));
+        assert_eq!(overlap_degree(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn concentric_nested_balls_are_discounted() {
+        // Same center, different radii: spread = |θ−θ'|.
+        let a = q(&[0.0, 0.0], 0.9);
+        let b = q(&[0.0, 0.0], 0.1);
+        let d = overlap_degree(&a, &b);
+        assert!((d - (1.0 - 0.8)).abs() < 1e-12, "δ = {d}");
+    }
+
+    #[test]
+    fn degree_is_symmetric() {
+        let a = q(&[0.1, 0.9], 0.25);
+        let b = q(&[0.4, 0.7], 0.4);
+        assert_eq!(overlap_degree(&a, &b), overlap_degree(&b, &a));
+    }
+
+    #[test]
+    fn degree_is_within_unit_interval() {
+        let cases = [
+            (q(&[0.0], 0.5), q(&[0.2], 0.5)),
+            (q(&[0.0], 0.01), q(&[0.0], 5.0)),
+            (q(&[3.0], 1.0), q(&[-3.0], 1.0)),
+        ];
+        for (a, b) in cases {
+            let d = overlap_degree(&a, &b);
+            assert!((0.0..=1.0).contains(&d), "δ = {d}");
+        }
+    }
+
+    #[test]
+    fn partial_overlap_matches_formula() {
+        // centers 0.3 apart, radii 0.2 + 0.2 = 0.4; spread = max(0.3, 0) = 0.3.
+        let a = q(&[0.0], 0.2);
+        let b = q(&[0.3], 0.2);
+        assert!((overlap_degree(&a, &b) - (1.0 - 0.3 / 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_normalize_to_one() {
+        let w = normalized_weights(&[0.2, 0.3, 0.5]).unwrap();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((w[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_degrees_give_none() {
+        assert!(normalized_weights(&[0.0, 0.0]).is_none());
+        assert!(normalized_weights(&[]).is_none());
+    }
+}

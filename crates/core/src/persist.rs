@@ -1,0 +1,374 @@
+//! Versioned plain-text persistence for trained models.
+//!
+//! A production deployment trains once against the DBMS (hours of query
+//! execution, per the paper's §VI-B cost breakdown) and then serves
+//! predictions indefinitely — so the learned parameter set must survive
+//! restarts. The format is a line-oriented text file:
+//!
+//! ```text
+//! regq-llm v1
+//! dim <d> a <a> gamma <g> window <w> schedule <s> steps <t> frozen <0|1> k <K> [rho <r>]
+//! proto <updates> <radius> <y> <b_theta> | <center...> | <b_x...>
+//! ...
+//! ```
+//!
+//! Floats are written with `{:?}` (shortest round-trip representation), so
+//! save → load is bit-exact. The model types additionally derive
+//! `serde::{Serialize, Deserialize}` for embedding in host applications
+//! that bring their own format crate.
+
+use crate::config::{ModelConfig, SlopeUpdate};
+use crate::error::CoreError;
+use crate::model::LlmModel;
+use crate::prototype::Prototype;
+use crate::schedule::LearningSchedule;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+const MAGIC: &str = "regq-llm v1";
+
+fn schedule_tag(s: &LearningSchedule) -> String {
+    match s {
+        LearningSchedule::HyperbolicPerPrototype => "hyp-proto".to_string(),
+        LearningSchedule::HyperbolicGlobal => "hyp-global".to_string(),
+        LearningSchedule::Constant(eta) => format!("const:{eta:?}"),
+    }
+}
+
+fn slope_tag(s: &SlopeUpdate) -> String {
+    match s {
+        SlopeUpdate::Normalized { epsilon } => format!("nlms:{epsilon:?}"),
+        SlopeUpdate::Raw => "raw".to_string(),
+    }
+}
+
+fn parse_slope(tag: &str) -> Result<SlopeUpdate, CoreError> {
+    match tag {
+        "raw" => Ok(SlopeUpdate::Raw),
+        other => {
+            if let Some(eps) = other.strip_prefix("nlms:") {
+                let epsilon: f64 = eps
+                    .parse()
+                    .map_err(|e| CoreError::Persist(format!("bad NLMS epsilon: {e}")))?;
+                Ok(SlopeUpdate::Normalized { epsilon })
+            } else {
+                Err(CoreError::Persist(format!("unknown slope rule '{other}'")))
+            }
+        }
+    }
+}
+
+fn parse_schedule(tag: &str) -> Result<LearningSchedule, CoreError> {
+    match tag {
+        "hyp-proto" => Ok(LearningSchedule::HyperbolicPerPrototype),
+        "hyp-global" => Ok(LearningSchedule::HyperbolicGlobal),
+        other => {
+            if let Some(eta) = other.strip_prefix("const:") {
+                let eta: f64 = eta
+                    .parse()
+                    .map_err(|e| CoreError::Persist(format!("bad constant rate: {e}")))?;
+                Ok(LearningSchedule::Constant(eta))
+            } else {
+                Err(CoreError::Persist(format!("unknown schedule '{other}'")))
+            }
+        }
+    }
+}
+
+/// Save a model to `path`.
+///
+/// # Errors
+/// [`CoreError::Persist`] wrapping any IO failure.
+pub fn save_model(model: &LlmModel, path: &Path) -> Result<(), CoreError> {
+    let io = |e: std::io::Error| CoreError::Persist(e.to_string());
+    let file = std::fs::File::create(path).map_err(io)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "{MAGIC}").map_err(io)?;
+    let c = model.config();
+    write!(
+        w,
+        "dim {} a {:?} gamma {:?} window {} schedule {} slope {} cpow {:?} steps {} frozen {} k {}",
+        c.dim,
+        c.vigilance_coeff,
+        c.gamma,
+        c.convergence_window,
+        schedule_tag(&c.schedule),
+        slope_tag(&c.slope_update),
+        c.coeff_rate_power,
+        model.steps(),
+        u8::from(model.is_frozen()),
+        model.k(),
+    )
+    .map_err(io)?;
+    if let Some(rho) = c.vigilance_override {
+        write!(w, " rho {rho:?}").map_err(io)?;
+    }
+    writeln!(w).map_err(io)?;
+    for p in model.prototypes() {
+        write!(
+            w,
+            "proto {} {:?} {:?} {:?} |",
+            p.updates, p.radius, p.y, p.b_theta
+        )
+        .map_err(io)?;
+        for v in &p.center {
+            write!(w, " {v:?}").map_err(io)?;
+        }
+        write!(w, " |").map_err(io)?;
+        for v in &p.b_x {
+            write!(w, " {v:?}").map_err(io)?;
+        }
+        writeln!(w).map_err(io)?;
+    }
+    w.flush().map_err(io)
+}
+
+/// Load a model saved by [`save_model`].
+///
+/// # Errors
+/// [`CoreError::Persist`] on IO/format problems; configuration and
+/// dimension invariants are re-validated on load.
+pub fn load_model(path: &Path) -> Result<LlmModel, CoreError> {
+    let io = |e: std::io::Error| CoreError::Persist(e.to_string());
+    let file = std::fs::File::open(path).map_err(io)?;
+    let mut lines = BufReader::new(file).lines();
+
+    let magic = lines
+        .next()
+        .ok_or_else(|| CoreError::Persist("empty file".into()))?
+        .map_err(io)?;
+    if magic.trim() != MAGIC {
+        return Err(CoreError::Persist(format!(
+            "bad magic '{}', expected '{MAGIC}'",
+            magic.trim()
+        )));
+    }
+
+    let header = lines
+        .next()
+        .ok_or_else(|| CoreError::Persist("missing header".into()))?
+        .map_err(io)?;
+    let tokens: Vec<&str> = header.split_whitespace().collect();
+    let mut fields = std::collections::HashMap::new();
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        fields.insert(tokens[i], tokens[i + 1]);
+        i += 2;
+    }
+    let get = |k: &str| -> Result<&str, CoreError> {
+        fields
+            .get(k)
+            .copied()
+            .ok_or_else(|| CoreError::Persist(format!("missing header field '{k}'")))
+    };
+    let parse_f = |k: &str| -> Result<f64, CoreError> {
+        get(k)?
+            .parse()
+            .map_err(|e| CoreError::Persist(format!("bad float for '{k}': {e}")))
+    };
+    let parse_u = |k: &str| -> Result<u64, CoreError> {
+        get(k)?
+            .parse()
+            .map_err(|e| CoreError::Persist(format!("bad int for '{k}': {e}")))
+    };
+
+    let dim = parse_u("dim")? as usize;
+    let config = ModelConfig {
+        dim,
+        vigilance_coeff: parse_f("a")?,
+        vigilance_override: match fields.get("rho") {
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|e| CoreError::Persist(format!("bad rho: {e}")))?,
+            ),
+            None => None,
+        },
+        gamma: parse_f("gamma")?,
+        convergence_window: parse_u("window")? as usize,
+        schedule: parse_schedule(get("schedule")?)?,
+        slope_update: parse_slope(get("slope")?)?,
+        coeff_rate_power: parse_f("cpow")?,
+        max_steps: 0,
+    };
+    let steps = parse_u("steps")?;
+    let frozen = parse_u("frozen")? != 0;
+    let k = parse_u("k")? as usize;
+
+    let mut prototypes = Vec::with_capacity(k);
+    for (line_no, line) in lines.enumerate() {
+        let line = line.map_err(io)?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let body = line.strip_prefix("proto ").ok_or_else(|| {
+            CoreError::Persist(format!("line {}: expected 'proto'", line_no + 3))
+        })?;
+        let mut sections = body.split('|');
+        let head: Vec<&str> = sections
+            .next()
+            .ok_or_else(|| CoreError::Persist("missing proto head".into()))?
+            .split_whitespace()
+            .collect();
+        if head.len() != 4 {
+            return Err(CoreError::Persist(format!(
+                "line {}: proto head needs 4 fields",
+                line_no + 3
+            )));
+        }
+        let parse = |s: &str| -> Result<f64, CoreError> {
+            s.parse()
+                .map_err(|e| CoreError::Persist(format!("bad float '{s}': {e}")))
+        };
+        let updates: u64 = head[0]
+            .parse()
+            .map_err(|e| CoreError::Persist(format!("bad updates: {e}")))?;
+        let radius = parse(head[1])?;
+        let y = parse(head[2])?;
+        let b_theta = parse(head[3])?;
+        let center: Vec<f64> = sections
+            .next()
+            .ok_or_else(|| CoreError::Persist("missing center section".into()))?
+            .split_whitespace()
+            .map(parse)
+            .collect::<Result<_, _>>()?;
+        let b_x: Vec<f64> = sections
+            .next()
+            .ok_or_else(|| CoreError::Persist("missing slope section".into()))?
+            .split_whitespace()
+            .map(parse)
+            .collect::<Result<_, _>>()?;
+        prototypes.push(Prototype {
+            center,
+            radius,
+            y,
+            b_x,
+            b_theta,
+            updates,
+        });
+    }
+    if prototypes.len() != k {
+        return Err(CoreError::Persist(format!(
+            "expected {k} prototypes, found {}",
+            prototypes.len()
+        )));
+    }
+    LlmModel::from_parts_public(config, prototypes, steps, frozen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("regq-persist-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn trained_model(seed: u64) -> LlmModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = LlmModel::new(ModelConfig::paper_defaults(3)).unwrap();
+        let stream = (0..8_000).map(|_| {
+            let c: Vec<f64> = (0..3).map(|_| rng.random_range(0.0..1.0)).collect();
+            let y = c[0] - 2.0 * c[1] + 0.3 * c[2];
+            (Query::new_unchecked(c, rng.random_range(0.05..0.2)), y)
+        });
+        m.fit_stream(stream).unwrap();
+        m
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let m = trained_model(1);
+        let path = tmp("roundtrip.model");
+        save_model(&m, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(m.k(), loaded.k());
+        assert_eq!(m.steps(), loaded.steps());
+        assert_eq!(m.is_frozen(), loaded.is_frozen());
+        assert_eq!(m.config(), loaded.config());
+        assert_eq!(m.prototypes(), loaded.prototypes());
+    }
+
+    #[test]
+    fn loaded_model_predicts_identically() {
+        let m = trained_model(2);
+        let path = tmp("predict.model");
+        save_model(&m, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let c: Vec<f64> = (0..3).map(|_| rng.random_range(0.0..1.0)).collect();
+            let q = Query::new_unchecked(c, rng.random_range(0.01..0.5));
+            assert_eq!(m.predict_q1(&q).unwrap(), loaded.predict_q1(&q).unwrap());
+        }
+    }
+
+    #[test]
+    fn vigilance_override_round_trips() {
+        let mut cfg = ModelConfig::paper_defaults(2);
+        cfg.vigilance_override = Some(4.25);
+        let mut m = LlmModel::new(cfg).unwrap();
+        m.train_step(&Query::new_unchecked(vec![0.1, 0.2], 0.3), 1.0)
+            .unwrap();
+        let path = tmp("override.model");
+        save_model(&m, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.config().vigilance_override, Some(4.25));
+    }
+
+    #[test]
+    fn constant_schedule_round_trips() {
+        let mut cfg = ModelConfig::paper_defaults(1);
+        cfg.schedule = LearningSchedule::Constant(0.125);
+        let mut m = LlmModel::new(cfg).unwrap();
+        m.train_step(&Query::new_unchecked(vec![0.5], 0.1), 2.0)
+            .unwrap();
+        let path = tmp("schedule.model");
+        save_model(&m, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.config().schedule, LearningSchedule::Constant(0.125));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = tmp("badmagic.model");
+        std::fs::write(&path, "not-a-model\n").unwrap();
+        let err = load_model(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, CoreError::Persist(_)));
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let m = trained_model(4);
+        let path = tmp("truncated.model");
+        save_model(&m, &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let cut: String = content
+            .lines()
+            .take(3)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(&path, cut).unwrap();
+        let err = load_model(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, CoreError::Persist(_)));
+    }
+
+    #[test]
+    fn missing_file_is_persist_error() {
+        assert!(matches!(
+            load_model(Path::new("/nonexistent/m.model")),
+            Err(CoreError::Persist(_))
+        ));
+    }
+}

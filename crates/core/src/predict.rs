@@ -1,0 +1,342 @@
+//! Query processing: Algorithm 2 (Q1), Algorithm 3 (Q2), Eq. 14 (data
+//! values).
+//!
+//! Prediction never touches the underlying data — it is `O(dK)` over the
+//! prototype set, which is the paper's efficiency/scalability claim
+//! (Section V, "Convergence & Complexity").
+
+use crate::error::CoreError;
+use crate::model::LlmModel;
+use crate::overlap::overlap_degree;
+use crate::query::Query;
+use serde::{Deserialize, Serialize};
+
+/// One local linear model returned by a Q2 query (an element of the
+/// paper's list `S`): `u ≈ intercept + slope · x` over the data subspace
+/// `D_k` (Theorem 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalModel {
+    /// `u`-intercept `y_k − b_{X,k} x_kᵀ`.
+    pub intercept: f64,
+    /// `u`-slope `b_{X,k}`.
+    pub slope: Vec<f64>,
+    /// Index of the prototype this model comes from.
+    pub prototype: usize,
+    /// Normalized overlap weight `δ̃(q, w_k)` (1.0 for the closest-prototype
+    /// fallback) — diagnostic, not part of the paper's `S`.
+    pub weight: f64,
+    /// The subspace representative `x_k` (for region attribution).
+    pub center: Vec<f64>,
+    /// The subspace radius `θ_k`.
+    pub radius: f64,
+}
+
+impl LocalModel {
+    /// Evaluate `intercept + slope · x`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.slope.len());
+        let mut v = self.intercept;
+        for (b, xi) in self.slope.iter().zip(x.iter()) {
+            v += b * xi;
+        }
+        v
+    }
+}
+
+impl LlmModel {
+    fn check_query(&self, q: &Query) -> Result<(), CoreError> {
+        if q.dim() != self.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim(),
+                actual: q.dim(),
+            });
+        }
+        if self.k() == 0 {
+            return Err(CoreError::EmptyModel);
+        }
+        Ok(())
+    }
+
+    /// The overlap neighborhood `W(q)` (Eq. 10): indices and degrees of all
+    /// prototypes with `δ(q, w_k) > 0`.
+    pub fn overlap_set(&self, q: &Query) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        for (k, p) in self.prototypes().iter().enumerate() {
+            let d = overlap_degree(q, &p.as_query());
+            if d > 0.0 {
+                out.push((k, d));
+            }
+        }
+        out
+    }
+
+    /// **Algorithm 2 — Q1 query processing.** Predict the mean value `ŷ`
+    /// over `D(x, θ)` with zero data access.
+    ///
+    /// `ŷ = Σ_{w_k ∈ W(q)} δ̃(q, w_k) f_k(x, θ)` (Eq. 11/12); when `W(q)`
+    /// is empty the closest prototype extrapolates: `ŷ = f_j(x, θ)`.
+    ///
+    /// # Errors
+    /// [`CoreError::EmptyModel`] on an untrained model,
+    /// [`CoreError::DimensionMismatch`] on a wrong-dimension query.
+    pub fn predict_q1(&self, q: &Query) -> Result<f64, CoreError> {
+        self.check_query(q)?;
+        let w = self.overlap_set(q);
+        if w.is_empty() {
+            let (j, _) = self.winner(q).expect("non-empty");
+            return Ok(self.prototypes()[j].eval(&q.center, q.radius));
+        }
+        let total: f64 = w.iter().map(|(_, d)| d).sum();
+        let mut yhat = 0.0;
+        for (k, d) in &w {
+            yhat += (d / total) * self.prototypes()[*k].eval(&q.center, q.radius);
+        }
+        Ok(yhat)
+    }
+
+    /// **Algorithm 3 — Q2 query processing.** Return the list `S` of local
+    /// linear models of the data function `g` over `D(x, θ)`.
+    ///
+    /// Cases (Section V-B): overlap with one or more data subspaces →
+    /// one `(intercept, slope)` per overlapping prototype (Theorem 3);
+    /// no overlap → extrapolate from the closest prototype.
+    ///
+    /// # Errors
+    /// Same as [`LlmModel::predict_q1`].
+    pub fn predict_q2(&self, q: &Query) -> Result<Vec<LocalModel>, CoreError> {
+        self.check_query(q)?;
+        let w = self.overlap_set(q);
+        let make = |k: usize, weight: f64| -> LocalModel {
+            let p = &self.prototypes()[k];
+            let (intercept, slope) = p.local_line();
+            LocalModel {
+                intercept,
+                slope: slope.to_vec(),
+                prototype: k,
+                weight,
+                center: p.center.clone(),
+                radius: p.radius,
+            }
+        };
+        if w.is_empty() {
+            let (j, _) = self.winner(q).expect("non-empty");
+            return Ok(vec![make(j, 1.0)]);
+        }
+        let total: f64 = w.iter().map(|(_, d)| d).sum();
+        Ok(w.iter().map(|&(k, d)| make(k, d / total)).collect())
+    }
+
+    /// **Eq. 14 — data-value prediction.** Predict `û ≈ g(x)` for a point
+    /// `x` inside the exploration ball `q`:
+    /// `û = Σ_{w_k ∈ W(q)} δ̃(q, w_k) f_k(x, θ_k)` — each LLM is evaluated
+    /// at its *own* radius, collapsing it to the Theorem-3 line over `D_k`.
+    ///
+    /// # Errors
+    /// Same as [`LlmModel::predict_q1`], plus a dimension check on `x`.
+    pub fn predict_value(&self, q: &Query, x: &[f64]) -> Result<f64, CoreError> {
+        self.check_query(q)?;
+        if x.len() != self.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim(),
+                actual: x.len(),
+            });
+        }
+        let w = self.overlap_set(q);
+        if w.is_empty() {
+            let (j, _) = self.winner(q).expect("non-empty");
+            return Ok(self.prototypes()[j].eval_at_own_radius(x));
+        }
+        let total: f64 = w.iter().map(|(_, d)| d).sum();
+        let mut uhat = 0.0;
+        for (k, d) in &w {
+            uhat += (d / total) * self.prototypes()[*k].eval_at_own_radius(x);
+        }
+        Ok(uhat)
+    }
+
+    /// Convenience: data-value prediction using a point-centered probe ball
+    /// of radius `theta` (`q = [x, θ]`), the common exploration pattern in
+    /// the paper's A2 experiments.
+    pub fn predict_value_at(&self, x: &[f64], theta: f64) -> Result<f64, CoreError> {
+        let q = Query::new_unchecked(x.to_vec(), theta);
+        self.predict_value(&q, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn q(center: &[f64], r: f64) -> Query {
+        Query::new(center.to_vec(), r).unwrap()
+    }
+
+    /// Model trained on a linear teacher y = 2 + x1 + x2 (mean over a ball
+    /// centered at x of a linear function is the function at the center, so
+    /// the teacher is exactly consistent with Q1 semantics).
+    fn trained_linear_model(seed: u64) -> LlmModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Finer vigilance than the paper default (a = 0.1 → more, smaller
+        // subspaces: better locality for the accuracy assertions below) and
+        // tight γ so slope coefficients get enough SGD updates before the
+        // freeze (the convergence criterion is quantizer-driven; slopes
+        // converge more slowly — see D-8).
+        let mut cfg = ModelConfig::with_vigilance(2, 0.1);
+        cfg.gamma = 1e-4;
+        let mut m = LlmModel::new(cfg).unwrap();
+        let stream = (0..60_000).map(|_| {
+            let c: Vec<f64> = (0..2).map(|_| rng.random_range(0.0..1.0)).collect();
+            let r = rng.random_range(0.05..0.15);
+            let y = 2.0 + c[0] + c[1];
+            (Query::new_unchecked(c, r), y)
+        });
+        m.fit_stream(stream).unwrap();
+        m
+    }
+
+    #[test]
+    fn q1_prediction_matches_linear_teacher() {
+        let m = trained_linear_model(11);
+        for (cx, cy) in [(0.3, 0.3), (0.5, 0.7), (0.8, 0.2)] {
+            let pred = m.predict_q1(&q(&[cx, cy], 0.1)).unwrap();
+            let truth = 2.0 + cx + cy;
+            assert!(
+                (pred - truth).abs() < 0.08,
+                "pred {pred} vs truth {truth} at ({cx},{cy})"
+            );
+        }
+    }
+
+    #[test]
+    fn q2_local_lines_recover_linear_teacher() {
+        let m = trained_linear_model(13);
+        let s = m.predict_q2(&q(&[0.5, 0.5], 0.15)).unwrap();
+        assert!(!s.is_empty());
+        // Weights normalize.
+        let wsum: f64 = s.iter().map(|lm| lm.weight).sum();
+        assert!((wsum - 1.0).abs() < 1e-9);
+        // Each local line should be close to u = 2 + x1 + x2 near its
+        // prototype: check prediction at the prototype center.
+        for lm in &s {
+            let truth = 2.0 + lm.center[0] + lm.center[1];
+            let at_center = lm.predict(&lm.center);
+            assert!(
+                (at_center - truth).abs() < 0.12,
+                "local line off: {at_center} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn q2_slopes_approximate_gradient() {
+        let m = trained_linear_model(17);
+        let s = m.predict_q2(&q(&[0.5, 0.5], 0.2)).unwrap();
+        // Average slope across returned models ~ (1, 1).
+        let n = s.len() as f64;
+        let s1: f64 = s.iter().map(|lm| lm.slope[0]).sum::<f64>() / n;
+        let s2: f64 = s.iter().map(|lm| lm.slope[1]).sum::<f64>() / n;
+        assert!((s1 - 1.0).abs() < 0.35, "slope1 {s1}");
+        assert!((s2 - 1.0).abs() < 0.35, "slope2 {s2}");
+    }
+
+    #[test]
+    fn data_value_prediction_tracks_function() {
+        let m = trained_linear_model(19);
+        let probe = q(&[0.4, 0.6], 0.15);
+        for (px, py) in [(0.35, 0.6), (0.45, 0.65), (0.4, 0.55)] {
+            let pred = m.predict_value(&probe, &[px, py]).unwrap();
+            let truth = 2.0 + px + py;
+            assert!((pred - truth).abs() < 0.12, "pred {pred} truth {truth}");
+        }
+    }
+
+    #[test]
+    fn fallback_extrapolates_from_closest_prototype() {
+        let m = trained_linear_model(23);
+        // A far-away query ball that overlaps nothing.
+        let far = q(&[5.0, 5.0], 0.01);
+        assert!(m.overlap_set(&far).is_empty());
+        let pred = m.predict_q1(&far).unwrap();
+        assert!(pred.is_finite());
+        let s = m.predict_q2(&far).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].weight, 1.0);
+    }
+
+    #[test]
+    fn bigger_radius_overlaps_more_prototypes() {
+        let m = trained_linear_model(29);
+        let small = m.overlap_set(&q(&[0.5, 0.5], 0.05)).len();
+        let large = m.overlap_set(&q(&[0.5, 0.5], 0.5)).len();
+        assert!(large >= small);
+        assert!(large >= 2, "large ball should overlap several prototypes");
+    }
+
+    #[test]
+    fn s_list_size_tracks_overlap_count() {
+        let m = trained_linear_model(31);
+        let query = q(&[0.5, 0.5], 0.3);
+        let w = m.overlap_set(&query).len();
+        let s = m.predict_q2(&query).unwrap();
+        assert_eq!(s.len(), w);
+    }
+
+    #[test]
+    fn empty_model_errors() {
+        let m = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
+        assert!(matches!(
+            m.predict_q1(&q(&[0.5, 0.5], 0.1)),
+            Err(CoreError::EmptyModel)
+        ));
+        assert!(matches!(
+            m.predict_q2(&q(&[0.5, 0.5], 0.1)),
+            Err(CoreError::EmptyModel)
+        ));
+        assert!(matches!(
+            m.predict_value(&q(&[0.5, 0.5], 0.1), &[0.5, 0.5]),
+            Err(CoreError::EmptyModel)
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let m = trained_linear_model(37);
+        assert!(matches!(
+            m.predict_q1(&q(&[0.5], 0.1)),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            m.predict_value(&q(&[0.5, 0.5], 0.1), &[0.1]),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn predictions_are_finite_for_arbitrary_queries() {
+        let m = trained_linear_model(41);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let c: Vec<f64> = (0..2).map(|_| rng.random_range(-10.0..10.0)).collect();
+            let r = rng.random_range(1e-6..10.0);
+            let query = Query::new_unchecked(c, r);
+            assert!(m.predict_q1(&query).unwrap().is_finite());
+            for lm in m.predict_q2(&query).unwrap() {
+                assert!(lm.predict(&query.center).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn predict_value_at_equals_explicit_probe() {
+        let m = trained_linear_model(43);
+        let x = [0.3, 0.7];
+        let a = m.predict_value_at(&x, 0.1).unwrap();
+        let b = m
+            .predict_value(&Query::new_unchecked(x.to_vec(), 0.1), &x)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

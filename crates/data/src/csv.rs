@@ -1,0 +1,148 @@
+//! Plain CSV persistence for datasets (experiment artifacts).
+//!
+//! Format: header `x0,x1,…,x{d−1},u`, one row per tuple, full `f64`
+//! round-trip precision via the shortest-representation formatter.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Write a dataset to `path` as CSV.
+pub fn save_csv(ds: &Dataset, path: &Path) -> Result<(), DataError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for i in 0..ds.dim() {
+        write!(w, "x{i},")?;
+    }
+    writeln!(w, "u")?;
+    for (x, u) in ds.iter() {
+        for v in x {
+            write!(w, "{v},")?;
+        }
+        writeln!(w, "{u}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a dataset from a CSV written by [`save_csv`].
+pub fn load_csv(path: &Path) -> Result<Dataset, DataError> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut header = String::new();
+    reader.read_line(&mut header)?;
+    let cols = header.trim().split(',').count();
+    if cols < 2 {
+        return Err(DataError::Parse {
+            line: 1,
+            message: "need at least one feature column and one output column".into(),
+        });
+    }
+    let dim = cols - 1;
+    let mut ds = Dataset::new(dim);
+    let mut buf = String::new();
+    let mut x = vec![0.0; dim];
+    let mut line_no = 1usize;
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = buf.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        for (i, slot) in x.iter_mut().enumerate() {
+            let field = fields.next().ok_or_else(|| DataError::Parse {
+                line: line_no,
+                message: format!("missing feature column {i}"),
+            })?;
+            *slot = field.parse().map_err(|e| DataError::Parse {
+                line: line_no,
+                message: format!("bad float '{field}': {e}"),
+            })?;
+        }
+        let ufield = fields.next().ok_or_else(|| DataError::Parse {
+            line: line_no,
+            message: "missing output column".into(),
+        })?;
+        let u: f64 = ufield.parse().map_err(|e| DataError::Parse {
+            line: line_no,
+            message: format!("bad float '{ufield}': {e}"),
+        })?;
+        if fields.next().is_some() {
+            return Err(DataError::Parse {
+                line: line_no,
+                message: "too many columns".into(),
+            });
+        }
+        ds.push(&x, u)?;
+    }
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::Rosenbrock;
+    use crate::rng::seeded;
+    use crate::SampleOptions;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("regq-csv-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let ds = Dataset::from_function(
+            &Rosenbrock::new(3),
+            100,
+            SampleOptions::default(),
+            &mut seeded(1),
+        );
+        let path = tmp("roundtrip.csv");
+        save_csv(&ds, &path).unwrap();
+        let loaded = load_csv(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ds, loaded);
+    }
+
+    #[test]
+    fn load_rejects_ragged_rows() {
+        let path = tmp("ragged.csv");
+        std::fs::write(&path, "x0,u\n1.0,2.0,3.0\n").unwrap();
+        let err = load_csv(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, DataError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn load_rejects_bad_floats() {
+        let path = tmp("badfloat.csv");
+        std::fs::write(&path, "x0,u\nabc,2.0\n").unwrap();
+        let err = load_csv(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, DataError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let path = tmp("blank.csv");
+        std::fs::write(&path, "x0,u\n1.0,2.0\n\n3.0,4.0\n").unwrap();
+        let ds = load_csv(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.y(1), 4.0);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_csv(Path::new("/nonexistent/regq.csv")).unwrap_err();
+        assert!(matches!(err, DataError::Io(_)));
+    }
+}

@@ -1,0 +1,124 @@
+//! The `DataFunction` abstraction: the unknown `u = g(x)` of the paper.
+//!
+//! The paper's formal setup (Section II) assumes an unknown underlying data
+//! function `g : R^d → R` observed through a dataset `B` of `(x_i, u_i)`
+//! pairs. Generators implement this trait; the exact engines and the figure
+//! harnesses use it both to materialize datasets and as noise-free ground
+//! truth when assessing approximation quality.
+
+/// A deterministic scalar field over a box domain — the paper's `g`.
+pub trait DataFunction: Send + Sync {
+    /// Input dimensionality `d`.
+    fn dim(&self) -> usize;
+
+    /// Evaluate `g(x)`. `x.len()` must equal [`DataFunction::dim`].
+    fn eval(&self, x: &[f64]) -> f64;
+
+    /// Per-dimension `(lo, hi)` input domain.
+    fn domain(&self) -> Vec<(f64, f64)>;
+
+    /// Human-readable name used in experiment logs.
+    fn name(&self) -> &str;
+
+    /// Range `(lo, hi)` of `g` over the domain, if known analytically.
+    ///
+    /// Used to scale outputs into `[0, 1]` without an estimation pass.
+    /// Default: unknown (`None`), in which case callers estimate it by
+    /// sampling.
+    fn output_range(&self) -> Option<(f64, f64)> {
+        None
+    }
+}
+
+impl<F> DataFunction for Box<F>
+where
+    F: DataFunction + ?Sized,
+{
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn eval(&self, x: &[f64]) -> f64 {
+        (**self).eval(x)
+    }
+    fn domain(&self) -> Vec<(f64, f64)> {
+        (**self).domain()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn output_range(&self) -> Option<(f64, f64)> {
+        (**self).output_range()
+    }
+}
+
+/// A closure-backed [`DataFunction`] — handy in tests and examples.
+pub struct FnFunction<F: Fn(&[f64]) -> f64 + Send + Sync> {
+    f: F,
+    dim: usize,
+    domain: Vec<(f64, f64)>,
+    name: String,
+}
+
+impl<F: Fn(&[f64]) -> f64 + Send + Sync> FnFunction<F> {
+    /// Wrap a closure over a box domain.
+    pub fn new(name: impl Into<String>, dim: usize, domain: Vec<(f64, f64)>, f: F) -> Self {
+        assert_eq!(domain.len(), dim, "domain length must equal dim");
+        FnFunction {
+            f,
+            dim,
+            domain,
+            name: name.into(),
+        }
+    }
+
+    /// Wrap a closure over the unit box `[0, 1]^d`.
+    pub fn unit_box(name: impl Into<String>, dim: usize, f: F) -> Self {
+        Self::new(name, dim, vec![(0.0, 1.0); dim], f)
+    }
+}
+
+impl<F: Fn(&[f64]) -> f64 + Send + Sync> DataFunction for FnFunction<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn eval(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.dim);
+        (self.f)(x)
+    }
+    fn domain(&self) -> Vec<(f64, f64)> {
+        self.domain.clone()
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_function_evaluates_closure() {
+        let f = FnFunction::unit_box("sum", 3, |x| x.iter().sum());
+        assert_eq!(f.dim(), 3);
+        assert_eq!(f.eval(&[0.1, 0.2, 0.3]), 0.6000000000000001);
+        assert_eq!(f.domain(), vec![(0.0, 1.0); 3]);
+        assert_eq!(f.name(), "sum");
+    }
+
+    #[test]
+    #[should_panic(expected = "domain length")]
+    fn fn_function_rejects_bad_domain() {
+        let _ = FnFunction::new("bad", 2, vec![(0.0, 1.0)], |_| 0.0);
+    }
+
+    #[test]
+    fn boxed_dyn_function_delegates() {
+        let f: Box<dyn DataFunction> =
+            Box::new(FnFunction::unit_box("id", 1, |x| x[0]));
+        assert_eq!(f.dim(), 1);
+        assert_eq!(f.eval(&[0.5]), 0.5);
+        assert_eq!(f.name(), "id");
+        assert!(f.output_range().is_none());
+    }
+}

@@ -1,0 +1,154 @@
+//! Min–max scaling (the paper scales all R1 attributes into `[0, 1]`).
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+
+/// Per-column affine map onto `[0, 1]`, invertible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxScaler {
+    lo: Vec<f64>,
+    span: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fit on the feature columns of a dataset.
+    ///
+    /// Constant columns get span 1.0 so the transform maps them to 0 and
+    /// stays invertible.
+    ///
+    /// # Errors
+    /// [`DataError::Empty`] when the dataset has no rows.
+    pub fn fit_features(ds: &Dataset) -> Result<Self, DataError> {
+        let bounds = ds.feature_bounds()?;
+        Ok(Self::from_bounds(&bounds))
+    }
+
+    /// Build from explicit per-column `(lo, hi)` bounds.
+    pub fn from_bounds(bounds: &[(f64, f64)]) -> Self {
+        let lo: Vec<f64> = bounds.iter().map(|b| b.0).collect();
+        let span: Vec<f64> = bounds
+            .iter()
+            .map(|b| {
+                let s = b.1 - b.0;
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        MinMaxScaler { lo, span }
+    }
+
+    /// Number of columns this scaler handles.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Transform one vector in place.
+    ///
+    /// # Errors
+    /// [`DataError::DimensionMismatch`] on wrong length.
+    pub fn transform(&self, x: &mut [f64]) -> Result<(), DataError> {
+        if x.len() != self.dim() {
+            return Err(DataError::DimensionMismatch {
+                expected: self.dim(),
+                actual: x.len(),
+            });
+        }
+        for ((v, lo), span) in x.iter_mut().zip(self.lo.iter()).zip(self.span.iter()) {
+            *v = (*v - lo) / span;
+        }
+        Ok(())
+    }
+
+    /// Inverse-transform one vector in place.
+    ///
+    /// # Errors
+    /// [`DataError::DimensionMismatch`] on wrong length.
+    pub fn inverse(&self, x: &mut [f64]) -> Result<(), DataError> {
+        if x.len() != self.dim() {
+            return Err(DataError::DimensionMismatch {
+                expected: self.dim(),
+                actual: x.len(),
+            });
+        }
+        for ((v, lo), span) in x.iter_mut().zip(self.lo.iter()).zip(self.span.iter()) {
+            *v = *v * span + lo;
+        }
+        Ok(())
+    }
+
+    /// Return a new dataset with scaled features (outputs untouched).
+    pub fn transform_dataset(&self, ds: &Dataset) -> Result<Dataset, DataError> {
+        let mut out = Dataset::with_capacity(ds.dim(), ds.len());
+        let mut buf = vec![0.0; ds.dim()];
+        for (x, u) in ds.iter() {
+            buf.copy_from_slice(x);
+            self.transform(&mut buf)?;
+            out.push(&buf, u)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_col_dataset() -> Dataset {
+        let mut ds = Dataset::new(2);
+        ds.push(&[0.0, 10.0], 1.0).unwrap();
+        ds.push(&[5.0, 20.0], 2.0).unwrap();
+        ds.push(&[10.0, 30.0], 3.0).unwrap();
+        ds
+    }
+
+    #[test]
+    fn fit_transform_maps_to_unit_box() {
+        let ds = two_col_dataset();
+        let sc = MinMaxScaler::fit_features(&ds).unwrap();
+        let t = sc.transform_dataset(&ds).unwrap();
+        let b = t.feature_bounds().unwrap();
+        assert_eq!(b, vec![(0.0, 1.0), (0.0, 1.0)]);
+        assert_eq!(t.x(1), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let ds = two_col_dataset();
+        let sc = MinMaxScaler::fit_features(&ds).unwrap();
+        let mut x = vec![7.5, 12.0];
+        let orig = x.clone();
+        sc.transform(&mut x).unwrap();
+        sc.inverse(&mut x).unwrap();
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_does_not_divide_by_zero() {
+        let mut ds = Dataset::new(1);
+        ds.push(&[4.0], 0.0).unwrap();
+        ds.push(&[4.0], 1.0).unwrap();
+        let sc = MinMaxScaler::fit_features(&ds).unwrap();
+        let mut x = vec![4.0];
+        sc.transform(&mut x).unwrap();
+        assert_eq!(x[0], 0.0);
+    }
+
+    #[test]
+    fn wrong_dimension_errors() {
+        let sc = MinMaxScaler::from_bounds(&[(0.0, 1.0)]);
+        let mut x = vec![0.5, 0.5];
+        assert!(sc.transform(&mut x).is_err());
+        assert!(sc.inverse(&mut x).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let ds = Dataset::new(2);
+        assert!(MinMaxScaler::fit_features(&ds).is_err());
+    }
+}

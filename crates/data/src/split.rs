@@ -1,0 +1,96 @@
+//! Train/test index splitting (the paper's `T` / `V` files, §VI-A).
+
+use rand::{Rng, RngExt};
+
+/// Shuffle `0..n` (Fisher–Yates) and split the first
+/// `round(n·train_frac)` indices off as the training set.
+///
+/// # Panics
+/// Panics unless `0.0 <= train_frac <= 1.0`.
+pub fn train_test_split<R: Rng + ?Sized>(
+    n: usize,
+    train_frac: f64,
+    rng: &mut R,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        (0.0..=1.0).contains(&train_frac),
+        "train_frac must lie in [0, 1]"
+    );
+    let mut idx: Vec<usize> = (0..n).collect();
+    // Fisher–Yates: unbiased, O(n).
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    let cut = ((n as f64) * train_frac).round() as usize;
+    let test = idx.split_off(cut);
+    (idx, test)
+}
+
+/// Deterministic `k`-fold partition of `0..n` after a seeded shuffle.
+/// Returns `k` disjoint index sets covering `0..n`; fold sizes differ by at
+/// most one.
+pub fn k_folds<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<Vec<usize>> {
+    assert!(k >= 1, "need at least one fold");
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    let mut folds = vec![Vec::with_capacity(n / k + 1); k];
+    for (pos, i) in idx.into_iter().enumerate() {
+        folds[pos % k].push(i);
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn split_partitions_all_indices() {
+        let mut rng = seeded(4);
+        let (train, test) = train_test_split(100, 0.8, &mut rng);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let a = train_test_split(50, 0.5, &mut seeded(7));
+        let b = train_test_split(50, 0.5, &mut seeded(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let (train, test) = train_test_split(10, 1.0, &mut seeded(1));
+        assert_eq!(train.len(), 10);
+        assert!(test.is_empty());
+        let (train, test) = train_test_split(10, 0.0, &mut seeded(1));
+        assert!(train.is_empty());
+        assert_eq!(test.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "train_frac")]
+    fn invalid_fraction_panics() {
+        let _ = train_test_split(10, 1.5, &mut seeded(1));
+    }
+
+    #[test]
+    fn k_folds_cover_everything_disjointly() {
+        let folds = k_folds(23, 4, &mut seeded(3));
+        assert_eq!(folds.len(), 4);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        assert!(sizes.iter().all(|&s| s == 5 || s == 6));
+    }
+}

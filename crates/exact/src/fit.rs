@@ -1,0 +1,116 @@
+//! Goodness-of-fit accounting shared by all engines (paper §VI).
+//!
+//! Given actual outputs `u_i` and approximations `û_i` over a subspace `D`:
+//!
+//! * `SSR = Σ (u_i − û_i)²` — sum of squared residuals;
+//! * `TSS = Σ (u_i − ū)²` — total sum of squares around the *local* mean;
+//! * `FVU = SSR / TSS` — fraction of variance unexplained;
+//! * `CoD = R² = 1 − FVU` — coefficient of determination.
+//!
+//! Note FVU can exceed 1 (and CoD go negative) whenever `û` comes from a
+//! model *not* least-squares-fitted on exactly these points — e.g. the
+//! paper's global `REG` evaluated inside a small subspace. That is the
+//! effect Figures 9 and 10 rely on.
+
+/// SSR/TSS/FVU/CoD bundle for one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoodnessOfFit {
+    /// Number of evaluated points.
+    pub n: usize,
+    /// Sum of squared residuals.
+    pub ssr: f64,
+    /// Total sum of squares around the local mean.
+    pub tss: f64,
+    /// Fraction of variance unexplained (`ssr / tss`; `inf` when `tss = 0`
+    /// and `ssr > 0`, `0` when both vanish).
+    pub fvu: f64,
+    /// Coefficient of determination `1 − fvu`.
+    pub cod: f64,
+}
+
+impl GoodnessOfFit {
+    /// Evaluate over paired samples. Returns `None` on empty input or
+    /// length mismatch.
+    pub fn evaluate(actual: &[f64], predicted: &[f64]) -> Option<GoodnessOfFit> {
+        if actual.is_empty() || actual.len() != predicted.len() {
+            return None;
+        }
+        let n = actual.len();
+        let mean = actual.iter().sum::<f64>() / n as f64;
+        let mut ssr = 0.0;
+        let mut tss = 0.0;
+        for (&u, &p) in actual.iter().zip(predicted.iter()) {
+            ssr += (u - p) * (u - p);
+            tss += (u - mean) * (u - mean);
+        }
+        let fvu = if tss > 0.0 {
+            ssr / tss
+        } else if ssr == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        Some(GoodnessOfFit {
+            n,
+            ssr,
+            tss,
+            fvu,
+            cod: 1.0 - fvu,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fit_has_zero_fvu() {
+        let a = [1.0, 2.0, 3.0];
+        let g = GoodnessOfFit::evaluate(&a, &a).unwrap();
+        assert_eq!(g.ssr, 0.0);
+        assert_eq!(g.fvu, 0.0);
+        assert_eq!(g.cod, 1.0);
+    }
+
+    #[test]
+    fn mean_predictor_has_fvu_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let mean = 2.5;
+        let p = [mean; 4];
+        let g = GoodnessOfFit::evaluate(&a, &p).unwrap();
+        assert!((g.fvu - 1.0).abs() < 1e-12);
+        assert!(g.cod.abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_model_has_fvu_above_one() {
+        // Predicting the negation of centered values doubles the error.
+        let a = [-1.0, 1.0];
+        let p = [1.0, -1.0];
+        let g = GoodnessOfFit::evaluate(&a, &p).unwrap();
+        assert!(g.fvu > 1.0);
+        assert!(g.cod < 0.0);
+    }
+
+    #[test]
+    fn constant_actuals_with_exact_prediction() {
+        let a = [2.0, 2.0];
+        let g = GoodnessOfFit::evaluate(&a, &a).unwrap();
+        assert_eq!(g.fvu, 0.0);
+    }
+
+    #[test]
+    fn constant_actuals_with_wrong_prediction_is_infinite_fvu() {
+        let a = [2.0, 2.0];
+        let p = [3.0, 3.0];
+        let g = GoodnessOfFit::evaluate(&a, &p).unwrap();
+        assert!(g.fvu.is_infinite());
+    }
+
+    #[test]
+    fn empty_or_mismatched_input_is_none() {
+        assert!(GoodnessOfFit::evaluate(&[], &[]).is_none());
+        assert!(GoodnessOfFit::evaluate(&[1.0], &[1.0, 2.0]).is_none());
+    }
+}

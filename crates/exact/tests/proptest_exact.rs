@@ -1,0 +1,129 @@
+//! Property-based tests for the exact engines: OLS optimality, MARS
+//! dominance over OLS, Q1 consistency.
+
+use proptest::prelude::*;
+use regq_data::Dataset;
+use regq_exact::{fit_ols, GoodnessOfFit, Mars, MarsParams};
+
+/// Random dataset: n rows, d dims, values bounded.
+fn dataset_strategy(d: usize, min_rows: usize) -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(
+        (prop::collection::vec(-5.0..5.0f64, d), -10.0..10.0f64),
+        min_rows..(min_rows + 60),
+    )
+    .prop_map(move |rows| {
+        let mut ds = Dataset::new(d);
+        for (x, u) in &rows {
+            ds.push(x, *u).unwrap();
+        }
+        ds
+    })
+}
+
+fn all_ids(ds: &Dataset) -> Vec<usize> {
+    (0..ds.len()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// OLS is the least-squares optimum: no coefficient perturbation can
+    /// reduce the SSR.
+    #[test]
+    fn ols_is_least_squares_optimal(ds in dataset_strategy(2, 8),
+                                    eps in -0.5..0.5f64) {
+        let ids = all_ids(&ds);
+        let Ok(model) = fit_ols(&ds, &ids) else { return Ok(()) };
+        let ssr_of = |int: f64, s0: f64, s1: f64| -> f64 {
+            ids.iter()
+                .map(|&i| {
+                    let x = ds.x(i);
+                    let p = int + s0 * x[0] + s1 * x[1];
+                    (ds.y(i) - p) * (ds.y(i) - p)
+                })
+                .sum()
+        };
+        let base = ssr_of(model.intercept, model.slope[0], model.slope[1]);
+        prop_assert!(base <= ssr_of(model.intercept + eps, model.slope[0], model.slope[1]) + 1e-7);
+        prop_assert!(base <= ssr_of(model.intercept, model.slope[0] + eps, model.slope[1]) + 1e-7);
+        prop_assert!(base <= ssr_of(model.intercept, model.slope[0], model.slope[1] + eps) + 1e-7);
+    }
+
+    /// In-sample OLS FVU never exceeds 1 (the intercept-only model is in
+    /// its hypothesis space).
+    #[test]
+    fn ols_fvu_is_at_most_one(ds in dataset_strategy(3, 10)) {
+        let ids = all_ids(&ds);
+        let Ok(model) = fit_ols(&ds, &ids) else { return Ok(()) };
+        if model.fit.fvu.is_finite() {
+            prop_assert!(model.fit.fvu <= 1.0 + 1e-6, "fvu = {}", model.fit.fvu);
+        }
+    }
+
+    /// MARS never fits worse in-sample than the intercept-only model (the
+    /// intercept basis is always kept), i.e. FVU ≤ 1. Note MARS does *not*
+    /// always dominate OLS: even at `gcv_penalty = 0` the GCV denominator
+    /// `(1 − M/n)²` rewards dropping terms, so the backward pass may prune
+    /// hinge pairs an OLS fit would have used.
+    #[test]
+    fn mars_dominates_intercept_in_sample(ds in dataset_strategy(1, 20)) {
+        let ids = all_ids(&ds);
+        let params = MarsParams {
+            max_terms: 9,
+            max_knots_per_dim: 8,
+            gcv_penalty: 0.0,
+            ..Default::default()
+        };
+        let Ok(mars) = Mars::fit(&ds, &ids, params) else { return Ok(()) };
+        prop_assert!(
+            mars.fit.ssr <= mars.fit.tss * (1.0 + 1e-9) + 1e-9,
+            "mars ssr {} vs tss {}",
+            mars.fit.ssr,
+            mars.fit.tss
+        );
+    }
+
+    /// MARS predictions are finite everywhere in (and around) the domain.
+    #[test]
+    fn mars_predicts_finite(ds in dataset_strategy(2, 15),
+                            probe in prop::collection::vec(-6.0..6.0f64, 2)) {
+        let ids = all_ids(&ds);
+        let Ok(m) = Mars::fit(&ds, &ids, MarsParams {
+            max_terms: 7,
+            max_knots_per_dim: 6,
+            ..Default::default()
+        }) else { return Ok(()) };
+        prop_assert!(m.predict(&probe).is_finite());
+    }
+
+    /// Goodness-of-fit identities: SSR, TSS ≥ 0 and CoD = 1 − FVU.
+    #[test]
+    fn gof_identities(actual in prop::collection::vec(-10.0..10.0f64, 2..40),
+                      noise in prop::collection::vec(-1.0..1.0f64, 2..40)) {
+        let n = actual.len().min(noise.len());
+        let pred: Vec<f64> = actual[..n]
+            .iter()
+            .zip(noise[..n].iter())
+            .map(|(a, e)| a + e)
+            .collect();
+        let g = GoodnessOfFit::evaluate(&actual[..n], &pred).unwrap();
+        prop_assert!(g.ssr >= 0.0);
+        prop_assert!(g.tss >= 0.0);
+        if g.fvu.is_finite() {
+            prop_assert!((g.cod - (1.0 - g.fvu)).abs() < 1e-12);
+        }
+    }
+
+    /// The backward pass never yields more basis functions than the
+    /// forward cap.
+    #[test]
+    fn mars_respects_term_cap(ds in dataset_strategy(1, 25), cap in 3usize..15) {
+        let ids = all_ids(&ds);
+        let Ok(m) = Mars::fit(&ds, &ids, MarsParams {
+            max_terms: cap,
+            max_knots_per_dim: 8,
+            ..Default::default()
+        }) else { return Ok(()) };
+        prop_assert!(m.n_basis() <= cap);
+    }
+}

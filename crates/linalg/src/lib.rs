@@ -1,0 +1,44 @@
+//! # regq-linalg
+//!
+//! Dense linear-algebra substrate for the `regq` workspace.
+//!
+//! The ICDE'17 paper reproduced by `regq` leans on three numerical kernels:
+//!
+//! * vector arithmetic under `L_p` norms (query/prototype distances,
+//!   Definition 2 of the paper),
+//! * ordinary least squares via the normal equations (the exact `REG`
+//!   baseline and the MARS/PLR forward pass), and
+//! * online first/second-moment accumulation (training diagnostics).
+//!
+//! Everything here is hand-rolled on `f64` slices: the matrices involved are
+//! small (`(d+1) × (d+1)` for OLS with `d ≤ ~10`, a few dozen columns for
+//! MARS), so cache-friendly row-major storage plus Cholesky/Householder
+//! factorizations are both simpler and faster than pulling in a general
+//! BLAS-backed crate.
+//!
+//! ## Modules
+//!
+//! * [`vector`] — slice-level arithmetic and `L_p` distances.
+//! * [`matrix`] — row-major dense [`Matrix`](matrix::Matrix).
+//! * [`cholesky`] — SPD factorization, solves, inverse, log-determinant.
+//! * [`qr`] — Householder QR and least-squares solves for `m ≥ n`.
+//! * [`solve`] — high-level least-squares front door with ridge fallback.
+//! * [`stats`] — Welford accumulators and batch summary statistics.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cholesky;
+pub mod error;
+pub mod matrix;
+pub mod qr;
+pub mod solve;
+pub mod stats;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use qr::QrFactorization;
+pub use solve::{lstsq, solve_spd, LstsqOptions, LstsqSolution};
+pub use stats::{OnlineStats, Summary};

@@ -1,0 +1,254 @@
+//! Householder QR factorization and tall least-squares solves.
+//!
+//! QR is the numerically robust fallback when the normal equations are too
+//! ill-conditioned for Cholesky (e.g. a MARS design with nearly collinear
+//! hinge columns). We store the Householder vectors in the lower part of the
+//! working matrix (LAPACK-style compact form) and apply `Qᵀ` implicitly.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Compact Householder QR of an `m × n` matrix with `m ≥ n`.
+#[derive(Debug, Clone)]
+pub struct QrFactorization {
+    /// Working matrix: `R` on and above the diagonal, Householder vectors
+    /// (with implicit unit leading entry scaled out) below it.
+    qr: Matrix,
+    /// Householder scalar coefficients `tau_j`.
+    tau: Vec<f64>,
+    m: usize,
+    n: usize,
+}
+
+impl QrFactorization {
+    /// Factor `a` (`m × n`, `m ≥ n`).
+    ///
+    /// # Errors
+    /// * [`LinalgError::DimensionMismatch`] if `m < n`.
+    /// * [`LinalgError::NonFinite`] on NaN/inf input.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "QrFactorization::factor (need m >= n)",
+                expected: n,
+                actual: m,
+            });
+        }
+        if !a.all_finite() {
+            return Err(LinalgError::NonFinite {
+                location: "QrFactorization::factor input",
+            });
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+
+        for j in 0..n {
+            // Norm of the column below (and including) the diagonal.
+            let mut norm_sq = 0.0;
+            for i in j..m {
+                norm_sq += qr[(i, j)] * qr[(i, j)];
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                tau[j] = 0.0;
+                continue; // zero column: R_jj = 0, caught at solve time
+            }
+            // Reflector v = x - alpha e1 with alpha = -sign(x0)*norm to
+            // avoid cancellation.
+            let alpha = if qr[(j, j)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(j, j)] - alpha;
+            // Normalize so v[0] == 1 implicitly; store v[1..] below diag.
+            for i in (j + 1)..m {
+                qr[(i, j)] /= v0;
+            }
+            tau[j] = -v0 / alpha; // = 2 / ||v||^2 * v0^2 / v0 ... standard form
+            qr[(j, j)] = alpha;
+
+            // Apply reflector to the remaining columns.
+            for c in (j + 1)..n {
+                let mut s = qr[(j, c)];
+                for i in (j + 1)..m {
+                    s += qr[(i, j)] * qr[(i, c)];
+                }
+                s *= tau[j];
+                qr[(j, c)] -= s;
+                for i in (j + 1)..m {
+                    let vij = qr[(i, j)];
+                    qr[(i, c)] -= s * vij;
+                }
+            }
+        }
+        Ok(QrFactorization { qr, tau, m, n })
+    }
+
+    /// Diagonal of `R` (rank diagnostics: near-zero entries flag collinear
+    /// columns).
+    pub fn r_diagonal(&self) -> Vec<f64> {
+        (0..self.n).map(|j| self.qr[(j, j)]).collect()
+    }
+
+    /// Numerical rank: number of `|R_jj|` above `tol * max_j |R_jj|`.
+    pub fn rank(&self, rel_tol: f64) -> usize {
+        let diag = self.r_diagonal();
+        let max = diag.iter().map(|d| d.abs()).fold(0.0, f64::max);
+        if max == 0.0 {
+            return 0;
+        }
+        diag.iter().filter(|d| d.abs() > rel_tol * max).count()
+    }
+
+    /// Least-squares solve `min ‖A x − b‖₂` via `x = R⁻¹ Qᵀ b`.
+    ///
+    /// # Errors
+    /// * [`LinalgError::DimensionMismatch`] if `b.len() != m`.
+    /// * [`LinalgError::RankDeficient`] if an `R` pivot is numerically zero.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "QrFactorization::solve",
+                expected: self.m,
+                actual: b.len(),
+            });
+        }
+        let mut y = b.to_vec();
+        // y <- Qᵀ b by applying reflectors in order.
+        for j in 0..self.n {
+            if self.tau[j] == 0.0 {
+                continue;
+            }
+            let mut s = y[j];
+            for i in (j + 1)..self.m {
+                s += self.qr[(i, j)] * y[i];
+            }
+            s *= self.tau[j];
+            y[j] -= s;
+            for i in (j + 1)..self.m {
+                let vij = self.qr[(i, j)];
+                y[i] -= s * vij;
+            }
+        }
+        // Back substitution on R x = y[..n].
+        let max_diag = self
+            .r_diagonal()
+            .iter()
+            .map(|d| d.abs())
+            .fold(0.0, f64::max);
+        let tol = max_diag * 1e-12;
+        let mut x = vec![0.0; self.n];
+        for i in (0..self.n).rev() {
+            let mut v = y[i];
+            for k in (i + 1)..self.n {
+                v -= self.qr[(i, k)] * x[k];
+            }
+            let rii = self.qr[(i, i)];
+            if rii.abs() <= tol {
+                return Err(LinalgError::RankDeficient { column: i });
+            }
+            x[i] = v / rii;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_exact_square_system() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let qr = QrFactorization::factor(&a).unwrap();
+        let x = qr.solve(&[5.0, 10.0]).unwrap();
+        // 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_recovers_planted_coefficients() {
+        // y = 3 + 2 x over a tall design with no noise.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 / 10.0).collect();
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let a = Matrix::from_rows(&rows).unwrap();
+        let b: Vec<f64> = xs.iter().map(|&x| 3.0 + 2.0 * x).collect();
+        let x = QrFactorization::factor(&a).unwrap().solve(&b).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_columns() {
+        // Overdetermined inconsistent system: check normal equations hold.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ])
+        .unwrap();
+        let b = vec![0.0, 1.0, 0.5, 3.0];
+        let x = QrFactorization::factor(&a).unwrap().solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = b.iter().zip(ax.iter()).map(|(bb, aa)| bb - aa).collect();
+        let atr = a.t_matvec(&resid).unwrap();
+        for v in atr {
+            assert!(v.abs() < 1e-10, "A^T r should be ~0, got {v}");
+        }
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        // Second column is 2x the first.
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let qr = QrFactorization::factor(&a).unwrap();
+        assert_eq!(qr.rank(1e-10), 1);
+        assert!(matches!(
+            qr.solve(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wide_matrix() {
+        let a = Matrix::zeros(2, 3);
+        assert!(QrFactorization::factor(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut a = Matrix::identity(2);
+        a[(1, 0)] = f64::INFINITY;
+        assert!(matches!(
+            QrFactorization::factor(&a),
+            Err(LinalgError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn full_rank_reported_for_identity() {
+        let qr = QrFactorization::factor(&Matrix::identity(3)).unwrap();
+        assert_eq!(qr.rank(1e-12), 3);
+    }
+
+    #[test]
+    fn agrees_with_cholesky_on_well_conditioned_system() {
+        use crate::cholesky::Cholesky;
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.3, 0.1],
+            vec![1.0, 1.1, 0.9],
+            vec![1.0, 2.2, 4.1],
+            vec![1.0, 2.9, 9.2],
+            vec![1.0, 4.1, 16.5],
+        ])
+        .unwrap();
+        let b = vec![1.0, 2.0, 2.5, 3.5, 5.0];
+        let x_qr = QrFactorization::factor(&a).unwrap().solve(&b).unwrap();
+        let g = a.gram();
+        let aty = a.t_matvec(&b).unwrap();
+        let x_ch = Cholesky::factor(&g).unwrap().solve(&aty).unwrap();
+        for (p, q) in x_qr.iter().zip(x_ch.iter()) {
+            assert!((p - q).abs() < 1e-8, "QR {p} vs Cholesky {q}");
+        }
+    }
+}

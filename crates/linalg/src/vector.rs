@@ -1,0 +1,212 @@
+//! Slice-level vector arithmetic and `L_p` distances.
+//!
+//! The paper's Definition 2 defines the `L_p` distance between input vectors;
+//! Definition 5 defines the query-space similarity
+//! `‖q − q'‖₂² = ‖x − x'‖₂² + (θ − θ')²`. These kernels sit on the hot path
+//! of both the exact selection operator and the model's winner search, so
+//! they are written over plain `&[f64]` with no allocation.
+
+/// Dot product `⟨a, b⟩`.
+///
+/// # Panics
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Squared Euclidean distance `‖a − b‖₂²`.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "sq_dist: length mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance `‖a − b‖₂`.
+#[inline]
+pub fn l2_dist(a: &[f64], b: &[f64]) -> f64 {
+    sq_dist(a, b).sqrt()
+}
+
+/// Euclidean norm `‖a‖₂`.
+#[inline]
+pub fn l2_norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Manhattan distance `‖a − b‖₁`.
+#[inline]
+pub fn l1_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "l1_dist: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Chebyshev distance `‖a − b‖_∞ = max_i |a_i − b_i|`.
+#[inline]
+pub fn linf_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "linf_dist: length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// General Minkowski distance `‖a − b‖_p` for `p ≥ 1` (Definition 2).
+///
+/// `p = 1`, `p = 2` and `p = ∞` (pass [`f64::INFINITY`]) dispatch to the
+/// specialized kernels.
+#[inline]
+pub fn lp_dist(a: &[f64], b: &[f64], p: f64) -> f64 {
+    debug_assert!(p >= 1.0, "lp_dist requires p >= 1");
+    if p == 1.0 {
+        l1_dist(a, b)
+    } else if p == 2.0 {
+        l2_dist(a, b)
+    } else if p.is_infinite() {
+        linf_dist(a, b)
+    } else {
+        let sum: f64 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs().powf(p))
+            .sum();
+        sum.powf(1.0 / p)
+    }
+}
+
+/// In-place `a += alpha * b` (the BLAS `axpy` kernel).
+#[inline]
+pub fn axpy(alpha: f64, b: &[f64], a: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len(), "axpy: length mismatch");
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x += alpha * y;
+    }
+}
+
+/// In-place scaling `a *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, a: &mut [f64]) {
+    for x in a.iter_mut() {
+        *x *= alpha;
+    }
+}
+
+/// Element-wise difference `a − b` into a fresh vector.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise sum `a + b` into a fresh vector.
+#[inline]
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+}
+
+/// Arithmetic mean of a slice. Returns `None` on empty input.
+#[inline]
+pub fn mean(a: &[f64]) -> Option<f64> {
+    if a.is_empty() {
+        None
+    } else {
+        Some(a.iter().sum::<f64>() / a.len() as f64)
+    }
+}
+
+/// `true` if every component is finite.
+#[inline]
+pub fn all_finite(a: &[f64]) -> bool {
+    a.iter().all(|x| x.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_hand_computation() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn l2_dist_pythagorean() {
+        assert!((l2_dist(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_dist_is_sum_of_abs() {
+        assert_eq!(l1_dist(&[1.0, -2.0], &[-1.0, 2.0]), 6.0);
+    }
+
+    #[test]
+    fn linf_dist_is_max_component() {
+        assert_eq!(linf_dist(&[1.0, -2.0, 0.0], &[0.0, 3.0, 0.5]), 5.0);
+    }
+
+    #[test]
+    fn lp_dist_specializations_agree_with_general_formula() {
+        let a: [f64; 3] = [0.3, -1.2, 2.5];
+        let b: [f64; 3] = [1.1, 0.4, -0.6];
+        let general = |p: f64| -> f64 {
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| (x - y).abs().powf(p))
+                .sum::<f64>()
+                .powf(1.0 / p)
+        };
+        assert!((lp_dist(&a, &b, 1.0) - general(1.0)).abs() < 1e-12);
+        assert!((lp_dist(&a, &b, 2.0) - general(2.0)).abs() < 1e-12);
+        assert!((lp_dist(&a, &b, 3.0) - general(3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lp_dist_infinite_p_is_chebyshev() {
+        let a = [0.0, 1.0];
+        let b = [2.0, -1.0];
+        assert_eq!(lp_dist(&a, &b, f64::INFINITY), 2.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut a);
+        assert_eq!(a, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut a = vec![2.0, -4.0];
+        scale(0.5, &mut a);
+        assert_eq!(a, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+    }
+
+    #[test]
+    fn all_finite_detects_nan_and_inf() {
+        assert!(all_finite(&[1.0, 2.0]));
+        assert!(!all_finite(&[1.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+}

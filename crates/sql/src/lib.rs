@@ -1,0 +1,44 @@
+//! # regq-sql
+//!
+//! A declarative front end for the `regq` engines — the in-DBMS face of
+//! the paper. The paper's Appendix IV specifies SQL syntax for its Q1/Q2
+//! queries (the appendix itself is no longer retrievable, so this dialect
+//! is reconstructed from the queries' semantics; see DESIGN.md D-9):
+//!
+//! ```sql
+//! -- Q1: mean of the output attribute within a radius selection
+//! SELECT AVG(u) FROM readings WHERE DIST(x, [0.4, 0.6]) <= 0.1;
+//!
+//! -- Q2: the (list of) linear regression model(s) within the selection
+//! SELECT LINREG(u) FROM readings WHERE DIST(x, [0.4, 0.6]) <= 0.1;
+//!
+//! -- moments & cardinality
+//! SELECT VAR(u)   FROM readings WHERE DIST(x, [0.4, 0.6]) <= 0.1;
+//! SELECT COUNT(*) FROM readings WHERE DIST(x, [0.4, 0.6]) <= 0.1;
+//!
+//! -- serve from the trained model instead of touching the data
+//! SELECT AVG(u) FROM readings WHERE DIST(x, [0.4, 0.6]) <= 0.1 USING MODEL;
+//! ```
+//!
+//! `USING EXACT` (the default) routes to [`regq_exact::ExactEngine`];
+//! `USING MODEL` routes to a trained [`regq_core::LlmModel`] registered
+//! for the table and never touches the relation — the paper's
+//! prediction-phase deployment.
+//!
+//! ## Modules
+//! * [`token`] — lexer with positioned errors;
+//! * [`ast`] — statements and aggregates;
+//! * [`parser`] — recursive-descent parser;
+//! * [`session`] — catalog (tables + models) and the executor.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ast;
+pub mod parser;
+pub mod session;
+pub mod token;
+
+pub use ast::{Aggregate, ExecMode, Statement};
+pub use parser::parse;
+pub use session::{QueryOutput, Session, SqlError};

@@ -1,0 +1,297 @@
+//! Recursive-descent parser for the regq SQL dialect.
+//!
+//! Grammar (keywords case-insensitive, identifiers case-sensitive):
+//!
+//! ```text
+//! statement := SELECT aggregate FROM ident
+//!              WHERE DIST '(' ident ',' vector ')' '<=' number
+//!              [USING (EXACT | MODEL)] [';']
+//! aggregate := AVG '(' ident ')' | LINREG '(' ident ')'
+//!            | VAR '(' ident ')' | COUNT '(' '*' ')'
+//! vector    := '[' number (',' number)* ']'
+//! ```
+
+use crate::ast::{Aggregate, ExecMode, Statement};
+use crate::token::{lex, Token, TokenKind};
+use std::fmt;
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset the parser was looking at.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.peek().offset,
+            message: message.into(),
+        }
+    }
+
+    /// Consume a keyword (case-insensitive match).
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match &self.peek().kind {
+            TokenKind::Word(w) if w.eq_ignore_ascii_case(kw) => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected keyword {kw}, found {other}"))),
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if &self.peek().kind == kind {
+            self.bump();
+            Ok(())
+        } else {
+            let found = self.peek().kind.clone();
+            Err(self.error(format!("expected {what}, found {found}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Word(w) => {
+                let w = w.clone();
+                self.bump();
+                Ok(w)
+            }
+            other => Err(self.error(format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<f64, ParseError> {
+        match self.peek().kind {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(n)
+            }
+            ref other => Err(self.error(format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn aggregate(&mut self) -> Result<Aggregate, ParseError> {
+        let name = self.ident("an aggregate (AVG, LINREG, VAR, COUNT)")?;
+        let agg = if name.eq_ignore_ascii_case("AVG") {
+            Aggregate::Avg
+        } else if name.eq_ignore_ascii_case("LINREG") {
+            Aggregate::LinReg
+        } else if name.eq_ignore_ascii_case("VAR") {
+            Aggregate::Var
+        } else if name.eq_ignore_ascii_case("COUNT") {
+            Aggregate::Count
+        } else {
+            return Err(self.error(format!(
+                "unknown aggregate '{name}' (expected AVG, LINREG, VAR or COUNT)"
+            )));
+        };
+        self.expect_kind(&TokenKind::LParen, "'('")?;
+        if agg == Aggregate::Count {
+            self.expect_kind(&TokenKind::Star, "'*'")?;
+        } else {
+            let _attr = self.ident("the output attribute name")?;
+        }
+        self.expect_kind(&TokenKind::RParen, "')'")?;
+        Ok(agg)
+    }
+
+    fn vector(&mut self) -> Result<Vec<f64>, ParseError> {
+        self.expect_kind(&TokenKind::LBracket, "'['")?;
+        let mut out = vec![self.number("a vector component")?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            out.push(self.number("a vector component")?);
+        }
+        self.expect_kind(&TokenKind::RBracket, "']'")?;
+        Ok(out)
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let aggregate = self.aggregate()?;
+        self.expect_keyword("FROM")?;
+        let table = self.ident("a table name")?;
+        self.expect_keyword("WHERE")?;
+        self.expect_keyword("DIST")?;
+        self.expect_kind(&TokenKind::LParen, "'('")?;
+        let _input_attr = self.ident("the input attribute name")?;
+        self.expect_kind(&TokenKind::Comma, "','")?;
+        let center = self.vector()?;
+        self.expect_kind(&TokenKind::RParen, "')'")?;
+        self.expect_kind(&TokenKind::Le, "'<='")?;
+        let radius = self.number("the radius")?;
+        if radius <= 0.0 {
+            return Err(self.error(format!("radius must be positive, got {radius}")));
+        }
+
+        let mut mode = ExecMode::Exact;
+        if let TokenKind::Word(w) = &self.peek().kind {
+            if w.eq_ignore_ascii_case("USING") {
+                self.bump();
+                let which = self.ident("EXACT or MODEL")?;
+                mode = if which.eq_ignore_ascii_case("EXACT") {
+                    ExecMode::Exact
+                } else if which.eq_ignore_ascii_case("MODEL") {
+                    ExecMode::Model
+                } else {
+                    return Err(self.error(format!(
+                        "unknown execution mode '{which}' (expected EXACT or MODEL)"
+                    )));
+                };
+            }
+        }
+        if self.peek().kind == TokenKind::Semicolon {
+            self.bump();
+        }
+        match &self.peek().kind {
+            TokenKind::Eof => Ok(Statement {
+                aggregate,
+                table,
+                center,
+                radius,
+                mode,
+            }),
+            other => Err(self.error(format!("unexpected trailing {other}"))),
+        }
+    }
+}
+
+/// Parse one statement of the dialect.
+///
+/// # Example
+///
+/// ```
+/// use regq_sql::{parse, Aggregate, ExecMode};
+///
+/// let stmt = parse(
+///     "SELECT AVG(u) FROM readings WHERE DIST(x, [0.4, 0.6]) <= 0.1 USING MODEL;",
+/// ).unwrap();
+/// assert_eq!(stmt.aggregate, Aggregate::Avg);
+/// assert_eq!(stmt.table, "readings");
+/// assert_eq!(stmt.center, vec![0.4, 0.6]);
+/// assert_eq!(stmt.mode, ExecMode::Model);
+/// ```
+///
+/// # Errors
+/// [`ParseError`] with the byte offset of the first offending token
+/// (lexer errors are converted with their own offsets).
+pub fn parse(input: &str) -> Result<Statement, ParseError> {
+    let tokens = lex(input).map_err(|e| ParseError {
+        offset: e.offset,
+        message: e.message,
+    })?;
+    Parser { tokens, pos: 0 }.statement()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_q1() {
+        let s = parse("SELECT AVG(u) FROM readings WHERE DIST(x, [0.4, 0.6]) <= 0.1;").unwrap();
+        assert_eq!(s.aggregate, Aggregate::Avg);
+        assert_eq!(s.table, "readings");
+        assert_eq!(s.center, vec![0.4, 0.6]);
+        assert_eq!(s.radius, 0.1);
+        assert_eq!(s.mode, ExecMode::Exact);
+    }
+
+    #[test]
+    fn parses_q2_with_model_mode() {
+        let s = parse("select linreg(u) from t where dist(x, [1.0]) <= 0.5 using model").unwrap();
+        assert_eq!(s.aggregate, Aggregate::LinReg);
+        assert_eq!(s.mode, ExecMode::Model);
+        assert_eq!(s.center, vec![1.0]);
+    }
+
+    #[test]
+    fn parses_count_star_and_var() {
+        let c = parse("SELECT COUNT(*) FROM t WHERE DIST(x, [0.0]) <= 1.0").unwrap();
+        assert_eq!(c.aggregate, Aggregate::Count);
+        let v = parse("SELECT VAR(u) FROM t WHERE DIST(x, [0.0]) <= 1.0").unwrap();
+        assert_eq!(v.aggregate, Aggregate::Var);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_identifiers_are_not() {
+        let s = parse("SeLeCt AvG(u) FrOm MyTable WhErE dIsT(x, [0.5]) <= 0.2").unwrap();
+        assert_eq!(s.table, "MyTable");
+    }
+
+    #[test]
+    fn negative_center_components_parse() {
+        let s = parse("SELECT AVG(u) FROM t WHERE DIST(x, [-9.5, 3.0]) <= 1.0").unwrap();
+        assert_eq!(s.center, vec![-9.5, 3.0]);
+    }
+
+    #[test]
+    fn rejects_unknown_aggregate() {
+        let err = parse("SELECT SUM(u) FROM t WHERE DIST(x, [0.0]) <= 1.0").unwrap_err();
+        assert!(err.message.contains("unknown aggregate"));
+    }
+
+    #[test]
+    fn rejects_non_positive_radius() {
+        let err = parse("SELECT AVG(u) FROM t WHERE DIST(x, [0.0]) <= 0.0").unwrap_err();
+        assert!(err.message.contains("radius must be positive"));
+    }
+
+    #[test]
+    fn rejects_missing_pieces() {
+        assert!(parse("SELECT AVG(u) FROM t").is_err());
+        assert!(parse("SELECT AVG(u) WHERE DIST(x, [0.0]) <= 1.0").is_err());
+        assert!(parse("AVG(u) FROM t WHERE DIST(x, [0.0]) <= 1.0").is_err());
+        assert!(parse("SELECT AVG(u) FROM t WHERE DIST(x, []) <= 1.0").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_mode_and_trailing_tokens() {
+        let err =
+            parse("SELECT AVG(u) FROM t WHERE DIST(x, [0.0]) <= 1.0 USING MAGIC").unwrap_err();
+        assert!(err.message.contains("unknown execution mode"));
+        let err = parse("SELECT AVG(u) FROM t WHERE DIST(x, [0.0]) <= 1.0; garbage").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn count_requires_star() {
+        assert!(parse("SELECT COUNT(u) FROM t WHERE DIST(x, [0.0]) <= 1.0").is_err());
+    }
+
+    #[test]
+    fn error_offsets_are_meaningful() {
+        let err = parse("SELECT AVG(u) FROM t WHERE DIST(x, [0.0]) <= -1.0").unwrap_err();
+        // Offset points somewhere inside the radius literal region.
+        assert!(err.offset >= 40, "offset {}", err.offset);
+    }
+}

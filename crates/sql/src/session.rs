@@ -1,0 +1,563 @@
+//! The SQL session: a catalog of tables (exact engines) and registered
+//! models, plus the executor routing statements to the right backend.
+
+use crate::ast::{Aggregate, ExecMode, Statement};
+use crate::parser::{parse, ParseError};
+use regq_core::moments::MomentsModel;
+use regq_core::{CoreError, LlmModel, LocalModel, Query};
+use regq_exact::ExactEngine;
+use regq_linalg::LinalgError;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Errors from statement execution.
+#[derive(Debug)]
+pub enum SqlError {
+    /// The statement failed to parse.
+    Parse(ParseError),
+    /// `FROM` names a table that is not registered.
+    UnknownTable(String),
+    /// The query center's dimensionality does not match the table.
+    DimensionMismatch {
+        /// Table the statement targeted.
+        table: String,
+        /// The table's input dimensionality.
+        expected: usize,
+        /// The statement's vector length.
+        actual: usize,
+    },
+    /// `USING MODEL` on a table with no registered model.
+    NoModel(String),
+    /// `VAR(u) USING MODEL` needs a registered moments model.
+    NoMomentsModel(String),
+    /// The selection was empty (SQL NULL result for AVG/VAR/LINREG).
+    EmptySubspace,
+    /// Model-side failure.
+    Model(CoreError),
+    /// Exact-engine numerical failure.
+    Numeric(LinalgError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(e) => write!(f, "{e}"),
+            SqlError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            SqlError::DimensionMismatch {
+                table,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "table '{table}' has {expected} input dimensions, query center has {actual}"
+            ),
+            SqlError::NoModel(t) => {
+                write!(f, "no model registered for table '{t}' (USING MODEL)")
+            }
+            SqlError::NoMomentsModel(t) => write!(
+                f,
+                "no moments model registered for table '{t}' (VAR … USING MODEL)"
+            ),
+            SqlError::EmptySubspace => write!(f, "empty subspace (NULL)"),
+            SqlError::Model(e) => write!(f, "model error: {e}"),
+            SqlError::Numeric(e) => write!(f, "numeric error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<ParseError> for SqlError {
+    fn from(e: ParseError) -> Self {
+        SqlError::Parse(e)
+    }
+}
+
+/// Result of executing a statement.
+#[derive(Debug, Clone)]
+pub enum QueryOutput {
+    /// `AVG(u)` / `VAR(u)` result.
+    Scalar(f64),
+    /// `COUNT(*)` result.
+    Count(usize),
+    /// `LINREG(u)` result: one or more local linear models. Exact
+    /// execution returns exactly one (the subspace OLS fit); model-served
+    /// execution returns the paper's list `S`.
+    Regression(Vec<LocalModel>),
+}
+
+impl fmt::Display for QueryOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryOutput::Scalar(v) => write!(f, "{v:.6}"),
+            QueryOutput::Count(n) => write!(f, "{n}"),
+            QueryOutput::Regression(models) => {
+                for (i, m) in models.iter().enumerate() {
+                    if i > 0 {
+                        writeln!(f)?;
+                    }
+                    write!(f, "u ≈ {:.4}", m.intercept)?;
+                    for (j, b) in m.slope.iter().enumerate() {
+                        write!(f, " {} {:.4}·x{}", if *b >= 0.0 { "+" } else { "-" }, b.abs(), j + 1)?;
+                    }
+                    if models.len() > 1 {
+                        write!(f, "   [weight {:.2}]", m.weight)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+struct TableEntry {
+    engine: ExactEngine,
+    model: Option<LlmModel>,
+    moments: Option<MomentsModel>,
+}
+
+/// A catalog of named tables with optional trained models, executing
+/// statements of the dialect.
+#[derive(Default)]
+pub struct Session {
+    tables: HashMap<String, TableEntry>,
+}
+
+impl Session {
+    /// Empty session.
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// Register (or replace) a table backed by an exact engine.
+    pub fn register_table(&mut self, name: impl Into<String>, engine: ExactEngine) {
+        self.tables.insert(
+            name.into(),
+            TableEntry {
+                engine,
+                model: None,
+                moments: None,
+            },
+        );
+    }
+
+    /// Attach a trained model to a table (enables `USING MODEL`).
+    ///
+    /// # Errors
+    /// [`SqlError::UnknownTable`] when the table is not registered;
+    /// [`SqlError::DimensionMismatch`] when model and table disagree.
+    pub fn register_model(&mut self, table: &str, model: LlmModel) -> Result<(), SqlError> {
+        let entry = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+        if model.dim() != entry.engine.relation().dim() {
+            return Err(SqlError::DimensionMismatch {
+                table: table.to_string(),
+                expected: entry.engine.relation().dim(),
+                actual: model.dim(),
+            });
+        }
+        entry.model = Some(model);
+        Ok(())
+    }
+
+    /// Attach a trained moments model (enables `VAR(u) … USING MODEL`).
+    ///
+    /// # Errors
+    /// Same as [`Session::register_model`].
+    pub fn register_moments_model(
+        &mut self,
+        table: &str,
+        model: MomentsModel,
+    ) -> Result<(), SqlError> {
+        let entry = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+        if model.mean_head().dim() != entry.engine.relation().dim() {
+            return Err(SqlError::DimensionMismatch {
+                table: table.to_string(),
+                expected: entry.engine.relation().dim(),
+                actual: model.mean_head().dim(),
+            });
+        }
+        entry.moments = Some(model);
+        Ok(())
+    }
+
+    /// Registered table names (sorted).
+    pub fn tables(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Parse and execute one statement.
+    ///
+    /// # Errors
+    /// See [`SqlError`].
+    pub fn execute(&self, sql: &str) -> Result<QueryOutput, SqlError> {
+        let stmt = parse(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Parse and execute, also reporting wall-clock execution time.
+    ///
+    /// # Errors
+    /// See [`SqlError`].
+    pub fn execute_timed(&self, sql: &str) -> Result<(QueryOutput, Duration), SqlError> {
+        let stmt = parse(sql)?;
+        let t0 = std::time::Instant::now();
+        let out = self.execute_statement(&stmt)?;
+        Ok((out, t0.elapsed()))
+    }
+
+    /// Execute an already-parsed statement.
+    ///
+    /// # Errors
+    /// See [`SqlError`].
+    pub fn execute_statement(&self, stmt: &Statement) -> Result<QueryOutput, SqlError> {
+        let entry = self
+            .tables
+            .get(&stmt.table)
+            .ok_or_else(|| SqlError::UnknownTable(stmt.table.clone()))?;
+        let dim = entry.engine.relation().dim();
+        if stmt.center.len() != dim {
+            return Err(SqlError::DimensionMismatch {
+                table: stmt.table.clone(),
+                expected: dim,
+                actual: stmt.center.len(),
+            });
+        }
+
+        match stmt.mode {
+            ExecMode::Exact => self.execute_exact(entry, stmt),
+            ExecMode::Model => self.execute_model(entry, stmt),
+        }
+    }
+
+    fn execute_exact(
+        &self,
+        entry: &TableEntry,
+        stmt: &Statement,
+    ) -> Result<QueryOutput, SqlError> {
+        let engine = &entry.engine;
+        match stmt.aggregate {
+            Aggregate::Avg => engine
+                .q1(&stmt.center, stmt.radius)
+                .map(QueryOutput::Scalar)
+                .ok_or(SqlError::EmptySubspace),
+            Aggregate::Var => engine
+                .q1_moments(&stmt.center, stmt.radius)
+                .map(|m| QueryOutput::Scalar(m.variance))
+                .ok_or(SqlError::EmptySubspace),
+            Aggregate::Count => Ok(QueryOutput::Count(
+                engine.relation().count(&stmt.center, stmt.radius),
+            )),
+            Aggregate::LinReg => {
+                let model = engine
+                    .q2_reg(&stmt.center, stmt.radius)
+                    .map_err(|e| match e {
+                        LinalgError::Empty => SqlError::EmptySubspace,
+                        other => SqlError::Numeric(other),
+                    })?;
+                Ok(QueryOutput::Regression(vec![LocalModel {
+                    intercept: model.intercept,
+                    slope: model.slope,
+                    prototype: 0,
+                    weight: 1.0,
+                    center: stmt.center.clone(),
+                    radius: stmt.radius,
+                }]))
+            }
+        }
+    }
+
+    fn execute_model(
+        &self,
+        entry: &TableEntry,
+        stmt: &Statement,
+    ) -> Result<QueryOutput, SqlError> {
+        let q = Query::new(stmt.center.clone(), stmt.radius).map_err(SqlError::Model)?;
+        match stmt.aggregate {
+            Aggregate::Avg => {
+                let model = entry
+                    .model
+                    .as_ref()
+                    .ok_or_else(|| SqlError::NoModel(stmt.table.clone()))?;
+                model
+                    .predict_q1(&q)
+                    .map(QueryOutput::Scalar)
+                    .map_err(SqlError::Model)
+            }
+            Aggregate::LinReg => {
+                let model = entry
+                    .model
+                    .as_ref()
+                    .ok_or_else(|| SqlError::NoModel(stmt.table.clone()))?;
+                model
+                    .predict_q2(&q)
+                    .map(QueryOutput::Regression)
+                    .map_err(SqlError::Model)
+            }
+            Aggregate::Var => {
+                let moments = entry
+                    .moments
+                    .as_ref()
+                    .ok_or_else(|| SqlError::NoMomentsModel(stmt.table.clone()))?;
+                moments
+                    .predict(&q)
+                    .map(|p| QueryOutput::Scalar(p.variance))
+                    .map_err(SqlError::Model)
+            }
+            // COUNT requires the data by definition; the model never sees
+            // cardinalities. Route to the exact engine regardless of mode.
+            Aggregate::Count => Ok(QueryOutput::Count(
+                entry.engine.relation().count(&stmt.center, stmt.radius),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+    use regq_core::moments::MomentPair;
+    use regq_core::ModelConfig;
+    use regq_data::rng::seeded;
+    use regq_data::{Dataset, SampleOptions};
+    use regq_data::generators::GasSensorSurrogate;
+    use regq_data::DataFunction as _;
+    use regq_store::AccessPathKind;
+    use std::sync::Arc;
+
+    fn session_with_model() -> Session {
+        let field = GasSensorSurrogate::new(2, 3);
+        let mut rng = seeded(1);
+        let ds = Dataset::from_function(&field, 20_000, SampleOptions::default(), &mut rng);
+        let engine = ExactEngine::new(Arc::new(ds), AccessPathKind::KdTree);
+
+        // Train a model + a moments model on the engine.
+        let mut cfg = ModelConfig::with_vigilance(2, 0.15);
+        cfg.gamma = 1e-3;
+        let mut model = LlmModel::new(cfg.clone()).unwrap();
+        let mut moments = MomentsModel::new(cfg).unwrap();
+        for _ in 0..30_000 {
+            let c = vec![rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)];
+            let r = rng.random_range(0.05..0.2);
+            if let Some(mo) = engine.q1_moments(&c, r) {
+                let q = Query::new_unchecked(c, r);
+                let done_a = model.train_step(&q, mo.mean).unwrap().converged;
+                let done_b = moments
+                    .train_step(
+                        &q,
+                        MomentPair {
+                            mean: mo.mean,
+                            variance: mo.variance,
+                        },
+                    )
+                    .unwrap();
+                if done_a && done_b {
+                    break;
+                }
+            }
+        }
+
+        let mut s = Session::new();
+        s.register_table("readings", engine);
+        s.register_model("readings", model).unwrap();
+        s.register_moments_model("readings", moments).unwrap();
+        s
+    }
+
+    #[test]
+    fn exact_avg_matches_engine() {
+        let s = session_with_model();
+        let out = s
+            .execute("SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2")
+            .unwrap();
+        let QueryOutput::Scalar(v) = out else {
+            panic!("expected scalar")
+        };
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn model_avg_is_close_to_exact() {
+        let s = session_with_model();
+        let exact = s
+            .execute("SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.15")
+            .unwrap();
+        let model = s
+            .execute("SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.15 USING MODEL")
+            .unwrap();
+        let (QueryOutput::Scalar(e), QueryOutput::Scalar(m)) = (exact, model) else {
+            panic!("expected scalars")
+        };
+        assert!((e - m).abs() < 0.15, "exact {e} vs model {m}");
+    }
+
+    #[test]
+    fn count_star_works_in_both_modes() {
+        let s = session_with_model();
+        let a = s
+            .execute("SELECT COUNT(*) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2")
+            .unwrap();
+        let b = s
+            .execute("SELECT COUNT(*) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2 USING MODEL")
+            .unwrap();
+        let (QueryOutput::Count(ca), QueryOutput::Count(cb)) = (a, b) else {
+            panic!("expected counts")
+        };
+        assert_eq!(ca, cb);
+        assert!(ca > 10);
+    }
+
+    #[test]
+    fn linreg_exact_returns_single_model_and_model_mode_a_list() {
+        let s = session_with_model();
+        let exact = s
+            .execute("SELECT LINREG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2")
+            .unwrap();
+        let QueryOutput::Regression(ms) = exact else {
+            panic!("expected regression")
+        };
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].slope.len(), 2);
+
+        let served = s
+            .execute("SELECT LINREG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2 USING MODEL")
+            .unwrap();
+        let QueryOutput::Regression(list) = served else {
+            panic!("expected regression")
+        };
+        assert!(!list.is_empty());
+        let wsum: f64 = list.iter().map(|m| m.weight).sum();
+        assert!((wsum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn var_exact_and_model_agree_roughly() {
+        let s = session_with_model();
+        let e = s
+            .execute("SELECT VAR(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2")
+            .unwrap();
+        let m = s
+            .execute("SELECT VAR(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2 USING MODEL")
+            .unwrap();
+        let (QueryOutput::Scalar(ev), QueryOutput::Scalar(mv)) = (e, m) else {
+            panic!("expected scalars")
+        };
+        assert!(ev >= 0.0 && mv >= 0.0);
+        assert!((ev - mv).abs() < 0.1, "exact {ev} vs model {mv}");
+    }
+
+    #[test]
+    fn unknown_table_and_dimension_errors() {
+        let s = session_with_model();
+        assert!(matches!(
+            s.execute("SELECT AVG(u) FROM nope WHERE DIST(x, [0.5, 0.5]) <= 0.2"),
+            Err(SqlError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            s.execute("SELECT AVG(u) FROM readings WHERE DIST(x, [0.5]) <= 0.2"),
+            Err(SqlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_subspace_is_null() {
+        let s = session_with_model();
+        assert!(matches!(
+            s.execute("SELECT AVG(u) FROM readings WHERE DIST(x, [50.0, 50.0]) <= 0.01"),
+            Err(SqlError::EmptySubspace)
+        ));
+        // But the model extrapolates without data.
+        assert!(s
+            .execute("SELECT AVG(u) FROM readings WHERE DIST(x, [50.0, 50.0]) <= 0.01 USING MODEL")
+            .is_ok());
+    }
+
+    #[test]
+    fn model_mode_without_model_errors() {
+        let field = GasSensorSurrogate::new(2, 3);
+        let mut rng = seeded(9);
+        let ds = Dataset::from_function(&field, 1_000, SampleOptions::default(), &mut rng);
+        let mut s = Session::new();
+        s.register_table("t", ExactEngine::new(Arc::new(ds), AccessPathKind::Scan));
+        assert!(matches!(
+            s.execute("SELECT AVG(u) FROM t WHERE DIST(x, [0.5, 0.5]) <= 0.2 USING MODEL"),
+            Err(SqlError::NoModel(_))
+        ));
+        assert!(matches!(
+            s.execute("SELECT VAR(u) FROM t WHERE DIST(x, [0.5, 0.5]) <= 0.2 USING MODEL"),
+            Err(SqlError::NoMomentsModel(_))
+        ));
+    }
+
+    #[test]
+    fn register_model_validates_dimension() {
+        let field = GasSensorSurrogate::new(2, 3);
+        let mut rng = seeded(10);
+        let ds = Dataset::from_function(&field, 100, SampleOptions::default(), &mut rng);
+        let mut s = Session::new();
+        s.register_table("t", ExactEngine::new(Arc::new(ds), AccessPathKind::Scan));
+        let wrong_dim = LlmModel::new(ModelConfig::paper_defaults(3)).unwrap();
+        assert!(matches!(
+            s.register_model("t", wrong_dim),
+            Err(SqlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn timed_execution_reports_duration() {
+        let s = session_with_model();
+        let (_, exact_dur) = s
+            .execute_timed("SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2")
+            .unwrap();
+        let (_, model_dur) = s
+            .execute_timed(
+                "SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2 USING MODEL",
+            )
+            .unwrap();
+        assert!(exact_dur.as_nanos() > 0);
+        assert!(model_dur.as_nanos() > 0);
+    }
+
+    #[test]
+    fn output_display_formats() {
+        assert_eq!(QueryOutput::Scalar(0.5).to_string(), "0.500000");
+        assert_eq!(QueryOutput::Count(42).to_string(), "42");
+        let reg = QueryOutput::Regression(vec![LocalModel {
+            intercept: 1.0,
+            slope: vec![2.0, -3.0],
+            prototype: 0,
+            weight: 1.0,
+            center: vec![0.0, 0.0],
+            radius: 0.1,
+        }]);
+        let text = reg.to_string();
+        assert!(text.contains("u ≈ 1.0000"));
+        assert!(text.contains("+ 2.0000·x1"));
+        assert!(text.contains("- 3.0000·x2"));
+    }
+
+    #[test]
+    fn tables_listing_is_sorted() {
+        let field = GasSensorSurrogate::new(1, 3);
+        let mut rng = seeded(11);
+        let mk = || {
+            let ds =
+                Dataset::from_function(&field, 10, SampleOptions::default(), &mut seeded(1));
+            ExactEngine::new(Arc::new(ds), AccessPathKind::Scan)
+        };
+        let _ = &mut rng;
+        let mut s = Session::new();
+        s.register_table("zeta", mk());
+        s.register_table("alpha", mk());
+        assert_eq!(s.tables(), vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Lexer for the regq SQL dialect.
+
+use std::fmt;
+
+/// A lexical token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token start in the input.
+    pub offset: usize,
+}
+
+/// Token kinds of the dialect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or identifier (normalized to uppercase for keywords at the
+    /// parser level; the raw text is preserved).
+    Word(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `<=`
+    Le,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Word(w) => write!(f, "'{w}'"),
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Semicolon => write!(f, "';'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Le => write!(f, "'<='"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Lexing error: unexpected character or malformed number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize an input statement. Always ends with an [`TokenKind::Eof`].
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token { kind: TokenKind::LBracket, offset: i });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, offset: i });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, offset: i });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { kind: TokenKind::Le, offset: i });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        offset: i,
+                        message: "expected '<=' (only inclusive radius predicates are supported)"
+                            .into(),
+                    });
+                }
+            }
+            '-' | '+' | '0'..='9' | '.' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, '0'..='9' | '.' | 'e' | 'E' | '-' | '+')
+                {
+                    // Allow scientific notation; stop '-'/'+' unless they
+                    // follow an exponent marker.
+                    let ch = bytes[i] as char;
+                    if (ch == '-' || ch == '+')
+                        && !matches!(bytes[i - 1] as char, 'e' | 'E')
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value: f64 = text.parse().map_err(|e| LexError {
+                    offset: start,
+                    message: format!("malformed number '{text}': {e}"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    offset: start,
+                });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Word(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character '{other}'"),
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_full_statement() {
+        let ks = kinds("SELECT AVG(u) FROM t WHERE DIST(x, [0.4, 0.6]) <= 0.1;");
+        assert_eq!(ks[0], TokenKind::Word("SELECT".into()));
+        assert_eq!(ks[1], TokenKind::Word("AVG".into()));
+        assert_eq!(ks[2], TokenKind::LParen);
+        assert!(ks.contains(&TokenKind::Le));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn lexes_numbers_including_negative_and_scientific() {
+        assert_eq!(kinds("-0.5")[0], TokenKind::Number(-0.5));
+        assert_eq!(kinds("1e-3")[0], TokenKind::Number(1e-3));
+        assert_eq!(kinds("+2.5E2")[0], TokenKind::Number(250.0));
+    }
+
+    #[test]
+    fn minus_after_number_is_part_of_lexeme_only_in_exponent() {
+        // "3-2" lexes as 3 then -2 (no arithmetic in this dialect, but the
+        // lexer must terminate sensibly).
+        let ks = kinds("3 -2");
+        assert_eq!(ks[0], TokenKind::Number(3.0));
+        assert_eq!(ks[1], TokenKind::Number(-2.0));
+    }
+
+    #[test]
+    fn rejects_bare_less_than() {
+        let err = lex("a < b").unwrap_err();
+        assert!(err.message.contains("<="));
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("SELECT #").unwrap_err();
+        assert_eq!(err.offset, 7);
+    }
+
+    #[test]
+    fn rejects_malformed_number() {
+        assert!(lex("1.2.3").is_err());
+    }
+
+    #[test]
+    fn offsets_point_at_token_starts() {
+        let toks = lex("SELECT AVG").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+
+    #[test]
+    fn star_and_brackets() {
+        let ks = kinds("COUNT(*) [ ]");
+        assert_eq!(ks[2], TokenKind::Star);
+        assert_eq!(ks[4], TokenKind::LBracket);
+        assert_eq!(ks[5], TokenKind::RBracket);
+    }
+}

@@ -1,0 +1,58 @@
+//! Property tests: every well-formed statement the generator produces
+//! round-trips through the parser with exactly its components.
+
+use proptest::prelude::*;
+use regq_sql::{parse, Aggregate, ExecMode};
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_]{0,12}".prop_filter("not a keyword", |s| {
+        !["SELECT", "FROM", "WHERE", "DIST", "USING", "EXACT", "MODEL", "AVG", "VAR",
+          "LINREG", "COUNT"]
+            .iter()
+            .any(|kw| s.eq_ignore_ascii_case(kw))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn round_trips_generated_statements(
+        table in ident_strategy(),
+        center in prop::collection::vec(-100.0..100.0f64, 1..6),
+        radius in 0.001..50.0f64,
+        agg_pick in 0usize..4,
+        mode_pick in 0usize..3,
+        semicolon in any::<bool>(),
+    ) {
+        let (agg_sql, agg) = match agg_pick {
+            0 => ("AVG(u)", Aggregate::Avg),
+            1 => ("LINREG(u)", Aggregate::LinReg),
+            2 => ("VAR(u)", Aggregate::Var),
+            _ => ("COUNT(*)", Aggregate::Count),
+        };
+        let (mode_sql, mode) = match mode_pick {
+            0 => ("", ExecMode::Exact),
+            1 => (" USING EXACT", ExecMode::Exact),
+            _ => (" USING MODEL", ExecMode::Model),
+        };
+        let center_sql: Vec<String> = center.iter().map(|c| format!("{c:?}")).collect();
+        let sql = format!(
+            "SELECT {agg_sql} FROM {table} WHERE DIST(x, [{}]) <= {radius:?}{mode_sql}{}",
+            center_sql.join(", "),
+            if semicolon { ";" } else { "" },
+        );
+        let stmt = parse(&sql).unwrap();
+        prop_assert_eq!(stmt.aggregate, agg);
+        prop_assert_eq!(stmt.table, table);
+        prop_assert_eq!(stmt.center, center);
+        prop_assert_eq!(stmt.radius, radius);
+        prop_assert_eq!(stmt.mode, mode);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_is_total(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+}

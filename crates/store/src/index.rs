@@ -1,0 +1,65 @@
+//! The access-path abstraction for radius (dNN) selections.
+
+use crate::norms::Norm;
+use regq_data::Dataset;
+use std::sync::Arc;
+
+/// A spatial access path answering radius selections over a fixed dataset.
+///
+/// Implementations hold an `Arc<Dataset>` snapshot; the relation is
+/// immutable once indexed (append requires a rebuild, matching the paper's
+/// static-table evaluation; see [`crate::relation::Relation::rebuild`]).
+pub trait SpatialIndex: Send + Sync {
+    /// Append to `out` the ids of all rows within `radius` of `center`
+    /// under `norm`. `out` is cleared first; ids arrive in ascending order
+    /// for [`LinearScan`](crate::LinearScan) and in unspecified order
+    /// otherwise.
+    fn query_ball(&self, center: &[f64], radius: f64, norm: Norm, out: &mut Vec<usize>);
+
+    /// Number of rows within `radius` of `center` (default: materialize and
+    /// count; implementations may specialize).
+    fn count_ball(&self, center: &[f64], radius: f64, norm: Norm) -> usize {
+        let mut buf = Vec::new();
+        self.query_ball(center, radius, norm, &mut buf);
+        buf.len()
+    }
+
+    /// The dataset snapshot this index was built over.
+    fn dataset(&self) -> &Arc<Dataset>;
+
+    /// Access-path name for logs and plans.
+    fn kind(&self) -> AccessPathKind;
+}
+
+/// Which access path a relation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPathKind {
+    /// Full sequential scan.
+    Scan,
+    /// Balanced k-d tree.
+    KdTree,
+    /// Uniform grid.
+    Grid,
+}
+
+impl std::fmt::Display for AccessPathKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessPathKind::Scan => write!(f, "scan"),
+            AccessPathKind::KdTree => write!(f, "kd-tree"),
+            AccessPathKind::Grid => write!(f, "grid"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display_names() {
+        assert_eq!(AccessPathKind::Scan.to_string(), "scan");
+        assert_eq!(AccessPathKind::KdTree.to_string(), "kd-tree");
+        assert_eq!(AccessPathKind::Grid.to_string(), "grid");
+    }
+}

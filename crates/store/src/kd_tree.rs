@@ -1,0 +1,244 @@
+//! Static balanced k-d tree access path.
+//!
+//! Built once by recursive median splits (`select_nth_unstable`), stored as
+//! a flat node array (no per-node allocation, cache-friendly traversal).
+//! Ball queries prune with the splitting-plane rule: a subtree on the far
+//! side of the plane is visited only when `|center[axis] − split| ≤ radius`.
+//! The per-axis difference lower-bounds every `L_p` distance (`p ≥ 1`), so
+//! pruning is correct for all supported norms; exact membership is always
+//! re-checked per point.
+
+use crate::index::{AccessPathKind, SpatialIndex};
+use crate::norms::Norm;
+use regq_data::Dataset;
+use std::sync::Arc;
+
+/// Leaves hold up to this many points; below it, scanning beats recursing.
+const LEAF_SIZE: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Internal {
+        axis: usize,
+        split: f64,
+        /// Index of the right child in the node array (left child is
+        /// `self + 1`, the next node in depth-first order).
+        right: usize,
+    },
+    Leaf {
+        /// Range into the permuted row-id array.
+        start: usize,
+        end: usize,
+    },
+}
+
+/// Balanced k-d tree over a dataset snapshot.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    data: Arc<Dataset>,
+    nodes: Vec<Node>,
+    /// Row ids, permuted so each leaf owns a contiguous range.
+    ids: Vec<usize>,
+}
+
+impl KdTree {
+    /// Build a tree over the dataset (`O(n log n)`).
+    pub fn build(data: Arc<Dataset>) -> Self {
+        let n = data.len();
+        let mut ids: Vec<usize> = (0..n).collect();
+        let mut nodes = Vec::with_capacity(2 * (n / LEAF_SIZE + 1));
+        if n > 0 {
+            Self::build_recursive(&data, &mut ids, 0, n, 0, &mut nodes);
+        }
+        KdTree { data, nodes, ids }
+    }
+
+    fn build_recursive(
+        data: &Dataset,
+        ids: &mut [usize],
+        start: usize,
+        end: usize,
+        depth: usize,
+        nodes: &mut Vec<Node>,
+    ) -> usize {
+        let me = nodes.len();
+        let len = end - start;
+        if len <= LEAF_SIZE {
+            nodes.push(Node::Leaf { start, end });
+            return me;
+        }
+        let axis = depth % data.dim();
+        let mid = len / 2;
+        // Median split on this axis. `select_nth_unstable_by` partitions the
+        // slice around the median in O(len).
+        let slice = &mut ids[start..end];
+        slice.select_nth_unstable_by(mid, |&a, &b| {
+            data.x(a)[axis]
+                .partial_cmp(&data.x(b)[axis])
+                .expect("NaN coordinate in KdTree::build")
+        });
+        let split = data.x(slice[mid])[axis];
+        // Placeholder; patched once the left subtree size is known.
+        nodes.push(Node::Internal {
+            axis,
+            split,
+            right: usize::MAX,
+        });
+        let _left = Self::build_recursive(data, ids, start, start + mid, depth + 1, nodes);
+        let right = Self::build_recursive(data, ids, start + mid, end, depth + 1, nodes);
+        if let Node::Internal { right: r, .. } = &mut nodes[me] {
+            *r = right;
+        }
+        me
+    }
+
+    fn query_recursive(
+        &self,
+        node: usize,
+        center: &[f64],
+        radius: f64,
+        norm: Norm,
+        out: &mut Vec<usize>,
+    ) {
+        match &self.nodes[node] {
+            Node::Leaf { start, end } => {
+                for &id in &self.ids[*start..*end] {
+                    if norm.within(center, self.data.x(id), radius) {
+                        out.push(id);
+                    }
+                }
+            }
+            Node::Internal { axis, split, right } => {
+                let delta = center[*axis] - split;
+                // Left child holds points with coordinate <= split (median
+                // partitioning puts equal keys on either side, but every
+                // point is re-checked, so only pruning must be conservative).
+                if delta <= radius {
+                    self.query_recursive(node + 1, center, radius, norm, out);
+                }
+                if -delta <= radius {
+                    self.query_recursive(*right, center, radius, norm, out);
+                }
+            }
+        }
+    }
+
+    /// Number of tree nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl SpatialIndex for KdTree {
+    fn query_ball(&self, center: &[f64], radius: f64, norm: Norm, out: &mut Vec<usize>) {
+        out.clear();
+        debug_assert_eq!(center.len(), self.data.dim());
+        if self.nodes.is_empty() {
+            return;
+        }
+        self.query_recursive(0, center, radius, norm, out);
+    }
+
+    fn dataset(&self) -> &Arc<Dataset> {
+        &self.data
+    }
+
+    fn kind(&self) -> AccessPathKind {
+        AccessPathKind::KdTree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear_scan::LinearScan;
+    use rand::RngExt;
+    use regq_data::rng::seeded;
+
+    fn random_dataset(n: usize, d: usize, seed: u64) -> Arc<Dataset> {
+        let mut rng = seeded(seed);
+        let mut ds = Dataset::new(d);
+        for _ in 0..n {
+            let x: Vec<f64> = (0..d).map(|_| rng.random_range(-1.0..1.0)).collect();
+            ds.push(&x, 0.0).unwrap();
+        }
+        Arc::new(ds)
+    }
+
+    fn sorted(mut v: Vec<usize>) -> Vec<usize> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_linear_scan_on_random_data() {
+        let data = random_dataset(500, 3, 42);
+        let tree = KdTree::build(data.clone());
+        let scan = LinearScan::new(data);
+        let mut rng = seeded(7);
+        let mut got = Vec::new();
+        let mut want = Vec::new();
+        for _ in 0..50 {
+            let c: Vec<f64> = (0..3).map(|_| rng.random_range(-1.2..1.2)).collect();
+            let r = rng.random_range(0.0..0.8);
+            for norm in [Norm::L1, Norm::L2, Norm::LInf] {
+                tree.query_ball(&c, r, norm, &mut got);
+                scan.query_ball(&c, r, norm, &mut want);
+                assert_eq!(sorted(got.clone()), want, "norm {norm:?} r {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset_returns_nothing() {
+        let tree = KdTree::build(Arc::new(Dataset::new(2)));
+        let mut out = vec![1];
+        tree.query_ball(&[0.0, 0.0], 1.0, Norm::L2, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_point_dataset() {
+        let mut ds = Dataset::new(2);
+        ds.push(&[0.5, 0.5], 1.0).unwrap();
+        let tree = KdTree::build(Arc::new(ds));
+        let mut out = Vec::new();
+        tree.query_ball(&[0.5, 0.5], 0.0, Norm::L2, &mut out);
+        assert_eq!(out, vec![0]);
+        tree.query_ball(&[2.0, 2.0], 1.0, Norm::L2, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_are_all_found() {
+        let mut ds = Dataset::new(1);
+        for _ in 0..100 {
+            ds.push(&[3.0], 0.0).unwrap();
+        }
+        let tree = KdTree::build(Arc::new(ds));
+        let mut out = Vec::new();
+        tree.query_ball(&[3.0], 0.1, Norm::L2, &mut out);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn zero_radius_finds_exact_matches_only() {
+        let data = random_dataset(200, 2, 3);
+        let tree = KdTree::build(data.clone());
+        let mut out = Vec::new();
+        let target = data.x(17).to_vec();
+        tree.query_ball(&target, 0.0, Norm::L2, &mut out);
+        assert!(out.contains(&17));
+        for &id in &out {
+            assert_eq!(data.x(id), &target[..]);
+        }
+    }
+
+    #[test]
+    fn tree_is_compact() {
+        let data = random_dataset(1000, 2, 5);
+        let tree = KdTree::build(data);
+        // Roughly 2 * n / LEAF_SIZE nodes for a balanced tree.
+        assert!(tree.node_count() < 300, "got {}", tree.node_count());
+    }
+}

@@ -1,0 +1,38 @@
+//! # regq-store
+//!
+//! In-memory column store and spatial access paths — the "DBMS" substrate
+//! the paper runs its exact baselines on (PostgreSQL with a B-tree on `x` in
+//! the original evaluation).
+//!
+//! The selection operator is the paper's Definition 3: given a query center
+//! `x ∈ R^d`, radius `θ` and an `L_p` norm, return every row `i` of the
+//! relation with `‖x_i − x‖_p ≤ θ` (a *distance near neighbor* / radius
+//! selection). Three interchangeable access paths implement it:
+//!
+//! * [`LinearScan`] — sequential scan over the contiguous feature block;
+//!   the baseline every DBMS falls back to, `O(n·d)` per query.
+//! * [`KdTree`] — static balanced k-d tree with splitting-plane pruning;
+//!   sub-linear for selective balls in low dimension.
+//! * [`GridIndex`] — uniform grid; best when radii are comparable to the
+//!   cell size (the paper's workloads fix `θ` around 10–20 % of the domain).
+//!
+//! All three return *identical* row sets (property-tested), so experiments
+//! can vary the access path purely as a performance knob — exactly the role
+//! PostgreSQL's planner plays in the paper's setup.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod grid;
+pub mod index;
+pub mod kd_tree;
+pub mod linear_scan;
+pub mod norms;
+pub mod relation;
+
+pub use grid::GridIndex;
+pub use index::{AccessPathKind, SpatialIndex};
+pub use kd_tree::KdTree;
+pub use linear_scan::LinearScan;
+pub use norms::Norm;
+pub use relation::Relation;

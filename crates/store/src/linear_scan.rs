@@ -1,0 +1,116 @@
+//! Full-scan access path — the universal baseline.
+
+use crate::index::{AccessPathKind, SpatialIndex};
+use crate::norms::Norm;
+use regq_data::Dataset;
+use std::sync::Arc;
+
+/// Sequential scan over the contiguous feature block. `O(n·d)` per query,
+/// zero build cost, works for any dimension and norm.
+#[derive(Debug, Clone)]
+pub struct LinearScan {
+    data: Arc<Dataset>,
+}
+
+impl LinearScan {
+    /// Wrap a dataset snapshot.
+    pub fn new(data: Arc<Dataset>) -> Self {
+        LinearScan { data }
+    }
+}
+
+impl SpatialIndex for LinearScan {
+    fn query_ball(&self, center: &[f64], radius: f64, norm: Norm, out: &mut Vec<usize>) {
+        out.clear();
+        debug_assert_eq!(center.len(), self.data.dim());
+        let d = self.data.dim();
+        for (i, row) in self.data.xs_flat().chunks_exact(d).enumerate() {
+            if norm.within(center, row, radius) {
+                out.push(i);
+            }
+        }
+    }
+
+    fn count_ball(&self, center: &[f64], radius: f64, norm: Norm) -> usize {
+        let d = self.data.dim();
+        self.data
+            .xs_flat()
+            .chunks_exact(d)
+            .filter(|row| norm.within(center, row, radius))
+            .count()
+    }
+
+    fn dataset(&self) -> &Arc<Dataset> {
+        &self.data
+    }
+
+    fn kind(&self) -> AccessPathKind {
+        AccessPathKind::Scan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points() -> Arc<Dataset> {
+        // 5x5 integer grid in [0,4]^2.
+        let mut ds = Dataset::new(2);
+        for i in 0..5 {
+            for j in 0..5 {
+                ds.push(&[i as f64, j as f64], (i * 5 + j) as f64).unwrap();
+            }
+        }
+        Arc::new(ds)
+    }
+
+    #[test]
+    fn ball_around_center_point() {
+        let scan = LinearScan::new(grid_points());
+        let mut out = Vec::new();
+        // Radius 1 around (2,2) under L2: center + 4 axis neighbours.
+        scan.query_ball(&[2.0, 2.0], 1.0, Norm::L2, &mut out);
+        assert_eq!(out.len(), 5);
+        // Under L1 the same (diamond radius 1).
+        scan.query_ball(&[2.0, 2.0], 1.0, Norm::L1, &mut out);
+        assert_eq!(out.len(), 5);
+        // Under Linf: the full 3x3 block.
+        scan.query_ball(&[2.0, 2.0], 1.0, Norm::LInf, &mut out);
+        assert_eq!(out.len(), 9);
+    }
+
+    #[test]
+    fn empty_ball_returns_nothing() {
+        let scan = LinearScan::new(grid_points());
+        let mut out = vec![99];
+        scan.query_ball(&[-10.0, -10.0], 0.5, Norm::L2, &mut out);
+        assert!(out.is_empty(), "out must be cleared then left empty");
+    }
+
+    #[test]
+    fn whole_domain_ball_returns_everything() {
+        let scan = LinearScan::new(grid_points());
+        let mut out = Vec::new();
+        scan.query_ball(&[2.0, 2.0], 100.0, Norm::L2, &mut out);
+        assert_eq!(out, (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn count_matches_query_len() {
+        let scan = LinearScan::new(grid_points());
+        let mut out = Vec::new();
+        for r in [0.0, 0.5, 1.0, 2.0, 3.5] {
+            scan.query_ball(&[1.5, 2.5], r, Norm::L2, &mut out);
+            assert_eq!(out.len(), scan.count_ball(&[1.5, 2.5], r, Norm::L2));
+        }
+    }
+
+    #[test]
+    fn boundary_point_is_included() {
+        let scan = LinearScan::new(grid_points());
+        let mut out = Vec::new();
+        scan.query_ball(&[0.0, 0.0], 1.0, Norm::L2, &mut out);
+        // (0,0), (0,1), (1,0) — (1,1) is at distance sqrt(2) > 1.
+        assert_eq!(out.len(), 3);
+    }
+}

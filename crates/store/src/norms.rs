@@ -1,0 +1,75 @@
+//! `L_p` norm selector for the selection operator (paper Definition 2).
+
+use regq_linalg::vector;
+
+/// Which `L_p` norm a radius selection uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Norm {
+    /// Manhattan distance (`p = 1`).
+    L1,
+    /// Euclidean distance (`p = 2`) — the paper's default.
+    L2,
+    /// Chebyshev distance (`p = ∞`).
+    LInf,
+    /// General Minkowski distance for `p ≥ 1`.
+    Lp(f64),
+}
+
+impl Norm {
+    /// Distance between two vectors under this norm.
+    #[inline]
+    pub fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            Norm::L1 => vector::l1_dist(a, b),
+            Norm::L2 => vector::l2_dist(a, b),
+            Norm::LInf => vector::linf_dist(a, b),
+            Norm::Lp(p) => vector::lp_dist(a, b, *p),
+        }
+    }
+
+    /// `true` if `b` lies within `radius` of `a`.
+    #[inline]
+    pub fn within(&self, a: &[f64], b: &[f64], radius: f64) -> bool {
+        match self {
+            // Avoid the square root on the hot path.
+            Norm::L2 => vector::sq_dist(a, b) <= radius * radius,
+            _ => self.dist(a, b) <= radius,
+        }
+    }
+}
+
+impl Default for Norm {
+    fn default() -> Self {
+        Norm::L2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_dispatches_to_the_right_kernel() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(Norm::L1.dist(&a, &b), 7.0);
+        assert_eq!(Norm::L2.dist(&a, &b), 5.0);
+        assert_eq!(Norm::LInf.dist(&a, &b), 4.0);
+        assert!((Norm::Lp(2.0).dist(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_is_inclusive_at_the_boundary() {
+        let a = [0.0];
+        let b = [1.0];
+        assert!(Norm::L2.within(&a, &b, 1.0));
+        assert!(!Norm::L2.within(&a, &b, 0.999_999));
+        assert!(Norm::L1.within(&a, &b, 1.0));
+        assert!(Norm::LInf.within(&a, &b, 1.0));
+    }
+
+    #[test]
+    fn default_is_l2() {
+        assert_eq!(Norm::default(), Norm::L2);
+    }
+}

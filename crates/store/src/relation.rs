@@ -1,0 +1,219 @@
+//! The relation façade: a dataset snapshot plus a chosen access path.
+//!
+//! This is the component that plays "the DBMS" in the paper's Fig. 2: exact
+//! engines (`regq-exact`) and the training workload (`regq-workload`) issue
+//! radius selections against a [`Relation`] and never touch index
+//! internals. Swapping access paths is a one-line change, which is how the
+//! index-choice ablation bench works.
+
+use crate::grid::GridIndex;
+use crate::index::{AccessPathKind, SpatialIndex};
+use crate::kd_tree::KdTree;
+use crate::linear_scan::LinearScan;
+use crate::norms::Norm;
+use parking_lot::Mutex;
+use regq_data::Dataset;
+use std::sync::Arc;
+
+/// A queryable relation: dataset snapshot + access path + default norm.
+pub struct Relation {
+    index: Box<dyn SpatialIndex>,
+    norm: Norm,
+    /// Scratch buffer reused across selections issued through `&mut self`
+    /// helpers; guarded so `&self` methods stay thread-safe.
+    scratch: Mutex<Vec<usize>>,
+}
+
+impl Relation {
+    /// Build a relation over `data` using the given access path and the
+    /// paper's default `L2` norm.
+    pub fn new(data: Arc<Dataset>, path: AccessPathKind) -> Self {
+        let index: Box<dyn SpatialIndex> = match path {
+            AccessPathKind::Scan => Box::new(LinearScan::new(data)),
+            AccessPathKind::KdTree => Box::new(KdTree::build(data)),
+            AccessPathKind::Grid => Box::new(GridIndex::build(data)),
+        };
+        Relation {
+            index,
+            norm: Norm::L2,
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Override the selection norm (default `L2`).
+    pub fn with_norm(mut self, norm: Norm) -> Self {
+        self.norm = norm;
+        self
+    }
+
+    /// The relation's dataset snapshot.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        self.index.dataset()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.dataset().len()
+    }
+
+    /// `true` when the relation holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.dataset().is_empty()
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dataset().dim()
+    }
+
+    /// The norm selections use.
+    pub fn norm(&self) -> Norm {
+        self.norm
+    }
+
+    /// Which access path this relation uses.
+    pub fn access_path(&self) -> AccessPathKind {
+        self.index.kind()
+    }
+
+    /// Radius selection (paper Definition 3): ids of rows within `radius`
+    /// of `center`, into `out`.
+    pub fn select_into(&self, center: &[f64], radius: f64, out: &mut Vec<usize>) {
+        self.index.query_ball(center, radius, self.norm, out);
+    }
+
+    /// Radius selection returning a fresh id vector.
+    pub fn select(&self, center: &[f64], radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.select_into(center, radius, &mut out);
+        out
+    }
+
+    /// Cardinality `n_θ(x)` of a selection without materializing ids when
+    /// the access path can avoid it.
+    pub fn count(&self, center: &[f64], radius: f64) -> usize {
+        self.index.count_ball(center, radius, self.norm)
+    }
+
+    /// Run `f` over the selected row ids using an internal scratch buffer
+    /// (no per-query allocation once warmed up). Under concurrent use the
+    /// scratch is claimed with `try_lock`; contending callers fall back to
+    /// a local buffer so parallel readers scale instead of serializing on
+    /// the mutex.
+    pub fn with_selection<T>(
+        &self,
+        center: &[f64],
+        radius: f64,
+        f: impl FnOnce(&Dataset, &[usize]) -> T,
+    ) -> T {
+        if let Some(mut buf) = self.scratch.try_lock() {
+            self.index.query_ball(center, radius, self.norm, &mut buf);
+            f(self.dataset(), &buf)
+        } else {
+            let mut local = Vec::new();
+            self.index.query_ball(center, radius, self.norm, &mut local);
+            f(self.dataset(), &local)
+        }
+    }
+
+    /// Rebuild with a new snapshot (the supported mutation path: relations
+    /// are immutable between rebuilds, like the paper's static tables).
+    pub fn rebuild(&mut self, data: Arc<Dataset>) {
+        let path = self.index.kind();
+        let norm = self.norm;
+        *self = Relation::new(data, path).with_norm(norm);
+    }
+}
+
+impl std::fmt::Debug for Relation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Relation")
+            .field("rows", &self.len())
+            .field("dim", &self.dim())
+            .field("access_path", &self.access_path())
+            .field("norm", &self.norm)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+    use regq_data::rng::seeded;
+
+    fn relation(path: AccessPathKind) -> Relation {
+        let mut rng = seeded(17);
+        let mut ds = Dataset::new(2);
+        for _ in 0..300 {
+            let x = [rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)];
+            ds.push(&x, x[0] + x[1]).unwrap();
+        }
+        Relation::new(Arc::new(ds), path)
+    }
+
+    #[test]
+    fn all_access_paths_agree() {
+        let scan = relation(AccessPathKind::Scan);
+        let kd = relation(AccessPathKind::KdTree);
+        let grid = relation(AccessPathKind::Grid);
+        let mut rng = seeded(19);
+        for _ in 0..25 {
+            let c = [rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)];
+            let r = rng.random_range(0.05..0.4);
+            let mut a = scan.select(&c, r);
+            let mut b = kd.select(&c, r);
+            let mut g = grid.select(&c, r);
+            a.sort_unstable();
+            b.sort_unstable();
+            g.sort_unstable();
+            assert_eq!(a, b);
+            assert_eq!(a, g);
+        }
+    }
+
+    #[test]
+    fn count_matches_select_len() {
+        let rel = relation(AccessPathKind::KdTree);
+        let ids = rel.select(&[0.5, 0.5], 0.2);
+        assert_eq!(rel.count(&[0.5, 0.5], 0.2), ids.len());
+    }
+
+    #[test]
+    fn with_selection_passes_rows() {
+        let rel = relation(AccessPathKind::Grid);
+        let sum: f64 = rel.with_selection(&[0.5, 0.5], 0.3, |ds, ids| {
+            ids.iter().map(|&i| ds.y(i)).sum()
+        });
+        let ids = rel.select(&[0.5, 0.5], 0.3);
+        let expect: f64 = ids.iter().map(|&i| rel.dataset().y(i)).sum();
+        assert_eq!(sum, expect);
+    }
+
+    #[test]
+    fn rebuild_swaps_snapshot_keeping_path() {
+        let mut rel = relation(AccessPathKind::KdTree);
+        assert_eq!(rel.len(), 300);
+        let mut ds = Dataset::new(2);
+        ds.push(&[0.0, 0.0], 1.0).unwrap();
+        rel.rebuild(Arc::new(ds));
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.access_path(), AccessPathKind::KdTree);
+    }
+
+    #[test]
+    fn norm_override_changes_result() {
+        let rel = relation(AccessPathKind::Scan).with_norm(Norm::LInf);
+        // Linf balls are supersets of L2 balls of the same radius.
+        let linf = rel.select(&[0.5, 0.5], 0.2).len();
+        let l2 = relation(AccessPathKind::Scan).select(&[0.5, 0.5], 0.2).len();
+        assert!(linf >= l2);
+    }
+
+    #[test]
+    fn debug_format_mentions_path() {
+        let rel = relation(AccessPathKind::Grid);
+        let s = format!("{rel:?}");
+        assert!(s.contains("Grid"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests: every access path implements the same selection
+//! semantics as the linear scan, for random data, centers, radii and norms.
+
+use proptest::prelude::*;
+use regq_data::Dataset;
+use regq_store::{GridIndex, KdTree, LinearScan, Norm, SpatialIndex};
+use std::sync::Arc;
+
+fn dataset_strategy(d: usize) -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(prop::collection::vec(-1.0..1.0f64, d), 0..200).prop_map(
+        move |rows| {
+            let mut ds = Dataset::new(d);
+            for r in &rows {
+                ds.push(r, 0.0).unwrap();
+            }
+            ds
+        },
+    )
+}
+
+fn norm_strategy() -> impl Strategy<Value = Norm> {
+    prop_oneof![
+        Just(Norm::L1),
+        Just(Norm::L2),
+        Just(Norm::LInf),
+        (1.0..4.0f64).prop_map(Norm::Lp),
+    ]
+}
+
+fn sorted(mut v: Vec<usize>) -> Vec<usize> {
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kd_tree_equals_scan_2d(ds in dataset_strategy(2),
+                              cx in -1.5..1.5f64, cy in -1.5..1.5f64,
+                              r in 0.0..1.5f64,
+                              norm in norm_strategy()) {
+        let data = Arc::new(ds);
+        let tree = KdTree::build(data.clone());
+        let scan = LinearScan::new(data);
+        let (mut got, mut want) = (Vec::new(), Vec::new());
+        tree.query_ball(&[cx, cy], r, norm, &mut got);
+        scan.query_ball(&[cx, cy], r, norm, &mut want);
+        prop_assert_eq!(sorted(got), want);
+    }
+
+    #[test]
+    fn grid_equals_scan_2d(ds in dataset_strategy(2),
+                           cx in -1.5..1.5f64, cy in -1.5..1.5f64,
+                           r in 0.0..1.5f64,
+                           norm in norm_strategy()) {
+        let data = Arc::new(ds);
+        let grid = GridIndex::build(data.clone());
+        let scan = LinearScan::new(data);
+        let (mut got, mut want) = (Vec::new(), Vec::new());
+        grid.query_ball(&[cx, cy], r, norm, &mut got);
+        scan.query_ball(&[cx, cy], r, norm, &mut want);
+        prop_assert_eq!(sorted(got), want);
+    }
+
+    #[test]
+    fn kd_tree_equals_scan_4d(ds in dataset_strategy(4),
+                              c in prop::collection::vec(-1.5..1.5f64, 4),
+                              r in 0.0..2.0f64,
+                              norm in norm_strategy()) {
+        let data = Arc::new(ds);
+        let tree = KdTree::build(data.clone());
+        let scan = LinearScan::new(data);
+        let (mut got, mut want) = (Vec::new(), Vec::new());
+        tree.query_ball(&c, r, norm, &mut got);
+        scan.query_ball(&c, r, norm, &mut want);
+        prop_assert_eq!(sorted(got), want);
+    }
+
+    #[test]
+    fn grid_equals_scan_4d(ds in dataset_strategy(4),
+                           c in prop::collection::vec(-1.5..1.5f64, 4),
+                           r in 0.0..2.0f64,
+                           norm in norm_strategy()) {
+        let data = Arc::new(ds);
+        let grid = GridIndex::build(data.clone());
+        let scan = LinearScan::new(data);
+        let (mut got, mut want) = (Vec::new(), Vec::new());
+        grid.query_ball(&c, r, norm, &mut got);
+        scan.query_ball(&c, r, norm, &mut want);
+        prop_assert_eq!(sorted(got), want);
+    }
+
+    /// Selections are monotone in the radius: a bigger ball returns a
+    /// superset of row ids.
+    #[test]
+    fn selection_monotone_in_radius(ds in dataset_strategy(3),
+                                    c in prop::collection::vec(-1.0..1.0f64, 3),
+                                    r1 in 0.0..1.0f64, extra in 0.0..1.0f64) {
+        let data = Arc::new(ds);
+        let tree = KdTree::build(data);
+        let (mut small, mut big) = (Vec::new(), Vec::new());
+        tree.query_ball(&c, r1, Norm::L2, &mut small);
+        tree.query_ball(&c, r1 + extra, Norm::L2, &mut big);
+        let big_set: std::collections::HashSet<usize> = big.into_iter().collect();
+        for id in small {
+            prop_assert!(big_set.contains(&id));
+        }
+    }
+}

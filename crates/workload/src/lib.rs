@@ -1,0 +1,31 @@
+//! # regq-workload
+//!
+//! Analyst-workload simulation and the evaluation harness for the paper's
+//! §VI experiments.
+//!
+//! * [`querygen`] — random dNN queries with uniform centers and Gaussian
+//!   radii `θ ~ N(µ_θ, σ_θ²)` (the paper's workload generator);
+//! * [`stream`] — the Fig. 2 loop: execute queries on the exact engine,
+//!   feed `(q, y)` pairs to the model until convergence, and account where
+//!   the wall-clock time goes (the paper's 99.62 % claim);
+//! * [`eval`] — the A1 / A2 / FVU / CoD evaluators comparing LLM against
+//!   global REG, per-query REG and PLR on unseen query sets `V`;
+//! * [`experiment`] — tiny series/table printer used by every `fig*`
+//!   bench target;
+//! * [`timer`] — latency accumulation for the efficiency experiments.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod eval;
+pub mod experiment;
+pub mod querygen;
+pub mod stream;
+pub mod throughput;
+pub mod timer;
+
+pub use eval::{DataValueEval, Q1Eval, Q2Eval};
+pub use querygen::QueryGenerator;
+pub use stream::{train_from_engine, StreamReport};
+pub use throughput::{exact_q1_throughput, model_q1_throughput, ThroughputResult};
+pub use timer::LatencyStats;

@@ -1,0 +1,182 @@
+//! Query-throughput scalability (the paper's second scalability dimension,
+//! §I: serving predictions "saves resources that can be devoted to support
+//! larger numbers of queries at any given point in time").
+//!
+//! A frozen [`LlmModel`] is immutable and `Sync`, so any number of serving
+//! threads can answer queries from one shared instance with no locking;
+//! the exact engine can also serve concurrently (its access paths are
+//! read-only), but each query costs a data pass. [`measure_throughput`]
+//! drives both with the same workload and thread counts.
+
+use crate::querygen::QueryGenerator;
+use regq_core::{LlmModel, Query};
+use regq_exact::ExactEngine;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Result of one throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputResult {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Queries answered.
+    pub queries: usize,
+    /// Wall-clock for the whole batch.
+    pub elapsed: Duration,
+}
+
+impl ThroughputResult {
+    /// Queries per second.
+    pub fn qps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.queries as f64 / secs
+        }
+    }
+}
+
+/// Answer `queries` Q1 requests from the model across `threads` workers
+/// (work-stealing over a shared atomic cursor).
+pub fn model_q1_throughput(
+    model: &LlmModel,
+    queries: &[Query],
+    threads: usize,
+) -> ThroughputResult {
+    run_parallel(queries, threads, |q| {
+        std::hint::black_box(model.predict_q1(q).expect("trained model"));
+    })
+}
+
+/// Answer `queries` Q1 requests on the exact engine across `threads`
+/// workers.
+pub fn exact_q1_throughput(
+    engine: &ExactEngine,
+    queries: &[Query],
+    threads: usize,
+) -> ThroughputResult {
+    run_parallel(queries, threads, |q| {
+        std::hint::black_box(engine.q1(&q.center, q.radius));
+    })
+}
+
+fn run_parallel(
+    queries: &[Query],
+    threads: usize,
+    work: impl Fn(&Query) + Sync,
+) -> ThroughputResult {
+    assert!(threads >= 1, "need at least one thread");
+    let cursor = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= queries.len() {
+                    break;
+                }
+                work(&queries[i]);
+            });
+        }
+    });
+    ThroughputResult {
+        threads,
+        queries: queries.len(),
+        elapsed: t0.elapsed(),
+    }
+}
+
+/// Convenience: generate a workload and sweep thread counts for both
+/// serving paths. Returns `(threads, model_qps, exact_qps)` rows.
+pub fn throughput_sweep(
+    model: &LlmModel,
+    engine: &ExactEngine,
+    gen: &QueryGenerator,
+    queries: usize,
+    thread_counts: &[usize],
+    rng: &mut regq_data::SeededRng,
+) -> Vec<(usize, f64, f64)> {
+    let workload = gen.generate_many(queries, rng);
+    thread_counts
+        .iter()
+        .map(|&t| {
+            let m = model_q1_throughput(model, &workload, t);
+            let e = exact_q1_throughput(engine, &workload, t);
+            (t, m.qps(), e.qps())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::train_from_engine;
+    use regq_core::ModelConfig;
+    use regq_data::generators::GasSensorSurrogate;
+    use regq_data::rng::seeded;
+    use regq_data::{Dataset, SampleOptions};
+    use regq_store::AccessPathKind;
+    use std::sync::Arc;
+
+    fn setup() -> (ExactEngine, QueryGenerator, LlmModel) {
+        let f = GasSensorSurrogate::new(2, 5);
+        let mut rng = seeded(1);
+        let ds = Dataset::from_function(&f, 20_000, SampleOptions::default(), &mut rng);
+        let engine = ExactEngine::new(Arc::new(ds), AccessPathKind::KdTree);
+        let gen = QueryGenerator::for_function(&f, 0.1);
+        let mut model = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
+        train_from_engine(&mut model, &engine, &gen, 10_000, &mut rng).unwrap();
+        (engine, gen, model)
+    }
+
+    #[test]
+    fn all_queries_are_answered_once() {
+        let (engine, gen, model) = setup();
+        let mut rng = seeded(2);
+        let queries = gen.generate_many(500, &mut rng);
+        let m = model_q1_throughput(&model, &queries, 4);
+        assert_eq!(m.queries, 500);
+        assert_eq!(m.threads, 4);
+        assert!(m.qps() > 0.0);
+        let e = exact_q1_throughput(&engine, &queries, 4);
+        assert_eq!(e.queries, 500);
+    }
+
+    #[test]
+    fn model_throughput_dwarfs_exact_throughput() {
+        let (engine, gen, model) = setup();
+        let mut rng = seeded(3);
+        let queries = gen.generate_many(2_000, &mut rng);
+        let m = model_q1_throughput(&model, &queries, 2);
+        let e = exact_q1_throughput(&engine, &queries, 2);
+        assert!(
+            m.qps() > 5.0 * e.qps(),
+            "model {} qps vs exact {} qps",
+            m.qps(),
+            e.qps()
+        );
+    }
+
+    #[test]
+    fn sweep_produces_requested_rows() {
+        let (engine, gen, model) = setup();
+        let mut rng = seeded(4);
+        let rows = throughput_sweep(&model, &engine, &gen, 400, &[1, 2], &mut rng);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 1);
+        assert_eq!(rows[1].0, 2);
+        for (_, mq, eq) in rows {
+            assert!(mq.is_finite() && eq.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let (_, gen, model) = setup();
+        let mut rng = seeded(5);
+        let queries = gen.generate_many(10, &mut rng);
+        let _ = model_q1_throughput(&model, &queries, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Reproduction of the paper's Fig. 5 (left): a 1-D non-linear data
+//! function approximated by (i) the model's K local linear mappings,
+//! (ii) a single global REG line, and (iii) PLR (MARS) — printed as
+//! aligned series for plotting.
+//!
+//! ```sh
+//! cargo run --release --example piecewise_explorer
+//! ```
+
+use regq::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // The non-linear u = g(x) of Fig. 5 over D(0.5, 0.5) = [0, 1].
+    let field = SineRidge1d;
+    let mut rng = seeded(5);
+    let data = Dataset::from_function(
+        &field,
+        100_000,
+        SampleOptions {
+            normalize_output: false,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let engine = ExactEngine::new(Arc::new(data), AccessPathKind::KdTree);
+
+    // Vigilance chosen so the codebook lands near the paper's K = 6.
+    let gen = QueryGenerator::for_function(&field, 0.08);
+    let mut cfg = ModelConfig::with_vigilance(1, 0.15);
+    cfg.gamma = 1e-3;
+    let mut model = LlmModel::new(cfg).expect("config");
+    let report =
+        train_from_engine(&mut model, &engine, &gen, 120_000, &mut rng).expect("training");
+    println!(
+        "# trained on {} pairs; K = {} local linear mappings",
+        report.consumed, report.prototypes
+    );
+
+    // The whole-domain exploration query of the figure.
+    let whole = Query::new(vec![0.5], 0.5).expect("valid");
+
+    // Global REG over D (the red line of Fig. 5).
+    let reg = engine.q2_reg(&whole.center, whole.radius).expect("REG");
+    // PLR with K linear pieces (the magenta curve of Fig. 5).
+    let plr = engine
+        .q2_plr(
+            &whole.center,
+            whole.radius,
+            MarsParams::for_k_models(model.k()),
+        )
+        .expect("PLR");
+    // The LLM list S (the green local lines of Fig. 5).
+    let s = model.predict_q2(&whole).expect("prediction");
+    println!("# |S| = {} returned local models; PLR kept {} basis functions", s.len(), plr.n_basis());
+
+    // Emit the figure's series: truth, REG, PLR, LLM (piecewise via the
+    // nearest returned local model), plus the Eq.-14 fused prediction.
+    println!("x\tg(x)\tREG\tPLR\tLLM_nearest\tLLM_fused");
+    for i in 0..=100 {
+        let x = i as f64 / 100.0;
+        let truth = field.eval(&[x]);
+        let reg_y = reg.predict(&[x]);
+        let plr_y = plr.predict(&[x]);
+        // Nearest local model (the line segment drawn over that region).
+        let nearest = s
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.center[0] - x).abs();
+                let db = (b.center[0] - x).abs();
+                da.partial_cmp(&db).expect("finite")
+            })
+            .expect("non-empty S");
+        let llm_nearest = nearest.predict(&[x]);
+        // Eq. 14 with a workload-scale probe ball centered at x (the
+        // paper's A2 usage; a whole-domain ball would dilute the weights
+        // over every prototype).
+        let llm_fused = model.predict_value_at(&[x], 0.08).expect("prediction");
+        println!("{x:.2}\t{truth:.4}\t{reg_y:.4}\t{plr_y:.4}\t{llm_nearest:.4}\t{llm_fused:.4}");
+    }
+
+    // Goodness-of-fit summary over the subspace (the figure's message:
+    // REG is a poor fit, LLM ≈ PLR are good fits).
+    let ids = engine.select(&whole.center, whole.radius);
+    let actual: Vec<f64> = ids.iter().map(|&i| engine.relation().dataset().y(i)).collect();
+    let fvu_of = |pred: Vec<f64>| -> f64 {
+        GoodnessOfFit::evaluate(&actual, &pred).expect("non-empty").fvu
+    };
+    let reg_fvu = fvu_of(ids.iter().map(|&i| reg.predict(engine.relation().dataset().x(i))).collect());
+    let plr_fvu = fvu_of(ids.iter().map(|&i| plr.predict(engine.relation().dataset().x(i))).collect());
+    let llm_fvu = fvu_of(
+        ids.iter()
+            .map(|&i| {
+                model
+                    .predict_value_at(engine.relation().dataset().x(i), 0.08)
+                    .expect("prediction")
+            })
+            .collect(),
+    );
+    println!("# FVU over D(0.5, 0.5):  REG = {reg_fvu:.3}   PLR = {plr_fvu:.3}   LLM = {llm_fvu:.3}");
+}

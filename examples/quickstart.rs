@@ -1,0 +1,108 @@
+//! Quickstart: train the query-driven model against an in-memory engine
+//! and answer mean-value (Q1) and regression (Q2) queries without data
+//! access.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use regq::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The "database": 200k rows of a strongly non-linear 2-D surface
+    //    (a stand-in for the paper's R1 gas-sensor relation).
+    // ------------------------------------------------------------------
+    let field = GasSensorSurrogate::new(2, 42);
+    let mut rng = seeded(7);
+    println!("materializing 200,000 rows of {} ...", field.name());
+    let data = Dataset::from_function(&field, 200_000, SampleOptions::default(), &mut rng);
+    let engine = ExactEngine::new(Arc::new(data), AccessPathKind::KdTree);
+
+    // ------------------------------------------------------------------
+    // 2. Train from the analyst query stream (paper Fig. 2): queries are
+    //    executed exactly on the engine and the (query, answer) pairs
+    //    train the model until Γ ≤ γ.
+    // ------------------------------------------------------------------
+    let gen = QueryGenerator::for_function(&field, 0.1);
+    let mut model = LlmModel::new(ModelConfig::paper_defaults(2)).expect("valid config");
+    let t0 = Instant::now();
+    let report =
+        train_from_engine(&mut model, &engine, &gen, 100_000, &mut rng).expect("training");
+    println!(
+        "trained: {} pairs consumed, K = {} prototypes, converged = {}, {:.2?} total",
+        report.consumed,
+        report.prototypes,
+        report.converged,
+        t0.elapsed()
+    );
+    println!(
+        "  {:.2}% of training wall-clock was query execution on the DBMS side",
+        report.query_time_fraction() * 100.0
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Q1: mean-value query over an unseen subspace — no data access.
+    // ------------------------------------------------------------------
+    let q = Query::new(vec![0.4, 0.6], 0.12).expect("valid query");
+    let t1 = Instant::now();
+    let fast = model.predict_q1(&q).expect("prediction");
+    let t_fast = t1.elapsed();
+    let t2 = Instant::now();
+    let exact = engine.q1(&q.center, q.radius).expect("non-empty subspace");
+    let t_exact = t2.elapsed();
+    println!("\nQ1 over D(x=[0.4,0.6], θ=0.12):");
+    println!("  LLM prediction  = {fast:.4}   in {t_fast:.2?}");
+    println!("  exact execution = {exact:.4}   in {t_exact:.2?}");
+    println!(
+        "  speedup ≈ {:.0}x, error = {:.4}",
+        t_exact.as_secs_f64() / t_fast.as_secs_f64().max(1e-9),
+        (fast - exact).abs()
+    );
+
+    // ------------------------------------------------------------------
+    // 4. Q2: the list S of local linear models over the subspace.
+    // ------------------------------------------------------------------
+    let s = model.predict_q2(&q).expect("prediction");
+    println!("\nQ2 over the same subspace: |S| = {} local linear models", s.len());
+    for (i, lm) in s.iter().enumerate() {
+        println!(
+            "  l{}: u ≈ {:.3} + {:.3}·x1 + {:.3}·x2   (weight {:.2}, region around [{:.2}, {:.2}])",
+            i + 1,
+            lm.intercept,
+            lm.slope[0],
+            lm.slope[1],
+            lm.weight,
+            lm.center[0],
+            lm.center[1]
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 5. Compare with the exact baselines the paper uses.
+    // ------------------------------------------------------------------
+    let reg = engine.q2_reg(&q.center, q.radius).expect("per-query REG");
+    println!(
+        "\nper-query REG (exact OLS over the subspace): CoD = {:.3}",
+        reg.fit.cod
+    );
+    let plr = engine
+        .q2_plr(&q.center, q.radius, MarsParams::default())
+        .expect("per-query PLR");
+    println!(
+        "per-query PLR (MARS):                        CoD = {:.3} with {} basis functions",
+        plr.fit.cod,
+        plr.n_basis()
+    );
+
+    // ------------------------------------------------------------------
+    // 6. Persist the trained model for serving.
+    // ------------------------------------------------------------------
+    let path = std::env::temp_dir().join("regq-quickstart.model");
+    regq::core::persist::save_model(&model, &path).expect("save");
+    let restored = regq::core::persist::load_model(&path).expect("load");
+    assert_eq!(restored.k(), model.k());
+    println!("\nmodel saved to {} and reloaded (K = {})", path.display(), restored.k());
+}

@@ -1,0 +1,171 @@
+//! Integration tests for the paper's future-work extensions implemented in
+//! this reproduction: moments (E-1), drift adaptation (E-2), compaction
+//! (E-3), confidence scoring (E-4 / desideratum D2).
+
+use regq::core::adapt::{enable_drift_tracking, prune_rare_prototypes};
+use regq::core::moments::{MomentPair, MomentsModel};
+use regq::prelude::*;
+use std::sync::Arc;
+
+fn build_engine(seed: u64, shift: f64, n: usize) -> (ExactEngine, GasSensorSurrogate) {
+    let field = GasSensorSurrogate::new(2, 33);
+    let mut rng = seeded(seed);
+    let base = Dataset::from_function(
+        &field,
+        n,
+        SampleOptions {
+            normalize_output: false,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let data = if shift == 0.0 {
+        base
+    } else {
+        let mut shifted = Dataset::new(2);
+        for (x, u) in base.iter() {
+            shifted.push(x, u + shift).unwrap();
+        }
+        shifted
+    };
+    (
+        ExactEngine::new(Arc::new(data), AccessPathKind::KdTree),
+        field,
+    )
+}
+
+#[test]
+fn moments_model_tracks_conditional_mean_and_variance() {
+    let (engine, field) = build_engine(1, 0.0, 30_000);
+    let gen = QueryGenerator::for_function(&field, 0.15);
+    let mut cfg = ModelConfig::with_vigilance(2, 0.15);
+    cfg.gamma = 1e-3;
+    let mut mm = MomentsModel::new(cfg).unwrap();
+    let mut rng = seeded(2);
+    for _ in 0..50_000 {
+        let q = gen.generate(&mut rng);
+        if let Some(mo) = engine.q1_moments(&q.center, q.radius) {
+            if mm
+                .train_step(
+                    &q,
+                    MomentPair {
+                        mean: mo.mean,
+                        variance: mo.variance,
+                    },
+                )
+                .unwrap()
+            {
+                break;
+            }
+        }
+    }
+    // Score on unseen queries.
+    let mut mean_err = regq::core::metrics::RmseAccumulator::new();
+    let mut var_err = regq::core::metrics::RmseAccumulator::new();
+    let mut var_scale = 0.0;
+    let mut n = 0;
+    for q in gen.generate_many(500, &mut seeded(3)) {
+        let Some(exact) = engine.q1_moments(&q.center, q.radius) else {
+            continue;
+        };
+        let p = mm.predict(&q).unwrap();
+        mean_err.push(exact.mean, p.mean);
+        var_err.push(exact.variance, p.variance);
+        var_scale += exact.variance;
+        n += 1;
+    }
+    assert!(n > 300);
+    assert!(mean_err.rmse().unwrap() < 0.15, "mean RMSE {}", mean_err.rmse().unwrap());
+    // Variance predictions track the scale of the true variances.
+    let avg_var = var_scale / n as f64;
+    assert!(
+        var_err.rmse().unwrap() < avg_var,
+        "variance RMSE {} vs mean variance {}",
+        var_err.rmse().unwrap(),
+        avg_var
+    );
+}
+
+#[test]
+fn drift_tracking_beats_frozen_model_after_shift() {
+    let (engine, field) = build_engine(4, 0.0, 25_000);
+    let gen = QueryGenerator::for_function(&field, 0.12);
+    let mut cfg = ModelConfig::with_vigilance(2, 0.2);
+    cfg.gamma = 2e-3;
+    let mut model = LlmModel::new(cfg).unwrap();
+    let mut rng = seeded(5);
+    train_from_engine(&mut model, &engine, &gen, 60_000, &mut rng).unwrap();
+
+    // The world shifts by +0.4.
+    let (shifted_engine, _) = build_engine(6, 0.4, 25_000);
+    let frozen = model.clone();
+    enable_drift_tracking(&mut model, 0.2);
+    for _ in 0..8_000 {
+        let q = gen.generate(&mut rng);
+        if let Some(y) = shifted_engine.q1(&q.center, q.radius) {
+            model.train_step(&q, y).unwrap();
+        }
+    }
+    let frozen_eval = evaluate_q1(&frozen, &shifted_engine, &gen, 1_000, &mut rng);
+    let adapted_eval = evaluate_q1(&model, &shifted_engine, &gen, 1_000, &mut rng);
+    // The frozen model carries the full +0.4 bias; the adapted one must
+    // recover most of it.
+    assert!(frozen_eval.rmse > 0.3, "frozen rmse {}", frozen_eval.rmse);
+    assert!(
+        adapted_eval.rmse < frozen_eval.rmse / 2.0,
+        "adapted {} vs frozen {}",
+        adapted_eval.rmse,
+        frozen_eval.rmse
+    );
+}
+
+#[test]
+fn pruning_keeps_serving_quality() {
+    let (engine, field) = build_engine(7, 0.0, 25_000);
+    let gen = QueryGenerator::for_function(&field, 0.12);
+    let mut cfg = ModelConfig::with_vigilance(2, 0.1);
+    cfg.gamma = 1e-3;
+    let mut model = LlmModel::new(cfg).unwrap();
+    let mut rng = seeded(8);
+    train_from_engine(&mut model, &engine, &gen, 60_000, &mut rng).unwrap();
+
+    let before = evaluate_q1(&model, &engine, &gen, 1_500, &mut rng);
+    let pruned = prune_rare_prototypes(&mut model, 3);
+    let after = evaluate_q1(&model, &engine, &gen, 1_500, &mut rng);
+    // Dropping under-trained prototypes must not blow up accuracy.
+    assert!(
+        after.rmse < before.rmse * 1.5 + 0.02,
+        "pruning {pruned} prototypes hurt: {} -> {}",
+        before.rmse,
+        after.rmse
+    );
+}
+
+#[test]
+fn confidence_routes_extrapolations_to_the_engine() {
+    let (engine, field) = build_engine(9, 0.0, 25_000);
+    let gen = QueryGenerator::for_function(&field, 0.12);
+    let mut cfg = ModelConfig::with_vigilance(2, 0.15);
+    cfg.gamma = 1e-3;
+    let mut model = LlmModel::new(cfg).unwrap();
+    let mut rng = seeded(10);
+    train_from_engine(&mut model, &engine, &gen, 60_000, &mut rng).unwrap();
+
+    // In-distribution queries score high; far-away balls score low — the
+    // signal a serving layer uses to fall back to exact execution.
+    let mut in_dist_scores = Vec::new();
+    for q in gen.generate_many(200, &mut rng) {
+        in_dist_scores.push(model.confidence(&q).unwrap().score);
+    }
+    let median = {
+        let mut s = in_dist_scores.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[s.len() / 2]
+    };
+    let far = model
+        .confidence(&Query::new(vec![40.0, -25.0], 0.1).unwrap())
+        .unwrap();
+    assert!(median > 0.3, "in-distribution median score {median}");
+    assert!(far.score < median / 2.0, "far score {} median {median}", far.score);
+    assert_eq!(far.overlap_mass, 0.0);
+}

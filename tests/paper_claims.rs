@@ -1,0 +1,254 @@
+//! Integration tests pinning the paper's *qualitative* claims — the
+//! directions and orderings its figures report. These are the assertions
+//! that make the reproduction falsifiable without requiring the authors'
+//! exact hardware or datasets.
+
+use regq::prelude::*;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+struct Fixture {
+    engine: ExactEngine,
+    gen: QueryGenerator,
+    field: GasSensorSurrogate,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let field = GasSensorSurrogate::new(2, 7);
+        let mut rng = seeded(11);
+        // Measurement noise mirrors the paper's setup (both its datasets
+        // carry Gaussian noise) and keeps subspace TSS away from zero so
+        // FVU ratios stay well conditioned.
+        let opts = SampleOptions {
+            target_noise_std: 0.05,
+            ..Default::default()
+        };
+        let data = Dataset::from_function(&field, 40_000, opts, &mut rng);
+        Fixture {
+            engine: ExactEngine::new(Arc::new(data), AccessPathKind::KdTree),
+            // The paper's R1 workload: θ ~ N(0.1, 0.1²) over a unit-range
+            // domain (balls covering ≈20% of the range in diameter).
+            gen: QueryGenerator::for_function(&field, 0.1),
+            field,
+        }
+    })
+}
+
+fn train(a: f64, gamma: f64, seed: u64) -> (LlmModel, StreamReport) {
+    let f = fixture();
+    let mut cfg = ModelConfig::with_vigilance(2, a);
+    cfg.gamma = gamma;
+    let mut model = LlmModel::new(cfg).unwrap();
+    let mut rng = seeded(seed);
+    let report =
+        train_from_engine(&mut model, &f.engine, &f.gen, 100_000, &mut rng).unwrap();
+    (model, report)
+}
+
+/// Fig. 10 (right): the prototype count K decreases monotonically as the
+/// vigilance coefficient a grows.
+#[test]
+fn fig10_k_decreases_with_vigilance_coefficient() {
+    let ks: Vec<usize> = [0.05, 0.1, 0.25, 0.5]
+        .iter()
+        .map(|&a| train(a, 1e-2, 21).0.k())
+        .collect();
+    for w in ks.windows(2) {
+        assert!(w[0] >= w[1], "K not monotone: {ks:?}");
+    }
+    assert!(ks[0] > ks[3], "vigilance sweep had no effect: {ks:?}");
+}
+
+/// Fig. 7: Q1 RMSE grows as a → 1 (coarser quantization).
+#[test]
+fn fig7_rmse_grows_with_vigilance_coefficient() {
+    let f = fixture();
+    let mut rng = seeded(22);
+    let fine = {
+        let (m, _) = train(0.08, 1e-3, 22);
+        evaluate_q1(&m, &f.engine, &f.gen, 1_500, &mut rng).rmse
+    };
+    let coarse = {
+        let (m, _) = train(0.9, 1e-3, 22);
+        evaluate_q1(&m, &f.engine, &f.gen, 1_500, &mut rng).rmse
+    };
+    assert!(
+        fine < coarse,
+        "fine quantization ({fine}) must beat coarse ({coarse})"
+    );
+}
+
+/// Fig. 8: Q1 RMSE is stable in the test-set size |V| (the model is fixed;
+/// more test queries only tighten the estimate).
+#[test]
+fn fig8_rmse_stable_in_test_size() {
+    let f = fixture();
+    let (m, _) = train(0.12, 1e-3, 23);
+    let mut rng = seeded(23);
+    let small = evaluate_q1(&m, &f.engine, &f.gen, 1_000, &mut rng).rmse;
+    let large = evaluate_q1(&m, &f.engine, &f.gen, 8_000, &mut rng).rmse;
+    let rel = (small - large).abs() / large.max(1e-9);
+    assert!(rel < 0.25, "RMSE unstable in |V|: {small} vs {large}");
+}
+
+/// Fig. 9: FVU ordering PLR ≤ LLM < global REG on non-linear data, and
+/// LLM's FVU approaches REG's as a → 1 (one LLM = one global line).
+#[test]
+fn fig9_fvu_ordering_and_limit() {
+    let f = fixture();
+    let mut rng = seeded(24);
+    let plr_params = MarsParams {
+        max_terms: 9,
+        max_knots_per_dim: 8,
+        ..Default::default()
+    };
+    // Per-query FVU is heavy-tailed (ratio statistic), so the orderings
+    // are asserted on medians — see Q2Eval docs.
+    let (fine, _) = train(0.1, 1e-3, 24);
+    let fine_eval = evaluate_q2(&fine, &f.engine, &f.gen, 120, Some(plr_params), &mut rng);
+    assert!(
+        fine_eval.plr_fvu_median.unwrap() <= fine_eval.llm_fvu_median + 0.05,
+        "PLR {} vs LLM {}",
+        fine_eval.plr_fvu_median.unwrap(),
+        fine_eval.llm_fvu_median
+    );
+    assert!(
+        fine_eval.llm_fvu_median < fine_eval.reg_global_fvu_median,
+        "LLM {} vs REG {}",
+        fine_eval.llm_fvu_median,
+        fine_eval.reg_global_fvu_median
+    );
+
+    let (coarse, _) = train(1.0, 1e-3, 24);
+    assert_eq!(coarse.k(), 1, "a = 1 must yield a single prototype");
+    let coarse_eval = evaluate_q2(&coarse, &f.engine, &f.gen, 120, None, &mut rng);
+    // One LLM behaves like one global line: FVU within the REG band, and
+    // clearly worse than the fine model.
+    assert!(
+        coarse_eval.llm_fvu_median > fine_eval.llm_fvu_median,
+        "coarse {} should be worse than fine {}",
+        coarse_eval.llm_fvu_median,
+        fine_eval.llm_fvu_median
+    );
+}
+
+/// Fig. 11: data-value prediction — LLM (no data access) beats the global
+/// REG; PLR (full data access, per-query fit) is best.
+#[test]
+fn fig11_data_value_ordering() {
+    let f = fixture();
+    let (m, _) = train(0.1, 1e-3, 25);
+    let mut rng = seeded(25);
+    let eval = evaluate_data_values(
+        &m,
+        &f.engine,
+        &f.gen,
+        120,
+        20,
+        Some(MarsParams {
+            max_terms: 9,
+            max_knots_per_dim: 8,
+            ..Default::default()
+        }),
+        &mut rng,
+    );
+    assert!(eval.rmse_llm < eval.rmse_reg_global);
+    assert!(eval.rmse_plr.unwrap() < eval.rmse_reg_global);
+}
+
+/// Fig. 12: after training, model-side execution is independent of the
+/// data size while exact execution grows with it.
+#[test]
+fn fig12_scalability_shape() {
+    let field = &fixture().field;
+    let gen = &fixture().gen;
+    let mut rng = seeded(26);
+    let queries = gen.generate_many(100, &mut rng);
+
+    // One trained model (what it was trained on is irrelevant for timing).
+    let (model, _) = train(0.25, 1e-2, 26);
+
+    let mut exact_means = Vec::new();
+    let mut llm_means = Vec::new();
+    for n in [5_000usize, 50_000, 200_000] {
+        let mut rng2 = seeded(27);
+        let data =
+            Dataset::from_function(field, n, SampleOptions::default(), &mut rng2);
+        let engine = ExactEngine::new(Arc::new(data), AccessPathKind::Scan);
+        exact_means.push(time_q1_exact(&engine, &queries).mean().as_secs_f64());
+        llm_means.push(time_q1_llm(&model, &queries).mean().as_secs_f64());
+    }
+    // Exact grows roughly linearly across 40x data growth.
+    assert!(
+        exact_means[2] > exact_means[0] * 5.0,
+        "exact timing did not grow: {exact_means:?}"
+    );
+    // Model latency is flat (allow generous noise).
+    let (lo, hi) = (
+        llm_means.iter().cloned().fold(f64::INFINITY, f64::min),
+        llm_means.iter().cloned().fold(0.0, f64::max),
+    );
+    assert!(hi < lo * 20.0, "LLM timing not flat: {llm_means:?}");
+    // And the separation at the largest size is at least 10x.
+    assert!(
+        exact_means[2] > llm_means[2] * 10.0,
+        "speedup too small: exact {} vs llm {}",
+        exact_means[2],
+        llm_means[2]
+    );
+}
+
+/// Fig. 13: larger mean radius µ_θ → lower Q1 RMSE (answers concentrate
+/// around the global mean) and fewer training pairs to converge.
+#[test]
+fn fig13_radius_tradeoff_direction() {
+    let f = fixture();
+    let mut rng = seeded(28);
+
+    // The paper's µ_θ sweep keeps the radius *variance* fixed (σ² = 0.01)
+    // while the mean moves — only the mean is the experimental variable.
+    let gen_with = |mu: f64| QueryGenerator::for_function(&f.field, 0.1).with_theta(mu, 0.1);
+    let train_with_theta = |mu: f64, seed: u64| -> (LlmModel, StreamReport) {
+        let gen = gen_with(mu);
+        let mut cfg = ModelConfig::with_vigilance(2, 0.25);
+        cfg.gamma = 1e-2;
+        let mut model = LlmModel::new(cfg).unwrap();
+        let mut rng = seeded(seed);
+        let report =
+            train_from_engine(&mut model, &f.engine, &gen, 100_000, &mut rng).unwrap();
+        (model, report)
+    };
+
+    let (m_small, r_small) = train_with_theta(0.05, 30);
+    let (m_large, r_large) = train_with_theta(0.45, 30);
+
+    let gen_small = gen_with(0.05);
+    let gen_large = gen_with(0.45);
+    let e_small = evaluate_q1(&m_small, &f.engine, &gen_small, 1_500, &mut rng).rmse;
+    let e_large = evaluate_q1(&m_large, &f.engine, &gen_large, 1_500, &mut rng).rmse;
+
+    assert!(
+        e_large < e_small,
+        "large radii should be easier: {e_large} vs {e_small}"
+    );
+    assert!(
+        r_large.consumed <= r_small.consumed,
+        "large radii should converge in fewer pairs: {} vs {}",
+        r_large.consumed,
+        r_small.consumed
+    );
+}
+
+/// §VI-B: training wall-clock is dominated by query execution, not model
+/// updates.
+#[test]
+fn training_cost_breakdown_matches_paper_shape() {
+    let (_, report) = train(0.25, 1e-2, 31);
+    assert!(
+        report.query_time_fraction() > 0.5,
+        "query execution fraction {}",
+        report.query_time_fraction()
+    );
+}

@@ -1,0 +1,166 @@
+//! Integration tests for the declarative front end and concurrent serving
+//! through the facade crate.
+
+use regq::core::moments::{MomentPair, MomentsModel};
+use regq::prelude::*;
+use regq::sql::{QueryOutput, Session, SqlError};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+struct Fix {
+    session: Session,
+    model: LlmModel,
+    engine_rows: usize,
+}
+
+fn fixture() -> &'static Fix {
+    static FIX: OnceLock<Fix> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let field = GasSensorSurrogate::new(2, 21);
+        let mut rng = seeded(2);
+        let ds = Dataset::from_function(&field, 30_000, SampleOptions::default(), &mut rng);
+        let rows = ds.len();
+        let engine = ExactEngine::new(Arc::new(ds), AccessPathKind::KdTree);
+        let gen = QueryGenerator::for_function(&field, 0.1);
+
+        let mut cfg = ModelConfig::with_vigilance(2, 0.15);
+        cfg.gamma = 1e-3;
+        let mut model = LlmModel::new(cfg.clone()).unwrap();
+        let mut moments = MomentsModel::new(cfg).unwrap();
+        for _ in 0..50_000 {
+            let q = gen.generate(&mut rng);
+            if let Some(mo) = engine.q1_moments(&q.center, q.radius) {
+                let a = model.train_step(&q, mo.mean).unwrap().converged;
+                let b = moments
+                    .train_step(
+                        &q,
+                        MomentPair {
+                            mean: mo.mean,
+                            variance: mo.variance,
+                        },
+                    )
+                    .unwrap();
+                if a && b {
+                    break;
+                }
+            }
+        }
+
+        let mut session = Session::new();
+        session.register_table("readings", engine);
+        session.register_model("readings", model.clone()).unwrap();
+        session.register_moments_model("readings", moments).unwrap();
+        Fix {
+            session,
+            model,
+            engine_rows: rows,
+        }
+    })
+}
+
+#[test]
+fn sql_exact_and_model_answers_agree() {
+    let f = fixture();
+    let exact = f
+        .session
+        .execute("SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.15")
+        .unwrap();
+    let served = f
+        .session
+        .execute("SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.15 USING MODEL")
+        .unwrap();
+    let (QueryOutput::Scalar(e), QueryOutput::Scalar(m)) = (exact, served) else {
+        panic!("expected scalars");
+    };
+    assert!((e - m).abs() < 0.12, "exact {e} vs model {m}");
+}
+
+#[test]
+fn sql_linreg_list_is_weight_normalized() {
+    let f = fixture();
+    let out = f
+        .session
+        .execute("SELECT LINREG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2 USING MODEL")
+        .unwrap();
+    let QueryOutput::Regression(list) = out else {
+        panic!("expected regression list");
+    };
+    assert!(!list.is_empty());
+    let wsum: f64 = list.iter().map(|m| m.weight).sum();
+    assert!((wsum - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn sql_count_matches_engine_row_semantics() {
+    let f = fixture();
+    let QueryOutput::Count(n) = f
+        .session
+        .execute("SELECT COUNT(*) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 10.0")
+        .unwrap()
+    else {
+        panic!("expected count");
+    };
+    assert_eq!(n, f.engine_rows, "whole-domain ball must count every row");
+}
+
+#[test]
+fn sql_errors_are_structured() {
+    let f = fixture();
+    assert!(matches!(
+        f.session.execute("SELECT AVG(u) FROM nope WHERE DIST(x, [0.5, 0.5]) <= 0.1"),
+        Err(SqlError::UnknownTable(_))
+    ));
+    assert!(matches!(
+        f.session.execute("this is not sql"),
+        Err(SqlError::Parse(_))
+    ));
+}
+
+#[test]
+fn frozen_model_serves_concurrently_with_identical_answers() {
+    let f = fixture();
+    let model = &f.model;
+    let gen = QueryGenerator::new(vec![(0.0, 1.0); 2], 0.1, 0.05, 1.0);
+    let mut rng = seeded(7);
+    let queries = gen.generate_many(512, &mut rng);
+    let reference: Vec<f64> = queries
+        .iter()
+        .map(|q| model.predict_q1(q).unwrap())
+        .collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    queries
+                        .iter()
+                        .map(|q| model.predict_q1(q).unwrap())
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), reference);
+        }
+    });
+}
+
+#[test]
+fn parallel_serving_throughput_beats_exact() {
+    use regq::workload::{exact_q1_throughput, model_q1_throughput};
+    let f = fixture();
+    let field = GasSensorSurrogate::new(2, 21);
+    let mut rng = seeded(9);
+    let ds = Dataset::from_function(&field, 30_000, SampleOptions::default(), &mut rng);
+    let engine = ExactEngine::new(Arc::new(ds), AccessPathKind::KdTree);
+    let gen = QueryGenerator::for_function(&field, 0.1);
+    let queries = gen.generate_many(2_000, &mut rng);
+    let m = model_q1_throughput(&f.model, &queries, 4);
+    let e = exact_q1_throughput(&engine, &queries, 4);
+    assert!(
+        m.qps() > 3.0 * e.qps(),
+        "model {} qps vs exact {} qps",
+        m.qps(),
+        e.qps()
+    );
+}
