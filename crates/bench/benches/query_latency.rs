@@ -16,22 +16,28 @@ fn bench_llm_prediction(c: &mut Criterion) {
         let t = bench::train(Family::R1, 2, 50_000, a, 1e-2, 30_000, 21);
         let mut rng = seeded(210);
         let queries = t.gen.generate_many(256, &mut rng);
-        group.bench_function(BenchmarkId::new("q1", format!("{label}_k{}", t.model.k())), |b| {
-            let mut i = 0usize;
-            b.iter(|| {
-                let q = &queries[i % queries.len()];
-                i += 1;
-                black_box(t.model.predict_q1(black_box(q)).unwrap())
-            })
-        });
-        group.bench_function(BenchmarkId::new("q2", format!("{label}_k{}", t.model.k())), |b| {
-            let mut i = 0usize;
-            b.iter(|| {
-                let q = &queries[i % queries.len()];
-                i += 1;
-                black_box(t.model.predict_q2(black_box(q)).unwrap().len())
-            })
-        });
+        group.bench_function(
+            BenchmarkId::new("q1", format!("{label}_k{}", t.model.k())),
+            |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    black_box(t.model.predict_q1(black_box(q)).unwrap())
+                })
+            },
+        );
+        group.bench_function(
+            BenchmarkId::new("q2", format!("{label}_k{}", t.model.k())),
+            |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    black_box(t.model.predict_q2(black_box(q)).unwrap().len())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -24,14 +24,17 @@ fn bench_train_step(c: &mut Criterion) {
         }
         let k = model.k();
 
-        group.bench_function(BenchmarkId::new("steady_state", format!("d{d}_k{k}")), |b| {
-            let mut i = 0usize;
-            b.iter(|| {
-                let q = &queries[i % queries.len()];
-                i += 1;
-                black_box(model.train_step(black_box(q), 0.5).unwrap().winner)
-            })
-        });
+        group.bench_function(
+            BenchmarkId::new("steady_state", format!("d{d}_k{k}")),
+            |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    black_box(model.train_step(black_box(q), 0.5).unwrap().winner)
+                })
+            },
+        );
     }
     group.finish();
 }

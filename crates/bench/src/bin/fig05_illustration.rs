@@ -53,7 +53,11 @@ fn main() {
     let whole = Query::new(vec![0.5], 0.5).expect("valid");
     let reg = engine.q2_reg(&whole.center, whole.radius).expect("REG");
     let plr = engine
-        .q2_plr(&whole.center, whole.radius, MarsParams::for_k_models(model.k()))
+        .q2_plr(
+            &whole.center,
+            whole.radius,
+            MarsParams::for_k_models(model.k()),
+        )
         .expect("PLR");
     let s = model.predict_q2(&whole).expect("prediction");
 
@@ -92,11 +96,10 @@ fn main() {
     let fvu = |pred: Vec<f64>| GoodnessOfFit::evaluate(&actual, &pred).expect("eval").fvu;
     let reg_fvu = fvu(ids.iter().map(|&i| reg.predict(ds.x(i))).collect());
     let plr_fvu = fvu(ids.iter().map(|&i| plr.predict(ds.x(i))).collect());
-    let llm_fvu = fvu(
-        ids.iter()
-            .map(|&i| model.predict_value_at(ds.x(i), 0.08).expect("pred"))
-            .collect(),
-    );
+    let llm_fvu = fvu(ids
+        .iter()
+        .map(|&i| model.predict_value_at(ds.x(i), 0.08).expect("pred"))
+        .collect());
     println!("# FVU over D: REG = {reg_fvu:.3}  PLR = {plr_fvu:.3}  LLM = {llm_fvu:.3}\n");
 
     // ---- Right panel: the f(x, θ) surface along θ slices ----------------

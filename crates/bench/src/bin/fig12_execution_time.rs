@@ -51,7 +51,10 @@ fn main() {
         let queries = gen.generate_many(n_queries, &mut rng);
 
         let mut q1 = SeriesTable::new(
-            format!("Fig. 12 (left): Q1 execution time (ms) vs #points, R2, d = {d} (K = {})", model.k()),
+            format!(
+                "Fig. 12 (left): Q1 execution time (ms) vs #points, R2, d = {d} (K = {})",
+                model.k()
+            ),
             "points",
             vec!["LLM".into(), "REG-scan".into(), "REG-kdtree".into()],
         );
@@ -79,8 +82,7 @@ fn main() {
             let llm_q2 = time_q2_llm(model, &queries).mean_ms();
             let scan_q2 = time_q2_reg_exact(&scan, &queries).mean_ms();
             let kd_q2 = time_q2_reg_exact(&kd, &queries).mean_ms();
-            let plr_q2 =
-                time_q2_plr_exact(&kd, &queries[..n_plr_queries], plr_params).mean_ms();
+            let plr_q2 = time_q2_plr_exact(&kd, &queries[..n_plr_queries], plr_params).mean_ms();
             q2.push(n as f64, vec![llm_q2, scan_q2, kd_q2, plr_q2]);
         }
         q1.print();

@@ -8,7 +8,9 @@ use regq_workload::experiment::SeriesTable;
 
 fn main() {
     let mus: Vec<f64> = if bench::full_scale() {
-        vec![0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99]
+        vec![
+            0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99,
+        ]
     } else {
         vec![0.01, 0.1, 0.3, 0.6, 0.99]
     };

@@ -15,7 +15,9 @@ use regq_bench as bench;
 use regq_bench::Family;
 use regq_data::rng::seeded;
 use regq_linalg::OnlineStats;
-use regq_workload::eval::{evaluate_q1, time_q1_exact, time_q1_llm, time_q2_llm, time_q2_reg_exact};
+use regq_workload::eval::{
+    evaluate_q1, time_q1_exact, time_q1_llm, time_q2_llm, time_q2_reg_exact,
+};
 
 fn main() {
     println!("claim\tpaper\tmeasured\tcontext");

@@ -51,7 +51,9 @@ impl std::fmt::Display for Family {
 
 /// `true` when `REGQ_SCALE=full` (record-grade sizes).
 pub fn full_scale() -> bool {
-    std::env::var("REGQ_SCALE").map(|v| v == "full").unwrap_or(false)
+    std::env::var("REGQ_SCALE")
+        .map(|v| v == "full")
+        .unwrap_or(false)
 }
 
 /// Default dataset size for accuracy experiments.
@@ -140,9 +142,7 @@ pub fn generator(family: Family, d: usize) -> QueryGenerator {
         Family::R2 if d < 4 => {
             QueryGenerator::for_function(&r2_function(d), 0.05).with_theta(1.0, 0.5)
         }
-        Family::R2 => {
-            QueryGenerator::for_function(&r2_function(d), 0.05).with_theta(3.0, 0.5)
-        }
+        Family::R2 => QueryGenerator::for_function(&r2_function(d), 0.05).with_theta(3.0, 0.5),
     }
 }
 
@@ -187,8 +187,7 @@ pub fn train(
     cfg.gamma = gamma;
     let mut model = LlmModel::new(cfg).expect("valid config");
     let mut rng = seeded(seed ^ 0xbe9c);
-    let report =
-        train_from_engine(&mut model, &engine, &gen, budget, &mut rng).expect("training");
+    let report = train_from_engine(&mut model, &engine, &gen, budget, &mut rng).expect("training");
     Trained {
         model,
         report,

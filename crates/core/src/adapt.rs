@@ -99,15 +99,9 @@ pub fn prune_rare_prototypes(model: &mut LlmModel, min_updates: u64) -> usize {
     let max_updates = protos.iter().map(|p| p.updates).max().unwrap_or(0);
     let mut kept_one = false;
     protos.retain(|p| {
-        if p.updates >= min_updates {
-            kept_one = true;
-            true
-        } else if !kept_one && p.updates == max_updates {
-            kept_one = true;
-            true
-        } else {
-            false
-        }
+        let keep = p.updates >= min_updates || (!kept_one && p.updates == max_updates);
+        kept_one |= keep;
+        keep
     });
     if protos.is_empty() {
         unreachable!("retain keeps at least one prototype");
@@ -200,11 +194,7 @@ mod tests {
     fn prune_drops_under_trained_prototypes() {
         let mut m = trained(7, 0.05);
         let k0 = m.k();
-        let rare = m
-            .prototypes()
-            .iter()
-            .filter(|p| p.updates < 3)
-            .count();
+        let rare = m.prototypes().iter().filter(|p| p.updates < 3).count();
         let pruned = prune_rare_prototypes(&mut m, 3);
         assert!(pruned <= rare);
         assert_eq!(m.k(), k0 - pruned);
@@ -234,11 +224,8 @@ mod tests {
         for _ in 0..5_000 {
             let c: Vec<f64> = (0..2).map(|_| rng.random_range(0.0..1.0)).collect();
             let y = c[0] * 2.0 - c[1] + 5.0;
-            m.train_step(
-                &Query::new_unchecked(c, rng.random_range(0.05..0.15)),
-                y,
-            )
-            .unwrap();
+            m.train_step(&Query::new_unchecked(c, rng.random_range(0.05..0.15)), y)
+                .unwrap();
         }
         let after = m.predict_q1(&probe).unwrap();
         assert!(
@@ -253,9 +240,6 @@ mod tests {
         let protos = m.prototypes().to_vec();
         set_schedule(&mut m, LearningSchedule::HyperbolicGlobal);
         assert_eq!(m.prototypes(), &protos[..]);
-        assert_eq!(
-            m.config().schedule,
-            LearningSchedule::HyperbolicGlobal
-        );
+        assert_eq!(m.config().schedule, LearningSchedule::HyperbolicGlobal);
     }
 }

@@ -155,7 +155,12 @@ mod tests {
         let far = m.confidence(&q(&[30.0, 30.0], 0.1)).unwrap();
         assert_eq!(far.overlap_mass, 0.0);
         assert!(far.winner_distance_ratio > 1.0);
-        assert!(far.score < near.score / 3.0, "near {} far {}", near.score, far.score);
+        assert!(
+            far.score < near.score / 3.0,
+            "near {} far {}",
+            near.score,
+            far.score
+        );
     }
 
     #[test]
@@ -213,7 +218,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..200 {
             let c: Vec<f64> = (0..2).map(|_| rng.random_range(-5.0..5.0)).collect();
-            let conf = m.confidence(&Query::new_unchecked(c, rng.random_range(0.01..2.0))).unwrap();
+            let conf = m
+                .confidence(&Query::new_unchecked(c, rng.random_range(0.01..2.0)))
+                .unwrap();
             assert!((0.0..=1.0).contains(&conf.score));
         }
     }

@@ -171,9 +171,7 @@ impl ModelConfig {
                 self.coeff_rate_power
             )));
         }
-        self.schedule
-            .validate()
-            .map_err(CoreError::InvalidConfig)?;
+        self.schedule.validate().map_err(CoreError::InvalidConfig)?;
         Ok(())
     }
 }

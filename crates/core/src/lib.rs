@@ -51,8 +51,8 @@
 #![warn(clippy::all)]
 
 pub mod adapt;
-pub mod config;
 pub mod confidence;
+pub mod config;
 pub mod error;
 pub mod metrics;
 pub mod model;
@@ -64,8 +64,8 @@ pub mod prototype;
 pub mod query;
 pub mod schedule;
 
-pub use config::ModelConfig;
 pub use confidence::Confidence;
+pub use config::ModelConfig;
 pub use error::CoreError;
 pub use model::{LlmModel, StepOutcome, TrainReport};
 pub use moments::MomentsModel;

@@ -385,11 +385,7 @@ mod tests {
 
     /// Stream of queries over [0,1]^d answered by a linear function of the
     /// center (the easiest consistent teacher for the LLM).
-    fn linear_stream(
-        d: usize,
-        n: usize,
-        seed: u64,
-    ) -> impl Iterator<Item = (Query, f64)> {
+    fn linear_stream(d: usize, n: usize, seed: u64) -> impl Iterator<Item = (Query, f64)> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n).map(move |_| {
             let center: Vec<f64> = (0..d).map(|_| rng.random_range(0.0..1.0)).collect();
@@ -468,7 +464,11 @@ mod tests {
             let p = &m.prototypes()[0];
             errs.push((3.0 - p.eval(&query.center, query.radius)).abs());
         }
-        assert!(errs[399] < 0.02, "did not converge to teacher: {}", errs[399]);
+        assert!(
+            errs[399] < 0.02,
+            "did not converge to teacher: {}",
+            errs[399]
+        );
         assert!(errs[399] < errs[10], "no overall decrease");
         assert!(errs[100] < errs[5], "no early decrease");
     }
@@ -589,7 +589,10 @@ mod tests {
         for _ in 0..3000 {
             let c: Vec<f64> = (0..2).map(|_| rng.random_range(0.0..1.0)).collect();
             let y = c[0] + c[1];
-            if m.train_step(&Query::new_unchecked(c, 0.12), y).unwrap().converged {
+            if m.train_step(&Query::new_unchecked(c, 0.12), y)
+                .unwrap()
+                .converged
+            {
                 break;
             }
         }

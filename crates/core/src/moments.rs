@@ -83,10 +83,7 @@ impl MomentsModel {
         debug_assert_eq!(a.spawned, b.spawned, "heads must share the codebook");
         // Joint Γ over both heads: the codebook displacement is shared and
         // the coefficient displacement is the worse of the two heads.
-        let gamma = a
-            .gamma_j
-            .max(a.gamma_h)
-            .max(b.gamma_j.max(b.gamma_h));
+        let gamma = a.gamma_j.max(a.gamma_h).max(b.gamma_j.max(b.gamma_h));
         let cfg = self.mean.config();
         if gamma <= cfg.gamma {
             self.quiet_steps += 1;
@@ -148,7 +145,10 @@ mod tests {
             let c: Vec<f64> = (0..2).map(|_| rng.random_range(0.0..1.0)).collect();
             let mean = c[0];
             let var = 0.04 + 0.05 * c[1];
-            let pair = MomentPair { mean, variance: var };
+            let pair = MomentPair {
+                mean,
+                variance: var,
+            };
             let q = Query::new_unchecked(c, rng.random_range(0.05..0.15));
             if m.train_step(&q, pair).unwrap() {
                 break;
@@ -222,8 +222,6 @@ mod tests {
     #[test]
     fn untrained_model_errors() {
         let m = MomentsModel::new(ModelConfig::paper_defaults(1)).unwrap();
-        assert!(m
-            .predict(&Query::new_unchecked(vec![0.0], 0.1))
-            .is_err());
+        assert!(m.predict(&Query::new_unchecked(vec![0.0], 0.1)).is_err());
     }
 }

@@ -201,9 +201,9 @@ pub fn load_model(path: &Path) -> Result<LlmModel, CoreError> {
         if line.is_empty() {
             continue;
         }
-        let body = line.strip_prefix("proto ").ok_or_else(|| {
-            CoreError::Persist(format!("line {}: expected 'proto'", line_no + 3))
-        })?;
+        let body = line
+            .strip_prefix("proto ")
+            .ok_or_else(|| CoreError::Persist(format!("line {}: expected 'proto'", line_no + 3)))?;
         let mut sections = body.split('|');
         let head: Vec<&str> = sections
             .next()
@@ -353,11 +353,7 @@ mod tests {
         let path = tmp("truncated.model");
         save_model(&m, &path).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
-        let cut: String = content
-            .lines()
-            .take(3)
-            .map(|l| format!("{l}\n"))
-            .collect();
+        let cut: String = content.lines().take(3).map(|l| format!("{l}\n")).collect();
         std::fs::write(&path, cut).unwrap();
         let err = load_model(&path).unwrap_err();
         std::fs::remove_file(&path).ok();

@@ -130,10 +130,7 @@ mod tests {
     fn eval_at_own_radius_drops_theta_term() {
         let p = proto();
         assert_eq!(p.eval_at_own_radius(&[1.0, 2.0]), 10.0);
-        assert_eq!(
-            p.eval_at_own_radius(&[2.0, 2.0]),
-            p.eval(&[2.0, 2.0], 0.5)
-        );
+        assert_eq!(p.eval_at_own_radius(&[2.0, 2.0]), p.eval(&[2.0, 2.0], 0.5));
     }
 
     #[test]

@@ -23,7 +23,9 @@ impl Query {
     /// [`CoreError::InvalidConfig`] for a non-positive radius.
     pub fn new(center: Vec<f64>, radius: f64) -> Result<Self, CoreError> {
         if !vector::all_finite(&center) || !radius.is_finite() {
-            return Err(CoreError::NonFinite { location: "Query::new" });
+            return Err(CoreError::NonFinite {
+                location: "Query::new",
+            });
         }
         if radius <= 0.0 {
             return Err(CoreError::InvalidConfig(format!(

@@ -11,10 +11,11 @@
 use serde::{Deserialize, Serialize};
 
 /// Learning-rate schedule for the Theorem-4 updates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum LearningSchedule {
     /// `η = 1/(1 + t_k)` with `t_k` = number of updates prototype `k` has
     /// received (default; D-1).
+    #[default]
     HyperbolicPerPrototype,
     /// `η = 1/(1 + t)` with `t` = global training step.
     HyperbolicGlobal,
@@ -44,9 +45,7 @@ impl LearningSchedule {
     #[inline]
     pub fn coeff_rate(&self, proto_steps: u64, global_step: u64, power: f64) -> f64 {
         match self {
-            LearningSchedule::HyperbolicPerPrototype => {
-                (1.0 + proto_steps as f64).powf(-power)
-            }
+            LearningSchedule::HyperbolicPerPrototype => (1.0 + proto_steps as f64).powf(-power),
             LearningSchedule::HyperbolicGlobal => (1.0 + global_step as f64).powf(-power),
             LearningSchedule::Constant(eta) => *eta,
         }
@@ -56,16 +55,12 @@ impl LearningSchedule {
     pub fn validate(&self) -> Result<(), String> {
         if let LearningSchedule::Constant(eta) = self {
             if !(*eta > 0.0 && *eta < 1.0) {
-                return Err(format!("constant learning rate must be in (0,1), got {eta}"));
+                return Err(format!(
+                    "constant learning rate must be in (0,1), got {eta}"
+                ));
             }
         }
         Ok(())
-    }
-}
-
-impl Default for LearningSchedule {
-    fn default() -> Self {
-        LearningSchedule::HyperbolicPerPrototype
     }
 }
 

@@ -4,10 +4,7 @@ use proptest::prelude::*;
 use regq_core::{overlap_degree, LlmModel, ModelConfig, Query};
 
 fn query_strategy(d: usize) -> impl Strategy<Value = Query> {
-    (
-        prop::collection::vec(-1.0..2.0f64, d),
-        0.01..0.8f64,
-    )
+    (prop::collection::vec(-1.0..2.0f64, d), 0.01..0.8f64)
         .prop_map(|(c, r)| Query::new_unchecked(c, r))
 }
 

@@ -33,7 +33,9 @@ impl fmt::Display for DataError {
             }
             DataError::Empty => write!(f, "dataset is empty"),
             DataError::Io(e) => write!(f, "io error: {e}"),
-            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
         }
     }
 }

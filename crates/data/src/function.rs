@@ -114,8 +114,7 @@ mod tests {
 
     #[test]
     fn boxed_dyn_function_delegates() {
-        let f: Box<dyn DataFunction> =
-            Box::new(FnFunction::unit_box("id", 1, |x| x[0]));
+        let f: Box<dyn DataFunction> = Box::new(FnFunction::unit_box("id", 1, |x| x[0]));
         assert_eq!(f.dim(), 1);
         assert_eq!(f.eval(&[0.5]), 0.5);
         assert_eq!(f.name(), "id");

@@ -84,13 +84,7 @@ impl PiecewiseLinear1d {
     /// A default 4-segment zig-zag over `[0, 1]` (mirrors the paper's
     /// "four local lines l₁…l₄" illustration in Fig. 1 right).
     pub fn zigzag() -> Self {
-        Self::new(&[
-            (0.0, 0.1),
-            (0.25, 0.8),
-            (0.5, 0.3),
-            (0.75, 0.9),
-            (1.0, 0.2),
-        ])
+        Self::new(&[(0.0, 0.1), (0.25, 0.8), (0.5, 0.3), (0.75, 0.9), (1.0, 0.2)])
     }
 
     /// Slope of the segment containing `t` (right-continuous).

@@ -143,7 +143,9 @@ impl ExactEngine {
 
 impl std::fmt::Debug for ExactEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ExactEngine").field("rel", &self.rel).finish()
+        f.debug_struct("ExactEngine")
+            .field("rel", &self.rel)
+            .finish()
     }
 }
 
@@ -169,8 +171,11 @@ mod tests {
     fn q1_agrees_with_manual_mean() {
         let e = engine();
         let ids = e.select(&[0.5, 0.5], 0.2);
-        let manual: f64 =
-            ids.iter().map(|&i| e.relation().dataset().y(i)).sum::<f64>() / ids.len() as f64;
+        let manual: f64 = ids
+            .iter()
+            .map(|&i| e.relation().dataset().y(i))
+            .sum::<f64>()
+            / ids.len() as f64;
         let q1 = e.q1(&[0.5, 0.5], 0.2).unwrap();
         assert!((q1 - manual).abs() < 1e-12);
     }

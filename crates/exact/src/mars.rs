@@ -302,11 +302,11 @@ impl Mars {
                 if parent.degree() >= params.max_degree {
                     continue;
                 }
-                for var in 0..d {
+                for (var, var_knots) in knots.iter().enumerate() {
                     if parent.uses_var(var) {
                         continue;
                     }
-                    for &t in &knots[var] {
+                    for &t in var_knots {
                         let (cplus, cminus) = hinge_pair_columns(ds, ids, &cols[pi], var, t);
                         // Degenerate hinge (all zeros on the data): skip.
                         if is_zero(&cplus) && is_zero(&cminus) {
@@ -334,10 +334,7 @@ impl Mars {
             }
             // Commit the pair.
             let parent = basis[cand.parent].clone();
-            for (dir, col) in [
-                (HingeDir::Plus, cand.cplus),
-                (HingeDir::Minus, cand.cminus),
-            ] {
+            for (dir, col) in [(HingeDir::Plus, cand.cplus), (HingeDir::Minus, cand.cminus)] {
                 let mut b = parent.clone();
                 b.hinges.push(Hinge {
                     var: cand.var,
@@ -353,7 +350,8 @@ impl Mars {
 
         // ---- Backward pass ----
         let selected = backward_pass(&cols, &y, n, params.gcv_penalty)?;
-        let kept_basis: Vec<BasisFunction> = selected.kept.iter().map(|&i| basis[i].clone()).collect();
+        let kept_basis: Vec<BasisFunction> =
+            selected.kept.iter().map(|&i| basis[i].clone()).collect();
         let kept_cols: Vec<Vec<f64>> = selected.kept.iter().map(|&i| cols[i].clone()).collect();
         let coeffs = solve_ols_cols(&kept_cols, &y)?;
 
@@ -490,13 +488,7 @@ impl ForwardState {
     }
 
     /// SSR of the OLS fit on current columns plus the candidate pair.
-    fn ssr_with_pair(
-        &self,
-        cols: &[Vec<f64>],
-        y: &[f64],
-        u: &[f64],
-        v: &[f64],
-    ) -> Option<f64> {
+    fn ssr_with_pair(&self, cols: &[Vec<f64>], y: &[f64], u: &[f64], v: &[f64]) -> Option<f64> {
         let m = self.gram.len();
         let mut g = Matrix::zeros(m + 2, m + 2);
         for i in 0..m {
@@ -739,10 +731,23 @@ mod tests {
         let pieces = m.linear_pieces_1d(0.0, 1.0).unwrap();
         assert!(pieces.len() >= 4);
         // Slopes near the true segment slopes at probe points.
-        let probe =
-            |t: f64| -> f64 { pieces.iter().find(|p| t >= p.lo && t <= p.hi).unwrap().slope };
-        assert!((probe(0.1) - 2.8).abs() < 0.3, "slope at 0.1: {}", probe(0.1));
-        assert!((probe(0.4) + 2.0).abs() < 0.3, "slope at 0.4: {}", probe(0.4));
+        let probe = |t: f64| -> f64 {
+            pieces
+                .iter()
+                .find(|p| t >= p.lo && t <= p.hi)
+                .unwrap()
+                .slope
+        };
+        assert!(
+            (probe(0.1) - 2.8).abs() < 0.3,
+            "slope at 0.1: {}",
+            probe(0.1)
+        );
+        assert!(
+            (probe(0.4) + 2.0).abs() < 0.3,
+            "slope at 0.4: {}",
+            probe(0.4)
+        );
     }
 
     #[test]
@@ -794,8 +799,11 @@ mod tests {
         let mut ds = Dataset::new(2);
         let mut rng = seeded(9);
         for _ in 0..60 {
-            ds.push(&[rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)], 5.0)
-                .unwrap();
+            ds.push(
+                &[rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)],
+                5.0,
+            )
+            .unwrap();
         }
         let m = Mars::fit(&ds, &all_ids(&ds), MarsParams::default()).unwrap();
         assert!((m.predict(&[0.5, 0.5]) - 5.0).abs() < 1e-9);

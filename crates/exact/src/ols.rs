@@ -157,7 +157,11 @@ mod tests {
         assert!((m.slope[0] - 1.0).abs() < 1e-9, "left slope {}", m.slope[0]);
         let right: Vec<usize> = (10..20).collect();
         let m = fit_ols(&ds, &right).unwrap();
-        assert!((m.slope[0] + 1.0).abs() < 1e-9, "right slope {}", m.slope[0]);
+        assert!(
+            (m.slope[0] + 1.0).abs() < 1e-9,
+            "right slope {}",
+            m.slope[0]
+        );
     }
 
     #[test]
@@ -191,7 +195,8 @@ mod tests {
             ds.push(&[i as f64 * 1e-4], (i % 2) as f64 * 1e-6).unwrap();
         }
         for i in 0..50 {
-            ds.push(&[1.0 + i as f64 * 1e-4], 1.0 + (i % 2) as f64).unwrap();
+            ds.push(&[1.0 + i as f64 * 1e-4], 1.0 + (i % 2) as f64)
+                .unwrap();
         }
         let global = fit_ols_global(&ds).unwrap();
         let left_ids: Vec<usize> = (0..50).collect();

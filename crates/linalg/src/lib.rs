@@ -19,7 +19,7 @@
 //! ## Modules
 //!
 //! * [`vector`] — slice-level arithmetic and `L_p` distances.
-//! * [`matrix`] — row-major dense [`Matrix`](matrix::Matrix).
+//! * [`matrix`] — row-major dense [`Matrix`].
 //! * [`cholesky`] — SPD factorization, solves, inverse, log-determinant.
 //! * [`qr`] — Householder QR and least-squares solves for `m ≥ n`.
 //! * [`solve`] — high-level least-squares front door with ridge fallback.

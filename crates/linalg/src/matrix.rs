@@ -67,7 +67,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -202,8 +206,8 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            vector::axpy(y[r], self.row(r), &mut out);
+        for (r, &yr) in y.iter().enumerate() {
+            vector::axpy(yr, self.row(r), &mut out);
         }
         Ok(out)
     }
@@ -327,7 +331,10 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap()
+        );
     }
 
     #[test]

@@ -118,14 +118,13 @@ impl QrFactorization {
                 continue;
             }
             let mut s = y[j];
-            for i in (j + 1)..self.m {
-                s += self.qr[(i, j)] * y[i];
+            for (i, &yi) in y.iter().enumerate().take(self.m).skip(j + 1) {
+                s += self.qr[(i, j)] * yi;
             }
             s *= self.tau[j];
             y[j] -= s;
-            for i in (j + 1)..self.m {
-                let vij = self.qr[(i, j)];
-                y[i] -= s * vij;
+            for (i, yi) in y.iter_mut().enumerate().take(self.m).skip(j + 1) {
+                *yi -= s * self.qr[(i, j)];
             }
         }
         // Back substitution on R x = y[..n].
@@ -138,8 +137,8 @@ impl QrFactorization {
         let mut x = vec![0.0; self.n];
         for i in (0..self.n).rev() {
             let mut v = y[i];
-            for k in (i + 1)..self.n {
-                v -= self.qr[(i, k)] * x[k];
+            for (k, &xk) in x.iter().enumerate().take(self.n).skip(i + 1) {
+                v -= self.qr[(i, k)] * xk;
             }
             let rii = self.qr[(i, i)];
             if rii.abs() <= tol {

@@ -1,8 +1,8 @@
 //! Property-based tests for the linear-algebra substrate.
 
 use proptest::prelude::*;
-use regq_linalg::{lstsq, Cholesky, LstsqOptions, Matrix, QrFactorization};
 use regq_linalg::vector::{l1_dist, l2_dist, linf_dist, lp_dist};
+use regq_linalg::{lstsq, Cholesky, LstsqOptions, Matrix, QrFactorization};
 
 fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e3..1e3f64, len)

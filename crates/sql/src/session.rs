@@ -99,7 +99,13 @@ impl fmt::Display for QueryOutput {
                     }
                     write!(f, "u ≈ {:.4}", m.intercept)?;
                     for (j, b) in m.slope.iter().enumerate() {
-                        write!(f, " {} {:.4}·x{}", if *b >= 0.0 { "+" } else { "-" }, b.abs(), j + 1)?;
+                        write!(
+                            f,
+                            " {} {:.4}·x{}",
+                            if *b >= 0.0 { "+" } else { "-" },
+                            b.abs(),
+                            j + 1
+                        )?;
                     }
                     if models.len() > 1 {
                         write!(f, "   [weight {:.2}]", m.weight)?;
@@ -238,11 +244,7 @@ impl Session {
         }
     }
 
-    fn execute_exact(
-        &self,
-        entry: &TableEntry,
-        stmt: &Statement,
-    ) -> Result<QueryOutput, SqlError> {
+    fn execute_exact(&self, entry: &TableEntry, stmt: &Statement) -> Result<QueryOutput, SqlError> {
         let engine = &entry.engine;
         match stmt.aggregate {
             Aggregate::Avg => engine
@@ -275,11 +277,7 @@ impl Session {
         }
     }
 
-    fn execute_model(
-        &self,
-        entry: &TableEntry,
-        stmt: &Statement,
-    ) -> Result<QueryOutput, SqlError> {
+    fn execute_model(&self, entry: &TableEntry, stmt: &Statement) -> Result<QueryOutput, SqlError> {
         let q = Query::new(stmt.center.clone(), stmt.radius).map_err(SqlError::Model)?;
         match stmt.aggregate {
             Aggregate::Avg => {
@@ -327,10 +325,9 @@ mod tests {
     use rand::RngExt;
     use regq_core::moments::MomentPair;
     use regq_core::ModelConfig;
+    use regq_data::generators::GasSensorSurrogate;
     use regq_data::rng::seeded;
     use regq_data::{Dataset, SampleOptions};
-    use regq_data::generators::GasSensorSurrogate;
-    use regq_data::DataFunction as _;
     use regq_store::AccessPathKind;
     use std::sync::Arc;
 
@@ -550,8 +547,7 @@ mod tests {
         let field = GasSensorSurrogate::new(1, 3);
         let mut rng = seeded(11);
         let mk = || {
-            let ds =
-                Dataset::from_function(&field, 10, SampleOptions::default(), &mut seeded(1));
+            let ds = Dataset::from_function(&field, 10, SampleOptions::default(), &mut seeded(1));
             ExactEngine::new(Arc::new(ds), AccessPathKind::Scan)
         };
         let _ = &mut rng;

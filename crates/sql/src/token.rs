@@ -86,36 +86,60 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             '[' => {
-                tokens.push(Token { kind: TokenKind::LBracket, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    offset: i,
+                });
                 i += 1;
             }
             ']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    offset: i,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    offset: i,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::Le, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     return Err(LexError {
@@ -134,9 +158,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     // Allow scientific notation; stop '-'/'+' unless they
                     // follow an exponent marker.
                     let ch = bytes[i] as char;
-                    if (ch == '-' || ch == '+')
-                        && !matches!(bytes[i - 1] as char, 'e' | 'E')
-                    {
+                    if (ch == '-' || ch == '+') && !matches!(bytes[i - 1] as char, 'e' | 'E') {
                         break;
                     }
                     i += 1;

@@ -6,10 +6,12 @@ use regq_sql::{parse, Aggregate, ExecMode};
 
 fn ident_strategy() -> impl Strategy<Value = String> {
     "[a-zA-Z_][a-zA-Z0-9_]{0,12}".prop_filter("not a keyword", |s| {
-        !["SELECT", "FROM", "WHERE", "DIST", "USING", "EXACT", "MODEL", "AVG", "VAR",
-          "LINREG", "COUNT"]
-            .iter()
-            .any(|kw| s.eq_ignore_ascii_case(kw))
+        ![
+            "SELECT", "FROM", "WHERE", "DIST", "USING", "EXACT", "MODEL", "AVG", "VAR", "LINREG",
+            "COUNT",
+        ]
+        .iter()
+        .any(|kw| s.eq_ignore_ascii_case(kw))
     })
 }
 

@@ -142,13 +142,10 @@ impl SpatialIndex for GridIndex {
         let mut cur = lo_cell.clone();
         loop {
             let mut cell = 0usize;
-            for k in 0..d {
-                cell = cell * self.cells_per_dim + cur[k] as usize;
+            for &c in cur.iter() {
+                cell = cell * self.cells_per_dim + c as usize;
             }
-            let (s, e) = (
-                self.offsets[cell] as usize,
-                self.offsets[cell + 1] as usize,
-            );
+            let (s, e) = (self.offsets[cell] as usize, self.offsets[cell + 1] as usize);
             for &id in &self.ids[s..e] {
                 let id = id as usize;
                 if norm.within(center, self.data.x(id), radius) {

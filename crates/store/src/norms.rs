@@ -3,11 +3,12 @@
 use regq_linalg::vector;
 
 /// Which `L_p` norm a radius selection uses.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Norm {
     /// Manhattan distance (`p = 1`).
     L1,
     /// Euclidean distance (`p = 2`) — the paper's default.
+    #[default]
     L2,
     /// Chebyshev distance (`p = ∞`).
     LInf,
@@ -35,12 +36,6 @@ impl Norm {
             Norm::L2 => vector::sq_dist(a, b) <= radius * radius,
             _ => self.dist(a, b) <= radius,
         }
-    }
-}
-
-impl Default for Norm {
-    fn default() -> Self {
-        Norm::L2
     }
 }
 

@@ -206,7 +206,9 @@ mod tests {
         let rel = relation(AccessPathKind::Scan).with_norm(Norm::LInf);
         // Linf balls are supersets of L2 balls of the same radius.
         let linf = rel.select(&[0.5, 0.5], 0.2).len();
-        let l2 = relation(AccessPathKind::Scan).select(&[0.5, 0.5], 0.2).len();
+        let l2 = relation(AccessPathKind::Scan)
+            .select(&[0.5, 0.5], 0.2)
+            .len();
         assert!(linf >= l2);
     }
 

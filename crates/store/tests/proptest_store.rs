@@ -7,15 +7,13 @@ use regq_store::{GridIndex, KdTree, LinearScan, Norm, SpatialIndex};
 use std::sync::Arc;
 
 fn dataset_strategy(d: usize) -> impl Strategy<Value = Dataset> {
-    prop::collection::vec(prop::collection::vec(-1.0..1.0f64, d), 0..200).prop_map(
-        move |rows| {
-            let mut ds = Dataset::new(d);
-            for r in &rows {
-                ds.push(r, 0.0).unwrap();
-            }
-            ds
-        },
-    )
+    prop::collection::vec(prop::collection::vec(-1.0..1.0f64, d), 0..200).prop_map(move |rows| {
+        let mut ds = Dataset::new(d);
+        for r in &rows {
+            ds.push(r, 0.0).unwrap();
+        }
+        ds
+    })
 }
 
 fn norm_strategy() -> impl Strategy<Value = Norm> {

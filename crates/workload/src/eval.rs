@@ -391,8 +391,7 @@ mod tests {
         SETUP.get_or_init(|| {
             let f = GasSensorSurrogate::new(2, 42);
             let mut rng = seeded(1);
-            let ds =
-                Dataset::from_function(&f, 30_000, SampleOptions::default(), &mut rng);
+            let ds = Dataset::from_function(&f, 30_000, SampleOptions::default(), &mut rng);
             let engine = ExactEngine::new(Arc::new(ds), AccessPathKind::KdTree);
             let gen = QueryGenerator::for_function(&f, 0.1);
             let mut cfg = ModelConfig::with_vigilance(2, 0.15);
@@ -420,9 +419,9 @@ mod tests {
         let (engine, gen, model) = setup();
         let mut rng = seeded(3);
         let eval = evaluate_data_values(
-            &model,
-            &engine,
-            &gen,
+            model,
+            engine,
+            gen,
             150,
             20,
             Some(MarsParams {
@@ -451,9 +450,9 @@ mod tests {
         let (engine, gen, model) = setup();
         let mut rng = seeded(4);
         let eval = evaluate_q2(
-            &model,
-            &engine,
-            &gen,
+            model,
+            engine,
+            gen,
             120,
             Some(MarsParams {
                 max_terms: 9,
@@ -491,7 +490,7 @@ mod tests {
         let queries = gen.generate_many(30, &mut rng);
         let llm = time_q2_llm(model, &queries);
         let plr = time_q2_plr_exact(
-            &engine,
+            engine,
             &queries,
             MarsParams {
                 max_terms: 9,

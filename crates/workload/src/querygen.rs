@@ -47,8 +47,7 @@ impl QueryGenerator {
     pub fn for_function<F: DataFunction + ?Sized>(f: &F, frac: f64) -> Self {
         assert!(frac > 0.0, "radius fraction must be positive");
         let bounds = f.domain();
-        let avg_range =
-            bounds.iter().map(|(lo, hi)| hi - lo).sum::<f64>() / bounds.len() as f64;
+        let avg_range = bounds.iter().map(|(lo, hi)| hi - lo).sum::<f64>() / bounds.len() as f64;
         let mean = frac * avg_range;
         QueryGenerator::new(bounds, mean, mean, avg_range)
     }

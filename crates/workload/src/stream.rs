@@ -121,16 +121,12 @@ mod tests {
         let (engine, gen) = setup(20_000);
         let mut model = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
         let mut rng = seeded(2);
-        let report =
-            train_from_engine(&mut model, &engine, &gen, 50_000, &mut rng).unwrap();
+        let report = train_from_engine(&mut model, &engine, &gen, 50_000, &mut rng).unwrap();
         assert!(report.converged, "no convergence in 50k queries");
         assert!(report.consumed > 100);
         assert_eq!(report.gamma_trace.len(), report.consumed);
         assert!(report.prototypes >= 1);
-        assert_eq!(
-            report.issued,
-            report.consumed + report.skipped_empty
-        );
+        assert_eq!(report.issued, report.consumed + report.skipped_empty);
     }
 
     #[test]
@@ -138,8 +134,7 @@ mod tests {
         let (engine, gen) = setup(50_000);
         let mut model = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
         let mut rng = seeded(3);
-        let report =
-            train_from_engine(&mut model, &engine, &gen, 3_000, &mut rng).unwrap();
+        let report = train_from_engine(&mut model, &engine, &gen, 3_000, &mut rng).unwrap();
         // The paper reports 99.62 %; on an in-memory engine with a kd-tree
         // the margin is narrower but execution must still dominate.
         assert!(
@@ -158,8 +153,7 @@ mod tests {
         let engine = ExactEngine::new(Arc::new(ds), AccessPathKind::Scan);
         let gen = QueryGenerator::new(vec![(0.0, 1.0); 2], 0.01, 0.0, 1.0);
         let mut model = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
-        let report =
-            train_from_engine(&mut model, &engine, &gen, 300, &mut rng).unwrap();
+        let report = train_from_engine(&mut model, &engine, &gen, 300, &mut rng).unwrap();
         assert!(report.skipped_empty > 0);
         assert_eq!(report.issued, 300.min(report.issued));
         assert_eq!(report.consumed + report.skipped_empty, report.issued);
@@ -172,8 +166,7 @@ mod tests {
         cfg.gamma = 1e-15; // unreachable: loop must stop at the cap
         let mut model = LlmModel::new(cfg).unwrap();
         let mut rng = seeded(4);
-        let report =
-            train_from_engine(&mut model, &engine, &gen, 500, &mut rng).unwrap();
+        let report = train_from_engine(&mut model, &engine, &gen, 500, &mut rng).unwrap();
         assert_eq!(report.issued, 500);
         assert!(!report.converged);
     }

@@ -5,8 +5,9 @@
 //! A frozen [`LlmModel`] is immutable and `Sync`, so any number of serving
 //! threads can answer queries from one shared instance with no locking;
 //! the exact engine can also serve concurrently (its access paths are
-//! read-only), but each query costs a data pass. [`measure_throughput`]
-//! drives both with the same workload and thread counts.
+//! read-only), but each query costs a data pass. [`model_q1_throughput`]
+//! and [`exact_q1_throughput`] drive both with the same workload and
+//! thread counts.
 
 use crate::querygen::QueryGenerator;
 use regq_core::{LlmModel, Query};

@@ -30,8 +30,7 @@ fn main() {
     let mut cfg = ModelConfig::with_vigilance(1, 0.15);
     cfg.gamma = 1e-3;
     let mut model = LlmModel::new(cfg).expect("config");
-    let report =
-        train_from_engine(&mut model, &engine, &gen, 120_000, &mut rng).expect("training");
+    let report = train_from_engine(&mut model, &engine, &gen, 120_000, &mut rng).expect("training");
     println!(
         "# trained on {} pairs; K = {} local linear mappings",
         report.consumed, report.prototypes
@@ -52,7 +51,11 @@ fn main() {
         .expect("PLR");
     // The LLM list S (the green local lines of Fig. 5).
     let s = model.predict_q2(&whole).expect("prediction");
-    println!("# |S| = {} returned local models; PLR kept {} basis functions", s.len(), plr.n_basis());
+    println!(
+        "# |S| = {} returned local models; PLR kept {} basis functions",
+        s.len(),
+        plr.n_basis()
+    );
 
     // Emit the figure's series: truth, REG, PLR, LLM (piecewise via the
     // nearest returned local model), plus the Eq.-14 fused prediction.
@@ -82,12 +85,25 @@ fn main() {
     // Goodness-of-fit summary over the subspace (the figure's message:
     // REG is a poor fit, LLM ≈ PLR are good fits).
     let ids = engine.select(&whole.center, whole.radius);
-    let actual: Vec<f64> = ids.iter().map(|&i| engine.relation().dataset().y(i)).collect();
+    let actual: Vec<f64> = ids
+        .iter()
+        .map(|&i| engine.relation().dataset().y(i))
+        .collect();
     let fvu_of = |pred: Vec<f64>| -> f64 {
-        GoodnessOfFit::evaluate(&actual, &pred).expect("non-empty").fvu
+        GoodnessOfFit::evaluate(&actual, &pred)
+            .expect("non-empty")
+            .fvu
     };
-    let reg_fvu = fvu_of(ids.iter().map(|&i| reg.predict(engine.relation().dataset().x(i))).collect());
-    let plr_fvu = fvu_of(ids.iter().map(|&i| plr.predict(engine.relation().dataset().x(i))).collect());
+    let reg_fvu = fvu_of(
+        ids.iter()
+            .map(|&i| reg.predict(engine.relation().dataset().x(i)))
+            .collect(),
+    );
+    let plr_fvu = fvu_of(
+        ids.iter()
+            .map(|&i| plr.predict(engine.relation().dataset().x(i)))
+            .collect(),
+    );
     let llm_fvu = fvu_of(
         ids.iter()
             .map(|&i| {
@@ -97,5 +113,7 @@ fn main() {
             })
             .collect(),
     );
-    println!("# FVU over D(0.5, 0.5):  REG = {reg_fvu:.3}   PLR = {plr_fvu:.3}   LLM = {llm_fvu:.3}");
+    println!(
+        "# FVU over D(0.5, 0.5):  REG = {reg_fvu:.3}   PLR = {plr_fvu:.3}   LLM = {llm_fvu:.3}"
+    );
 }

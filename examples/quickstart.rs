@@ -29,8 +29,7 @@ fn main() {
     let gen = QueryGenerator::for_function(&field, 0.1);
     let mut model = LlmModel::new(ModelConfig::paper_defaults(2)).expect("valid config");
     let t0 = Instant::now();
-    let report =
-        train_from_engine(&mut model, &engine, &gen, 100_000, &mut rng).expect("training");
+    let report = train_from_engine(&mut model, &engine, &gen, 100_000, &mut rng).expect("training");
     println!(
         "trained: {} pairs consumed, K = {} prototypes, converged = {}, {:.2?} total",
         report.consumed,
@@ -66,7 +65,10 @@ fn main() {
     // 4. Q2: the list S of local linear models over the subspace.
     // ------------------------------------------------------------------
     let s = model.predict_q2(&q).expect("prediction");
-    println!("\nQ2 over the same subspace: |S| = {} local linear models", s.len());
+    println!(
+        "\nQ2 over the same subspace: |S| = {} local linear models",
+        s.len()
+    );
     for (i, lm) in s.iter().enumerate() {
         println!(
             "  l{}: u ≈ {:.3} + {:.3}·x1 + {:.3}·x2   (weight {:.2}, region around [{:.2}, {:.2}])",
@@ -104,5 +106,9 @@ fn main() {
     regq::core::persist::save_model(&model, &path).expect("save");
     let restored = regq::core::persist::load_model(&path).expect("load");
     assert_eq!(restored.k(), model.k());
-    println!("\nmodel saved to {} and reloaded (K = {})", path.display(), restored.k());
+    println!(
+        "\nmodel saved to {} and reloaded (K = {})",
+        path.display(),
+        restored.k()
+    );
 }

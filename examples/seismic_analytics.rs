@@ -19,8 +19,8 @@
 //! cargo run --release --example seismic_analytics
 //! ```
 
-use regq::prelude::*;
 use regq::data::function::FnFunction;
+use regq::prelude::*;
 use std::sync::Arc;
 
 fn main() {
@@ -56,8 +56,7 @@ fn main() {
     let mut cfg = ModelConfig::with_vigilance(2, 0.12);
     cfg.gamma = 1e-3;
     let mut model = LlmModel::new(cfg).expect("valid config");
-    let report =
-        train_from_engine(&mut model, &engine, &gen, 120_000, &mut rng).expect("training");
+    let report = train_from_engine(&mut model, &engine, &gen, 120_000, &mut rng).expect("training");
     println!(
         "survey model trained: {} queries, K = {} regional regimes, converged = {}",
         report.consumed, report.prototypes, report.converged

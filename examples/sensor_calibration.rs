@@ -39,8 +39,7 @@ fn main() {
     let mut cfg = ModelConfig::with_vigilance(d, 0.18);
     cfg.gamma = 2e-3;
     let mut model = LlmModel::new(cfg).expect("config");
-    let report =
-        train_from_engine(&mut model, &engine, &gen, 120_000, &mut rng).expect("training");
+    let report = train_from_engine(&mut model, &engine, &gen, 120_000, &mut rng).expect("training");
     println!(
         "trained: |T| = {} pairs, K = {}, converged = {}",
         report.consumed, report.prototypes, report.converged
@@ -48,7 +47,10 @@ fn main() {
 
     // --- A1 accuracy on unseen queries ---------------------------------
     let q1 = evaluate_q1(&model, &engine, &gen, 2_000, &mut rng);
-    println!("\nA1 (mean-value) over {} unseen queries: RMSE = {:.4}", q1.n, q1.rmse);
+    println!(
+        "\nA1 (mean-value) over {} unseen queries: RMSE = {:.4}",
+        q1.n, q1.rmse
+    );
 
     // --- A2 data-value accuracy vs global REG --------------------------
     let a2 = evaluate_data_values(&model, &engine, &gen, 300, 20, None, &mut rng);

@@ -45,7 +45,10 @@ fn main() {
             }
         }
     }
-    println!("-- trained on {consumed} executed queries; K = {}", model.k());
+    println!(
+        "-- trained on {consumed} executed queries; K = {}",
+        model.k()
+    );
 
     // Compact the codebook before serving: prototypes spawned near the end
     // of training carry zero-initialized coefficients and would surface as

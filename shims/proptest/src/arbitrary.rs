@@ -1,0 +1,47 @@
+//! `any::<T>()` — canonical strategies for plain types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::{TestCaseError, TestRng};
+use rand::RngExt;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.random::<bool>()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.random::<u64>()
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite `f64`s over a wide range (no NaN/inf: the workspace's
+    /// properties quantify over finite inputs).
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.random_range(-1e12..1e12)
+    }
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, TestCaseError> {
+        Ok(T::arbitrary(rng))
+    }
+}

@@ -1,0 +1,136 @@
+//! Case execution: configuration, the RNG, rejection accounting and
+//! failure reporting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies (the workspace's deterministic `StdRng`).
+pub type TestRng = StdRng;
+
+/// Result of one test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert!` (or strategy error) failed: the property is false.
+    Fail(String),
+    /// The case was discarded (`prop_assume!` / filter exhaustion); it
+    /// does not count toward the executed-case total.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration; mirrors the fields of proptest's config that
+/// this workspace sets.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Maximum rejected cases (assume/filter) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases (the only constructor the
+    /// workspace uses).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Drives one property over `config.cases` generated cases.
+pub struct TestRunner {
+    name: &'static str,
+    config: ProptestConfig,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Build a runner for the named property.
+    ///
+    /// The seed is derived from the test name (FNV-1a) so every property
+    /// gets a distinct but reproducible stream; `REGQ_PROPTEST_SEED`
+    /// overrides the base for exploration and failure reproduction.
+    pub fn new(name: &'static str, config: ProptestConfig) -> Self {
+        let base_seed = std::env::var("REGQ_PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or_else(|| fnv1a(name.as_bytes()));
+        TestRunner {
+            name,
+            config,
+            base_seed,
+        }
+    }
+
+    /// Run the property, panicking (as `#[test]` requires) on failure.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut stream = 0u64;
+        while passed < self.config.cases {
+            let seed = self.base_seed.wrapping_add(stream);
+            stream += 1;
+            let mut rng = TestRng::seed_from_u64(seed);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest '{}': too many rejected cases ({}) — \
+                             weaken the assumptions or widen the filters",
+                            self.name, rejected
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{}': case {} failed (reproduce with \
+                         REGQ_PROPTEST_SEED={}):\n{}",
+                        self.name,
+                        passed + 1,
+                        self.base_seed,
+                        msg
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

@@ -1,0 +1,12 @@
+//! Offline shim for the [`serde`](https://serde.rs) facade.
+//!
+//! Re-exports the no-op [`Serialize`]/[`Deserialize`] derive macros from
+//! the local `serde_derive` shim so `#[derive(Serialize, Deserialize)]`
+//! annotations across the workspace compile without network access. No
+//! trait machinery is provided: nothing in this workspace serializes
+//! through serde (model persistence is the hand-rolled text format in
+//! `regq_core::persist`). See `shims/README.md`.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Offline shim for `serde_derive`: the derive macros accept any input
+//! and expand to nothing.
+//!
+//! The workspace's own persistence (`regq_core::persist`) is a hand-rolled
+//! versioned text format; the serde derives on model types exist so *host*
+//! applications can embed them. In this offline build environment no host
+//! ever serializes through serde, so empty expansions keep the annotated
+//! sources compiling without pulling in `syn`/`quote` (unavailable
+//! offline). See `shims/README.md` for the full shim policy.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

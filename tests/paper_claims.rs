@@ -42,8 +42,7 @@ fn train(a: f64, gamma: f64, seed: u64) -> (LlmModel, StreamReport) {
     cfg.gamma = gamma;
     let mut model = LlmModel::new(cfg).unwrap();
     let mut rng = seeded(seed);
-    let report =
-        train_from_engine(&mut model, &f.engine, &f.gen, 100_000, &mut rng).unwrap();
+    let report = train_from_engine(&mut model, &f.engine, &f.gen, 100_000, &mut rng).unwrap();
     (model, report)
 }
 
@@ -174,8 +173,7 @@ fn fig12_scalability_shape() {
     let mut llm_means = Vec::new();
     for n in [5_000usize, 50_000, 200_000] {
         let mut rng2 = seeded(27);
-        let data =
-            Dataset::from_function(field, n, SampleOptions::default(), &mut rng2);
+        let data = Dataset::from_function(field, n, SampleOptions::default(), &mut rng2);
         let engine = ExactEngine::new(Arc::new(data), AccessPathKind::Scan);
         exact_means.push(time_q1_exact(&engine, &queries).mean().as_secs_f64());
         llm_means.push(time_q1_llm(&model, &queries).mean().as_secs_f64());
@@ -216,8 +214,7 @@ fn fig13_radius_tradeoff_direction() {
         cfg.gamma = 1e-2;
         let mut model = LlmModel::new(cfg).unwrap();
         let mut rng = seeded(seed);
-        let report =
-            train_from_engine(&mut model, &f.engine, &gen, 100_000, &mut rng).unwrap();
+        let report = train_from_engine(&mut model, &f.engine, &gen, 100_000, &mut rng).unwrap();
         (model, report)
     };
 

@@ -107,7 +107,8 @@ fn sql_count_matches_engine_row_semantics() {
 fn sql_errors_are_structured() {
     let f = fixture();
     assert!(matches!(
-        f.session.execute("SELECT AVG(u) FROM nope WHERE DIST(x, [0.5, 0.5]) <= 0.1"),
+        f.session
+            .execute("SELECT AVG(u) FROM nope WHERE DIST(x, [0.5, 0.5]) <= 0.1"),
         Err(SqlError::UnknownTable(_))
     ));
     assert!(matches!(
