@@ -1,0 +1,275 @@
+//! Machine-readable performance trajectory for the aggregation-pushdown
+//! work: emits `BENCH_pushdown.json` with
+//!
+//! 1. per-access-path exact Q1 latency — pushed-down fold vs the
+//!    materialize-then-recompute reference;
+//! 2. per-access-path fused Q1+OLS latency — one traversal answering both
+//!    ground-truth queries vs the two-traversal materialized pipeline
+//!    (selection + mean pass, selection + design matrix + `lstsq`);
+//! 3. the OLS fit kernel on a fixed selection — Gram accumulation vs
+//!    design-matrix materialization;
+//! 4. end-to-end Fig. 2 training wall-clock at 1/4/8 worker threads with
+//!    the `StreamReport` query-side share and a determinism fingerprint.
+//!
+//! Fixture: 40 000-row Rosenbrock (paper R2, d = 2), queries
+//! `θ ~ N(1, 0.5²)` — the paper's efficiency-experiment shape at in-memory
+//! scale.
+//!
+//! Run: `cargo run --release -p regq_bench --bin bench_report`
+//! (writes `BENCH_pushdown.json` in the working directory; `--smoke` runs
+//! a CI-sized fixture and prints the JSON to stdout without writing).
+
+use regq_bench as bench;
+use regq_bench::Family;
+use regq_core::{LlmModel, Query};
+use regq_data::rng::seeded;
+use regq_exact::{fit_ols, fit_ols_design, q1_mean_materialized, ExactEngine};
+use regq_store::AccessPathKind;
+use regq_workload::{train_from_engine_parallel, ParallelTrainOptions, QueryGenerator};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Per-query latency in microseconds of `f` over the workload: one
+/// warm-up pass, then the *minimum* mean across `passes` timed passes —
+/// the noise-robust estimator for a box shared with other work.
+fn mean_us(queries: &[Query], passes: usize, mut f: impl FnMut(&Query)) -> f64 {
+    for q in queries {
+        f(q);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..passes {
+        let t0 = Instant::now();
+        for q in queries {
+            f(q);
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6 / queries.len() as f64);
+    }
+    best
+}
+
+fn fmt_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+struct PathRow {
+    path: AccessPathKind,
+    q1_materialized_us: f64,
+    q1_fused_us: f64,
+    pair_materialized_us: f64,
+    pair_fused_us: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rows = if smoke { 4_000 } else { 40_000 };
+    let n_queries = if smoke { 30 } else { 200 };
+    let passes = if smoke { 3 } else { 7 };
+    let d = 2;
+
+    eprintln!("# bench_report: {rows}-row Rosenbrock (R2, d = {d}), {n_queries} queries");
+    let data = bench::r2_dataset(d, rows, 7);
+    let gen: QueryGenerator = bench::generator(Family::R2, d);
+    let mut rng = seeded(2024);
+    let queries = gen.generate_many(n_queries, &mut rng);
+
+    // ---- Sections 1 & 2: selection + aggregate latency per access path.
+    let mut path_rows = Vec::new();
+    for path in [
+        AccessPathKind::Scan,
+        AccessPathKind::KdTree,
+        AccessPathKind::Grid,
+    ] {
+        let engine = ExactEngine::new(data.clone(), path);
+        let rel = engine.relation();
+
+        // Q1 alone: materialized (id buffer + second pass) vs pushed-down.
+        let q1_materialized_us = mean_us(&queries, passes, |q| {
+            black_box(q1_mean_materialized(rel, &q.center, q.radius));
+        });
+        let q1_fused_us = mean_us(&queries, passes, |q| {
+            black_box(engine.q1(&q.center, q.radius));
+        });
+
+        // Ground-truth pair (Q1 mean + per-query OLS): the materialized
+        // pipeline runs two traversals and builds a design matrix; the
+        // fused operator folds Gram + moments in one traversal.
+        let pair_materialized_us = mean_us(&queries, passes, |q| {
+            black_box(q1_mean_materialized(rel, &q.center, q.radius));
+            let ids = rel.select(&q.center, q.radius);
+            if !ids.is_empty() {
+                black_box(fit_ols_design(rel.dataset(), &ids).ok());
+            }
+        });
+        let pair_fused_us = mean_us(&queries, passes, |q| {
+            black_box(engine.q1_reg_fused(&q.center, q.radius).ok());
+        });
+
+        eprintln!(
+            "  {path}: q1 {q1_materialized_us:.1} -> {q1_fused_us:.1} us, \
+             q1+ols {pair_materialized_us:.1} -> {pair_fused_us:.1} us \
+             ({:.2}x)",
+            pair_materialized_us / pair_fused_us
+        );
+        path_rows.push(PathRow {
+            path,
+            q1_materialized_us,
+            q1_fused_us,
+            pair_materialized_us,
+            pair_fused_us,
+        });
+    }
+
+    // ---- Section 3: the OLS fit kernel on one fixed selection.
+    let engine = ExactEngine::new(data.clone(), AccessPathKind::KdTree);
+    let ids = engine.select(&[0.0, 0.0], 3.0);
+    let reps = if smoke { 50 } else { 300 };
+    let ds = engine.relation().dataset();
+    let timed = |f: &dyn Fn()| -> f64 {
+        f(); // warm-up
+        let mut best = f64::INFINITY;
+        for _ in 0..passes {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            best = best.min(t0.elapsed().as_secs_f64() * 1e6 / reps as f64);
+        }
+        best
+    };
+    let fit_design_us = timed(&|| {
+        black_box(fit_ols_design(ds, &ids).ok());
+    });
+    let fit_gram_us = timed(&|| {
+        black_box(fit_ols(ds, &ids).ok());
+    });
+    eprintln!(
+        "  ols fit over {} rows: design {fit_design_us:.1} us -> gram {fit_gram_us:.1} us",
+        ids.len()
+    );
+
+    // ---- Section 4: training wall-clock scaling with worker threads.
+    // Scan access path: the DBMS-style baseline where ground-truth
+    // execution dominates hardest (the paper's 99.62 % regime).
+    let train_engine = ExactEngine::new(data.clone(), AccessPathKind::Scan);
+    let budget = if smoke { 200 } else { 2_000 };
+    let mut training = Vec::new();
+    let mut fingerprints: Vec<(usize, String)> = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let mut model =
+            LlmModel::new(bench::model_config(Family::R2, d, 0.25)).expect("valid config");
+        let mut rng = seeded(31);
+        let opts = ParallelTrainOptions {
+            threads,
+            batch_size: 256,
+        };
+        let t0 = Instant::now();
+        let report =
+            train_from_engine_parallel(&mut model, &train_engine, &gen, budget, opts, &mut rng)
+                .expect("training");
+        let wall_s = t0.elapsed().as_secs_f64();
+        // Order-exact fingerprint of the learned parameters: identical
+        // across thread counts iff the models are identical.
+        let mut fp = String::new();
+        for p in model.prototypes() {
+            for c in &p.center {
+                let _ = write!(fp, "{c:.17e},");
+            }
+            for b in &p.b_x {
+                let _ = write!(fp, "{b:.17e},");
+            }
+            let _ = write!(fp, "{:.17e},{:.17e},{:.17e};", p.radius, p.y, p.b_theta);
+        }
+        fingerprints.push((threads, fp));
+        eprintln!(
+            "  training x{threads}: {wall_s:.2} s wall, query share {:.4}, K = {}",
+            report.query_time_fraction(),
+            model.k()
+        );
+        training.push((
+            threads,
+            wall_s,
+            report.query_time_fraction(),
+            report.consumed,
+            model.k(),
+        ));
+    }
+    let deterministic = fingerprints.windows(2).all(|w| w[0].1 == w[1].1);
+    assert!(
+        deterministic,
+        "parallel training diverged across thread counts"
+    );
+
+    // ---- Emit JSON (hand-rolled: the serde shim's derives are no-ops).
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"fixture\": {{\"family\": \"R2 Rosenbrock\", \"rows\": {rows}, \"dim\": {d}, \
+         \"queries\": {n_queries}, \"theta\": \"N(1, 0.5^2)\", \"cores\": {cores}}},"
+    );
+    json.push_str("  \"q1_per_path_us\": [\n");
+    for (i, r) in path_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"path\": \"{}\", \"materialized\": {}, \"fused\": {}, \"speedup\": {}}}{}",
+            r.path,
+            fmt_f(r.q1_materialized_us),
+            fmt_f(r.q1_fused_us),
+            fmt_f(r.q1_materialized_us / r.q1_fused_us),
+            if i + 1 < path_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"fused_q1_ols_per_path_us\": [\n");
+    for (i, r) in path_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"path\": \"{}\", \"materialized\": {}, \"fused\": {}, \"speedup\": {}}}{}",
+            r.path,
+            fmt_f(r.pair_materialized_us),
+            fmt_f(r.pair_fused_us),
+            fmt_f(r.pair_materialized_us / r.pair_fused_us),
+            if i + 1 < path_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"ols_fit_us\": {{\"rows\": {}, \"design\": {}, \"gram\": {}, \"speedup\": {}}},",
+        ids.len(),
+        fmt_f(fit_design_us),
+        fmt_f(fit_gram_us),
+        fmt_f(fit_design_us / fit_gram_us)
+    );
+    let _ = writeln!(json, "  \"training\": {{");
+    let _ = writeln!(
+        json,
+        "    \"engine\": \"scan\", \"budget\": {budget}, \"deterministic\": {deterministic},"
+    );
+    json.push_str("    \"by_threads\": [\n");
+    for (i, (threads, wall_s, share, consumed, k)) in training.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"threads\": {threads}, \"wall_s\": {}, \"query_time_fraction\": {}, \
+             \"consumed\": {consumed}, \"prototypes\": {k}}}{}",
+            fmt_f(*wall_s),
+            fmt_f(*share),
+            if i + 1 < training.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n  }\n}\n");
+
+    if smoke {
+        println!("{json}");
+    } else {
+        std::fs::write("BENCH_pushdown.json", &json).expect("write BENCH_pushdown.json");
+        println!("{json}");
+        eprintln!("# wrote BENCH_pushdown.json");
+    }
+}

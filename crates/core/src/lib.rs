@@ -69,7 +69,7 @@ pub use config::ModelConfig;
 pub use error::CoreError;
 pub use model::{LlmModel, StepOutcome, TrainReport};
 pub use moments::MomentsModel;
-pub use overlap::{overlap_degree, overlaps};
+pub use overlap::{overlap_degree, overlap_degree_parts, overlaps};
 pub use predict::LocalModel;
 pub use prototype::Prototype;
 pub use query::Query;

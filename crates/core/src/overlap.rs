@@ -24,12 +24,26 @@ pub fn overlaps(a: &Query, b: &Query) -> bool {
 /// Degree of overlap `δ(q, q') ∈ [0, 1]` (Eq. 9).
 #[inline]
 pub fn overlap_degree(a: &Query, b: &Query) -> f64 {
-    let center_dist = vector::l2_dist(&a.center, &b.center);
-    let radius_sum = a.radius + b.radius;
+    overlap_degree_parts(&a.center, a.radius, &b.center, b.radius)
+}
+
+/// [`overlap_degree`] over raw `(center, radius)` parts — the
+/// allocation-free kernel of the serving path. Prototypes compare against
+/// queries through this directly, without materializing a [`Query`] view
+/// (no center clone per prototype per prediction).
+#[inline]
+pub fn overlap_degree_parts(
+    center_a: &[f64],
+    radius_a: f64,
+    center_b: &[f64],
+    radius_b: f64,
+) -> f64 {
+    let center_dist = vector::l2_dist(center_a, center_b);
+    let radius_sum = radius_a + radius_b;
     if center_dist > radius_sum {
         return 0.0;
     }
-    let spread = center_dist.max((a.radius - b.radius).abs());
+    let spread = center_dist.max((radius_a - radius_b).abs());
     1.0 - spread / radius_sum
 }
 
@@ -81,6 +95,16 @@ mod tests {
         let b = q(&[0.0, 0.0], 0.1);
         let d = overlap_degree(&a, &b);
         assert!((d - (1.0 - 0.8)).abs() < 1e-12, "δ = {d}");
+    }
+
+    #[test]
+    fn parts_kernel_agrees_with_query_view() {
+        let a = q(&[0.1, 0.9], 0.25);
+        let b = q(&[0.4, 0.7], 0.4);
+        assert_eq!(
+            overlap_degree(&a, &b),
+            overlap_degree_parts(&a.center, a.radius, &b.center, b.radius)
+        );
     }
 
     #[test]

@@ -7,9 +7,19 @@
 
 use crate::error::CoreError;
 use crate::model::LlmModel;
-use crate::overlap::overlap_degree;
+use crate::overlap::overlap_degree_parts;
 use crate::query::Query;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Reusable overlap-set buffer for the serving path. Prediction is
+    /// `O(dK)` compute; with this scratch (and the slice-level overlap
+    /// kernel) it is also allocation-free per query, so a serving thread
+    /// never touches the allocator in steady state. Thread-local because a
+    /// frozen model is served from `&self` by many threads at once.
+    static OVERLAP_SCRATCH: RefCell<Vec<(usize, f64)>> = const { RefCell::new(Vec::new()) };
+}
 
 /// One local linear model returned by a Q2 query (an element of the
 /// paper's list `S`): `u ≈ intercept + slope · x` over the data subspace
@@ -58,16 +68,45 @@ impl LlmModel {
     }
 
     /// The overlap neighborhood `W(q)` (Eq. 10): indices and degrees of all
-    /// prototypes with `δ(q, w_k) > 0`.
-    pub fn overlap_set(&self, q: &Query) -> Vec<(usize, f64)> {
-        let mut out = Vec::new();
+    /// prototypes with `δ(q, w_k) > 0`, appended to `out` (cleared first).
+    /// Allocation-free once `out` has warmed up.
+    pub fn overlap_set_into(&self, q: &Query, out: &mut Vec<(usize, f64)>) {
+        out.clear();
         for (k, p) in self.prototypes().iter().enumerate() {
-            let d = overlap_degree(q, &p.as_query());
+            let d = overlap_degree_parts(&q.center, q.radius, &p.center, p.radius);
             if d > 0.0 {
                 out.push((k, d));
             }
         }
+    }
+
+    /// The overlap neighborhood `W(q)` as a fresh vector (convenience over
+    /// [`LlmModel::overlap_set_into`]).
+    pub fn overlap_set(&self, q: &Query) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        self.overlap_set_into(q, &mut out);
         out
+    }
+
+    /// The shared driver of all three prediction algorithms: resolve
+    /// `W(q)` in the thread-local scratch and hand each `(k, δ̃(q, w_k))`
+    /// pair to `f` with weights normalized to 1; when `W(q)` is empty,
+    /// hand the closest prototype with weight 1 (the extrapolation
+    /// fallback). Must be called on a checked, non-empty model.
+    fn for_each_overlap_weight(&self, q: &Query, mut f: impl FnMut(usize, f64)) {
+        OVERLAP_SCRATCH.with(|scratch| {
+            let mut w = scratch.borrow_mut();
+            self.overlap_set_into(q, &mut w);
+            if w.is_empty() {
+                let (j, _) = self.winner(q).expect("non-empty");
+                f(j, 1.0);
+                return;
+            }
+            let total: f64 = w.iter().map(|(_, d)| d).sum();
+            for &(k, d) in w.iter() {
+                f(k, d / total);
+            }
+        })
     }
 
     /// **Algorithm 2 — Q1 query processing.** Predict the mean value `ŷ`
@@ -81,16 +120,10 @@ impl LlmModel {
     /// [`CoreError::DimensionMismatch`] on a wrong-dimension query.
     pub fn predict_q1(&self, q: &Query) -> Result<f64, CoreError> {
         self.check_query(q)?;
-        let w = self.overlap_set(q);
-        if w.is_empty() {
-            let (j, _) = self.winner(q).expect("non-empty");
-            return Ok(self.prototypes()[j].eval(&q.center, q.radius));
-        }
-        let total: f64 = w.iter().map(|(_, d)| d).sum();
         let mut yhat = 0.0;
-        for (k, d) in &w {
-            yhat += (d / total) * self.prototypes()[*k].eval(&q.center, q.radius);
-        }
+        self.for_each_overlap_weight(q, |k, w| {
+            yhat += w * self.prototypes()[k].eval(&q.center, q.radius);
+        });
         Ok(yhat)
     }
 
@@ -105,7 +138,6 @@ impl LlmModel {
     /// Same as [`LlmModel::predict_q1`].
     pub fn predict_q2(&self, q: &Query) -> Result<Vec<LocalModel>, CoreError> {
         self.check_query(q)?;
-        let w = self.overlap_set(q);
         let make = |k: usize, weight: f64| -> LocalModel {
             let p = &self.prototypes()[k];
             let (intercept, slope) = p.local_line();
@@ -118,12 +150,9 @@ impl LlmModel {
                 radius: p.radius,
             }
         };
-        if w.is_empty() {
-            let (j, _) = self.winner(q).expect("non-empty");
-            return Ok(vec![make(j, 1.0)]);
-        }
-        let total: f64 = w.iter().map(|(_, d)| d).sum();
-        Ok(w.iter().map(|&(k, d)| make(k, d / total)).collect())
+        let mut s = Vec::new();
+        self.for_each_overlap_weight(q, |k, w| s.push(make(k, w)));
+        Ok(s)
     }
 
     /// **Eq. 14 — data-value prediction.** Predict `û ≈ g(x)` for a point
@@ -141,16 +170,10 @@ impl LlmModel {
                 actual: x.len(),
             });
         }
-        let w = self.overlap_set(q);
-        if w.is_empty() {
-            let (j, _) = self.winner(q).expect("non-empty");
-            return Ok(self.prototypes()[j].eval_at_own_radius(x));
-        }
-        let total: f64 = w.iter().map(|(_, d)| d).sum();
         let mut uhat = 0.0;
-        for (k, d) in &w {
-            uhat += (d / total) * self.prototypes()[*k].eval_at_own_radius(x);
-        }
+        self.for_each_overlap_weight(q, |k, w| {
+            uhat += w * self.prototypes()[k].eval_at_own_radius(x);
+        });
         Ok(uhat)
     }
 
@@ -327,6 +350,19 @@ mod tests {
                 assert!(lm.predict(&query.center).is_finite());
             }
         }
+    }
+
+    #[test]
+    fn overlap_set_into_reuses_buffer_and_matches_allocating_api() {
+        let m = trained_linear_model(47);
+        let mut buf = vec![(99usize, 0.0)];
+        let query = q(&[0.5, 0.5], 0.2);
+        m.overlap_set_into(&query, &mut buf);
+        assert_eq!(buf, m.overlap_set(&query));
+        // A second query through the same buffer clears the first result.
+        let far = q(&[5.0, 5.0], 0.01);
+        m.overlap_set_into(&far, &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! [`ExactEngine::q2_plr_timed`] against the model's prediction latency.
 
 use crate::mars::{Mars, MarsModel, MarsParams};
-use crate::ols::{fit_ols, fit_ols_global, LinearModel};
+use crate::ols::{fit_ols_ball, fit_ols_global, BallFit, LinearModel};
 use crate::q1::{q1_mean, q1_moments, Moments};
 use regq_data::Dataset;
 use regq_linalg::LinalgError;
@@ -71,15 +71,17 @@ impl ExactEngine {
         q1_moments(&self.rel, center, radius)
     }
 
-    /// Exact per-query REG: OLS over the selection.
+    /// Exact per-query REG: OLS over the selection, with the Gram state
+    /// pushed into the index traversal (see [`fit_ols_ball`]).
     pub fn q2_reg(&self, center: &[f64], radius: f64) -> Result<LinearModel, LinalgError> {
-        self.rel.with_selection(center, radius, |ds, ids| {
-            if ids.is_empty() {
-                Err(LinalgError::Empty)
-            } else {
-                fit_ols(ds, ids)
-            }
-        })
+        fit_ols_ball(&self.rel, center, radius).map(|b| b.model)
+    }
+
+    /// Fused exact Q1 + REG: one index traversal answers both the mean
+    /// query and the per-query OLS (the ground-truth pair the training
+    /// loop and the Fig. 12 efficiency experiment execute).
+    pub fn q1_reg_fused(&self, center: &[f64], radius: f64) -> Result<BallFit, LinalgError> {
+        fit_ols_ball(&self.rel, center, radius)
     }
 
     /// Exact per-query PLR: MARS over the selection.
@@ -125,6 +127,17 @@ impl ExactEngine {
     ) -> (Result<LinearModel, LinalgError>, Duration) {
         let t0 = Instant::now();
         let r = self.q2_reg(center, radius);
+        (r, t0.elapsed())
+    }
+
+    /// Timed fused Q1 + REG execution (single traversal).
+    pub fn q1_reg_fused_timed(
+        &self,
+        center: &[f64],
+        radius: f64,
+    ) -> (Result<BallFit, LinalgError>, Duration) {
+        let t0 = Instant::now();
+        let r = self.q1_reg_fused(center, radius);
         (r, t0.elapsed())
     }
 
@@ -223,6 +236,21 @@ mod tests {
         let e = engine();
         let (r, dur) = e.q1_timed(&[0.5, 0.5], 0.2);
         assert_eq!(r, e.q1(&[0.5, 0.5], 0.2));
+        assert!(dur.as_nanos() > 0);
+    }
+
+    #[test]
+    fn fused_execution_answers_both_queries_in_one_pass() {
+        let e = engine();
+        let (c, r) = ([0.5, 0.5], 0.3);
+        let fused = e.q1_reg_fused(&c, r).unwrap();
+        // Welford mean vs plain-sum mean: equal up to rounding.
+        assert!((fused.moments.mean - e.q1(&c, r).unwrap()).abs() < 1e-12);
+        let reg = e.q2_reg(&c, r).unwrap();
+        assert_eq!(fused.model, reg);
+        assert_eq!(fused.moments.n, e.select(&c, r).len());
+        let (timed, dur) = e.q1_reg_fused_timed(&c, r);
+        assert_eq!(timed.unwrap(), fused);
         assert!(dur.as_nanos() > 0);
     }
 }

@@ -43,6 +43,17 @@ impl GoodnessOfFit {
             ssr += (u - p) * (u - p);
             tss += (u - mean) * (u - mean);
         }
+        Some(GoodnessOfFit::from_sums(n, ssr, tss))
+    }
+
+    /// Build the bundle from pre-accumulated sums — the path used when SSR
+    /// and TSS come out of pushed-down aggregate state (closed forms over
+    /// `XᵀX`, `Xᵀy`, `yᵀy`) rather than a residual pass. Sums are clamped
+    /// at zero: the closed forms can go marginally negative in floating
+    /// point when the fit is near-exact.
+    pub fn from_sums(n: usize, ssr: f64, tss: f64) -> GoodnessOfFit {
+        let ssr = ssr.max(0.0);
+        let tss = tss.max(0.0);
         let fvu = if tss > 0.0 {
             ssr / tss
         } else if ssr == 0.0 {
@@ -50,13 +61,13 @@ impl GoodnessOfFit {
         } else {
             f64::INFINITY
         };
-        Some(GoodnessOfFit {
+        GoodnessOfFit {
             n,
             ssr,
             tss,
             fvu,
             cod: 1.0 - fvu,
-        })
+        }
     }
 }
 

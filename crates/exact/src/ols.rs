@@ -10,8 +10,10 @@
 //!   report — see `fit.rs` for why its FVU may exceed 1 locally).
 
 use crate::fit::GoodnessOfFit;
+use crate::q1::Moments;
 use regq_data::Dataset;
-use regq_linalg::{lstsq, LinalgError, LstsqOptions, Matrix};
+use regq_linalg::{lstsq, GramAccumulator, LinalgError, LstsqOptions, Matrix, OnlineStats};
+use regq_store::Relation;
 
 /// A fitted linear model `u ≈ intercept + slope · x`.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,10 +57,53 @@ impl LinearModel {
 
 /// Fit OLS over the rows `ids` of `ds`.
 ///
+/// The normal equations are accumulated row-by-row into a
+/// [`GramAccumulator`] (`O(d²)` state) and solved directly — no
+/// `n × (d+1)` design matrix is ever allocated. Goodness of fit is scored
+/// with an exact residual pass over the same rows.
+///
 /// Needs at least `d + 1` rows for an identifiable fit; fewer rows (or a
 /// degenerate design, e.g. all points identical) surface as an error from
 /// the solver.
 pub fn fit_ols(ds: &Dataset, ids: &[usize]) -> Result<LinearModel, LinalgError> {
+    if ids.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    let d = ds.dim();
+    let mut acc = GramAccumulator::new(d + 1);
+    for &i in ids {
+        acc.push_affine(ds.x(i), ds.y(i));
+    }
+    let sol = acc.solve(LstsqOptions::default())?;
+    let intercept = sol.coeffs[0];
+    let slope = sol.coeffs[1..].to_vec();
+    // Exact residual accounting (cheap O(n·d) pass, numerically preferable
+    // to the closed form when ids are at hand).
+    let mean = acc.sum_y() / acc.count() as f64;
+    let mut ssr = 0.0;
+    let mut tss = 0.0;
+    for &i in ids {
+        let x = ds.x(i);
+        let u = ds.y(i);
+        let mut v = intercept;
+        for (b, xi) in slope.iter().zip(x.iter()) {
+            v += b * xi;
+        }
+        ssr += (u - v) * (u - v);
+        tss += (u - mean) * (u - mean);
+    }
+    Ok(LinearModel {
+        intercept,
+        slope,
+        fit: GoodnessOfFit::from_sums(ids.len(), ssr, tss),
+    })
+}
+
+/// Reference OLS that materializes the full `n × (d+1)` design matrix and
+/// goes through [`lstsq`] — the pre-pushdown execution shape (what the
+/// paper's PostgreSQL+XLeratorDB baseline does). Kept for equivalence
+/// tests and as the benchmark baseline.
+pub fn fit_ols_design(ds: &Dataset, ids: &[usize]) -> Result<LinearModel, LinalgError> {
     if ids.is_empty() {
         return Err(LinalgError::Empty);
     }
@@ -91,6 +136,61 @@ pub fn fit_ols(ds: &Dataset, ids: &[usize]) -> Result<LinearModel, LinalgError> 
         intercept,
         slope,
         fit,
+    })
+}
+
+/// Result of a fused in-scan Q1 + REG execution: the OLS model over the
+/// ball *and* the output moments, from one index traversal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BallFit {
+    /// The per-query `REG` model (paper Definition 1 over the selection).
+    pub model: LinearModel,
+    /// Q1 answer and second moments of `u` over the same selection.
+    pub moments: Moments,
+}
+
+/// Fused exact Q1 + OLS over `D(center, radius)` in a **single** index
+/// traversal: the Gram state `XᵀX`, `Xᵀy`, `yᵀy` and the Welford output
+/// moments fold per visited row ([`Relation::fold_ball`]), then the normal
+/// equations are solved directly and SSR/TSS come from the closed forms
+/// over the accumulated state. No id buffer, no design matrix, no second
+/// data pass — the full aggregation-pushdown execution of the paper's
+/// ground-truth query pair.
+///
+/// # Errors
+/// [`LinalgError::Empty`] for an empty subspace; solver errors for
+/// degenerate selections (fewer than `d + 1` distinct points).
+pub fn fit_ols_ball(rel: &Relation, center: &[f64], radius: f64) -> Result<BallFit, LinalgError> {
+    let d = rel.dim();
+    let (acc, stats) = rel.fold_ball(
+        center,
+        radius,
+        (GramAccumulator::new(d + 1), OnlineStats::new()),
+        |s, _, x, u| {
+            s.0.push_affine(x, u);
+            s.1.push(u);
+        },
+    );
+    if acc.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    let sol = acc.solve(LstsqOptions::default())?;
+    let intercept = sol.coeffs[0];
+    let slope = sol.coeffs[1..].to_vec();
+    let n = acc.count();
+    let fit = GoodnessOfFit::from_sums(n, acc.ssr(&sol.coeffs), acc.tss());
+    Ok(BallFit {
+        model: LinearModel {
+            intercept,
+            slope,
+            fit,
+        },
+        moments: Moments {
+            n,
+            mean: stats.mean(),
+            variance: stats.variance(),
+            second_moment: acc.yty() / n as f64,
+        },
     })
 }
 
@@ -162,6 +262,51 @@ mod tests {
             "right slope {}",
             m.slope[0]
         );
+    }
+
+    #[test]
+    fn gram_fit_matches_design_matrix_fit() {
+        let ds = linear_dataset(3, 200, -0.5, &[1.0, 0.3, -2.0], 7);
+        let ids: Vec<usize> = (0..ds.len()).collect();
+        let gram = fit_ols(&ds, &ids).unwrap();
+        let design = fit_ols_design(&ds, &ids).unwrap();
+        assert!((gram.intercept - design.intercept).abs() < 1e-9);
+        for (a, b) in gram.slope.iter().zip(design.slope.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        assert!((gram.fit.fvu - design.fit.fvu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fused_ball_fit_matches_materialized_pipeline() {
+        use regq_store::AccessPathKind;
+        use std::sync::Arc;
+        let ds = linear_dataset(2, 500, 1.0, &[0.5, -1.5], 11);
+        let rel = Relation::new(Arc::new(ds), AccessPathKind::KdTree);
+        let (c, r) = ([0.2, -0.3], 1.4);
+        let fused = fit_ols_ball(&rel, &c, r).unwrap();
+        let ids = rel.select(&c, r);
+        let reference = fit_ols_design(rel.dataset(), &ids).unwrap();
+        assert_eq!(fused.moments.n, ids.len());
+        assert!((fused.model.intercept - reference.intercept).abs() < 1e-8);
+        for (a, b) in fused.model.slope.iter().zip(reference.slope.iter()) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+        // Moments agree with the dedicated Q1 executor.
+        let m = crate::q1::q1_moments(&rel, &c, r).unwrap();
+        assert_eq!(fused.moments, m);
+    }
+
+    #[test]
+    fn fused_ball_fit_empty_subspace_errors() {
+        use regq_store::AccessPathKind;
+        use std::sync::Arc;
+        let ds = linear_dataset(2, 50, 0.0, &[1.0, 1.0], 3);
+        let rel = Relation::new(Arc::new(ds), AccessPathKind::Grid);
+        assert!(matches!(
+            fit_ols_ball(&rel, &[100.0, 100.0], 0.1),
+            Err(LinalgError::Empty)
+        ));
     }
 
     #[test]

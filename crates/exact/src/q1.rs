@@ -22,9 +22,53 @@ pub struct Moments {
 
 /// Execute Q1 exactly: average of `u` over `D(center, radius)`.
 ///
+/// The `SUM`/`COUNT` state folds *inside* the index traversal
+/// ([`Relation::fold_ball`]) — no id buffer is materialized and the rows
+/// are never read a second time, exactly how a DBMS executor pushes an
+/// `AVG` aggregate into the scan.
+///
 /// Returns `None` when the subspace is empty (the DBMS would return SQL
 /// `NULL` for `AVG` over zero rows).
 pub fn q1_mean(rel: &Relation, center: &[f64], radius: f64) -> Option<f64> {
+    let (n, sum) = rel.fold_ball(center, radius, (0usize, 0.0f64), |s, _, _, u| {
+        s.0 += 1;
+        s.1 += u;
+    });
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+/// Execute Q1 with second-moment extension (feeds the paper's "high-order
+/// moments" future-work item, implemented in `regq-core::moments`). The
+/// Welford state folds during the traversal, like [`q1_mean`].
+pub fn q1_moments(rel: &Relation, center: &[f64], radius: f64) -> Option<Moments> {
+    let (acc, sum_sq) = rel.fold_ball(
+        center,
+        radius,
+        (OnlineStats::new(), 0.0f64),
+        |s, _, _, u| {
+            s.0.push(u);
+            s.1 += u * u;
+        },
+    );
+    if acc.count() == 0 {
+        return None;
+    }
+    Some(Moments {
+        n: acc.count() as usize,
+        mean: acc.mean(),
+        variance: acc.variance(),
+        second_moment: sum_sq / acc.count() as f64,
+    })
+}
+
+/// Reference implementation of [`q1_mean`] that materializes the selection
+/// and re-reads the rows in a second pass — the pre-pushdown execution
+/// shape. Kept as the equivalence-test and benchmark baseline.
+pub fn q1_mean_materialized(rel: &Relation, center: &[f64], radius: f64) -> Option<f64> {
     rel.with_selection(center, radius, |ds, ids| {
         if ids.is_empty() {
             None
@@ -35,9 +79,9 @@ pub fn q1_mean(rel: &Relation, center: &[f64], radius: f64) -> Option<f64> {
     })
 }
 
-/// Execute Q1 with second-moment extension (feeds the paper's "high-order
-/// moments" future-work item, implemented in `regq-core::moments`).
-pub fn q1_moments(rel: &Relation, center: &[f64], radius: f64) -> Option<Moments> {
+/// Reference implementation of [`q1_moments`] over a materialized
+/// selection (see [`q1_mean_materialized`]).
+pub fn q1_moments_materialized(rel: &Relation, center: &[f64], radius: f64) -> Option<Moments> {
     rel.with_selection(center, radius, |ds, ids| {
         if ids.is_empty() {
             return None;
@@ -116,5 +160,17 @@ mod tests {
         let rel = line_relation();
         // u = 0..90 step 10: mean 45.
         assert_eq!(q1_mean(&rel, &[4.5], 100.0), Some(45.0));
+    }
+
+    #[test]
+    fn pushdown_and_materialized_paths_agree_exactly() {
+        let rel = line_relation();
+        for (c, r) in [(5.0, 1.5), (3.0, 0.0), (4.5, 100.0), (100.0, 0.5)] {
+            assert_eq!(q1_mean(&rel, &[c], r), q1_mean_materialized(&rel, &[c], r));
+            assert_eq!(
+                q1_moments(&rel, &[c], r),
+                q1_moments_materialized(&rel, &[c], r)
+            );
+        }
     }
 }

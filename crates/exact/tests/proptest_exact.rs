@@ -1,9 +1,16 @@
 //! Property-based tests for the exact engines: OLS optimality, MARS
-//! dominance over OLS, Q1 consistency.
+//! dominance over OLS, Q1 consistency, and equivalence of the
+//! aggregation-pushdown executors with the materialize-then-recompute
+//! reference path across every access path and norm.
 
 use proptest::prelude::*;
 use regq_data::Dataset;
-use regq_exact::{fit_ols, GoodnessOfFit, Mars, MarsParams};
+use regq_exact::{
+    fit_ols, fit_ols_ball, fit_ols_design, q1_mean, q1_mean_materialized, q1_moments,
+    q1_moments_materialized, GoodnessOfFit, Mars, MarsParams,
+};
+use regq_store::{AccessPathKind, Norm, Relation};
+use std::sync::Arc;
 
 /// Random dataset: n rows, d dims, values bounded.
 fn dataset_strategy(d: usize, min_rows: usize) -> impl Strategy<Value = Dataset> {
@@ -23,6 +30,39 @@ fn dataset_strategy(d: usize, min_rows: usize) -> impl Strategy<Value = Dataset>
 fn all_ids(ds: &Dataset) -> Vec<usize> {
     (0..ds.len()).collect()
 }
+
+/// Random dataset with a non-trivial output surface (for Q1/OLS
+/// equivalence; outputs must vary with x so regressions are meaningful).
+fn surface_strategy(d: usize) -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(prop::collection::vec(-2.0..2.0f64, d), 1..150).prop_map(move |rows| {
+        let mut ds = Dataset::new(d);
+        for x in &rows {
+            let u = x
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (i + 1) as f64 * v)
+                .sum::<f64>()
+                + 0.3 * x[0] * x[0];
+            ds.push(x, u).unwrap();
+        }
+        ds
+    })
+}
+
+fn norm_strategy() -> impl Strategy<Value = Norm> {
+    prop_oneof![
+        Just(Norm::L1),
+        Just(Norm::L2),
+        Just(Norm::LInf),
+        (1.0..4.0f64).prop_map(Norm::Lp),
+    ]
+}
+
+const ALL_PATHS: [AccessPathKind; 3] = [
+    AccessPathKind::Scan,
+    AccessPathKind::KdTree,
+    AccessPathKind::Grid,
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -58,6 +98,83 @@ proptest! {
         if model.fit.fvu.is_finite() {
             prop_assert!(model.fit.fvu <= 1.0 + 1e-6, "fvu = {}", model.fit.fvu);
         }
+    }
+
+    /// Pushed-down Q1 / moments equal the materialize-then-recompute path
+    /// bit-for-bit (same traversal order feeds both) on every access path
+    /// and every norm.
+    #[test]
+    fn pushdown_q1_equals_materialized(ds in surface_strategy(2),
+                                       c in prop::collection::vec(-2.5..2.5f64, 2),
+                                       r in 0.0..2.5f64,
+                                       norm in norm_strategy()) {
+        let data = Arc::new(ds);
+        for path in ALL_PATHS {
+            let rel = Relation::new(data.clone(), path).with_norm(norm);
+            prop_assert_eq!(
+                q1_mean(&rel, &c, r),
+                q1_mean_materialized(&rel, &c, r),
+                "q1 mismatch on {:?}/{:?}", path, norm
+            );
+            prop_assert_eq!(
+                q1_moments(&rel, &c, r),
+                q1_moments_materialized(&rel, &c, r),
+                "moments mismatch on {:?}/{:?}", path, norm
+            );
+        }
+    }
+
+    /// The fused in-scan OLS matches the reference pipeline (materialized
+    /// selection + design matrix + lstsq) up to numerical tolerance, on
+    /// every access path and norm, whenever the reference succeeds.
+    #[test]
+    fn pushdown_ols_equals_materialized(ds in surface_strategy(3),
+                                        c in prop::collection::vec(-2.5..2.5f64, 3),
+                                        r in 0.5..3.0f64,
+                                        norm in norm_strategy()) {
+        let data = Arc::new(ds);
+        for path in ALL_PATHS {
+            let rel = Relation::new(data.clone(), path).with_norm(norm);
+            let ids = rel.select(&c, r);
+            let Ok(reference) = fit_ols_design(rel.dataset(), &ids) else { continue };
+            // Skip numerically fragile selections: coefficient comparisons
+            // only make sense when the design is well-conditioned enough
+            // that both solvers sit on the same optimum.
+            if reference.fit.tss < 1e-6 { continue }
+            let fused = fit_ols_ball(&rel, &c, r);
+            prop_assert!(fused.is_ok(), "fused failed where reference fit on {:?}", path);
+            let fused = fused.unwrap();
+            prop_assert_eq!(fused.moments.n, ids.len());
+            let scale = 1.0 + reference.intercept.abs();
+            prop_assert!(
+                (fused.model.intercept - reference.intercept).abs() < 1e-5 * scale,
+                "intercept {} vs {} on {:?}/{:?}",
+                fused.model.intercept, reference.intercept, path, norm
+            );
+            for (a, b) in fused.model.slope.iter().zip(reference.slope.iter()) {
+                let scale = 1.0 + b.abs();
+                prop_assert!(
+                    (a - b).abs() < 1e-5 * scale,
+                    "slope {} vs {} on {:?}/{:?}", a, b, path, norm
+                );
+            }
+        }
+    }
+
+    /// The gram-based `fit_ols` agrees with the design-matrix reference on
+    /// the same id set.
+    #[test]
+    fn gram_fit_ols_equals_design_path(ds in surface_strategy(2)) {
+        let ids = all_ids(&ds);
+        let (Ok(gram), Ok(design)) = (fit_ols(&ds, &ids), fit_ols_design(&ds, &ids)) else {
+            return Ok(());
+        };
+        if design.fit.tss < 1e-6 { return Ok(()); }
+        prop_assert!((gram.intercept - design.intercept).abs() < 1e-6 * (1.0 + design.intercept.abs()));
+        for (a, b) in gram.slope.iter().zip(design.slope.iter()) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()), "{} vs {}", a, b);
+        }
+        prop_assert!((gram.fit.fvu - design.fit.fvu).abs() < 1e-6);
     }
 
     /// MARS never fits worse in-sample than the intercept-only model (the

@@ -18,11 +18,14 @@
 //!
 //! ## Modules
 //!
-//! * [`vector`] — slice-level arithmetic and `L_p` distances.
+//! * [`vector`] — slice-level arithmetic, `L_p` distances and their
+//!   early-exit bounded variants (the radius-selection hot loop).
 //! * [`matrix`] — row-major dense [`Matrix`].
 //! * [`cholesky`] — SPD factorization, solves, inverse, log-determinant.
 //! * [`qr`] — Householder QR and least-squares solves for `m ≥ n`.
-//! * [`solve`] — high-level least-squares front door with ridge fallback.
+//! * [`solve`] — high-level least-squares front door with ridge fallback,
+//!   plus the normal-equation entry point for pushed-down aggregates.
+//! * [`gram`] — streaming `XᵀX`/`Xᵀy` accumulation (aggregation pushdown).
 //! * [`stats`] — Welford accumulators and batch summary statistics.
 
 #![deny(missing_docs)]
@@ -30,6 +33,7 @@
 
 pub mod cholesky;
 pub mod error;
+pub mod gram;
 pub mod matrix;
 pub mod qr;
 pub mod solve;
@@ -38,7 +42,8 @@ pub mod vector;
 
 pub use cholesky::Cholesky;
 pub use error::LinalgError;
+pub use gram::GramAccumulator;
 pub use matrix::Matrix;
 pub use qr::QrFactorization;
-pub use solve::{lstsq, solve_spd, LstsqOptions, LstsqSolution};
+pub use solve::{lstsq, solve_normal_equations, solve_spd, LstsqOptions, LstsqSolution};
 pub use stats::{OnlineStats, Summary};

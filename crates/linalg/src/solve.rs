@@ -74,31 +74,8 @@ pub fn lstsq(x: &Matrix, y: &[f64], opts: LstsqOptions) -> Result<LstsqSolution,
     let gram = x.gram();
     let xty = x.t_matvec(y)?;
 
-    match Cholesky::factor(&gram) {
-        Ok(ch) => {
-            let coeffs = ch.solve(&xty)?;
-            return Ok(LstsqSolution {
-                coeffs,
-                path: SolvePath::Cholesky,
-            });
-        }
-        Err(LinalgError::NotPositiveDefinite { .. }) => {}
-        Err(e) => return Err(e),
-    }
-
-    if opts.ridge_rel > 0.0 {
-        let n = gram.rows();
-        let mean_diag = (0..n).map(|i| gram[(i, i)]).sum::<f64>() / n as f64;
-        let lambda = (mean_diag * opts.ridge_rel).max(f64::MIN_POSITIVE);
-        let mut ridged = gram.clone();
-        ridged.add_diagonal(lambda);
-        if let Ok(ch) = Cholesky::factor(&ridged) {
-            let coeffs = ch.solve(&xty)?;
-            return Ok(LstsqSolution {
-                coeffs,
-                path: SolvePath::Ridged,
-            });
-        }
+    if let Some(sol) = cholesky_then_ridge(&gram, &xty, opts)? {
+        return Ok(sol);
     }
 
     // Last resort: QR directly on the design (only valid for m >= n).
@@ -117,6 +94,93 @@ pub fn lstsq(x: &Matrix, y: &[f64], opts: LstsqOptions) -> Result<LstsqSolution,
 /// [`Cholesky`], used for pre-accumulated normal equations).
 pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     Cholesky::factor(a)?.solve(b)
+}
+
+/// Solve least squares directly from pre-accumulated normal-equation state
+/// `XᵀX b = Xᵀy` — the entry point for aggregation-pushdown fits where the
+/// Gram matrix was folded during the data scan and no design matrix exists
+/// (see [`crate::gram::GramAccumulator`]).
+///
+/// The fallback chain mirrors [`lstsq`]: Cholesky on the Gram matrix, then
+/// a ridge-perturbed retry, then Householder QR — applied to the (square)
+/// Gram system itself, since the design is not available.
+///
+/// # Errors
+/// * [`LinalgError::Empty`] for a `0 × 0` Gram matrix.
+/// * [`LinalgError::DimensionMismatch`] if `gram` is not square or
+///   `xty.len() != gram.rows()`.
+/// * [`LinalgError::RankDeficient`] when every path fails.
+pub fn solve_normal_equations(
+    gram: &Matrix,
+    xty: &[f64],
+    opts: LstsqOptions,
+) -> Result<LstsqSolution, LinalgError> {
+    if gram.rows() == 0 || gram.cols() == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if gram.rows() != gram.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "solve_normal_equations",
+            expected: gram.rows(),
+            actual: gram.cols(),
+        });
+    }
+    if xty.len() != gram.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "solve_normal_equations",
+            expected: gram.rows(),
+            actual: xty.len(),
+        });
+    }
+
+    if let Some(sol) = cholesky_then_ridge(gram, xty, opts)? {
+        return Ok(sol);
+    }
+
+    // Last resort: QR on the (square) Gram system.
+    let qr = QrFactorization::factor(gram)?;
+    let coeffs = qr.solve(xty)?;
+    Ok(LstsqSolution {
+        coeffs,
+        path: SolvePath::Qr,
+    })
+}
+
+/// The shared front of both solve chains: plain Cholesky on the normal
+/// equations, then one ridge-perturbed retry. `Ok(None)` means "fall
+/// through to the caller's QR last resort".
+fn cholesky_then_ridge(
+    gram: &Matrix,
+    xty: &[f64],
+    opts: LstsqOptions,
+) -> Result<Option<LstsqSolution>, LinalgError> {
+    match Cholesky::factor(gram) {
+        Ok(ch) => {
+            let coeffs = ch.solve(xty)?;
+            return Ok(Some(LstsqSolution {
+                coeffs,
+                path: SolvePath::Cholesky,
+            }));
+        }
+        Err(LinalgError::NotPositiveDefinite { .. }) => {}
+        Err(e) => return Err(e),
+    }
+
+    if opts.ridge_rel > 0.0 {
+        let n = gram.rows();
+        let mean_diag = (0..n).map(|i| gram[(i, i)]).sum::<f64>() / n as f64;
+        let lambda = (mean_diag * opts.ridge_rel).max(f64::MIN_POSITIVE);
+        let mut ridged = gram.clone();
+        ridged.add_diagonal(lambda);
+        if let Ok(ch) = Cholesky::factor(&ridged) {
+            let coeffs = ch.solve(xty)?;
+            return Ok(Some(LstsqSolution {
+                coeffs,
+                path: SolvePath::Ridged,
+            }));
+        }
+    }
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -179,6 +243,48 @@ mod tests {
         let (x, _) = design_and_target();
         assert!(matches!(
             lstsq(&x, &[1.0, 2.0], LstsqOptions::default()),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn normal_equations_match_design_matrix_path() {
+        let (x, y) = design_and_target();
+        let gram = x.gram();
+        let xty = x.t_matvec(&y).unwrap();
+        let via_gram = solve_normal_equations(&gram, &xty, LstsqOptions::default()).unwrap();
+        let via_design = lstsq(&x, &y, LstsqOptions::default()).unwrap();
+        assert_eq!(via_gram.path, SolvePath::Cholesky);
+        for (a, b) in via_gram.coeffs.iter().zip(via_design.coeffs.iter()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn normal_equations_singular_gram_falls_back_to_ridge() {
+        // Rank-1 Gram (duplicated column): Cholesky fails, ridge succeeds.
+        let gram = Matrix::from_rows(&[vec![2.0, 2.0], vec![2.0, 2.0]]).unwrap();
+        let sol = solve_normal_equations(&gram, &[1.0, 1.0], LstsqOptions::default()).unwrap();
+        assert_eq!(sol.path, SolvePath::Ridged);
+        // The ridged solution splits the weight across the twin columns.
+        assert!((sol.coeffs[0] + sol.coeffs[1] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normal_equations_rejects_bad_shapes() {
+        let gram = Matrix::zeros(0, 0);
+        assert!(matches!(
+            solve_normal_equations(&gram, &[], LstsqOptions::default()),
+            Err(LinalgError::Empty)
+        ));
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            solve_normal_equations(&rect, &[0.0, 0.0], LstsqOptions::default()),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        let sq = Matrix::identity(2);
+        assert!(matches!(
+            solve_normal_equations(&sq, &[0.0], LstsqOptions::default()),
             Err(LinalgError::DimensionMismatch { .. })
         ));
     }

@@ -84,6 +84,97 @@ pub fn lp_dist(a: &[f64], b: &[f64], p: f64) -> f64 {
     }
 }
 
+/// `true` when `‖a − b‖₂² ≤ limit`, bailing out as soon as the running
+/// partial sum exceeds `limit`.
+///
+/// This is the innermost predicate of every radius selection: for
+/// non-matching rows (the vast majority of a scan) most coordinates never
+/// need to be touched. The accumulation is chunked so the early-exit
+/// check costs one branch per four lanes, not one per lane.
+#[inline]
+pub fn sq_dist_within(a: &[f64], b: &[f64], limit: f64) -> bool {
+    debug_assert_eq!(a.len(), b.len(), "sq_dist_within: length mismatch");
+    let mut acc = 0.0;
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for (ca, cb) in ac.by_ref().zip(bc.by_ref()) {
+        for (x, y) in ca.iter().zip(cb.iter()) {
+            let d = x - y;
+            acc += d * d;
+        }
+        if acc > limit {
+            return false;
+        }
+    }
+    for (x, y) in ac.remainder().iter().zip(bc.remainder().iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc <= limit
+}
+
+/// `true` when `‖a − b‖₁ ≤ limit`, with the same chunked early exit as
+/// [`sq_dist_within`].
+#[inline]
+pub fn l1_dist_within(a: &[f64], b: &[f64], limit: f64) -> bool {
+    debug_assert_eq!(a.len(), b.len(), "l1_dist_within: length mismatch");
+    let mut acc = 0.0;
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for (ca, cb) in ac.by_ref().zip(bc.by_ref()) {
+        for (x, y) in ca.iter().zip(cb.iter()) {
+            acc += (x - y).abs();
+        }
+        if acc > limit {
+            return false;
+        }
+    }
+    for (x, y) in ac.remainder().iter().zip(bc.remainder().iter()) {
+        acc += (x - y).abs();
+    }
+    acc <= limit
+}
+
+/// `true` when `‖a − b‖_∞ ≤ limit` — exits on the first coordinate whose
+/// difference exceeds the bound.
+#[inline]
+pub fn linf_dist_within(a: &[f64], b: &[f64], limit: f64) -> bool {
+    debug_assert_eq!(a.len(), b.len(), "linf_dist_within: length mismatch");
+    for (x, y) in a.iter().zip(b.iter()) {
+        if (x - y).abs() > limit {
+            return false;
+        }
+    }
+    true
+}
+
+/// `true` when `‖a − b‖_p ≤ limit` for `p ≥ 1`, comparing the partial sum
+/// `Σ |a_i − b_i|^p` against `limit^p` so no root is ever taken. `p = 1`,
+/// `p = 2` and `p = ∞` dispatch to the specialized bounded kernels.
+#[inline]
+pub fn lp_dist_within(a: &[f64], b: &[f64], p: f64, limit: f64) -> bool {
+    debug_assert!(p >= 1.0, "lp_dist_within requires p >= 1");
+    if p == 1.0 {
+        return l1_dist_within(a, b, limit);
+    }
+    if p == 2.0 {
+        return sq_dist_within(a, b, limit * limit);
+    }
+    if p.is_infinite() {
+        return linf_dist_within(a, b, limit);
+    }
+    debug_assert_eq!(a.len(), b.len(), "lp_dist_within: length mismatch");
+    let bound = limit.powf(p);
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += (x - y).abs().powf(p);
+        if acc > bound {
+            return false;
+        }
+    }
+    acc <= bound
+}
+
 /// In-place `a += alpha * b` (the BLAS `axpy` kernel).
 #[inline]
 pub fn axpy(alpha: f64, b: &[f64], a: &mut [f64]) {
@@ -181,6 +272,71 @@ mod tests {
         let a = [0.0, 1.0];
         let b = [2.0, -1.0];
         assert_eq!(lp_dist(&a, &b, f64::INFINITY), 2.0);
+    }
+
+    #[test]
+    fn bounded_kernels_agree_with_full_distances() {
+        // Dimensions straddling the 4-lane chunk boundary.
+        for d in [1usize, 2, 3, 4, 5, 7, 8, 9, 13] {
+            let a: Vec<f64> = (0..d).map(|i| (i as f64 * 0.7).sin()).collect();
+            let b: Vec<f64> = (0..d).map(|i| (i as f64 * 1.3).cos()).collect();
+            for limit in [0.0, 0.1, 0.5, 1.0, 2.0, 10.0] {
+                assert_eq!(
+                    sq_dist_within(&a, &b, limit * limit),
+                    sq_dist(&a, &b) <= limit * limit,
+                    "sq d={d} limit={limit}"
+                );
+                assert_eq!(
+                    l1_dist_within(&a, &b, limit),
+                    l1_dist(&a, &b) <= limit,
+                    "l1 d={d} limit={limit}"
+                );
+                assert_eq!(
+                    linf_dist_within(&a, &b, limit),
+                    linf_dist(&a, &b) <= limit,
+                    "linf d={d} limit={limit}"
+                );
+                assert_eq!(
+                    lp_dist_within(&a, &b, 3.0, limit),
+                    lp_dist(&a, &b, 3.0) <= limit,
+                    "lp3 d={d} limit={limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_kernels_are_inclusive_at_the_boundary() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert!(sq_dist_within(&a, &b, 25.0));
+        assert!(!sq_dist_within(&a, &b, 25.0 - 1e-9));
+        assert!(l1_dist_within(&a, &b, 7.0));
+        assert!(!l1_dist_within(&a, &b, 7.0 - 1e-9));
+        assert!(linf_dist_within(&a, &b, 4.0));
+        assert!(!linf_dist_within(&a, &b, 4.0 - 1e-9));
+    }
+
+    #[test]
+    fn bounded_kernels_reject_everything_for_negative_limits() {
+        let a = [1.0];
+        assert!(!sq_dist_within(&a, &a, -1.0));
+        assert!(!l1_dist_within(&a, &a, -1.0));
+        assert!(!linf_dist_within(&a, &a, -1.0));
+    }
+
+    #[test]
+    fn lp_within_dispatches_to_specialized_kernels() {
+        let a = [0.3, -1.2, 2.5, 0.1, -0.4];
+        let b = [1.1, 0.4, -0.6, 0.0, 0.2];
+        for limit in [0.5, 2.0, 5.0] {
+            assert_eq!(lp_dist_within(&a, &b, 1.0, limit), l1_dist(&a, &b) <= limit);
+            assert_eq!(lp_dist_within(&a, &b, 2.0, limit), l2_dist(&a, &b) <= limit);
+            assert_eq!(
+                lp_dist_within(&a, &b, f64::INFINITY, limit),
+                linf_dist(&a, &b) <= limit
+            );
+        }
     }
 
     #[test]

@@ -122,8 +122,13 @@ impl GridIndex {
 }
 
 impl SpatialIndex for GridIndex {
-    fn query_ball(&self, center: &[f64], radius: f64, norm: Norm, out: &mut Vec<usize>) {
-        out.clear();
+    fn visit_ball(
+        &self,
+        center: &[f64],
+        radius: f64,
+        norm: Norm,
+        visit: &mut dyn FnMut(usize, &[f64], f64),
+    ) {
         debug_assert_eq!(center.len(), self.data.dim());
         if self.data.is_empty() {
             return;
@@ -148,8 +153,9 @@ impl SpatialIndex for GridIndex {
             let (s, e) = (self.offsets[cell] as usize, self.offsets[cell + 1] as usize);
             for &id in &self.ids[s..e] {
                 let id = id as usize;
-                if norm.within(center, self.data.x(id), radius) {
-                    out.push(id);
+                let x = self.data.x(id);
+                if norm.within(center, x, radius) {
+                    visit(id, x, self.data.y(id));
                 }
             }
             // Advance odometer.

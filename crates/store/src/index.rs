@@ -9,19 +9,64 @@ use std::sync::Arc;
 /// Implementations hold an `Arc<Dataset>` snapshot; the relation is
 /// immutable once indexed (append requires a rebuild, matching the paper's
 /// static-table evaluation; see [`crate::relation::Relation::rebuild`]).
+///
+/// The required primitive is [`SpatialIndex::visit_ball`]: a push-based
+/// traversal that hands every qualifying row to a visitor *during* the
+/// scan. Aggregates (Q1 means, moments, OLS Gram state) fold over the
+/// visitor and never materialize an id list — the aggregation-pushdown
+/// shape of MADlib-style in-DBMS analytics. Materializing selections
+/// ([`SpatialIndex::query_ball`]) is a derived convenience.
 pub trait SpatialIndex: Send + Sync {
-    /// Append to `out` the ids of all rows within `radius` of `center`
-    /// under `norm`. `out` is cleared first; ids arrive in ascending order
-    /// for [`LinearScan`](crate::LinearScan) and in unspecified order
-    /// otherwise.
-    fn query_ball(&self, center: &[f64], radius: f64, norm: Norm, out: &mut Vec<usize>);
+    /// Invoke `visit(id, x_i, u_i)` for every row `i` with
+    /// `‖x_i − center‖_p ≤ radius`, during a single index traversal.
+    ///
+    /// Rows arrive in ascending id order for
+    /// [`LinearScan`](crate::LinearScan) and in a deterministic but
+    /// unspecified order otherwise.
+    fn visit_ball(
+        &self,
+        center: &[f64],
+        radius: f64,
+        norm: Norm,
+        visit: &mut dyn FnMut(usize, &[f64], f64),
+    );
 
-    /// Number of rows within `radius` of `center` (default: materialize and
-    /// count; implementations may specialize).
+    /// Append to `out` the ids of all rows within `radius` of `center`
+    /// under `norm`. `out` is cleared first; ids arrive in the
+    /// [`SpatialIndex::visit_ball`] traversal order.
+    fn query_ball(&self, center: &[f64], radius: f64, norm: Norm, out: &mut Vec<usize>) {
+        out.clear();
+        self.visit_ball(center, radius, norm, &mut |id, _, _| out.push(id));
+    }
+
+    /// Number of rows within `radius` of `center` (no materialization).
     fn count_ball(&self, center: &[f64], radius: f64, norm: Norm) -> usize {
-        let mut buf = Vec::new();
-        self.query_ball(center, radius, norm, &mut buf);
-        buf.len()
+        let mut n = 0;
+        self.visit_ball(center, radius, norm, &mut |_, _, _| n += 1);
+        n
+    }
+
+    /// Fold `state` over the selection: `f(&mut state, id, x_i, u_i)` per
+    /// qualifying row, returning the final state. This is the typed front
+    /// door over [`SpatialIndex::visit_ball`] for statically-known index
+    /// types; through `dyn SpatialIndex` use
+    /// [`Relation::fold_ball`](crate::relation::Relation::fold_ball).
+    fn fold_ball<S>(
+        &self,
+        center: &[f64],
+        radius: f64,
+        norm: Norm,
+        state: S,
+        mut f: impl FnMut(&mut S, usize, &[f64], f64),
+    ) -> S
+    where
+        Self: Sized,
+    {
+        let mut state = state;
+        self.visit_ball(center, radius, norm, &mut |id, x, y| {
+            f(&mut state, id, x, y)
+        });
+        state
     }
 
     /// The dataset snapshot this index was built over.

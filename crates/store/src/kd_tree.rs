@@ -92,19 +92,20 @@ impl KdTree {
         me
     }
 
-    fn query_recursive(
+    fn visit_recursive(
         &self,
         node: usize,
         center: &[f64],
         radius: f64,
         norm: Norm,
-        out: &mut Vec<usize>,
+        visit: &mut dyn FnMut(usize, &[f64], f64),
     ) {
         match &self.nodes[node] {
             Node::Leaf { start, end } => {
                 for &id in &self.ids[*start..*end] {
-                    if norm.within(center, self.data.x(id), radius) {
-                        out.push(id);
+                    let x = self.data.x(id);
+                    if norm.within(center, x, radius) {
+                        visit(id, x, self.data.y(id));
                     }
                 }
             }
@@ -114,10 +115,10 @@ impl KdTree {
                 // partitioning puts equal keys on either side, but every
                 // point is re-checked, so only pruning must be conservative).
                 if delta <= radius {
-                    self.query_recursive(node + 1, center, radius, norm, out);
+                    self.visit_recursive(node + 1, center, radius, norm, visit);
                 }
                 if -delta <= radius {
-                    self.query_recursive(*right, center, radius, norm, out);
+                    self.visit_recursive(*right, center, radius, norm, visit);
                 }
             }
         }
@@ -130,13 +131,18 @@ impl KdTree {
 }
 
 impl SpatialIndex for KdTree {
-    fn query_ball(&self, center: &[f64], radius: f64, norm: Norm, out: &mut Vec<usize>) {
-        out.clear();
+    fn visit_ball(
+        &self,
+        center: &[f64],
+        radius: f64,
+        norm: Norm,
+        visit: &mut dyn FnMut(usize, &[f64], f64),
+    ) {
         debug_assert_eq!(center.len(), self.data.dim());
         if self.nodes.is_empty() {
             return;
         }
-        self.query_recursive(0, center, radius, norm, out);
+        self.visit_recursive(0, center, radius, norm, visit);
     }
 
     fn dataset(&self) -> &Arc<Dataset> {

@@ -20,24 +20,21 @@ impl LinearScan {
 }
 
 impl SpatialIndex for LinearScan {
-    fn query_ball(&self, center: &[f64], radius: f64, norm: Norm, out: &mut Vec<usize>) {
-        out.clear();
+    fn visit_ball(
+        &self,
+        center: &[f64],
+        radius: f64,
+        norm: Norm,
+        visit: &mut dyn FnMut(usize, &[f64], f64),
+    ) {
         debug_assert_eq!(center.len(), self.data.dim());
         let d = self.data.dim();
+        let ys = self.data.ys();
         for (i, row) in self.data.xs_flat().chunks_exact(d).enumerate() {
             if norm.within(center, row, radius) {
-                out.push(i);
+                visit(i, row, ys[i]);
             }
         }
-    }
-
-    fn count_ball(&self, center: &[f64], radius: f64, norm: Norm) -> usize {
-        let d = self.data.dim();
-        self.data
-            .xs_flat()
-            .chunks_exact(d)
-            .filter(|row| norm.within(center, row, radius))
-            .count()
     }
 
     fn dataset(&self) -> &Arc<Dataset> {
@@ -103,6 +100,30 @@ mod tests {
             scan.query_ball(&[1.5, 2.5], r, Norm::L2, &mut out);
             assert_eq!(out.len(), scan.count_ball(&[1.5, 2.5], r, Norm::L2));
         }
+    }
+
+    #[test]
+    fn fold_ball_accumulates_during_the_scan() {
+        let scan = LinearScan::new(grid_points());
+        // Sum of u over the 3x3 Linf block around (2,2).
+        let sum = scan.fold_ball(&[2.0, 2.0], 1.0, Norm::LInf, 0.0, |acc, _, _, y| *acc += y);
+        let mut out = Vec::new();
+        scan.query_ball(&[2.0, 2.0], 1.0, Norm::LInf, &mut out);
+        let want: f64 = out.iter().map(|&i| scan.dataset().y(i)).sum();
+        assert_eq!(sum, want);
+    }
+
+    #[test]
+    fn visit_order_is_ascending_ids() {
+        let scan = LinearScan::new(grid_points());
+        let mut prev = None;
+        scan.visit_ball(&[2.0, 2.0], 10.0, Norm::L2, &mut |id, _, _| {
+            if let Some(p) = prev {
+                assert!(id > p);
+            }
+            prev = Some(id);
+        });
+        assert_eq!(prev, Some(24));
     }
 
     #[test]

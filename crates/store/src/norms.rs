@@ -29,12 +29,19 @@ impl Norm {
     }
 
     /// `true` if `b` lies within `radius` of `a`.
+    ///
+    /// Routed through the bounded early-exit kernels
+    /// ([`vector::sq_dist_within`] and friends): this predicate runs once
+    /// per candidate row of every scan, and for the non-matching majority
+    /// the partial sum crosses the bound before all coordinates are
+    /// touched. No square root is ever taken for `L2`.
     #[inline]
     pub fn within(&self, a: &[f64], b: &[f64], radius: f64) -> bool {
         match self {
-            // Avoid the square root on the hot path.
-            Norm::L2 => vector::sq_dist(a, b) <= radius * radius,
-            _ => self.dist(a, b) <= radius,
+            Norm::L1 => vector::l1_dist_within(a, b, radius),
+            Norm::L2 => vector::sq_dist_within(a, b, radius * radius),
+            Norm::LInf => vector::linf_dist_within(a, b, radius),
+            Norm::Lp(p) => vector::lp_dist_within(a, b, *p, radius),
         }
     }
 }

@@ -95,6 +95,28 @@ impl Relation {
         self.index.count_ball(center, radius, self.norm)
     }
 
+    /// Fold `state` over the rows of `D(center, radius)` during a single
+    /// index traversal: `f(&mut state, id, x_i, u_i)` per qualifying row.
+    ///
+    /// This is the aggregation-pushdown path (no id buffer, no second data
+    /// pass): Q1 means, moment accumulators and OLS Gram state all ride
+    /// the scan itself, the way a user-defined aggregate runs inside a
+    /// DBMS executor. Lock-free and allocation-free, so concurrent readers
+    /// scale linearly.
+    pub fn fold_ball<S>(
+        &self,
+        center: &[f64],
+        radius: f64,
+        mut state: S,
+        mut f: impl FnMut(&mut S, usize, &[f64], f64),
+    ) -> S {
+        self.index
+            .visit_ball(center, radius, self.norm, &mut |id, x, y| {
+                f(&mut state, id, x, y)
+            });
+        state
+    }
+
     /// Run `f` over the selected row ids using an internal scratch buffer
     /// (no per-query allocation once warmed up). Under concurrent use the
     /// scratch is claimed with `try_lock`; contending callers fall back to
@@ -177,6 +199,39 @@ mod tests {
         let rel = relation(AccessPathKind::KdTree);
         let ids = rel.select(&[0.5, 0.5], 0.2);
         assert_eq!(rel.count(&[0.5, 0.5], 0.2), ids.len());
+    }
+
+    #[test]
+    fn fold_ball_matches_materialized_selection() {
+        for path in [
+            AccessPathKind::Scan,
+            AccessPathKind::KdTree,
+            AccessPathKind::Grid,
+        ] {
+            let rel = relation(path);
+            let (c, r) = ([0.4, 0.6], 0.25);
+            let (n, sum_y, sum_x0) =
+                rel.fold_ball(&c, r, (0usize, 0.0f64, 0.0f64), |s, _, x, y| {
+                    s.0 += 1;
+                    s.1 += y;
+                    s.2 += x[0];
+                });
+            let ids = rel.select(&c, r);
+            assert_eq!(n, ids.len(), "{path:?}");
+            let want_y: f64 = ids.iter().map(|&i| rel.dataset().y(i)).sum();
+            let want_x0: f64 = ids.iter().map(|&i| rel.dataset().x(i)[0]).sum();
+            assert!((sum_y - want_y).abs() < 1e-12, "{path:?}");
+            assert!((sum_x0 - want_x0).abs() < 1e-12, "{path:?}");
+        }
+    }
+
+    #[test]
+    fn fold_ball_visits_rows_with_their_own_coordinates() {
+        let rel = relation(AccessPathKind::KdTree);
+        rel.fold_ball(&[0.5, 0.5], 0.3, (), |_, id, x, y| {
+            assert_eq!(x, rel.dataset().x(id));
+            assert_eq!(y, rel.dataset().y(id));
+        });
     }
 
     #[test]

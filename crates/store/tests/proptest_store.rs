@@ -89,6 +89,34 @@ proptest! {
         prop_assert_eq!(sorted(got), want);
     }
 
+    /// The push-based fold traversal visits exactly the rows the
+    /// materializing selection returns — same ids, same coordinates, same
+    /// outputs — for every access path and norm.
+    #[test]
+    fn fold_ball_equals_query_ball_on_every_path(ds in dataset_strategy(3),
+                                                 c in prop::collection::vec(-1.5..1.5f64, 3),
+                                                 r in 0.0..1.5f64,
+                                                 norm in norm_strategy()) {
+        let data = Arc::new(ds);
+        let scan = LinearScan::new(data.clone());
+        let tree = KdTree::build(data.clone());
+        let grid = GridIndex::build(data.clone());
+        let paths: [&dyn SpatialIndex; 3] = [&scan, &tree, &grid];
+        for index in paths {
+            let mut visited = Vec::new();
+            let mut rows_match = true;
+            index.visit_ball(&c, r, norm, &mut |id, x, y| {
+                rows_match &= x == data.x(id) && y == data.y(id);
+                visited.push(id);
+            });
+            prop_assert!(rows_match, "visitor row mismatch on {}", index.kind());
+            let mut ids = Vec::new();
+            index.query_ball(&c, r, norm, &mut ids);
+            prop_assert_eq!(&visited, &ids, "visit vs query on {}", index.kind());
+            prop_assert_eq!(index.count_ball(&c, r, norm), ids.len());
+        }
+    }
+
     /// Selections are monotone in the radius: a bigger ball returns a
     /// superset of row ids.
     #[test]

@@ -1,0 +1,131 @@
+//! Minimal `std::thread`-based parallel executors.
+//!
+//! No external runtime (the shim policy in `shims/README.md` stands): both
+//! helpers fan work out over `std::thread::scope` and join before
+//! returning, so borrowed data flows in without `'static` bounds.
+//!
+//! * [`parallel_map`] — deterministic chunked map: item `i` always lands
+//!   in slot `i` of the output, and the chunk split depends only on
+//!   `(len, threads)`, never on scheduling. This is what makes parallel
+//!   ground-truth execution in the training loop reproducible bit-for-bit
+//!   across thread counts.
+//! * [`parallel_for_each`] — work-stealing loop over a shared atomic
+//!   cursor for side-effecting workloads where completion order is
+//!   irrelevant (throughput measurement).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `items` through `f` across `threads` workers, preserving order:
+/// `out[i] == f(&items[i])`.
+///
+/// Items are split into `threads` contiguous chunks (the last may be
+/// short); each worker fills its own output chunk, so no synchronization
+/// happens beyond the final join. `threads == 1` runs inline without
+/// spawning.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    assert!(threads >= 1, "need at least one thread");
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Run `work` over every item across `threads` workers, pulling indices
+/// from a shared atomic cursor (self-balancing when per-item cost varies).
+/// Completion order is unspecified. `threads == 1` runs inline.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn parallel_for_each<T, F>(items: &[T], threads: usize, work: F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    assert!(threads >= 1, "need at least one thread");
+    if threads == 1 || items.len() <= 1 {
+        for item in items {
+            work(item);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                work(&items[i]);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let want: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 7, 8, 16] {
+            let got = parallel_map(&items, threads, |x| x * x);
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |x| *x).is_empty());
+        assert_eq!(parallel_map(&[5u32], 4, |x| x + 1), vec![6]);
+        // More threads than items.
+        assert_eq!(parallel_map(&[1u32, 2], 8, |x| x * 10), vec![10, 20]);
+    }
+
+    #[test]
+    fn for_each_visits_every_item_exactly_once() {
+        let items: Vec<usize> = (0..500).collect();
+        for threads in [1, 4] {
+            let sum = AtomicU64::new(0);
+            let count = AtomicUsize::new(0);
+            parallel_for_each(&items, threads, |&i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 500);
+            assert_eq!(sum.load(Ordering::Relaxed), (0..500u64).sum());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = parallel_map(&[1u32], 0, |x| *x);
+    }
+}

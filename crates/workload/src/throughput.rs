@@ -9,10 +9,10 @@
 //! and [`exact_q1_throughput`] drive both with the same workload and
 //! thread counts.
 
+use crate::pool;
 use crate::querygen::QueryGenerator;
 use regq_core::{LlmModel, Query};
 use regq_exact::ExactEngine;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Result of one throughput measurement.
@@ -67,20 +67,8 @@ fn run_parallel(
     threads: usize,
     work: impl Fn(&Query) + Sync,
 ) -> ThroughputResult {
-    assert!(threads >= 1, "need at least one thread");
-    let cursor = AtomicUsize::new(0);
     let t0 = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= queries.len() {
-                    break;
-                }
-                work(&queries[i]);
-            });
-        }
-    });
+    pool::parallel_for_each(queries, threads, work);
     ThroughputResult {
         threads,
         queries: queries.len(),

@@ -110,6 +110,18 @@ macro_rules! prop_assert_eq {
             r
         );
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
 }
 
 /// Fail the current test case unless `left != right`.
