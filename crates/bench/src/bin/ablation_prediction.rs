@@ -37,7 +37,7 @@ fn main() {
         weighted.push(actual, alg2);
         // Closest-prototype-only variant.
         let (j, _) = t.model.winner(&q).expect("non-empty");
-        let near = t.model.prototypes()[j].eval(&q.center, q.radius);
+        let near = t.model.arena().eval(j, &q.center, q.radius);
         closest.push(actual, near);
         if t.model.overlap_set(&q).is_empty() {
             fallback_count += 1;

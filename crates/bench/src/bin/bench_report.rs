@@ -9,7 +9,14 @@
 //! 3. the OLS fit kernel on a fixed selection — Gram accumulation vs
 //!    design-matrix materialization;
 //! 4. end-to-end Fig. 2 training wall-clock at 1/4/8 worker threads with
-//!    the `StreamReport` query-side share and a determinism fingerprint.
+//!    the `StreamReport` query-side share and a determinism fingerprint;
+//! 5. the `O(dK)` serving path at K ∈ {64, 256, 1024, 4096} — the
+//!    struct-of-arrays arena with batched kernels vs the retained
+//!    per-prototype reference path (`regq_core::predict::reference`),
+//!    in Q1 predictions/sec.
+//!
+//! The emitted JSON carries a `host` object (core count, `--smoke`,
+//! os/arch) so single-core-container runs are machine-readable.
 //!
 //! Fixture: 40 000-row Rosenbrock (paper R2, d = 2), queries
 //! `θ ~ N(1, 0.5²)` — the paper's efficiency-experiment shape at in-memory
@@ -19,9 +26,11 @@
 //! (writes `BENCH_pushdown.json` in the working directory; `--smoke` runs
 //! a CI-sized fixture and prints the JSON to stdout without writing).
 
+use rand::RngExt;
 use regq_bench as bench;
 use regq_bench::Family;
-use regq_core::{LlmModel, Query};
+use regq_core::predict::reference;
+use regq_core::{LlmModel, ModelConfig, Query};
 use regq_data::rng::seeded;
 use regq_exact::{fit_ols, fit_ols_design, q1_mean_materialized, ExactEngine};
 use regq_store::AccessPathKind;
@@ -62,6 +71,89 @@ struct PathRow {
     q1_fused_us: f64,
     pair_materialized_us: f64,
     pair_fused_us: f64,
+}
+
+struct ServingRow {
+    k: usize,
+    pre_arena_us: f64,
+    reference_us: f64,
+    arena_us: f64,
+}
+
+/// Faithful replica of the **pre-arena** serving loop (as of PR 3): AoS
+/// `Vec<Prototype>` storage *and* the old root-space overlap kernel that
+/// took a square root for every prototype before the membership test.
+/// The in-tree `reference` path has since adopted the squared-space
+/// boundary contract of the bugfix sweep, so this replica is kept here —
+/// and only here — to measure the serving speedup against what actually
+/// shipped before this change.
+mod pre_arena {
+    use regq_core::{Prototype, Query};
+
+    fn degree(center_a: &[f64], radius_a: f64, center_b: &[f64], radius_b: f64) -> f64 {
+        let center_dist = regq_linalg::vector::l2_dist(center_a, center_b);
+        let radius_sum = radius_a + radius_b;
+        if center_dist > radius_sum {
+            return 0.0;
+        }
+        let spread = center_dist.max((radius_a - radius_b).abs());
+        1.0 - spread / radius_sum
+    }
+
+    /// `scratch` mirrors PR 3's thread-local overlap buffer: the real
+    /// pre-arena path was allocation-free per query, so the replica must
+    /// be too.
+    pub fn predict_q1(protos: &[Prototype], q: &Query, scratch: &mut Vec<(usize, f64)>) -> f64 {
+        let w = scratch;
+        w.clear();
+        for (k, p) in protos.iter().enumerate() {
+            let d = degree(&q.center, q.radius, &p.center, p.radius);
+            if d > 0.0 {
+                w.push((k, d));
+            }
+        }
+        if w.is_empty() {
+            let mut best: Option<(usize, f64)> = None;
+            for (k, p) in protos.iter().enumerate() {
+                let d = p.sq_dist_to(q);
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((k, d));
+                }
+            }
+            let (j, _) = best.expect("non-empty");
+            return protos[j].eval(&q.center, q.radius);
+        }
+        let total: f64 = w.iter().map(|(_, d)| d).sum();
+        let mut yhat = 0.0;
+        for &(k, d) in w.iter() {
+            yhat += d / total * protos[k].eval(&q.center, q.radius);
+        }
+        yhat
+    }
+}
+
+/// Build a frozen model with *exactly* `k` prototypes through the public
+/// training interface: a vanishing vigilance makes every fresh center
+/// spawn, and an immediate revisit of the same query gives each prototype
+/// one real SGD coefficient update. The serving cost depends only on
+/// `(d, K)`, not on how well-trained the coefficients are.
+fn build_serving_model(k: usize, d: usize, seed: u64) -> LlmModel {
+    let mut cfg = ModelConfig::paper_defaults(d);
+    cfg.vigilance_override = Some(1e-12);
+    let mut m = LlmModel::new(cfg).expect("valid config");
+    let mut rng = seeded(seed);
+    for _ in 0..k {
+        let c: Vec<f64> = (0..d).map(|_| rng.random_range(0.0..1.0)).collect();
+        // Paper-like workload: radii around 10 % of the unit domain.
+        let r = rng.random_range(0.05..0.15);
+        let y = c.iter().sum::<f64>() + rng.random_range(-0.1..0.1);
+        let q = Query::new_unchecked(c, r);
+        m.train_step_plastic(&q, y).expect("spawn step");
+        m.train_step_plastic(&q, y).expect("update step");
+    }
+    assert_eq!(m.k(), k, "collided spawn centers");
+    m.freeze();
+    m
 }
 
 fn main() {
@@ -204,10 +296,86 @@ fn main() {
         "parallel training diverged across thread counts"
     );
 
+    // ---- Section 5: serving path — SoA arena vs per-prototype reference.
+    let serving_d = 4;
+    let serving_ks: &[usize] = if smoke {
+        &[64, 256, 1024]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    let serving_queries = {
+        let mut rng = seeded(4242);
+        let n = if smoke { 200 } else { 1_000 };
+        (0..n)
+            .map(|_| {
+                let c: Vec<f64> = (0..serving_d).map(|_| rng.random_range(0.0..1.0)).collect();
+                Query::new_unchecked(c, rng.random_range(0.05..0.15))
+            })
+            .collect::<Vec<_>>()
+    };
+    let mut serving_rows = Vec::new();
+    for &k in serving_ks {
+        let model = build_serving_model(k, serving_d, 9000 + k as u64);
+        let snapshot = model.prototypes();
+        let mut legacy_scratch = Vec::new();
+        // Interleave the timing passes of the three paths so slow drift
+        // (turbo decay, noisy neighbours on a shared box) hits them
+        // symmetrically; `min` over passes then discards the disturbed
+        // ones per path.
+        let serving_passes = passes.max(5);
+        let (mut pre_arena_us, mut reference_us, mut arena_us) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for warmup_and_passes in 0..=serving_passes {
+            let timed = warmup_and_passes > 0;
+            let t0 = Instant::now();
+            for q in &serving_queries {
+                black_box(pre_arena::predict_q1(&snapshot, q, &mut legacy_scratch));
+            }
+            if timed {
+                pre_arena_us = pre_arena_us
+                    .min(t0.elapsed().as_secs_f64() * 1e6 / serving_queries.len() as f64);
+            }
+            let t0 = Instant::now();
+            for q in &serving_queries {
+                black_box(reference::predict_q1(&snapshot, q).expect("non-empty"));
+            }
+            if timed {
+                reference_us = reference_us
+                    .min(t0.elapsed().as_secs_f64() * 1e6 / serving_queries.len() as f64);
+            }
+            let t0 = Instant::now();
+            for q in &serving_queries {
+                black_box(model.predict_q1(q).expect("trained model"));
+            }
+            if timed {
+                arena_us =
+                    arena_us.min(t0.elapsed().as_secs_f64() * 1e6 / serving_queries.len() as f64);
+            }
+        }
+        eprintln!(
+            "  serving K={k}: pre-arena {pre_arena_us:.2} us -> reference {reference_us:.2} us \
+             -> arena {arena_us:.2} us ({:.2}x vs pre-arena, {:.0} pred/s)",
+            pre_arena_us / arena_us,
+            1e6 / arena_us
+        );
+        serving_rows.push(ServingRow {
+            k,
+            pre_arena_us,
+            reference_us,
+            arena_us,
+        });
+    }
+
     // ---- Emit JSON (hand-rolled: the serde shim's derives are no-ops).
     let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     let mut json = String::new();
     json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"host\": {{\"cores\": {cores}, \"smoke\": {smoke}, \"os\": \"{}\", \"arch\": \"{}\"}},",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    );
     let _ = writeln!(
         json,
         "  \"fixture\": {{\"family\": \"R2 Rosenbrock\", \"rows\": {rows}, \"dim\": {d}, \
@@ -261,6 +429,33 @@ fn main() {
             fmt_f(*wall_s),
             fmt_f(*share),
             if i + 1 < training.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n  },\n");
+    let _ = writeln!(
+        json,
+        "  \"serving\": {{\n    \"dim\": {serving_d}, \"queries\": {}, \
+         \"paths\": \"pre_arena = PR3 serving loop (AoS + root-space kernel); \
+         reference = retained per-prototype path on the new boundary contract; \
+         arena = SoA + batched kernels\",",
+        serving_queries.len()
+    );
+    json.push_str("    \"by_k\": [\n");
+    for (i, r) in serving_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"k\": {}, \"pre_arena_us\": {}, \"reference_us\": {}, \"arena_us\": {}, \
+             \"pre_arena_pred_per_s\": {}, \"arena_pred_per_s\": {}, \
+             \"speedup_vs_pre_arena\": {}, \"speedup_vs_reference\": {}}}{}",
+            r.k,
+            fmt_f(r.pre_arena_us),
+            fmt_f(r.reference_us),
+            fmt_f(r.arena_us),
+            fmt_f(1e6 / r.pre_arena_us),
+            fmt_f(1e6 / r.arena_us),
+            fmt_f(r.pre_arena_us / r.arena_us),
+            fmt_f(r.reference_us / r.arena_us),
+            if i + 1 < serving_rows.len() { "," } else { "" }
         );
     }
     json.push_str("    ]\n  }\n}\n");

@@ -14,6 +14,7 @@
 
 use crate::model::LlmModel;
 use crate::schedule::LearningSchedule;
+use regq_linalg::vector;
 
 /// Unfreeze and switch to a constant learning rate (plasticity floor) so
 /// continued training tracks non-stationary data.
@@ -49,38 +50,36 @@ pub fn set_schedule(model: &mut LlmModel, schedule: LearningSchedule) {
 pub fn merge_close_prototypes(model: &mut LlmModel, min_dist: f64) -> usize {
     let mut merged = 0usize;
     loop {
-        let protos = model.prototypes();
-        let k = protos.len();
+        let arena = model.arena();
+        let k = arena.len();
         let mut best: Option<(usize, usize, f64)> = None;
         for i in 0..k {
             for j in (i + 1)..k {
-                let d = protos[i].sq_dist_to(&protos[j].as_query()).sqrt();
+                let dr = arena.radius(i) - arena.radius(j);
+                let d = (vector::sq_dist(arena.center(i), arena.center(j)) + dr * dr).sqrt();
                 if d < min_dist && best.is_none_or(|(_, _, bd)| d < bd) {
                     best = Some((i, j, d));
                 }
             }
         }
         let Some((i, j, _)) = best else { break };
-        let protos = model.prototypes_mut();
+        let arena = model.arena_mut();
         // Weighted average into i, remove j (i < j so removal is safe).
-        let (wi, wj) = (
-            (protos[i].updates.max(1)) as f64,
-            (protos[j].updates.max(1)) as f64,
-        );
+        let pj = arena.view(j).to_prototype();
+        let (wi, wj) = ((arena.updates(i).max(1)) as f64, (pj.updates.max(1)) as f64);
         let total = wi + wj;
-        let pj = protos[j].clone();
-        let pi = &mut protos[i];
+        let pi = arena.view_mut(i);
         for (ci, cj) in pi.center.iter_mut().zip(pj.center.iter()) {
             *ci = (*ci * wi + cj * wj) / total;
         }
-        pi.radius = (pi.radius * wi + pj.radius * wj) / total;
-        pi.y = (pi.y * wi + pj.y * wj) / total;
+        *pi.radius = (*pi.radius * wi + pj.radius * wj) / total;
+        *pi.y = (*pi.y * wi + pj.y * wj) / total;
         for (bi, bj) in pi.b_x.iter_mut().zip(pj.b_x.iter()) {
             *bi = (*bi * wi + bj * wj) / total;
         }
-        pi.b_theta = (pi.b_theta * wi + pj.b_theta * wj) / total;
-        pi.updates += pj.updates;
-        protos.remove(j);
+        *pi.b_theta = (*pi.b_theta * wi + pj.b_theta * wj) / total;
+        *pi.updates += pj.updates;
+        arena.remove(j);
         merged += 1;
     }
     merged
@@ -89,24 +88,24 @@ pub fn merge_close_prototypes(model: &mut LlmModel, min_dist: f64) -> usize {
 /// Drop prototypes with fewer than `min_updates` SGD updates, keeping at
 /// least one prototype. Returns the number pruned.
 pub fn prune_rare_prototypes(model: &mut LlmModel, min_updates: u64) -> usize {
-    let protos = model.prototypes_mut();
-    if protos.len() <= 1 {
+    let arena = model.arena_mut();
+    if arena.len() <= 1 {
         return 0;
     }
-    let before = protos.len();
+    let before = arena.len();
     // Keep the best-trained prototype unconditionally so the model never
     // empties.
-    let max_updates = protos.iter().map(|p| p.updates).max().unwrap_or(0);
+    let max_updates = arena.update_counts().iter().max().copied().unwrap_or(0);
     let mut kept_one = false;
-    protos.retain(|p| {
+    arena.retain(|p| {
         let keep = p.updates >= min_updates || (!kept_one && p.updates == max_updates);
         kept_one |= keep;
         keep
     });
-    if protos.is_empty() {
+    if arena.is_empty() {
         unreachable!("retain keeps at least one prototype");
     }
-    before - protos.len()
+    before - arena.len()
 }
 
 impl LlmModel {

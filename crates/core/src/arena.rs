@@ -1,0 +1,623 @@
+//! Struct-of-arrays prototype storage — the serving-path data layout.
+//!
+//! The paper's `O(dK)` serving claim (Algorithms 2–3) makes the
+//! winner/overlap scan over the `K` prototypes the hot loop of every
+//! prediction. The original layout — a `Vec<Prototype>` where each
+//! prototype owns its `center`/`b_x` heap allocations — pays a pointer
+//! chase per prototype per query. The [`PrototypeArena`] instead packs the
+//! parameter triplets `α_k = (w_k, y_k, b_k)` into six contiguous,
+//! dimension-strided blocks:
+//!
+//! ```text
+//! centers   [x_0 | x_1 | … | x_{K−1}]   K·d
+//! radii     [θ_0, θ_1, …, θ_{K−1}]      K
+//! ys        [y_0, y_1, …, y_{K−1}]      K
+//! b_xs      [b_0 | b_1 | … | b_{K−1}]   K·d
+//! b_thetas  [bΘ_0, …, bΘ_{K−1}]         K
+//! updates   [n_0, …, n_{K−1}]           K
+//! ```
+//!
+//! so the winner search and the overlap scan stream linearly through
+//! memory as single fused passes over the 4-row batched distance kernel
+//! ([`regq_linalg::vector::sq_dists4`]; the store-side scans route
+//! through its sibling `sq_dist_within_batch`). All batched
+//! results are **bit-identical** to the per-prototype scalar path (the
+//! kernels perform the same additions in the same order), which the
+//! `arena_equivalence` proptests pin.
+//!
+//! [`crate::prototype::Prototype`] remains the *owned* exchange form used
+//! at the API edges (persistence, codebook surgery, snapshots); on the
+//! serving path it is reduced to the borrowed views [`PrototypeRef`] /
+//! [`PrototypeRefMut`] over the arena blocks.
+
+use crate::prototype::Prototype;
+use regq_linalg::vector;
+use serde::{Deserialize, Serialize};
+
+/// Contiguous struct-of-arrays storage for `K` prototypes of dimension `d`.
+///
+/// Invariants: `centers.len() == b_xs.len() == len·dim` and
+/// `radii/ys/b_thetas/updates` all have length `len`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrototypeArena {
+    dim: usize,
+    len: usize,
+    centers: Vec<f64>,
+    radii: Vec<f64>,
+    ys: Vec<f64>,
+    b_xs: Vec<f64>,
+    b_thetas: Vec<f64>,
+    updates: Vec<u64>,
+}
+
+/// Borrowed view of one prototype's parameter triplet (the serving-path
+/// replacement for `&Prototype`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrototypeRef<'a> {
+    /// Prototype center `x_k`.
+    pub center: &'a [f64],
+    /// Prototype radius `θ_k`.
+    pub radius: f64,
+    /// Local intercept `y_k`.
+    pub y: f64,
+    /// Local slope over the input coordinates, `b_{X,k}`.
+    pub b_x: &'a [f64],
+    /// Local slope over the radius coordinate, `b_{Θ,k}`.
+    pub b_theta: f64,
+    /// SGD update count.
+    pub updates: u64,
+}
+
+impl PrototypeRef<'_> {
+    /// Materialize an owned [`Prototype`] from this view.
+    pub fn to_prototype(&self) -> Prototype {
+        Prototype {
+            center: self.center.to_vec(),
+            radius: self.radius,
+            y: self.y,
+            b_x: self.b_x.to_vec(),
+            b_theta: self.b_theta,
+            updates: self.updates,
+        }
+    }
+}
+
+/// Mutable view of one prototype (training and codebook surgery).
+#[derive(Debug)]
+pub struct PrototypeRefMut<'a> {
+    /// Prototype center `x_k`.
+    pub center: &'a mut [f64],
+    /// Prototype radius `θ_k`.
+    pub radius: &'a mut f64,
+    /// Local intercept `y_k`.
+    pub y: &'a mut f64,
+    /// Local slope over the input coordinates, `b_{X,k}`.
+    pub b_x: &'a mut [f64],
+    /// Local slope over the radius coordinate, `b_{Θ,k}`.
+    pub b_theta: &'a mut f64,
+    /// SGD update count.
+    pub updates: &'a mut u64,
+}
+
+impl PrototypeArena {
+    /// Empty arena for prototypes of dimension `dim` (`dim ≥ 1`).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "PrototypeArena requires dim >= 1");
+        PrototypeArena {
+            dim,
+            len: 0,
+            centers: Vec::new(),
+            radii: Vec::new(),
+            ys: Vec::new(),
+            b_xs: Vec::new(),
+            b_thetas: Vec::new(),
+            updates: Vec::new(),
+        }
+    }
+
+    /// Build from owned prototypes (persistence / model reconstruction).
+    ///
+    /// # Panics
+    /// Panics if any prototype's `center` or `b_x` length differs from
+    /// `dim` (callers validate first and surface a typed error).
+    pub fn from_prototypes(dim: usize, protos: &[Prototype]) -> Self {
+        let mut arena = Self::new(dim);
+        for p in protos {
+            arena.push(p);
+        }
+        arena
+    }
+
+    /// Number of prototypes `K`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the arena holds no prototypes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Input dimensionality `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The packed center block (`len·dim`, dimension-strided).
+    #[inline]
+    pub fn centers(&self) -> &[f64] {
+        &self.centers
+    }
+
+    /// The radius block.
+    #[inline]
+    pub fn radii(&self) -> &[f64] {
+        &self.radii
+    }
+
+    /// The update-count block.
+    #[inline]
+    pub fn update_counts(&self) -> &[u64] {
+        &self.updates
+    }
+
+    /// Center of prototype `k`.
+    #[inline]
+    pub fn center(&self, k: usize) -> &[f64] {
+        &self.centers[k * self.dim..(k + 1) * self.dim]
+    }
+
+    /// Radius of prototype `k`.
+    #[inline]
+    pub fn radius(&self, k: usize) -> f64 {
+        self.radii[k]
+    }
+
+    /// Intercept of prototype `k`.
+    #[inline]
+    pub fn y(&self, k: usize) -> f64 {
+        self.ys[k]
+    }
+
+    /// Input slope row of prototype `k`.
+    #[inline]
+    pub fn b_x(&self, k: usize) -> &[f64] {
+        &self.b_xs[k * self.dim..(k + 1) * self.dim]
+    }
+
+    /// Radius slope of prototype `k`.
+    #[inline]
+    pub fn b_theta(&self, k: usize) -> f64 {
+        self.b_thetas[k]
+    }
+
+    /// Update count of prototype `k`.
+    #[inline]
+    pub fn updates(&self, k: usize) -> u64 {
+        self.updates[k]
+    }
+
+    /// Borrowed view of prototype `k`.
+    #[inline]
+    pub fn view(&self, k: usize) -> PrototypeRef<'_> {
+        PrototypeRef {
+            center: self.center(k),
+            radius: self.radii[k],
+            y: self.ys[k],
+            b_x: self.b_x(k),
+            b_theta: self.b_thetas[k],
+            updates: self.updates[k],
+        }
+    }
+
+    /// Mutable view of prototype `k`.
+    #[inline]
+    pub fn view_mut(&mut self, k: usize) -> PrototypeRefMut<'_> {
+        let d = self.dim;
+        PrototypeRefMut {
+            center: &mut self.centers[k * d..(k + 1) * d],
+            radius: &mut self.radii[k],
+            y: &mut self.ys[k],
+            b_x: &mut self.b_xs[k * d..(k + 1) * d],
+            b_theta: &mut self.b_thetas[k],
+            updates: &mut self.updates[k],
+        }
+    }
+
+    /// Iterate over all prototypes as borrowed views.
+    pub fn iter(&self) -> impl Iterator<Item = PrototypeRef<'_>> {
+        (0..self.len).map(|k| self.view(k))
+    }
+
+    /// Materialize the whole codebook as owned prototypes (API-edge
+    /// snapshot — allocates; never used on the serving path).
+    pub fn to_prototypes(&self) -> Vec<Prototype> {
+        self.iter().map(|p| p.to_prototype()).collect()
+    }
+
+    /// Append a prototype spawned from a query: zero-initialized
+    /// coefficients, `updates = 1` (Algorithm 1 init / design decision
+    /// D-4 — see [`Prototype::from_query`]).
+    pub fn push_query(&mut self, center: &[f64], radius: f64) {
+        assert_eq!(center.len(), self.dim, "push_query: dimension mismatch");
+        self.centers.extend_from_slice(center);
+        self.radii.push(radius);
+        self.ys.push(0.0);
+        self.b_xs.resize(self.b_xs.len() + self.dim, 0.0);
+        self.b_thetas.push(0.0);
+        self.updates.push(1);
+        self.len += 1;
+    }
+
+    /// Append an owned prototype.
+    ///
+    /// # Panics
+    /// Panics on a `center`/`b_x` length mismatch with the arena dimension.
+    pub fn push(&mut self, p: &Prototype) {
+        assert_eq!(p.center.len(), self.dim, "push: center dimension mismatch");
+        assert_eq!(p.b_x.len(), self.dim, "push: slope dimension mismatch");
+        self.centers.extend_from_slice(&p.center);
+        self.radii.push(p.radius);
+        self.ys.push(p.y);
+        self.b_xs.extend_from_slice(&p.b_x);
+        self.b_thetas.push(p.b_theta);
+        self.updates.push(p.updates);
+        self.len += 1;
+    }
+
+    /// Remove prototype `k`, shifting later prototypes down (`O(K·d)`;
+    /// codebook surgery only, never the serving path).
+    pub fn remove(&mut self, k: usize) {
+        assert!(k < self.len, "remove: index out of bounds");
+        let d = self.dim;
+        self.centers.drain(k * d..(k + 1) * d);
+        self.b_xs.drain(k * d..(k + 1) * d);
+        self.radii.remove(k);
+        self.ys.remove(k);
+        self.b_thetas.remove(k);
+        self.updates.remove(k);
+        self.len -= 1;
+    }
+
+    /// Keep only the prototypes for which `f` returns `true`, preserving
+    /// order (in-place compaction; codebook surgery only).
+    pub fn retain(&mut self, mut f: impl FnMut(PrototypeRef<'_>) -> bool) {
+        let mask: Vec<bool> = (0..self.len).map(|k| f(self.view(k))).collect();
+        let d = self.dim;
+        let mut w = 0usize;
+        for (k, &keep) in mask.iter().enumerate() {
+            if !keep {
+                continue;
+            }
+            if w != k {
+                self.centers.copy_within(k * d..(k + 1) * d, w * d);
+                self.b_xs.copy_within(k * d..(k + 1) * d, w * d);
+                self.radii[w] = self.radii[k];
+                self.ys[w] = self.ys[k];
+                self.b_thetas[w] = self.b_thetas[k];
+                self.updates[w] = self.updates[k];
+            }
+            w += 1;
+        }
+        self.centers.truncate(w * d);
+        self.b_xs.truncate(w * d);
+        self.radii.truncate(w);
+        self.ys.truncate(w);
+        self.b_thetas.truncate(w);
+        self.updates.truncate(w);
+        self.len = w;
+    }
+
+    /// Evaluate the LLM of prototype `k` at `(x, θ)` (Eq. 5/12) —
+    /// bit-identical to [`Prototype::eval`].
+    #[inline]
+    pub fn eval(&self, k: usize, x: &[f64], theta: f64) -> f64 {
+        debug_assert_eq!(x.len(), self.dim);
+        let mut v = self.ys[k] + self.b_thetas[k] * (theta - self.radii[k]);
+        for ((bi, xi), ci) in self.b_x(k).iter().zip(x.iter()).zip(self.center(k).iter()) {
+            v += bi * (xi - ci);
+        }
+        v
+    }
+
+    /// Evaluate the LLM of prototype `k` at its own radius (Theorem 3 /
+    /// Eq. 13) — bit-identical to [`Prototype::eval_at_own_radius`].
+    #[inline]
+    pub fn eval_at_own_radius(&self, k: usize, x: &[f64]) -> f64 {
+        self.eval(k, x, self.radii[k])
+    }
+
+    /// The Theorem-3 local line of prototype `k`: `(intercept, slope)` —
+    /// bit-identical to [`Prototype::local_line`].
+    pub fn local_line(&self, k: usize) -> (f64, &[f64]) {
+        let mut intercept = self.ys[k];
+        for (bi, ci) in self.b_x(k).iter().zip(self.center(k).iter()) {
+            intercept -= bi * ci;
+        }
+        (intercept, self.b_x(k))
+    }
+
+    /// Winner search over the arena: index and squared *joint* query-space
+    /// distance (Definition 5) of the prototype closest to
+    /// `(center, radius)`; `None` on an empty arena.
+    ///
+    /// Single pass over the packed center block, four prototypes per
+    /// iteration ([`vector::sq_dists4`]); ties keep the lowest index, as
+    /// the per-prototype scan did. With non-finite parameters (impossible
+    /// through validated training) the winner choice is unspecified.
+    pub fn winner(&self, center: &[f64], radius: f64) -> Option<(usize, f64)> {
+        if self.len == 0 {
+            return None;
+        }
+        debug_assert_eq!(center.len(), self.dim);
+        let d = self.dim;
+        let (mut best_k, mut best) = (0usize, f64::INFINITY);
+        let mut k = 0usize;
+        let mut quads = self.centers.chunks_exact(4 * d);
+        for quad in quads.by_ref() {
+            let sq = vector::sq_dists4(center, quad, d);
+            for (j, &csq) in sq.iter().enumerate() {
+                let dr = radius - self.radii[k + j];
+                let joint = csq + dr * dr;
+                if joint < best {
+                    best = joint;
+                    best_k = k + j;
+                }
+            }
+            k += 4;
+        }
+        for row in quads.remainder().chunks_exact(d) {
+            let dr = radius - self.radii[k];
+            let joint = vector::sq_dist(center, row) + dr * dr;
+            if joint < best {
+                best = joint;
+                best_k = k;
+            }
+            k += 1;
+        }
+        Some((best_k, best))
+    }
+
+    /// The overlap neighborhood `W(q)` (Eq. 10): `(k, δ(q, w_k))` for every
+    /// prototype with `δ > 0`, appended to `out` (cleared first) in
+    /// ascending `k`.
+    ///
+    /// A single fused pass over the packed center and radius blocks: four
+    /// squared distances per iteration ([`vector::sq_dists4`]), membership
+    /// decided in squared space (the `overlap` module's boundary
+    /// contract), and a root taken only for prototypes that actually
+    /// overlap. Degrees are bit-identical to
+    /// [`crate::overlap::overlap_degree_parts`] per prototype.
+    pub fn overlap_set_into(&self, center: &[f64], radius: f64, out: &mut Vec<(usize, f64)>) {
+        out.clear();
+        if self.len == 0 {
+            return;
+        }
+        debug_assert_eq!(center.len(), self.dim);
+        let d = self.dim;
+        let mut k = 0usize;
+        let push_if_member = |k: usize, csq: f64, out: &mut Vec<(usize, f64)>| {
+            let rk = self.radii[k];
+            let radius_sum = radius + rk;
+            if csq <= radius_sum * radius_sum {
+                let spread = csq.sqrt().max((radius - rk).abs());
+                let degree = 1.0 - spread / radius_sum;
+                if degree > 0.0 {
+                    out.push((k, degree));
+                }
+            }
+        };
+        let mut quads = self.centers.chunks_exact(4 * d);
+        for quad in quads.by_ref() {
+            let sq = vector::sq_dists4(center, quad, d);
+            // Branchless membership for the whole quad: the per-row slow
+            // path (root + degree + push) runs only when at least one of
+            // the four prototypes overlaps — for selective workloads the
+            // common case is one predictable untaken branch per quad.
+            let r = &self.radii[k..k + 4];
+            let s0 = radius + r[0];
+            let s1 = radius + r[1];
+            let s2 = radius + r[2];
+            let s3 = radius + r[3];
+            let any_hit =
+                (sq[0] <= s0 * s0) | (sq[1] <= s1 * s1) | (sq[2] <= s2 * s2) | (sq[3] <= s3 * s3);
+            if any_hit {
+                for (j, &csq) in sq.iter().enumerate() {
+                    push_if_member(k + j, csq, out);
+                }
+            }
+            k += 4;
+        }
+        for row in quads.remainder().chunks_exact(d) {
+            push_if_member(k, vector::sq_dist(center, row), out);
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlap::overlap_degree_parts;
+    use crate::query::Query;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_protos(k: usize, d: usize, seed: u64) -> Vec<Prototype> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..k)
+            .map(|_| Prototype {
+                center: (0..d).map(|_| rng.random_range(-1.0..1.0)).collect(),
+                radius: rng.random_range(0.05..0.5),
+                y: rng.random_range(-3.0..3.0),
+                b_x: (0..d).map(|_| rng.random_range(-2.0..2.0)).collect(),
+                b_theta: rng.random_range(-1.0..1.0),
+                updates: rng.random_range(1..50u64),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_owned_prototypes() {
+        let protos = random_protos(13, 3, 1);
+        let arena = PrototypeArena::from_prototypes(3, &protos);
+        assert_eq!(arena.len(), 13);
+        assert_eq!(arena.dim(), 3);
+        assert_eq!(arena.to_prototypes(), protos);
+    }
+
+    #[test]
+    fn views_expose_the_pushed_fields() {
+        let protos = random_protos(5, 2, 2);
+        let arena = PrototypeArena::from_prototypes(2, &protos);
+        for (k, p) in protos.iter().enumerate() {
+            let v = arena.view(k);
+            assert_eq!(v.center, &p.center[..]);
+            assert_eq!(v.radius, p.radius);
+            assert_eq!(v.y, p.y);
+            assert_eq!(v.b_x, &p.b_x[..]);
+            assert_eq!(v.b_theta, p.b_theta);
+            assert_eq!(v.updates, p.updates);
+            assert_eq!(v.to_prototype(), *p);
+        }
+    }
+
+    #[test]
+    fn eval_and_local_line_match_owned_prototype() {
+        let protos = random_protos(9, 4, 3);
+        let arena = PrototypeArena::from_prototypes(4, &protos);
+        let x = [0.3, -0.2, 0.9, 0.1];
+        for (k, p) in protos.iter().enumerate() {
+            assert_eq!(arena.eval(k, &x, 0.17), p.eval(&x, 0.17));
+            assert_eq!(arena.eval_at_own_radius(k, &x), p.eval_at_own_radius(&x));
+            let (ia, sa) = arena.local_line(k);
+            let (ip, sp) = p.local_line();
+            assert_eq!(ia, ip);
+            assert_eq!(sa, sp);
+        }
+    }
+
+    #[test]
+    fn winner_matches_per_prototype_scan() {
+        // Counts straddling the 4-row quad boundary.
+        for k in [1usize, 2, 3, 4, 5, 7, 8, 9, 31] {
+            let protos = random_protos(k, 3, 100 + k as u64);
+            let arena = PrototypeArena::from_prototypes(3, &protos);
+            let q = Query::new_unchecked(vec![0.1, -0.3, 0.4], 0.2);
+            let mut best: Option<(usize, f64)> = None;
+            for (i, p) in protos.iter().enumerate() {
+                let d = p.sq_dist_to(&q);
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            }
+            assert_eq!(arena.winner(&q.center, q.radius), best, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn winner_ties_keep_the_lowest_index() {
+        // Two identical prototypes: the scalar scan keeps the first.
+        let p = random_protos(1, 2, 7).pop().unwrap();
+        let arena = PrototypeArena::from_prototypes(2, &[p.clone(), p.clone()]);
+        let (k, _) = arena.winner(&[0.0, 0.0], 0.1).unwrap();
+        assert_eq!(k, 0);
+    }
+
+    #[test]
+    fn overlap_set_matches_per_prototype_degrees() {
+        for k in [1usize, 4, 6, 17] {
+            let protos = random_protos(k, 2, 200 + k as u64);
+            let arena = PrototypeArena::from_prototypes(2, &protos);
+            let (c, r) = (vec![0.2, 0.1], 0.45);
+            let mut got = vec![(9usize, 9.0)];
+            arena.overlap_set_into(&c, r, &mut got);
+            let want: Vec<(usize, f64)> = protos
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| {
+                    let d = overlap_degree_parts(&c, r, &p.center, p.radius);
+                    (d > 0.0).then_some((i, d))
+                })
+                .collect();
+            assert_eq!(got, want, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn empty_arena_has_no_winner_and_no_overlap() {
+        let arena = PrototypeArena::new(2);
+        assert!(arena.winner(&[0.0, 0.0], 0.1).is_none());
+        let mut out = vec![(1usize, 1.0)];
+        arena.overlap_set_into(&[0.0, 0.0], 0.1, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn remove_shifts_later_prototypes_down() {
+        let protos = random_protos(4, 2, 5);
+        let mut arena = PrototypeArena::from_prototypes(2, &protos);
+        arena.remove(1);
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.view(0).to_prototype(), protos[0]);
+        assert_eq!(arena.view(1).to_prototype(), protos[2]);
+        assert_eq!(arena.view(2).to_prototype(), protos[3]);
+    }
+
+    #[test]
+    fn retain_compacts_in_place() {
+        let protos = random_protos(6, 3, 6);
+        let mut arena = PrototypeArena::from_prototypes(3, &protos);
+        let mut i = 0usize;
+        arena.retain(|_| {
+            let keep = i.is_multiple_of(2);
+            i += 1;
+            keep
+        });
+        assert_eq!(arena.len(), 3);
+        for (slot, orig) in [0usize, 2, 4].into_iter().enumerate() {
+            assert_eq!(arena.view(slot).to_prototype(), protos[orig]);
+        }
+    }
+
+    #[test]
+    fn view_mut_writes_through() {
+        let protos = random_protos(3, 2, 8);
+        let mut arena = PrototypeArena::from_prototypes(2, &protos);
+        {
+            let v = arena.view_mut(1);
+            v.center[0] = 42.0;
+            *v.radius = 0.9;
+            *v.y = -7.0;
+            v.b_x[1] = 3.5;
+            *v.b_theta = 1.25;
+            *v.updates = 99;
+        }
+        let p = arena.view(1);
+        assert_eq!(p.center[0], 42.0);
+        assert_eq!(p.radius, 0.9);
+        assert_eq!(p.y, -7.0);
+        assert_eq!(p.b_x[1], 3.5);
+        assert_eq!(p.b_theta, 1.25);
+        assert_eq!(p.updates, 99);
+        // Neighbours untouched.
+        assert_eq!(arena.view(0).to_prototype(), protos[0]);
+        assert_eq!(arena.view(2).to_prototype(), protos[2]);
+    }
+
+    #[test]
+    fn push_query_zero_initializes() {
+        let mut arena = PrototypeArena::new(2);
+        arena.push_query(&[0.3, 0.4], 0.2);
+        let p = arena.view(0);
+        assert_eq!(p.center, &[0.3, 0.4]);
+        assert_eq!(p.radius, 0.2);
+        assert_eq!(p.y, 0.0);
+        assert_eq!(p.b_x, &[0.0, 0.0]);
+        assert_eq!(p.b_theta, 0.0);
+        assert_eq!(p.updates, 1);
+    }
+}

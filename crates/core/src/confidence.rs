@@ -21,7 +21,7 @@
 
 use crate::error::CoreError;
 use crate::model::LlmModel;
-use crate::overlap::overlap_degree;
+use crate::overlap::overlap_degree_parts;
 use crate::query::Query;
 use serde::{Deserialize, Serialize};
 
@@ -65,17 +65,18 @@ impl LlmModel {
 
         let mut mass = 0.0;
         let mut weighted_updates = 0.0;
-        for p in self.prototypes() {
-            let d = overlap_degree(q, &p.as_query());
+        let arena = self.arena();
+        for k in 0..arena.len() {
+            let d = overlap_degree_parts(&q.center, q.radius, arena.center(k), arena.radius(k));
             if d > 0.0 {
                 mass += d;
-                weighted_updates += d * p.updates as f64;
+                weighted_updates += d * arena.updates(k) as f64;
             }
         }
         let support_updates = if mass > 0.0 {
             weighted_updates / mass
         } else {
-            self.prototypes()[winner].updates as f64
+            arena.updates(winner) as f64
         };
 
         // Heuristic combination: each axis maps to [0, 1] and the score is
@@ -137,12 +138,12 @@ mod tests {
         let m = trained(1);
         // Probe at a mature prototype's own ball: overlap is guaranteed
         // (δ = 1 for the coincident prototype) and support is maximal.
-        let p = m
-            .prototypes()
+        let protos = m.prototypes();
+        let p = protos
             .iter()
             .max_by_key(|p| p.updates)
             .expect("trained model");
-        let c = m.confidence(&q(&p.center.clone(), p.radius)).unwrap();
+        let c = m.confidence(&q(&p.center, p.radius)).unwrap();
         assert!(c.overlap_mass >= 1.0 - 1e-9, "mass {}", c.overlap_mass);
         assert!(c.score > 0.4, "score {}", c.score);
         assert!(c.winner_distance_ratio < 1.0);

@@ -36,7 +36,9 @@
 //! * [`query`] — the query vector type and joint `L2` similarity
 //!   (Definition 5).
 //! * [`overlap`] — overlap predicate and degree `δ` (Eq. 9).
-//! * [`prototype`] — prototype + LLM coefficient storage (Theorem 3 views).
+//! * [`prototype`] — the owned prototype exchange form (Theorem 3 views).
+//! * [`arena`] — struct-of-arrays prototype storage + batched
+//!   winner/overlap scans (the serving-path data layout).
 //! * [`schedule`] — SGD learning-rate schedules (§II-B).
 //! * [`config`] — vigilance/γ/schedule configuration.
 //! * [`model`] — the [`LlmModel`]: Algorithm 1 training.
@@ -51,6 +53,7 @@
 #![warn(clippy::all)]
 
 pub mod adapt;
+pub mod arena;
 pub mod confidence;
 pub mod config;
 pub mod error;
@@ -64,6 +67,7 @@ pub mod prototype;
 pub mod query;
 pub mod schedule;
 
+pub use arena::{PrototypeArena, PrototypeRef, PrototypeRefMut};
 pub use confidence::Confidence;
 pub use config::ModelConfig;
 pub use error::CoreError;

@@ -24,6 +24,7 @@
 //! modification at prediction time); extension E-2 ([`crate::adapt`]) can
 //! unfreeze it for drift tracking.
 
+use crate::arena::PrototypeArena;
 use crate::config::ModelConfig;
 use crate::error::CoreError;
 use crate::prototype::Prototype;
@@ -85,7 +86,10 @@ pub struct TrainReport {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LlmModel {
     config: ModelConfig,
-    prototypes: Vec<Prototype>,
+    /// The learned parameters `α`, packed struct-of-arrays
+    /// ([`PrototypeArena`]) so the `O(dK)` winner/overlap scans stream
+    /// through contiguous memory.
+    arena: PrototypeArena,
     /// Global SGD step counter `t`.
     global_step: u64,
     /// Consecutive steps with `Γ ≤ γ` so far.
@@ -101,9 +105,10 @@ impl LlmModel {
     /// [`CoreError::InvalidConfig`] if the configuration is invalid.
     pub fn new(config: ModelConfig) -> Result<Self, CoreError> {
         config.validate()?;
+        let arena = PrototypeArena::new(config.dim);
         Ok(LlmModel {
             config,
-            prototypes: Vec::new(),
+            arena,
             global_step: 0,
             quiet_steps: 0,
             frozen: false,
@@ -115,14 +120,22 @@ impl LlmModel {
         &self.config
     }
 
-    /// The current prototype set (the learned parameters `α`).
-    pub fn prototypes(&self) -> &[Prototype] {
-        &self.prototypes
+    /// The packed prototype storage (the learned parameters `α`) — the
+    /// zero-copy view the serving path runs on.
+    pub fn arena(&self) -> &PrototypeArena {
+        &self.arena
+    }
+
+    /// Owned snapshot of the prototype set (materializes one
+    /// [`Prototype`] per slot — inspection, persistence and test
+    /// comparisons; the serving path uses [`LlmModel::arena`]).
+    pub fn prototypes(&self) -> Vec<Prototype> {
+        self.arena.to_prototypes()
     }
 
     /// Number of prototypes `K`.
     pub fn k(&self) -> usize {
-        self.prototypes.len()
+        self.arena.len()
     }
 
     /// Input dimensionality `d`.
@@ -153,16 +166,12 @@ impl LlmModel {
     }
 
     /// Winner search: index and squared joint distance of the closest
-    /// prototype. `None` for an empty model.
+    /// prototype. `None` for an empty model. Runs the batched single-pass
+    /// scan over the arena ([`PrototypeArena::winner`]); results are
+    /// bit-identical to the per-prototype reference scan
+    /// ([`crate::predict::reference::winner`]).
     pub fn winner(&self, q: &Query) -> Option<(usize, f64)> {
-        let mut best: Option<(usize, f64)> = None;
-        for (k, p) in self.prototypes.iter().enumerate() {
-            let d = p.sq_dist_to(q);
-            if best.is_none_or(|(_, bd)| d < bd) {
-                best = Some((k, d));
-            }
-        }
-        best
+        self.arena.winner(&q.center, q.radius)
     }
 
     /// One step of Algorithm 1 on a `(q, y)` pair.
@@ -204,8 +213,8 @@ impl LlmModel {
         let rho = self.config.rho();
 
         // First pair initializes the codebook (Algorithm 1 init phase).
-        if self.prototypes.is_empty() {
-            self.prototypes.push(Prototype::from_query(q));
+        if self.arena.is_empty() {
+            self.arena.push_query(&q.center, q.radius);
             self.global_step += 1;
             return Ok(StepOutcome {
                 winner: 0,
@@ -233,31 +242,36 @@ impl LlmModel {
         }
 
         let (gamma_j, gamma_h, winner, spawned) = if dist <= rho {
-            let p = &mut self.prototypes[j];
-            let eta = self.config.schedule.rate(p.updates, self.global_step);
+            let updates = self.arena.updates(j);
+            let eta = self.config.schedule.rate(updates, self.global_step);
 
             // Joint query-space residual vector (q − w_j), split into its
             // input part and radius part. Theorem 4 updates all of α_j
             // simultaneously against this *pre-update* residual.
-            let dq = vector::sub(&q.center, &p.center);
-            let dtheta = q.radius - p.radius;
+            let dq = vector::sub(&q.center, self.arena.center(j));
+            let dtheta = q.radius - self.arena.radius(j);
             let dq_sq = vector::dot(&dq, &dq) + dtheta * dtheta;
 
             // Prediction error of the current LLM at q (Theorem 4's e).
-            let err = y - p.y - vector::dot(&p.b_x, &dq) - p.b_theta * dtheta;
-
-            // Δw_j = η (q − w_j).
-            let w_disp = eta * dq_sq.sqrt();
-            vector::axpy(eta, &dq, &mut p.center);
-            p.radius += eta * dtheta;
+            let err = y
+                - self.arena.y(j)
+                - vector::dot(self.arena.b_x(j), &dq)
+                - self.arena.b_theta(j) * dtheta;
 
             // Coefficient steps run on their own (slower-decaying)
             // Robbins–Monro schedule — see coeff_rate_power (D-8).
             let eta_c = self.config.schedule.coeff_rate(
-                p.updates,
+                updates,
                 self.global_step,
                 self.config.coeff_rate_power,
             );
+
+            let p = self.arena.view_mut(j);
+
+            // Δw_j = η (q − w_j).
+            let w_disp = eta * dq_sq.sqrt();
+            vector::axpy(eta, &dq, p.center);
+            *p.radius += eta * dtheta;
 
             // Slope step: Δb_j = η_c e (q − w_j), optionally
             // NLMS-normalized by (ε + ‖q − w_j‖²) — see SlopeUpdate (D-8).
@@ -274,18 +288,18 @@ impl LlmModel {
                 b_disp_sq += delta * delta;
             }
             let delta_btheta = slope_scale * dtheta;
-            p.b_theta += delta_btheta;
+            *p.b_theta += delta_btheta;
             b_disp_sq += delta_btheta * delta_btheta;
             let delta_y = eta_c * err;
-            p.y += delta_y;
-            p.updates += 1;
+            *p.y += delta_y;
+            *p.updates += 1;
 
             // Γ contributions: ‖Δw‖₂ and ‖Δb‖₂ + |Δy| of the winner.
             (w_disp, b_disp_sq.sqrt() + delta_y.abs(), j, false)
         } else {
             // Vigilance violated: grow the codebook (K += 1).
-            self.prototypes.push(Prototype::from_query(q));
-            (rho, 0.0, self.prototypes.len() - 1, true)
+            self.arena.push_query(&q.center, q.radius);
+            (rho, 0.0, self.arena.len() - 1, true)
         };
 
         // Convergence accounting.
@@ -340,10 +354,10 @@ impl LlmModel {
         })
     }
 
-    /// Mutable prototype access for the adaptation extensions
+    /// Mutable arena access for the adaptation extensions
     /// ([`crate::adapt`]). Not part of the paper's interface.
-    pub(crate) fn prototypes_mut(&mut self) -> &mut Vec<Prototype> {
-        &mut self.prototypes
+    pub(crate) fn arena_mut(&mut self) -> &mut PrototypeArena {
+        &mut self.arena
     }
 
     /// Rebuild from parts (persistence).
@@ -362,9 +376,10 @@ impl LlmModel {
                 });
             }
         }
+        let arena = PrototypeArena::from_prototypes(config.dim, &prototypes);
         Ok(LlmModel {
             config,
-            prototypes,
+            arena,
             global_step,
             quiet_steps: 0,
             frozen,
@@ -493,13 +508,13 @@ mod tests {
         let mut m = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
         m.fit_stream(linear_stream(2, 50_000, 1)).unwrap();
         assert!(m.is_frozen());
-        let before = m.prototypes().to_vec();
+        let before = m.prototypes();
         let k = m.k();
         // Even a far-away query must not mutate a frozen model.
         let out = m.train_step(&q(&[100.0, 100.0], 0.1), 5.0).unwrap();
         assert!(!out.spawned);
         assert_eq!(m.k(), k);
-        assert_eq!(m.prototypes(), &before[..]);
+        assert_eq!(m.prototypes(), before);
     }
 
     #[test]

@@ -11,14 +11,28 @@
 //! `δ ∈ [0, 1]`; `δ = 1` exactly for identical (concentric, equal-radius)
 //! balls; the `|θ − θ'|` term discounts concentric-but-nested balls (the
 //! paper's "remaining area from perfect inclusion").
+//!
+//! # Boundary contract
+//!
+//! Like `Norm::within` in the store crate, the overlap *predicate* is
+//! decided in **squared space**: `A(q, q') ⇔ ‖x − x'‖₂² ≤ (θ + θ')²`.
+//! The square root — needed only for the degree's `spread` term — is
+//! taken after a ball has already qualified, so the non-overlapping
+//! majority of a `K`-prototype scan never pays for a root. The root-space
+//! predicate `‖x − x'‖₂ ≤ θ + θ'` can disagree with it only when rounding
+//! places the distance within one ulp of the radius sum; in that band δ is
+//! 0 either way (any computed degree ≤ 0 is clamped out), so predictions
+//! are unaffected.
 
 use crate::query::Query;
 use regq_linalg::vector;
 
-/// Overlap predicate `A(q, q')` (Definition 6).
+/// Overlap predicate `A(q, q')` (Definition 6), evaluated in squared
+/// space (see the module-level boundary contract).
 #[inline]
 pub fn overlaps(a: &Query, b: &Query) -> bool {
-    vector::l2_dist(&a.center, &b.center) <= a.radius + b.radius
+    let radius_sum = a.radius + b.radius;
+    vector::sq_dist(&a.center, &b.center) <= radius_sum * radius_sum
 }
 
 /// Degree of overlap `δ(q, q') ∈ [0, 1]` (Eq. 9).
@@ -38,13 +52,18 @@ pub fn overlap_degree_parts(
     center_b: &[f64],
     radius_b: f64,
 ) -> f64 {
-    let center_dist = vector::l2_dist(center_a, center_b);
+    let center_sq = vector::sq_dist(center_a, center_b);
     let radius_sum = radius_a + radius_b;
-    if center_dist > radius_sum {
+    // Squared-space membership (module-level boundary contract): the
+    // non-overlapping majority of a prototype scan never takes a root.
+    if center_sq > radius_sum * radius_sum {
         return 0.0;
     }
+    let center_dist = center_sq.sqrt();
     let spread = center_dist.max((radius_a - radius_b).abs());
-    1.0 - spread / radius_sum
+    // In the one-ulp band where root-space would have rejected, the raw
+    // degree can dip below zero; clamp so δ ∈ [0, 1] holds unconditionally.
+    (1.0 - spread / radius_sum).max(0.0)
 }
 
 /// Normalize raw degrees into weights summing to 1 (`δ̃` of Algorithm 2).

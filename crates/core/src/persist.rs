@@ -104,18 +104,19 @@ pub fn save_model(model: &LlmModel, path: &Path) -> Result<(), CoreError> {
         write!(w, " rho {rho:?}").map_err(io)?;
     }
     writeln!(w).map_err(io)?;
-    for p in model.prototypes() {
+    // Stream straight from the arena views — no owned snapshot.
+    for p in model.arena().iter() {
         write!(
             w,
             "proto {} {:?} {:?} {:?} |",
             p.updates, p.radius, p.y, p.b_theta
         )
         .map_err(io)?;
-        for v in &p.center {
+        for v in p.center {
             write!(w, " {v:?}").map_err(io)?;
         }
         write!(w, " |").map_err(io)?;
-        for v in &p.b_x {
+        for v in p.b_x {
             write!(w, " {v:?}").map_err(io)?;
         }
         writeln!(w).map_err(io)?;
@@ -366,5 +367,64 @@ mod tests {
             load_model(Path::new("/nonexistent/m.model")),
             Err(CoreError::Persist(_))
         ));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn query_strategy(d: usize) -> impl Strategy<Value = Query> {
+            (prop::collection::vec(-1.0..2.0f64, d), 0.01..0.8f64)
+                .prop_map(|(c, r)| Query::new_unchecked(c, r))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Guard for the struct-of-arrays layout change: a trained
+            /// model must predict **identically** after a save/load round
+            /// trip, probed on a fixed grid of query balls (Q1, Q2 and
+            /// data value). A silent reordering of the packed coefficient
+            /// blocks would round-trip the textual fields yet shift which
+            /// slope row each prototype serves — the probe grid catches
+            /// exactly that.
+            #[test]
+            fn round_trip_predicts_identically_on_probe_grid(
+                pairs in prop::collection::vec((query_strategy(2), -5.0..5.0f64), 1..80),
+                case in 0u64..10_000,
+            ) {
+                let mut m = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
+                for (q, y) in &pairs {
+                    m.train_step(q, *y).unwrap();
+                }
+                let path = std::env::temp_dir().join(format!(
+                    "regq-persist-grid-{}-{case}.model",
+                    std::process::id()
+                ));
+                save_model(&m, &path).unwrap();
+                let loaded = load_model(&path).unwrap();
+                std::fs::remove_file(&path).ok();
+                for i in 0..5 {
+                    for j in 0..5 {
+                        let c = vec![i as f64 * 0.5 - 0.5, j as f64 * 0.5 - 0.5];
+                        for theta in [0.05, 0.2, 0.6] {
+                            let q = Query::new_unchecked(c.clone(), theta);
+                            prop_assert_eq!(
+                                m.predict_q1(&q).unwrap(),
+                                loaded.predict_q1(&q).unwrap()
+                            );
+                            prop_assert_eq!(
+                                m.predict_q2(&q).unwrap(),
+                                loaded.predict_q2(&q).unwrap()
+                            );
+                            prop_assert_eq!(
+                                m.predict_value(&q, &c).unwrap(),
+                                loaded.predict_value(&q, &c).unwrap()
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -7,7 +7,6 @@
 
 use crate::error::CoreError;
 use crate::model::LlmModel;
-use crate::overlap::overlap_degree_parts;
 use crate::query::Query;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -69,15 +68,13 @@ impl LlmModel {
 
     /// The overlap neighborhood `W(q)` (Eq. 10): indices and degrees of all
     /// prototypes with `δ(q, w_k) > 0`, appended to `out` (cleared first).
-    /// Allocation-free once `out` has warmed up.
+    /// A single batched pass over the arena's packed center block
+    /// ([`crate::arena::PrototypeArena::overlap_set_into`]);
+    /// allocation-free once the scratch buffers have warmed up, and
+    /// bit-identical to the per-prototype reference scan
+    /// ([`reference::overlap_set`]).
     pub fn overlap_set_into(&self, q: &Query, out: &mut Vec<(usize, f64)>) {
-        out.clear();
-        for (k, p) in self.prototypes().iter().enumerate() {
-            let d = overlap_degree_parts(&q.center, q.radius, &p.center, p.radius);
-            if d > 0.0 {
-                out.push((k, d));
-            }
-        }
+        self.arena().overlap_set_into(&q.center, q.radius, out);
     }
 
     /// The overlap neighborhood `W(q)` as a fresh vector (convenience over
@@ -97,12 +94,18 @@ impl LlmModel {
         OVERLAP_SCRATCH.with(|scratch| {
             let mut w = scratch.borrow_mut();
             self.overlap_set_into(q, &mut w);
-            if w.is_empty() {
+            let total: f64 = w.iter().map(|(_, d)| d).sum();
+            // Zero total weight means the fusion is undefined: either
+            // `W(q)` is empty, or every member is exactly tangent to the
+            // query ball (δ = 0 each — possible if membership ever admits
+            // the A(q,q') boundary, and guarded here so the weighted sum
+            // can never divide by zero). Both cases fall back to the
+            // winner prototype with weight 1.
+            if w.is_empty() || total <= 0.0 {
                 let (j, _) = self.winner(q).expect("non-empty");
                 f(j, 1.0);
                 return;
             }
-            let total: f64 = w.iter().map(|(_, d)| d).sum();
             for &(k, d) in w.iter() {
                 f(k, d / total);
             }
@@ -122,7 +125,7 @@ impl LlmModel {
         self.check_query(q)?;
         let mut yhat = 0.0;
         self.for_each_overlap_weight(q, |k, w| {
-            yhat += w * self.prototypes()[k].eval(&q.center, q.radius);
+            yhat += w * self.arena().eval(k, &q.center, q.radius);
         });
         Ok(yhat)
     }
@@ -139,15 +142,15 @@ impl LlmModel {
     pub fn predict_q2(&self, q: &Query) -> Result<Vec<LocalModel>, CoreError> {
         self.check_query(q)?;
         let make = |k: usize, weight: f64| -> LocalModel {
-            let p = &self.prototypes()[k];
-            let (intercept, slope) = p.local_line();
+            let arena = self.arena();
+            let (intercept, slope) = arena.local_line(k);
             LocalModel {
                 intercept,
                 slope: slope.to_vec(),
                 prototype: k,
                 weight,
-                center: p.center.clone(),
-                radius: p.radius,
+                center: arena.center(k).to_vec(),
+                radius: arena.radius(k),
             }
         };
         let mut s = Vec::new();
@@ -172,7 +175,7 @@ impl LlmModel {
         }
         let mut uhat = 0.0;
         self.for_each_overlap_weight(q, |k, w| {
-            uhat += w * self.prototypes()[k].eval_at_own_radius(x);
+            uhat += w * self.arena().eval_at_own_radius(k, x);
         });
         Ok(uhat)
     }
@@ -183,6 +186,107 @@ impl LlmModel {
     pub fn predict_value_at(&self, x: &[f64], theta: f64) -> Result<f64, CoreError> {
         let q = Query::new_unchecked(x.to_vec(), theta);
         self.predict_value(&q, x)
+    }
+}
+
+/// The retained **pre-arena serving path**: per-prototype scans over an
+/// owned [`Prototype`](crate::prototype::Prototype) snapshot (each
+/// prototype carrying its own heap allocations), exactly as the serving
+/// loop ran before the struct-of-arrays refactor.
+///
+/// Two consumers keep it alive:
+///
+/// * the `arena_equivalence` proptests, which pin the arena path
+///   bit-identical to this one (Q1, Q2, data value, winner, overlap set);
+/// * `bench_report`'s `serving` section, which measures the arena's
+///   throughput win against this baseline at K ∈ {64 … 4096}.
+///
+/// Functions take the snapshot from [`LlmModel::prototypes`] and return
+/// `None` where the model methods would report
+/// [`CoreError::EmptyModel`]; dimension checks are the caller's job. The
+/// zero-total-weight fallback matches the arena path (winner with
+/// weight 1).
+pub mod reference {
+    use super::{LocalModel, Query};
+    use crate::overlap::overlap_degree_parts;
+    use crate::prototype::Prototype;
+
+    /// Per-prototype winner scan (index + squared joint distance).
+    pub fn winner(protos: &[Prototype], q: &Query) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (k, p) in protos.iter().enumerate() {
+            let d = p.sq_dist_to(q);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((k, d));
+            }
+        }
+        best
+    }
+
+    /// Per-prototype overlap scan: `(k, δ)` for every `δ > 0`.
+    pub fn overlap_set(protos: &[Prototype], q: &Query) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        for (k, p) in protos.iter().enumerate() {
+            let d = overlap_degree_parts(&q.center, q.radius, &p.center, p.radius);
+            if d > 0.0 {
+                out.push((k, d));
+            }
+        }
+        out
+    }
+
+    fn for_each_overlap_weight(
+        protos: &[Prototype],
+        q: &Query,
+        mut f: impl FnMut(usize, f64),
+    ) -> Option<()> {
+        let w = overlap_set(protos, q);
+        let total: f64 = w.iter().map(|(_, d)| d).sum();
+        if w.is_empty() || total <= 0.0 {
+            let (j, _) = winner(protos, q)?;
+            f(j, 1.0);
+            return Some(());
+        }
+        for (k, d) in w {
+            f(k, d / total);
+        }
+        Some(())
+    }
+
+    /// Algorithm 2 (Q1) over the snapshot; `None` on an empty snapshot.
+    pub fn predict_q1(protos: &[Prototype], q: &Query) -> Option<f64> {
+        let mut yhat = 0.0;
+        for_each_overlap_weight(protos, q, |k, w| {
+            yhat += w * protos[k].eval(&q.center, q.radius);
+        })?;
+        Some(yhat)
+    }
+
+    /// Algorithm 3 (Q2) over the snapshot; `None` on an empty snapshot.
+    pub fn predict_q2(protos: &[Prototype], q: &Query) -> Option<Vec<LocalModel>> {
+        let mut s = Vec::new();
+        for_each_overlap_weight(protos, q, |k, weight| {
+            let p = &protos[k];
+            let (intercept, slope) = p.local_line();
+            s.push(LocalModel {
+                intercept,
+                slope: slope.to_vec(),
+                prototype: k,
+                weight,
+                center: p.center.clone(),
+                radius: p.radius,
+            });
+        })?;
+        Some(s)
+    }
+
+    /// Eq. 14 (data value) over the snapshot; `None` on an empty snapshot.
+    pub fn predict_value(protos: &[Prototype], q: &Query, x: &[f64]) -> Option<f64> {
+        let mut uhat = 0.0;
+        for_each_overlap_weight(protos, q, |k, w| {
+            uhat += w * protos[k].eval_at_own_radius(x);
+        })?;
+        Some(uhat)
     }
 }
 
@@ -363,6 +467,44 @@ mod tests {
         let far = q(&[5.0, 5.0], 0.01);
         m.overlap_set_into(&far, &mut buf);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn tangent_only_overlap_falls_back_to_winner() {
+        // Regression: a query ball exactly tangent to *every* prototype
+        // ball has A(q, w_k) true but δ(q, w_k) = 0 for all k — the fusion
+        // carries zero total weight and must fall back to the winner
+        // prototype (never divide by zero into a NaN prediction).
+        let mut cfg = ModelConfig::paper_defaults(2);
+        cfg.vigilance_override = Some(1e-9);
+        let mut m = LlmModel::new(cfg).unwrap();
+        // Spawn prototypes at exactly (0,0) and (2,0) with radius 0.5,
+        // then revisit each once so the intercepts are non-zero.
+        for _ in 0..2 {
+            m.train_step(&q(&[0.0, 0.0], 0.5), 1.0).unwrap();
+            m.train_step(&q(&[2.0, 0.0], 0.5), 5.0).unwrap();
+        }
+        assert_eq!(m.k(), 2);
+        // Tangent to both: center distance 1.0 == 0.5 + 0.5 exactly.
+        let tangent = q(&[1.0, 0.0], 0.5);
+        assert!(m.overlap_set(&tangent).is_empty());
+        let (j, _) = m.winner(&tangent).unwrap();
+        let pred = m.predict_q1(&tangent).unwrap();
+        assert!(pred.is_finite(), "tangent fusion produced {pred}");
+        assert_eq!(pred, m.arena().eval(j, &tangent.center, tangent.radius));
+        let s = m.predict_q2(&tangent).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].weight, 1.0);
+        assert_eq!(s[0].prototype, j);
+        // The retained reference path takes the same fallback.
+        let snapshot = m.prototypes();
+        assert_eq!(pred, reference::predict_q1(&snapshot, &tangent).unwrap());
+        let u = m.predict_value(&tangent, &[1.0, 0.0]).unwrap();
+        assert!(u.is_finite());
+        assert_eq!(
+            u,
+            reference::predict_value(&snapshot, &tangent, &[1.0, 0.0]).unwrap()
+        );
     }
 
     #[test]

@@ -1,10 +1,21 @@
-//! Prototype storage: `w_k = [x_k, θ_k]` plus its LLM coefficients
-//! `(y_k, b_{X,k}, b_{Θ,k})` — the parameter triplet `α_k` of Eq. (6).
+//! The owned prototype exchange form: `w_k = [x_k, θ_k]` plus its LLM
+//! coefficients `(y_k, b_{X,k}, b_{Θ,k})` — the parameter triplet `α_k`
+//! of Eq. (6).
+//!
+//! Since the struct-of-arrays refactor, the model's *storage* is the
+//! packed [`crate::arena::PrototypeArena`]; an owned [`Prototype`] is
+//! what crosses API edges (persistence, codebook surgery, snapshots for
+//! the retained reference serving path) and what
+//! [`LlmModel::prototypes`](crate::model::LlmModel::prototypes)
+//! materializes on demand. The serving hot path never touches this type —
+//! it runs on the borrowed views [`crate::arena::PrototypeRef`] /
+//! [`crate::arena::PrototypeRefMut`].
 
 use crate::query::Query;
 use serde::{Deserialize, Serialize};
 
-/// One query-space prototype with its Local Linear Mapping.
+/// One query-space prototype with its Local Linear Mapping (owned
+/// exchange form; see the module docs for its relation to the arena).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Prototype {
     /// Prototype center `x_k` (the `E[x]` component of `w_k`).

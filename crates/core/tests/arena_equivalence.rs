@@ -1,0 +1,138 @@
+//! The acceptance gate for the struct-of-arrays serving refactor: the
+//! arena path (batched winner/overlap kernels over packed blocks) must be
+//! **bit-identical** — not merely close — to the retained per-prototype
+//! reference path (`regq_core::predict::reference`) on every serving
+//! primitive, across several independently trained models.
+//!
+//! Bit-identity holds because the batched kernels perform exactly the
+//! additions of the scalar kernels, per row, in the same order; these
+//! properties pin that contract so future SIMD work can't silently bend
+//! the serving semantics.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use regq_core::predict::reference;
+use regq_core::{LlmModel, ModelConfig, Prototype, Query};
+use std::sync::OnceLock;
+
+/// Three differently shaped trained models (dimension, vigilance,
+/// schedule, teacher all vary) plus their owned prototype snapshots for
+/// the reference path.
+fn trained_models() -> &'static Vec<(LlmModel, Vec<Prototype>)> {
+    static MODELS: OnceLock<Vec<(LlmModel, Vec<Prototype>)>> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let mut out = Vec::new();
+
+        // 1-d, paper defaults, smooth nonlinear teacher.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut m = LlmModel::new(ModelConfig::paper_defaults(1)).unwrap();
+        m.fit_stream((0..15_000).map(|_| {
+            let x = rng.random_range(0.0..1.0);
+            let y = (3.0 * x).sin() + 0.5 * x;
+            (
+                Query::new_unchecked(vec![x], rng.random_range(0.05..0.2)),
+                y,
+            )
+        }))
+        .unwrap();
+        out.push(m);
+
+        // 2-d, finer vigilance, linear teacher (many prototypes).
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut cfg = ModelConfig::with_vigilance(2, 0.1);
+        cfg.gamma = 1e-4;
+        let mut m = LlmModel::new(cfg).unwrap();
+        m.fit_stream((0..25_000).map(|_| {
+            let c: Vec<f64> = (0..2).map(|_| rng.random_range(0.0..1.0)).collect();
+            let y = 2.0 + c[0] - 0.5 * c[1];
+            (Query::new_unchecked(c, rng.random_range(0.05..0.15)), y)
+        }))
+        .unwrap();
+        out.push(m);
+
+        // 3-d, global schedule, quadratic teacher.
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut cfg = ModelConfig::paper_defaults(3);
+        cfg.schedule = regq_core::LearningSchedule::HyperbolicGlobal;
+        let mut m = LlmModel::new(cfg).unwrap();
+        m.fit_stream((0..20_000).map(|_| {
+            let c: Vec<f64> = (0..3).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let y = c[0] * c[0] + c[1] - c[2];
+            (Query::new_unchecked(c, rng.random_range(0.05..0.3)), y)
+        }))
+        .unwrap();
+        out.push(m);
+
+        out.into_iter()
+            .map(|m| {
+                let snapshot = m.prototypes();
+                (m, snapshot)
+            })
+            .collect()
+    })
+}
+
+#[test]
+fn fixture_spans_three_trained_models() {
+    let models = trained_models();
+    assert_eq!(models.len(), 3);
+    for (m, snapshot) in models {
+        assert!(m.k() > 1, "trained model should have grown a codebook");
+        assert_eq!(m.k(), snapshot.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Winner search: same index, same squared joint distance, bit for bit.
+    #[test]
+    fn winner_is_bit_identical(
+        coords in prop::collection::vec(-2.0..3.0f64, 3),
+        radius in 0.01..1.5f64,
+    ) {
+        for (m, snapshot) in trained_models() {
+            let q = Query::new_unchecked(coords[..m.dim()].to_vec(), radius);
+            prop_assert_eq!(m.winner(&q), reference::winner(snapshot, &q));
+        }
+    }
+
+    /// Overlap neighborhood `W(q)`: same members, same degrees, same order.
+    #[test]
+    fn overlap_set_is_bit_identical(
+        coords in prop::collection::vec(-2.0..3.0f64, 3),
+        radius in 0.01..1.5f64,
+    ) {
+        for (m, snapshot) in trained_models() {
+            let q = Query::new_unchecked(coords[..m.dim()].to_vec(), radius);
+            prop_assert_eq!(m.overlap_set(&q), reference::overlap_set(snapshot, &q));
+        }
+    }
+
+    /// Q1, Q2 and data-value predictions are bit-identical across the two
+    /// serving paths on every trained model.
+    #[test]
+    fn predictions_are_bit_identical(
+        coords in prop::collection::vec(-2.0..3.0f64, 3),
+        radius in 0.01..1.5f64,
+        x in prop::collection::vec(-1.5..2.5f64, 3),
+    ) {
+        for (m, snapshot) in trained_models() {
+            let d = m.dim();
+            let q = Query::new_unchecked(coords[..d].to_vec(), radius);
+            prop_assert_eq!(
+                m.predict_q1(&q).unwrap(),
+                reference::predict_q1(snapshot, &q).unwrap()
+            );
+            prop_assert_eq!(
+                m.predict_q2(&q).unwrap(),
+                reference::predict_q2(snapshot, &q).unwrap()
+            );
+            prop_assert_eq!(
+                m.predict_value(&q, &x[..d]).unwrap(),
+                reference::predict_value(snapshot, &q, &x[..d]).unwrap()
+            );
+        }
+    }
+}

@@ -90,7 +90,7 @@ proptest! {
         }
         let evals: Vec<f64> = w
             .iter()
-            .map(|&(k, _)| m.prototypes()[k].eval(&probe.center, probe.radius))
+            .map(|&(k, _)| m.arena().eval(k, &probe.center, probe.radius))
             .collect();
         let lo = evals.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = evals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);

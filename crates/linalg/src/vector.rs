@@ -175,6 +175,216 @@ pub fn lp_dist_within(a: &[f64], b: &[f64], p: f64, limit: f64) -> bool {
     acc <= bound
 }
 
+/// Squared Euclidean distances of `q` against four consecutive
+/// `dim`-strided rows packed in `quad` (`quad.len() == 4 * dim`).
+///
+/// The four accumulators advance in lockstep through one loop over the
+/// coordinates, so the compiler can keep them in independent registers
+/// (4-wide instruction-level parallelism, auto-vectorizer-friendly) while
+/// each accumulator still performs *exactly* the additions of a scalar
+/// [`sq_dist`] over its row, in the same order — batched results are
+/// bit-identical to the per-row kernel.
+#[inline]
+pub fn sq_dists4(q: &[f64], quad: &[f64], dim: usize) -> [f64; 4] {
+    debug_assert_eq!(quad.len(), 4 * dim, "sq_dists4: quad length mismatch");
+    // Monomorphize the common low dimensions: with `D` a compile-time
+    // constant the coordinate loop fully unrolls into straight-line code
+    // (no loop-carried branch, no per-lane bounds checks), which is where
+    // the 4-wide layout pays off. The dispatch branch costs one
+    // well-predicted jump per four rows.
+    match dim {
+        1 => sq_dists4_const::<1>(q, quad),
+        2 => sq_dists4_const::<2>(q, quad),
+        3 => sq_dists4_const::<3>(q, quad),
+        4 => sq_dists4_const::<4>(q, quad),
+        5 => sq_dists4_const::<5>(q, quad),
+        6 => sq_dists4_const::<6>(q, quad),
+        7 => sq_dists4_const::<7>(q, quad),
+        8 => sq_dists4_const::<8>(q, quad),
+        _ => sq_dists4_generic(q, quad, dim),
+    }
+}
+
+#[inline]
+fn sq_dists4_const<const D: usize>(q: &[f64], quad: &[f64]) -> [f64; 4] {
+    // Exact-length reborrows let the optimizer drop every per-lane bounds
+    // check (all five slices are provably `D` long below).
+    let q = &q[..D];
+    let (r0, rest) = quad.split_at(D);
+    let (r1, rest) = rest.split_at(D);
+    let (r2, r3) = rest.split_at(D);
+    let r3 = &r3[..D];
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+    for i in 0..D {
+        let qi = q[i];
+        let d0 = r0[i] - qi;
+        let d1 = r1[i] - qi;
+        let d2 = r2[i] - qi;
+        let d3 = r3[i] - qi;
+        a0 += d0 * d0;
+        a1 += d1 * d1;
+        a2 += d2 * d2;
+        a3 += d3 * d3;
+    }
+    [a0, a1, a2, a3]
+}
+
+#[inline]
+fn sq_dists4_generic(q: &[f64], quad: &[f64], dim: usize) -> [f64; 4] {
+    let q = &q[..dim];
+    let (r0, rest) = quad.split_at(dim);
+    let (r1, rest) = rest.split_at(dim);
+    let (r2, r3) = rest.split_at(dim);
+    let r3 = &r3[..dim];
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+    for i in 0..dim {
+        let qi = q[i];
+        let d0 = r0[i] - qi;
+        let d1 = r1[i] - qi;
+        let d2 = r2[i] - qi;
+        let d3 = r3[i] - qi;
+        a0 += d0 * d0;
+        a1 += d1 * d1;
+        a2 += d2 * d2;
+        a3 += d3 * d3;
+    }
+    [a0, a1, a2, a3]
+}
+
+/// Squared Euclidean distance of `q` to every `dim`-strided row of `rows`,
+/// written into `out` (cleared first, then one value per row in row order).
+///
+/// The all-distances batch variant: four rows per iteration over a
+/// contiguous struct-of-arrays block ([`sq_dists4`]), tail via
+/// [`sq_dist`], every output bit-identical to `sq_dist(q, row)`. The
+/// serving and store scans fuse their predicates into the quad loop
+/// directly (`PrototypeArena` in `regq_core`, [`sq_dist_within_batch`])
+/// and skip the buffer; this form is for consumers that need the full
+/// distance vector — soft weighting, k-NN-style selection.
+///
+/// # Panics
+/// Panics in debug builds if `rows.len()` is not a multiple of `dim`.
+pub fn sq_dists_into(q: &[f64], rows: &[f64], dim: usize, out: &mut Vec<f64>) {
+    debug_assert!(dim > 0, "sq_dists_into: dim must be positive");
+    debug_assert_eq!(rows.len() % dim, 0, "sq_dists_into: ragged row block");
+    out.clear();
+    out.reserve(rows.len() / dim);
+    let mut quads = rows.chunks_exact(4 * dim);
+    for quad in quads.by_ref() {
+        out.extend_from_slice(&sq_dists4(q, quad, dim));
+    }
+    for row in quads.remainder().chunks_exact(dim) {
+        out.push(sq_dist(q, row));
+    }
+}
+
+/// [`sq_dists4`] with block skipping: the coordinate loop runs in blocks
+/// of eight lanes, and after each block the quad is abandoned when **all
+/// four** partial sums already exceed `limit` (squared distances only
+/// grow, so every row is guaranteed non-matching). Abandoned accumulators
+/// are returned as-is — they are valid for the `≤ limit` test but are not
+/// full distances. Rows that pass the test always carry their exact,
+/// bit-identical [`sq_dist`] value.
+#[inline]
+fn sq_dists4_bounded(q: &[f64], quad: &[f64], dim: usize, limit: f64) -> [f64; 4] {
+    debug_assert_eq!(
+        quad.len(),
+        4 * dim,
+        "sq_dists4_bounded: quad length mismatch"
+    );
+    let q = &q[..dim];
+    let (r0, rest) = quad.split_at(dim);
+    let (r1, rest) = rest.split_at(dim);
+    let (r2, r3) = rest.split_at(dim);
+    let r3 = &r3[..dim];
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+    let mut i = 0;
+    while i < dim {
+        let stop = (i + 8).min(dim);
+        while i < stop {
+            let qi = q[i];
+            let d0 = r0[i] - qi;
+            let d1 = r1[i] - qi;
+            let d2 = r2[i] - qi;
+            let d3 = r3[i] - qi;
+            a0 += d0 * d0;
+            a1 += d1 * d1;
+            a2 += d2 * d2;
+            a3 += d3 * d3;
+            i += 1;
+        }
+        // Block skip: once no row can still qualify, the tail coordinates
+        // of the whole quad are dead work.
+        if a0 > limit && a1 > limit && a2 > limit && a3 > limit {
+            break;
+        }
+    }
+    [a0, a1, a2, a3]
+}
+
+/// Above this dimensionality the per-row early-exit kernel
+/// ([`sq_dist_within`]) beats 4-row batching: most non-matching rows bail
+/// out long before touching all coordinates, which the lockstep quad loop
+/// cannot do per row.
+const BATCH_EARLY_EXIT_DIM: usize = 24;
+
+/// Invoke `visit(r)` for every `dim`-strided row `r` of `rows` with
+/// `‖q − row‖₂² ≤ limit`, in ascending row order.
+///
+/// Low dimensions run the 4-row lockstep kernel with a *block-level* early
+/// exit: the quad is abandoned mid-loop only when **all four** partial
+/// sums already exceed the bound, so the common dense case pays one branch
+/// per eight coordinate blocks rather than one per lane. High dimensions
+/// (`> 24`) dispatch to the per-row early-exit kernel, where skipping the
+/// tail of a single row dominates. Membership uses the same squared-space
+/// contract as [`sq_dist_within`].
+pub fn sq_dist_within_batch(
+    q: &[f64],
+    rows: &[f64],
+    dim: usize,
+    limit: f64,
+    mut visit: impl FnMut(usize),
+) {
+    debug_assert!(dim > 0, "sq_dist_within_batch: dim must be positive");
+    debug_assert_eq!(
+        rows.len() % dim,
+        0,
+        "sq_dist_within_batch: ragged row block"
+    );
+    if dim > BATCH_EARLY_EXIT_DIM {
+        for (r, row) in rows.chunks_exact(dim).enumerate() {
+            if sq_dist_within(q, row, limit) {
+                visit(r);
+            }
+        }
+        return;
+    }
+    let mut base = 0usize;
+    let mut quads = rows.chunks_exact(4 * dim);
+    for quad in quads.by_ref() {
+        let [a0, a1, a2, a3] = sq_dists4_bounded(q, quad, dim, limit);
+        if a0 <= limit {
+            visit(base);
+        }
+        if a1 <= limit {
+            visit(base + 1);
+        }
+        if a2 <= limit {
+            visit(base + 2);
+        }
+        if a3 <= limit {
+            visit(base + 3);
+        }
+        base += 4;
+    }
+    for row in quads.remainder().chunks_exact(dim) {
+        if sq_dist_within(q, row, limit) {
+            visit(base);
+        }
+        base += 1;
+    }
+}
+
 /// In-place `a += alpha * b` (the BLAS `axpy` kernel).
 #[inline]
 pub fn axpy(alpha: f64, b: &[f64], a: &mut [f64]) {
@@ -336,6 +546,70 @@ mod tests {
                 lp_dist_within(&a, &b, f64::INFINITY, limit),
                 linf_dist(&a, &b) <= limit
             );
+        }
+    }
+
+    /// Deterministic pseudo-random row block (n rows of width d).
+    fn row_block(n: usize, d: usize) -> (Vec<f64>, Vec<f64>) {
+        let q: Vec<f64> = (0..d).map(|i| (i as f64 * 0.37).sin()).collect();
+        let rows: Vec<f64> = (0..n * d).map(|i| (i as f64 * 0.73).cos()).collect();
+        (q, rows)
+    }
+
+    #[test]
+    fn sq_dists_into_is_bit_identical_to_scalar_kernel() {
+        // Row counts straddling the 4-row quad boundary, dims straddling
+        // the block-skip boundary.
+        for d in [1usize, 2, 3, 5, 8, 9, 24, 25, 40] {
+            for n in [0usize, 1, 3, 4, 5, 8, 11] {
+                let (q, rows) = row_block(n, d);
+                let mut out = vec![f64::NAN; 2];
+                sq_dists_into(&q, &rows, d, &mut out);
+                assert_eq!(out.len(), n, "d={d} n={n}");
+                for (r, &got) in out.iter().enumerate() {
+                    let want = sq_dist(&q, &rows[r * d..(r + 1) * d]);
+                    assert!(got == want, "d={d} n={n} row {r}: {got} vs {want}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sq_dist_within_batch_matches_per_row_kernel() {
+        for d in [1usize, 2, 4, 7, 9, 24, 25, 40] {
+            for n in [0usize, 1, 4, 6, 9] {
+                let (q, rows) = row_block(n, d);
+                for limit in [0.0, 0.5, 2.0, 5.0, 1e3] {
+                    let mut got = Vec::new();
+                    sq_dist_within_batch(&q, &rows, d, limit, |r| got.push(r));
+                    let want: Vec<usize> = (0..n)
+                        .filter(|&r| sq_dist_within(&q, &rows[r * d..(r + 1) * d], limit))
+                        .collect();
+                    assert_eq!(got, want, "d={d} n={n} limit={limit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sq_dist_within_batch_boundary_is_inclusive_in_squared_space() {
+        // One row at exact squared distance 25; the contract is `sq ≤ limit`.
+        let q = [0.0, 0.0];
+        let rows = [3.0, 4.0];
+        let mut hits = Vec::new();
+        sq_dist_within_batch(&q, &rows, 2, 25.0, |r| hits.push(r));
+        assert_eq!(hits, vec![0]);
+        hits.clear();
+        sq_dist_within_batch(&q, &rows, 2, 25.0 - 1e-9, |r| hits.push(r));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn sq_dists4_matches_four_scalar_calls() {
+        let (q, rows) = row_block(4, 9);
+        let quad = sq_dists4(&q, &rows, 9);
+        for (r, &got) in quad.iter().enumerate() {
+            assert!(got == sq_dist(&q, &rows[r * 9..(r + 1) * 9]), "row {r}");
         }
     }
 

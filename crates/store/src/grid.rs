@@ -26,6 +26,11 @@ pub struct GridIndex {
     /// CSR-style bucket storage: `bucket_of[cell]..bucket_of[cell+1]` into `ids`.
     offsets: Vec<u32>,
     ids: Vec<u32>,
+    /// Feature rows copied in `ids` order: each bucket owns a contiguous
+    /// dimension-strided block for the batched membership kernel
+    /// ([`Norm::within_batch`]). Doubles feature memory, like the
+    /// kd-tree's leaf copy.
+    bucket_xs: Vec<f64>,
 }
 
 impl GridIndex {
@@ -98,6 +103,10 @@ impl GridIndex {
             ids[cursor[c] as usize] = i as u32;
             cursor[c] += 1;
         }
+        let mut bucket_xs = Vec::with_capacity(data.len() * d);
+        for &id in &ids {
+            bucket_xs.extend_from_slice(data.x(id as usize));
+        }
 
         GridIndex {
             data,
@@ -106,6 +115,7 @@ impl GridIndex {
             cells_per_dim,
             offsets: counts,
             ids,
+            bucket_xs,
         }
     }
 
@@ -151,13 +161,12 @@ impl SpatialIndex for GridIndex {
                 cell = cell * self.cells_per_dim + c as usize;
             }
             let (s, e) = (self.offsets[cell] as usize, self.offsets[cell + 1] as usize);
-            for &id in &self.ids[s..e] {
-                let id = id as usize;
-                let x = self.data.x(id);
-                if norm.within(center, x, radius) {
-                    visit(id, x, self.data.y(id));
-                }
-            }
+            // Batched membership over the bucket's contiguous row block.
+            let rows = &self.bucket_xs[s * d..e * d];
+            norm.within_batch(center, rows, d, radius, &mut |r| {
+                let id = self.ids[s + r] as usize;
+                visit(id, self.data.x(id), self.data.y(id));
+            });
             // Advance odometer.
             let mut k = d;
             loop {

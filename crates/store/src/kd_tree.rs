@@ -7,6 +7,13 @@
 //! The per-axis difference lower-bounds every `L_p` distance (`p ≥ 1`), so
 //! pruning is correct for all supported norms; exact membership is always
 //! re-checked per point.
+//!
+//! The build additionally packs a leaf-order copy of the feature rows
+//! (`leaf_xs`): each leaf owns a contiguous dimension-strided block, so
+//! the exact membership re-check runs the batched kernel
+//! ([`Norm::within_batch`]) instead of gathering rows one `data.x(id)` at
+//! a time. The copy doubles feature memory (`n·d` floats) — the classic
+//! index space/time trade, same as the grid's bucket copy.
 
 use crate::index::{AccessPathKind, SpatialIndex};
 use crate::norms::Norm;
@@ -39,18 +46,31 @@ pub struct KdTree {
     nodes: Vec<Node>,
     /// Row ids, permuted so each leaf owns a contiguous range.
     ids: Vec<usize>,
+    /// Feature rows copied in `ids` order: leaf `[start, end)` owns the
+    /// contiguous block `leaf_xs[start·d .. end·d]` for batched scans.
+    leaf_xs: Vec<f64>,
 }
 
 impl KdTree {
     /// Build a tree over the dataset (`O(n log n)`).
     pub fn build(data: Arc<Dataset>) -> Self {
         let n = data.len();
+        let d = data.dim();
         let mut ids: Vec<usize> = (0..n).collect();
         let mut nodes = Vec::with_capacity(2 * (n / LEAF_SIZE + 1));
         if n > 0 {
             Self::build_recursive(&data, &mut ids, 0, n, 0, &mut nodes);
         }
-        KdTree { data, nodes, ids }
+        let mut leaf_xs = Vec::with_capacity(n * d);
+        for &id in &ids {
+            leaf_xs.extend_from_slice(data.x(id));
+        }
+        KdTree {
+            data,
+            nodes,
+            ids,
+            leaf_xs,
+        }
     }
 
     fn build_recursive(
@@ -102,12 +122,14 @@ impl KdTree {
     ) {
         match &self.nodes[node] {
             Node::Leaf { start, end } => {
-                for &id in &self.ids[*start..*end] {
-                    let x = self.data.x(id);
-                    if norm.within(center, x, radius) {
-                        visit(id, x, self.data.y(id));
-                    }
-                }
+                let d = self.data.dim();
+                // Batched membership over the leaf's contiguous row block;
+                // matches map back to dataset ids through the permutation.
+                let rows = &self.leaf_xs[start * d..end * d];
+                norm.within_batch(center, rows, d, radius, &mut |r| {
+                    let id = self.ids[start + r];
+                    visit(id, self.data.x(id), self.data.y(id));
+                });
             }
             Node::Internal { axis, split, right } => {
                 let delta = center[*axis] - split;

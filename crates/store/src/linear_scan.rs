@@ -30,11 +30,12 @@ impl SpatialIndex for LinearScan {
         debug_assert_eq!(center.len(), self.data.dim());
         let d = self.data.dim();
         let ys = self.data.ys();
-        for (i, row) in self.data.xs_flat().chunks_exact(d).enumerate() {
-            if norm.within(center, row, radius) {
-                visit(i, row, ys[i]);
-            }
-        }
+        let xs = self.data.xs_flat();
+        // The dataset's feature block is already the contiguous
+        // dimension-strided layout the batched membership kernel wants.
+        norm.within_batch(center, xs, d, radius, &mut |i| {
+            visit(i, &xs[i * d..(i + 1) * d], ys[i]);
+        });
     }
 
     fn dataset(&self) -> &Arc<Dataset> {

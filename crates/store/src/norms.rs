@@ -35,6 +35,21 @@ impl Norm {
     /// per candidate row of every scan, and for the non-matching majority
     /// the partial sum crosses the bound before all coordinates are
     /// touched. No square root is ever taken for `L2`.
+    ///
+    /// # Boundary contract
+    ///
+    /// Membership is **inclusive** and, for `L2` (and `Lp` with finite
+    /// `p ≠ 1`), decided in *power space*: the row matches iff
+    /// `‖a − b‖₂² ≤ radius²` (resp. `Σ|aᵢ−bᵢ|^p ≤ radius^p`). This is the
+    /// contract every access path (scan, kd-tree, grid) and the batched
+    /// kernel ([`Norm::within_batch`]) implement, so all paths always
+    /// agree exactly. The root-space predicate `dist(a, b) ≤ radius` can
+    /// disagree with it only when rounding places `dist` within one ulp of
+    /// `radius` (squaring moves the rounding point); the power-space form
+    /// is taken as canonical because it is what the early-exit kernels
+    /// evaluate and it never computes a root. A proptest in
+    /// `proptest_store` pins `within ⇔ dist ≤ radius` up to that
+    /// one-ulp boundary band.
     #[inline]
     pub fn within(&self, a: &[f64], b: &[f64], radius: f64) -> bool {
         match self {
@@ -42,6 +57,35 @@ impl Norm {
             Norm::L2 => vector::sq_dist_within(a, b, radius * radius),
             Norm::LInf => vector::linf_dist_within(a, b, radius),
             Norm::Lp(p) => vector::lp_dist_within(a, b, *p, radius),
+        }
+    }
+
+    /// Batched [`Norm::within`] over a contiguous `dim`-strided row block:
+    /// invoke `visit(r)` for every matching row index, in ascending order.
+    ///
+    /// `L2` dispatches to the 4-row lockstep kernel
+    /// ([`vector::sq_dist_within_batch`]) — the dense inner loop of the
+    /// scan, kd-tree-leaf and grid-bucket access paths; the other norms
+    /// fall back to the per-row early-exit kernels. Membership follows the
+    /// [`Norm::within`] boundary contract exactly for every norm.
+    #[inline]
+    pub fn within_batch(
+        &self,
+        center: &[f64],
+        rows: &[f64],
+        dim: usize,
+        radius: f64,
+        visit: &mut dyn FnMut(usize),
+    ) {
+        match self {
+            Norm::L2 => vector::sq_dist_within_batch(center, rows, dim, radius * radius, visit),
+            _ => {
+                for (r, row) in rows.chunks_exact(dim).enumerate() {
+                    if self.within(center, row, radius) {
+                        visit(r);
+                    }
+                }
+            }
         }
     }
 }
@@ -73,5 +117,25 @@ mod tests {
     #[test]
     fn default_is_l2() {
         assert_eq!(Norm::default(), Norm::L2);
+    }
+
+    #[test]
+    fn within_batch_agrees_with_per_row_within() {
+        // 11 rows of dim 3 (straddles the 4-row quad boundary).
+        let rows: Vec<f64> = (0..33).map(|i| (i as f64 * 0.61).sin()).collect();
+        let center = [0.2, -0.1, 0.4];
+        for norm in [Norm::L1, Norm::L2, Norm::LInf, Norm::Lp(3.0)] {
+            for radius in [0.0, 0.3, 0.8, 2.0] {
+                let mut got = Vec::new();
+                norm.within_batch(&center, &rows, 3, radius, &mut |r| got.push(r));
+                let want: Vec<usize> = rows
+                    .chunks_exact(3)
+                    .enumerate()
+                    .filter(|(_, row)| norm.within(&center, row, radius))
+                    .map(|(r, _)| r)
+                    .collect();
+                assert_eq!(got, want, "norm {norm:?} radius {radius}");
+            }
+        }
     }
 }

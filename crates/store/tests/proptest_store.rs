@@ -117,6 +117,84 @@ proptest! {
         }
     }
 
+    /// `Norm::within` boundary contract: the power-space membership test
+    /// agrees with the root-space predicate `dist(a, b) ≤ r` everywhere
+    /// except (at most) a one-ulp band around the boundary, where the
+    /// documented squared/power-space form is canonical. See the contract
+    /// note on `Norm::within`.
+    #[test]
+    fn within_agrees_with_dist_up_to_boundary_ulp(
+        a in prop::collection::vec(-3.0..3.0f64, 4),
+        b in prop::collection::vec(-3.0..3.0f64, 4),
+        r in 0.0..8.0f64,
+        norm in norm_strategy(),
+    ) {
+        let dist = norm.dist(&a, &b);
+        let within = norm.within(&a, &b, r);
+        if within != (dist <= r) {
+            // Disagreement is only legal in the rounding band around the
+            // boundary itself.
+            let scale = dist.abs().max(r.abs()).max(1.0);
+            prop_assert!(
+                (dist - r).abs() <= 8.0 * f64::EPSILON * scale,
+                "{norm:?}: within = {within} but dist = {dist} vs r = {r}"
+            );
+        }
+    }
+
+    /// Exactly *on* the boundary (a representable dist == r), membership
+    /// must be inclusive for every norm and agree across all access paths.
+    #[test]
+    fn boundary_membership_is_inclusive_on_every_path(
+        ds in dataset_strategy(2),
+        cx in -1.5..1.5f64, cy in -1.5..1.5f64,
+        r in 0.0..1.5f64,
+        norm in norm_strategy(),
+    ) {
+        let data = Arc::new(ds);
+        let scan = LinearScan::new(data.clone());
+        let tree = KdTree::build(data.clone());
+        let grid = GridIndex::build(data);
+        let (mut s, mut t, mut g) = (Vec::new(), Vec::new(), Vec::new());
+        scan.query_ball(&[cx, cy], r, norm, &mut s);
+        tree.query_ball(&[cx, cy], r, norm, &mut t);
+        grid.query_ball(&[cx, cy], r, norm, &mut g);
+        prop_assert_eq!(&s, &sorted(t));
+        prop_assert_eq!(&s, &sorted(g));
+    }
+
+    /// Degenerate (zero-extent) grid dimensions: a dataset whose first
+    /// feature is a constant column still answers every ball exactly —
+    /// centered on the constant value, off it, or far away — because the
+    /// clamped binning maps the whole degenerate axis to cell 0 for data
+    /// and queries alike.
+    #[test]
+    fn grid_handles_constant_feature_column(
+        others in prop::collection::vec(-1.0..1.0f64, 1..120),
+        constant in -2.0..2.0f64,
+        center_offset in -1.5..1.5f64,
+        cy in -1.5..1.5f64,
+        r in 0.0..1.5f64,
+        norm in norm_strategy(),
+    ) {
+        let mut ds = Dataset::new(2);
+        for &v in &others {
+            ds.push(&[constant, v], 0.0).unwrap();
+        }
+        let data = Arc::new(ds);
+        let grid = GridIndex::build(data.clone());
+        let scan = LinearScan::new(data);
+        let (mut got, mut want) = (Vec::new(), Vec::new());
+        // Centered exactly on the constant value…
+        grid.query_ball(&[constant, cy], r, norm, &mut got);
+        scan.query_ball(&[constant, cy], r, norm, &mut want);
+        prop_assert_eq!(sorted(got.clone()), want.clone(), "on-value ball");
+        // …and off it along the degenerate axis.
+        grid.query_ball(&[constant + center_offset, cy], r, norm, &mut got);
+        scan.query_ball(&[constant + center_offset, cy], r, norm, &mut want);
+        prop_assert_eq!(sorted(got.clone()), want, "off-value ball");
+    }
+
     /// Selections are monotone in the radius: a bigger ball returns a
     /// superset of row ids.
     #[test]
