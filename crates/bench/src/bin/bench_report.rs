@@ -13,7 +13,11 @@
 //! 5. the `O(dK)` serving path at K ∈ {64, 256, 1024, 4096} — the
 //!    struct-of-arrays arena with batched kernels vs the retained
 //!    per-prototype reference path (`regq_core::predict::reference`),
-//!    in Q1 predictions/sec.
+//!    in Q1 predictions/sec;
+//! 6. the concurrent snapshot-serving engine — closed-loop reader-count
+//!    scaling through `regq_serve::ServeEngine` with one live writer
+//!    (Fig. 2 trainer) feeding and republishing, confidence-gated exact
+//!    fallback exercised end-to-end.
 //!
 //! The emitted JSON carries a `host` object (core count, `--smoke`,
 //! os/arch) so single-core-container runs are machine-readable.
@@ -33,8 +37,12 @@ use regq_core::predict::reference;
 use regq_core::{LlmModel, ModelConfig, Query};
 use regq_data::rng::seeded;
 use regq_exact::{fit_ols, fit_ols_design, q1_mean_materialized, ExactEngine};
+use regq_serve::{RoutePolicy, ServeEngine};
 use regq_store::AccessPathKind;
-use regq_workload::{train_from_engine_parallel, ParallelTrainOptions, QueryGenerator};
+use regq_workload::{
+    serve_closed_loop, train_from_engine, train_from_engine_parallel, ParallelTrainOptions,
+    QueryGenerator,
+};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -366,6 +374,51 @@ fn main() {
         });
     }
 
+    // ---- Section 6: concurrent snapshot serving (readers × 1 writer).
+    // A fresh ServeEngine per reader count (same pre-trained model clone,
+    // same workloads) so rows are comparable: the only variable is the
+    // reader thread count. The pre-training budget is deliberately
+    // partial — the confidence gate must route both ways.
+    let serve_reader_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let serve_queries_n = if smoke { 400 } else { 4_000 };
+    let serve_exact = || ExactEngine::new(data.clone(), AccessPathKind::KdTree);
+    let pretrain_budget = if smoke { 300 } else { 3_000 };
+    let pretrained = {
+        let engine = serve_exact();
+        let mut model =
+            LlmModel::new(bench::model_config(Family::R2, d, 0.15)).expect("valid config");
+        let mut rng = seeded(77);
+        train_from_engine(&mut model, &engine, &gen, pretrain_budget, &mut rng)
+            .expect("pre-training");
+        model
+    };
+    let serve_policy = RoutePolicy {
+        confidence_threshold: 0.3,
+        feedback: true,
+        publish_interval: 128,
+    };
+    let (reader_workload, writer_workload) = {
+        let mut rng = seeded(7777);
+        (
+            gen.generate_many(serve_queries_n, &mut rng),
+            gen.generate_many(100_000, &mut rng),
+        )
+    };
+    let mut serve_rows = Vec::new();
+    for &readers in serve_reader_counts {
+        let engine = ServeEngine::with_model(serve_exact(), pretrained.clone(), serve_policy);
+        let r = serve_closed_loop(&engine, &reader_workload, readers, &writer_workload);
+        eprintln!(
+            "  concurrent serving x{readers}: {:.0} qps, model share {:.2}, \
+             {} feedback examples, {} publishes",
+            r.qps(),
+            r.model_share(),
+            r.feedback_fed,
+            r.publishes
+        );
+        serve_rows.push(r);
+    }
+
     // ---- Emit JSON (hand-rolled: the serde shim's derives are no-ops).
     let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     let mut json = String::new();
@@ -456,6 +509,37 @@ fn main() {
             fmt_f(r.pre_arena_us / r.arena_us),
             fmt_f(r.reference_us / r.arena_us),
             if i + 1 < serving_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n  },\n");
+    let _ = writeln!(
+        json,
+        "  \"serving_concurrent\": {{\n    \"engine\": \"kd_tree\", \"queries\": {serve_queries_n}, \
+         \"pretrain_budget\": {pretrain_budget}, \"confidence_threshold\": {}, \
+         \"publish_interval\": {}, \
+         \"setup\": \"closed loop: N readers auto-route a shared workload through \
+         ServeEngine (lock-free snapshot reads, confidence-gated exact fallback) \
+         while 1 writer executes ground truth, feeds the trainer and republishes\",",
+        fmt_f(serve_policy.confidence_threshold),
+        serve_policy.publish_interval
+    );
+    json.push_str("    \"by_readers\": [\n");
+    for (i, r) in serve_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"readers\": {}, \"qps\": {}, \"model_share\": {}, \
+             \"model_served\": {}, \"exact_served\": {}, \"feedback_fed\": {}, \
+             \"feedback_skipped\": {}, \"publishes\": {}, \"writer_examples\": {}}}{}",
+            r.readers,
+            fmt_f(r.qps()),
+            fmt_f(r.model_share()),
+            r.model_served,
+            r.exact_served,
+            r.feedback_fed,
+            r.feedback_skipped,
+            r.publishes,
+            r.writer_examples,
+            if i + 1 < serve_rows.len() { "," } else { "" }
         );
     }
     json.push_str("    ]\n  }\n}\n");

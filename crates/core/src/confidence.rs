@@ -18,10 +18,23 @@
 //! define one); its component axes are exact model quantities, and the
 //! tests pin the monotonicity properties that make it usable for
 //! serve-or-fall-back-to-DBMS routing.
+//!
+//! # Route consistency
+//!
+//! The assessment is derived from the **same fusion driver** the
+//! prediction algorithms run ([`crate::predict`]'s overlap-weight
+//! resolution), not from a parallel re-scan of the prototype set. The two
+//! can therefore never disagree about the path taken: whenever the served
+//! answer falls back to the winner prototype — empty `W(q)`, or the
+//! zero-total-weight case where every member of a non-empty overlap set is
+//! exactly tangent to the query ball — [`Confidence::fused`] is `false`,
+//! `overlap_mass` is 0 and `support_updates` is the winner's update count,
+//! matching what the prediction actually used.
 
+use crate::arena::PrototypeArena;
 use crate::error::CoreError;
 use crate::model::LlmModel;
-use crate::overlap::overlap_degree_parts;
+use crate::predict::{self, FusionInfo, LocalModel};
 use crate::query::Query;
 use serde::{Deserialize, Serialize};
 
@@ -31,16 +44,98 @@ const MATURITY_HALF_LIFE: f64 = 20.0;
 /// Confidence breakdown for one query.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Confidence {
-    /// Raw overlap mass `Σ δ(q, w_k)` (0 = no learned subspace overlaps).
+    /// Raw overlap mass `Σ δ(q, w_k)` over the fused neighborhood (0 when
+    /// the prediction fell back to the winner prototype).
     pub overlap_mass: f64,
     /// `δ̃`-weighted mean update count of contributing prototypes (the
-    /// winner's count when `W(q) = ∅`).
+    /// winner's count on the fallback path).
     pub support_updates: f64,
     /// Joint distance to the winner divided by the vigilance `ρ`
     /// (> 1 means the answer extrapolates beyond the quantization cell).
     pub winner_distance_ratio: f64,
+    /// `true` when the prediction fused `W(q)` with normalized weights;
+    /// `false` when it extrapolated from the winner prototype (the
+    /// serve-path fallback — empty or all-tangent overlap set).
+    pub fused: bool,
     /// Combined score in `[0, 1]`.
     pub score: f64,
+}
+
+/// Fold the three axes into a [`Confidence`] (shared by the model and the
+/// snapshot paths so the heuristic is combined identically everywhere).
+fn combine(winner_sq: f64, rho: f64, support_updates: f64, info: FusionInfo) -> Confidence {
+    let winner_distance_ratio = winner_sq.sqrt() / rho;
+    // Heuristic combination: each axis maps to [0, 1] and the score is
+    // their product, with a floor on the mass term so a mature, nearby
+    // winner still yields a usable (if discounted) score on the fallback
+    // path.
+    let mass_term = info.mass / (1.0 + info.mass);
+    let maturity = support_updates / (support_updates + MATURITY_HALF_LIFE);
+    let proximity = 1.0 / (1.0 + (winner_distance_ratio - 1.0).max(0.0));
+    let score = (0.25 + 0.75 * mass_term) * maturity * proximity;
+    Confidence {
+        overlap_mass: info.mass,
+        support_updates,
+        winner_distance_ratio,
+        fused: info.fused,
+        score: score.clamp(0.0, 1.0),
+    }
+}
+
+/// Confidence over an arena; `None` on an empty arena. Runs the *same*
+/// overlap-weight driver as prediction (see module docs).
+pub(crate) fn confidence_over_arena(
+    arena: &PrototypeArena,
+    rho: f64,
+    q: &Query,
+) -> Option<Confidence> {
+    let (winner, winner_sq) = arena.winner(&q.center, q.radius)?;
+    let mut support_updates = 0.0;
+    let info =
+        predict::for_each_overlap_weight_with_winner(arena, &q.center, q.radius, winner, |k, w| {
+            support_updates += w * arena.updates(k) as f64;
+        });
+    Some(combine(winner_sq, rho, support_updates, info))
+}
+
+/// Q1 prediction and confidence from **one** overlap resolution (the
+/// serve-path fast path: a routing layer needs both, and the fused answer
+/// plus its assessment come out of one overlap scan plus the winner scan
+/// the assessment needs anyway — the fallback branch reuses that winner
+/// instead of scanning again). `None` on an empty arena.
+pub(crate) fn q1_with_confidence_over_arena(
+    arena: &PrototypeArena,
+    rho: f64,
+    q: &Query,
+) -> Option<(f64, Confidence)> {
+    let (winner, winner_sq) = arena.winner(&q.center, q.radius)?;
+    let mut yhat = 0.0;
+    let mut support_updates = 0.0;
+    let info =
+        predict::for_each_overlap_weight_with_winner(arena, &q.center, q.radius, winner, |k, w| {
+            yhat += w * arena.eval(k, &q.center, q.radius);
+            support_updates += w * arena.updates(k) as f64;
+        });
+    Some((yhat, combine(winner_sq, rho, support_updates, info)))
+}
+
+/// Q2 list and confidence from one overlap resolution (the Q2 sibling of
+/// [`q1_with_confidence_over_arena`] — a routing layer scores and serves
+/// the list from the same scan). `None` on an empty arena.
+pub(crate) fn q2_with_confidence_over_arena(
+    arena: &PrototypeArena,
+    rho: f64,
+    q: &Query,
+) -> Option<(Vec<LocalModel>, Confidence)> {
+    let (winner, winner_sq) = arena.winner(&q.center, q.radius)?;
+    let mut s = Vec::new();
+    let mut support_updates = 0.0;
+    let info =
+        predict::for_each_overlap_weight_with_winner(arena, &q.center, q.radius, winner, |k, w| {
+            s.push(predict::local_model_at(arena, k, w));
+            support_updates += w * arena.updates(k) as f64;
+        });
+    Some((s, combine(winner_sq, rho, support_updates, info)))
 }
 
 impl LlmModel {
@@ -57,54 +152,24 @@ impl LlmModel {
                 actual: q.dim(),
             });
         }
-        let Some((winner, winner_sq)) = self.winner(q) else {
-            return Err(CoreError::EmptyModel);
-        };
-        let rho = self.config().rho();
-        let winner_distance_ratio = winner_sq.sqrt() / rho;
-
-        let mut mass = 0.0;
-        let mut weighted_updates = 0.0;
-        let arena = self.arena();
-        for k in 0..arena.len() {
-            let d = overlap_degree_parts(&q.center, q.radius, arena.center(k), arena.radius(k));
-            if d > 0.0 {
-                mass += d;
-                weighted_updates += d * arena.updates(k) as f64;
-            }
-        }
-        let support_updates = if mass > 0.0 {
-            weighted_updates / mass
-        } else {
-            arena.updates(winner) as f64
-        };
-
-        // Heuristic combination: each axis maps to [0, 1] and the score is
-        // their product, with a floor on the mass term so a mature, nearby
-        // winner still yields a usable (if discounted) score when W(q) is
-        // empty.
-        let mass_term = mass / (1.0 + mass);
-        let maturity = support_updates / (support_updates + MATURITY_HALF_LIFE);
-        let proximity = 1.0 / (1.0 + (winner_distance_ratio - 1.0).max(0.0));
-        let score = (0.25 + 0.75 * mass_term) * maturity * proximity;
-
-        Ok(Confidence {
-            overlap_mass: mass,
-            support_updates,
-            winner_distance_ratio,
-            score: score.clamp(0.0, 1.0),
-        })
+        confidence_over_arena(self.arena(), self.config().rho(), q).ok_or(CoreError::EmptyModel)
     }
 
-    /// Predict Q1 together with its confidence (convenience for serving
-    /// layers that route low-confidence queries back to the DBMS).
+    /// Predict Q1 together with its confidence, resolving the overlap
+    /// neighborhood **once** (the serving layers route on the score and
+    /// serve the value from the same scan).
     ///
     /// # Errors
     /// Same as [`LlmModel::predict_q1`].
     pub fn predict_q1_with_confidence(&self, q: &Query) -> Result<(f64, Confidence), CoreError> {
-        let y = self.predict_q1(q)?;
-        let c = self.confidence(q)?;
-        Ok((y, c))
+        if q.dim() != self.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim(),
+                actual: q.dim(),
+            });
+        }
+        q1_with_confidence_over_arena(self.arena(), self.config().rho(), q)
+            .ok_or(CoreError::EmptyModel)
     }
 }
 
@@ -197,6 +262,52 @@ mod tests {
         let (y, c) = m.predict_q1_with_confidence(&query).unwrap();
         assert_eq!(y, m.predict_q1(&query).unwrap());
         assert_eq!(c, m.confidence(&query).unwrap());
+    }
+
+    #[test]
+    fn fused_flag_tracks_the_fusion_path() {
+        let m = trained(8);
+        let protos = m.prototypes();
+        let p = protos.iter().max_by_key(|p| p.updates).unwrap();
+        let near = m.confidence(&q(&p.center, p.radius)).unwrap();
+        assert!(near.fused, "coincident probe must fuse");
+        let far = m.confidence(&q(&[40.0, -40.0], 0.05)).unwrap();
+        assert!(!far.fused, "empty W(q) must report the fallback route");
+        assert_eq!(far.overlap_mass, 0.0);
+    }
+
+    #[test]
+    fn all_tangent_overlap_is_scored_as_the_fallback_it_serves() {
+        // Regression (the PR 4 zero-total-weight family): a query ball
+        // exactly tangent to every prototype ball makes the fusion fall
+        // back to the winner prototype (today the δ > 0 membership filter
+        // yields an *empty* set for this geometry; the non-empty
+        // zero-total variant of the same decision is pinned directly in
+        // `predict::fusion_falls_back`'s unit test). The confidence
+        // assessment must describe that same path — winner support, zero
+        // mass, fused = false — not a phantom fused route, because it now
+        // *derives from* the prediction's own overlap-weight resolution.
+        let mut cfg = ModelConfig::paper_defaults(2);
+        cfg.vigilance_override = Some(1e-9);
+        let mut m = LlmModel::new(cfg).unwrap();
+        for _ in 0..3 {
+            m.train_step(&q(&[0.0, 0.0], 0.5), 1.0).unwrap();
+            m.train_step(&q(&[2.0, 0.0], 0.5), 5.0).unwrap();
+        }
+        assert_eq!(m.k(), 2);
+        // Tangent to both prototypes: center distance 1.0 == 0.5 + 0.5.
+        let tangent = q(&[1.0, 0.0], 0.5);
+        assert!(m.overlap_set(&tangent).is_empty());
+        let (j, _) = m.winner(&tangent).unwrap();
+
+        let (y, c) = m.predict_q1_with_confidence(&tangent).unwrap();
+        // The served value took the winner fallback …
+        assert_eq!(y, m.arena().eval(j, &tangent.center, tangent.radius));
+        // … and the confidence reports exactly that route.
+        assert!(!c.fused);
+        assert_eq!(c.overlap_mass, 0.0);
+        assert_eq!(c.support_updates, m.arena().updates(j) as f64);
+        assert_eq!(c, m.confidence(&tangent).unwrap());
     }
 
     #[test]

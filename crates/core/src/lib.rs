@@ -47,6 +47,8 @@
 //! * [`moments`] — extension E-1: second-moment head → variance prediction.
 //! * [`adapt`] — extension E-2/E-3: drift adaptation, merge & prune.
 //! * [`confidence`] — desideratum D2: when to trust a served answer.
+//! * [`snapshot`] — the immutable, publishable serving half of the
+//!   train/serve split.
 //! * [`persist`] — versioned text persistence (plus `serde` derives).
 
 #![deny(missing_docs)]
@@ -66,6 +68,7 @@ pub mod predict;
 pub mod prototype;
 pub mod query;
 pub mod schedule;
+pub mod snapshot;
 
 pub use arena::{PrototypeArena, PrototypeRef, PrototypeRefMut};
 pub use confidence::Confidence;
@@ -78,3 +81,4 @@ pub use predict::LocalModel;
 pub use prototype::Prototype;
 pub use query::Query;
 pub use schedule::LearningSchedule;
+pub use snapshot::ServingSnapshot;

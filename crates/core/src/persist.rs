@@ -17,11 +17,13 @@
 //! `serde::{Serialize, Deserialize}` for embedding in host applications
 //! that bring their own format crate.
 
+use crate::arena::PrototypeArena;
 use crate::config::{ModelConfig, SlopeUpdate};
 use crate::error::CoreError;
 use crate::model::LlmModel;
 use crate::prototype::Prototype;
 use crate::schedule::LearningSchedule;
+use crate::snapshot::ServingSnapshot;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
@@ -80,11 +82,42 @@ fn parse_schedule(tag: &str) -> Result<LearningSchedule, CoreError> {
 /// # Errors
 /// [`CoreError::Persist`] wrapping any IO failure.
 pub fn save_model(model: &LlmModel, path: &Path) -> Result<(), CoreError> {
+    save_parts(
+        model.config(),
+        model.arena(),
+        model.steps(),
+        model.is_frozen(),
+        path,
+    )
+}
+
+/// Save a [`ServingSnapshot`] to `path` — same on-disk format as
+/// [`save_model`] (a snapshot persists as the frozen parameter set it
+/// captured; [`load_snapshot`] reads either).
+///
+/// # Errors
+/// [`CoreError::Persist`] wrapping any IO failure.
+pub fn save_snapshot(snapshot: &ServingSnapshot, path: &Path) -> Result<(), CoreError> {
+    save_parts(
+        snapshot.config(),
+        snapshot.arena(),
+        snapshot.version(),
+        snapshot.is_frozen(),
+        path,
+    )
+}
+
+fn save_parts(
+    c: &ModelConfig,
+    arena: &PrototypeArena,
+    steps: u64,
+    frozen: bool,
+    path: &Path,
+) -> Result<(), CoreError> {
     let io = |e: std::io::Error| CoreError::Persist(e.to_string());
     let file = std::fs::File::create(path).map_err(io)?;
     let mut w = BufWriter::new(file);
     writeln!(w, "{MAGIC}").map_err(io)?;
-    let c = model.config();
     write!(
         w,
         "dim {} a {:?} gamma {:?} window {} schedule {} slope {} cpow {:?} steps {} frozen {} k {}",
@@ -95,9 +128,9 @@ pub fn save_model(model: &LlmModel, path: &Path) -> Result<(), CoreError> {
         schedule_tag(&c.schedule),
         slope_tag(&c.slope_update),
         c.coeff_rate_power,
-        model.steps(),
-        u8::from(model.is_frozen()),
-        model.k(),
+        steps,
+        u8::from(frozen),
+        arena.len(),
     )
     .map_err(io)?;
     if let Some(rho) = c.vigilance_override {
@@ -105,7 +138,7 @@ pub fn save_model(model: &LlmModel, path: &Path) -> Result<(), CoreError> {
     }
     writeln!(w).map_err(io)?;
     // Stream straight from the arena views — no owned snapshot.
-    for p in model.arena().iter() {
+    for p in arena.iter() {
         write!(
             w,
             "proto {} {:?} {:?} {:?} |",
@@ -122,6 +155,15 @@ pub fn save_model(model: &LlmModel, path: &Path) -> Result<(), CoreError> {
         writeln!(w).map_err(io)?;
     }
     w.flush().map_err(io)
+}
+
+/// Load a [`ServingSnapshot`] saved by [`save_snapshot`] (or capture one
+/// from a file written by [`save_model`] — the formats are identical).
+///
+/// # Errors
+/// Same as [`load_model`].
+pub fn load_snapshot(path: &Path) -> Result<ServingSnapshot, CoreError> {
+    load_model(path).map(|m| m.snapshot())
 }
 
 /// Load a model saved by [`save_model`].
@@ -308,6 +350,36 @@ mod tests {
             let c: Vec<f64> = (0..3).map(|_| rng.random_range(0.0..1.0)).collect();
             let q = Query::new_unchecked(c, rng.random_range(0.01..0.5));
             assert_eq!(m.predict_q1(&q).unwrap(), loaded.predict_q1(&q).unwrap());
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_exact() {
+        // Guard for the serving split: a published snapshot must survive a
+        // restart bit-for-bit — parameters, version and probe-grid
+        // predictions (Q1, Q2, data value, confidence score).
+        let m = trained_model(7);
+        let snap = m.snapshot();
+        let path = tmp("snapshot.model");
+        save_snapshot(&snap, &path).unwrap();
+        let loaded = load_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.k(), snap.k());
+        assert_eq!(loaded.version(), snap.version());
+        assert_eq!(loaded.is_frozen(), snap.is_frozen());
+        assert_eq!(loaded.config(), snap.config());
+        assert_eq!(loaded.prototypes(), snap.prototypes());
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..60 {
+            let c: Vec<f64> = (0..3).map(|_| rng.random_range(-0.5..1.5)).collect();
+            let q = Query::new_unchecked(c, rng.random_range(0.01..0.5));
+            assert_eq!(snap.predict_q1(&q), loaded.predict_q1(&q));
+            assert_eq!(snap.predict_q2(&q), loaded.predict_q2(&q));
+            assert_eq!(
+                snap.predict_value(&q, &q.center),
+                loaded.predict_value(&q, &q.center)
+            );
+            assert_eq!(snap.confidence(&q), loaded.confidence(&q));
         }
     }
 

@@ -5,6 +5,7 @@
 //! prototype set, which is the paper's efficiency/scalability claim
 //! (Section V, "Convergence & Complexity").
 
+use crate::arena::PrototypeArena;
 use crate::error::CoreError;
 use crate::model::LlmModel;
 use crate::query::Query;
@@ -18,6 +19,142 @@ thread_local! {
     /// never touches the allocator in steady state. Thread-local because a
     /// frozen model is served from `&self` by many threads at once.
     static OVERLAP_SCRATCH: RefCell<Vec<(usize, f64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Which path Algorithm 2's fusion actually took for one query — shared
+/// between prediction and [`crate::confidence`] so a served answer and its
+/// confidence can never disagree about the route.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct FusionInfo {
+    /// `true` when the prediction fused `W(q)` with normalized `δ̃`
+    /// weights; `false` when it fell back to the winner prototype (empty
+    /// `W(q)`, or a non-empty set whose members are all exactly tangent —
+    /// zero total weight either way).
+    pub fused: bool,
+    /// Raw overlap mass `Σ δ(q, w_k)` over the fused set; `0.0` on the
+    /// fallback path.
+    pub mass: f64,
+}
+
+/// The shared driver of all prediction algorithms **and** the confidence
+/// assessment: resolve `W(q)` in the thread-local scratch and hand each
+/// `(k, δ̃(q, w_k))` pair to `f` with weights normalized to 1. Zero total
+/// weight means the fusion is undefined: either `W(q)` is empty, or every
+/// member is exactly tangent to the query ball (`δ = 0` each — possible if
+/// membership ever admits the `A(q, q')` boundary, and guarded here so the
+/// weighted sum can never divide by zero). Both cases fall back to the
+/// winner prototype with weight 1. Must be called on a non-empty arena.
+pub(crate) fn for_each_overlap_weight(
+    arena: &PrototypeArena,
+    center: &[f64],
+    radius: f64,
+    f: impl FnMut(usize, f64),
+) -> FusionInfo {
+    drive_overlap_weights(arena, center, radius, None, f)
+}
+
+/// [`for_each_overlap_weight`] with the winner already in hand (the
+/// confidence path needs the winner distance anyway — reusing it saves
+/// the fallback branch a second full `O(dK)` scan). `winner` must be the
+/// arena's own winner for this query; the scan is deterministic, so the
+/// result is bit-identical to recomputing it.
+pub(crate) fn for_each_overlap_weight_with_winner(
+    arena: &PrototypeArena,
+    center: &[f64],
+    radius: f64,
+    winner: usize,
+    f: impl FnMut(usize, f64),
+) -> FusionInfo {
+    drive_overlap_weights(arena, center, radius, Some(winner), f)
+}
+
+/// The fusion-degeneracy decision: fall back to the winner when the
+/// resolved set is empty, or when it is non-empty but carries zero total
+/// weight (every member exactly tangent). The second disjunct is
+/// unreachable through today's [`PrototypeArena::overlap_set_into`] —
+/// membership requires `δ > 0` — but is guarded (and unit-tested
+/// directly, since no end-to-end path can reach it) so a future widening
+/// of membership to the `A(q, q')` boundary cannot divide by zero.
+#[inline]
+fn fusion_falls_back(set: &[(usize, f64)], total: f64) -> bool {
+    set.is_empty() || total <= 0.0
+}
+
+fn drive_overlap_weights(
+    arena: &PrototypeArena,
+    center: &[f64],
+    radius: f64,
+    winner: Option<usize>,
+    mut f: impl FnMut(usize, f64),
+) -> FusionInfo {
+    OVERLAP_SCRATCH.with(|scratch| {
+        let mut w = scratch.borrow_mut();
+        arena.overlap_set_into(center, radius, &mut w);
+        let total: f64 = w.iter().map(|(_, d)| d).sum();
+        if fusion_falls_back(&w, total) {
+            let j =
+                winner.unwrap_or_else(|| arena.winner(center, radius).expect("non-empty arena").0);
+            f(j, 1.0);
+            FusionInfo {
+                fused: false,
+                mass: 0.0,
+            }
+        } else {
+            for &(k, d) in w.iter() {
+                f(k, d / total);
+            }
+            FusionInfo {
+                fused: true,
+                mass: total,
+            }
+        }
+    })
+}
+
+/// Algorithm 2 (Q1) over an arena. Must be called on a non-empty arena
+/// with a dimension-checked query.
+pub(crate) fn q1_over_arena(arena: &PrototypeArena, q: &Query) -> f64 {
+    let mut yhat = 0.0;
+    for_each_overlap_weight(arena, &q.center, q.radius, |k, w| {
+        yhat += w * arena.eval(k, &q.center, q.radius);
+    });
+    yhat
+}
+
+/// Materialize the Theorem-3 local model of prototype `k` with fusion
+/// weight `weight` — the one place the `S`-list element is built, shared
+/// by the Q2 prediction and the fused Q2+confidence drivers so the list
+/// construction cannot drift between them.
+pub(crate) fn local_model_at(arena: &PrototypeArena, k: usize, weight: f64) -> LocalModel {
+    let (intercept, slope) = arena.local_line(k);
+    LocalModel {
+        intercept,
+        slope: slope.to_vec(),
+        prototype: k,
+        weight,
+        center: arena.center(k).to_vec(),
+        radius: arena.radius(k),
+    }
+}
+
+/// Algorithm 3 (Q2) over an arena. Must be called on a non-empty arena
+/// with a dimension-checked query.
+pub(crate) fn q2_over_arena(arena: &PrototypeArena, q: &Query) -> Vec<LocalModel> {
+    let mut s = Vec::new();
+    for_each_overlap_weight(arena, &q.center, q.radius, |k, weight| {
+        s.push(local_model_at(arena, k, weight));
+    });
+    s
+}
+
+/// Eq. 14 (data value) over an arena. Must be called on a non-empty arena
+/// with dimension-checked query and probe point.
+pub(crate) fn value_over_arena(arena: &PrototypeArena, q: &Query, x: &[f64]) -> f64 {
+    let mut uhat = 0.0;
+    for_each_overlap_weight(arena, &q.center, q.radius, |k, w| {
+        uhat += w * arena.eval_at_own_radius(k, x);
+    });
+    uhat
 }
 
 /// One local linear model returned by a Q2 query (an element of the
@@ -85,49 +222,21 @@ impl LlmModel {
         out
     }
 
-    /// The shared driver of all three prediction algorithms: resolve
-    /// `W(q)` in the thread-local scratch and hand each `(k, δ̃(q, w_k))`
-    /// pair to `f` with weights normalized to 1; when `W(q)` is empty,
-    /// hand the closest prototype with weight 1 (the extrapolation
-    /// fallback). Must be called on a checked, non-empty model.
-    fn for_each_overlap_weight(&self, q: &Query, mut f: impl FnMut(usize, f64)) {
-        OVERLAP_SCRATCH.with(|scratch| {
-            let mut w = scratch.borrow_mut();
-            self.overlap_set_into(q, &mut w);
-            let total: f64 = w.iter().map(|(_, d)| d).sum();
-            // Zero total weight means the fusion is undefined: either
-            // `W(q)` is empty, or every member is exactly tangent to the
-            // query ball (δ = 0 each — possible if membership ever admits
-            // the A(q,q') boundary, and guarded here so the weighted sum
-            // can never divide by zero). Both cases fall back to the
-            // winner prototype with weight 1.
-            if w.is_empty() || total <= 0.0 {
-                let (j, _) = self.winner(q).expect("non-empty");
-                f(j, 1.0);
-                return;
-            }
-            for &(k, d) in w.iter() {
-                f(k, d / total);
-            }
-        })
-    }
-
     /// **Algorithm 2 — Q1 query processing.** Predict the mean value `ŷ`
     /// over `D(x, θ)` with zero data access.
     ///
     /// `ŷ = Σ_{w_k ∈ W(q)} δ̃(q, w_k) f_k(x, θ)` (Eq. 11/12); when `W(q)`
     /// is empty the closest prototype extrapolates: `ŷ = f_j(x, θ)`.
     ///
+    /// Shared with [`crate::snapshot::ServingSnapshot::predict_q1`]
+    /// (identical arena-level driver, bit-identical results).
+    ///
     /// # Errors
     /// [`CoreError::EmptyModel`] on an untrained model,
     /// [`CoreError::DimensionMismatch`] on a wrong-dimension query.
     pub fn predict_q1(&self, q: &Query) -> Result<f64, CoreError> {
         self.check_query(q)?;
-        let mut yhat = 0.0;
-        self.for_each_overlap_weight(q, |k, w| {
-            yhat += w * self.arena().eval(k, &q.center, q.radius);
-        });
-        Ok(yhat)
+        Ok(q1_over_arena(self.arena(), q))
     }
 
     /// **Algorithm 3 — Q2 query processing.** Return the list `S` of local
@@ -141,21 +250,7 @@ impl LlmModel {
     /// Same as [`LlmModel::predict_q1`].
     pub fn predict_q2(&self, q: &Query) -> Result<Vec<LocalModel>, CoreError> {
         self.check_query(q)?;
-        let make = |k: usize, weight: f64| -> LocalModel {
-            let arena = self.arena();
-            let (intercept, slope) = arena.local_line(k);
-            LocalModel {
-                intercept,
-                slope: slope.to_vec(),
-                prototype: k,
-                weight,
-                center: arena.center(k).to_vec(),
-                radius: arena.radius(k),
-            }
-        };
-        let mut s = Vec::new();
-        self.for_each_overlap_weight(q, |k, w| s.push(make(k, w)));
-        Ok(s)
+        Ok(q2_over_arena(self.arena(), q))
     }
 
     /// **Eq. 14 — data-value prediction.** Predict `û ≈ g(x)` for a point
@@ -173,11 +268,7 @@ impl LlmModel {
                 actual: x.len(),
             });
         }
-        let mut uhat = 0.0;
-        self.for_each_overlap_weight(q, |k, w| {
-            uhat += w * self.arena().eval_at_own_radius(k, x);
-        });
-        Ok(uhat)
+        Ok(value_over_arena(self.arena(), q, x))
     }
 
     /// Convenience: data-value prediction using a point-centered probe ball
@@ -299,6 +390,21 @@ mod tests {
 
     fn q(center: &[f64], r: f64) -> Query {
         Query::new(center.to_vec(), r).unwrap()
+    }
+
+    #[test]
+    fn fusion_fallback_decision_covers_the_non_empty_all_tangent_set() {
+        // The non-empty zero-total-weight case cannot be reached end to
+        // end today (`overlap_set_into` filters δ = 0 members), so the
+        // decision is pinned here directly: a non-empty but all-tangent
+        // set must take the winner fallback, never the weighted fusion.
+        assert!(fusion_falls_back(&[], 0.0), "empty set falls back");
+        assert!(
+            fusion_falls_back(&[(0, 0.0), (3, 0.0)], 0.0),
+            "non-empty all-tangent set falls back (zero total weight)"
+        );
+        assert!(!fusion_falls_back(&[(1, 0.5)], 0.5), "positive mass fuses");
+        assert!(!fusion_falls_back(&[(0, 1e-300), (2, 0.2)], 0.2 + 1e-300));
     }
 
     /// Model trained on a linear teacher y = 2 + x1 + x2 (mean over a ball

@@ -1,0 +1,364 @@
+//! The immutable serving half of the train/serve split:
+//! [`ServingSnapshot`].
+//!
+//! [`LlmModel`] is a *mutable trainer*: Algorithm 1
+//! updates its arena in place, so it cannot be shared between an online
+//! training thread and concurrent readers. A [`ServingSnapshot`] is the
+//! publishable counterpart: an immutable, cheaply-clonable (`Arc`-backed)
+//! capture of the learned parameter set `α` — the packed
+//! [`PrototypeArena`] plus the per-prototype update counts the
+//! [`crate::confidence`] assessment needs — together with the
+//! configuration that fixes the vigilance `ρ`.
+//!
+//! Every prediction algorithm on the snapshot delegates to the *same*
+//! arena-level drivers as the model ([`crate::predict`] /
+//! [`crate::confidence`]), so a snapshot taken at step `t` answers every
+//! query **bit-identically** to the model frozen at step `t` — the
+//! invariant the serving layer's equivalence proptests pin.
+//!
+//! Cost model: taking a snapshot clones the arena (`O(dK)` — the publish
+//! cost, paid by the trainer at publication cadence); cloning a
+//! `ServingSnapshot` bumps an `Arc` (the reader cost, paid by threads that
+//! pin a version across queries).
+
+use crate::arena::PrototypeArena;
+use crate::confidence::{self, Confidence};
+use crate::config::ModelConfig;
+use crate::error::CoreError;
+use crate::model::LlmModel;
+use crate::predict::{self, LocalModel};
+use crate::prototype::Prototype;
+use crate::query::Query;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct Inner {
+    config: ModelConfig,
+    arena: PrototypeArena,
+    /// Training steps the source model had consumed at capture time — the
+    /// snapshot's natural, monotonically increasing version.
+    steps: u64,
+    frozen: bool,
+}
+
+/// An immutable, cheaply-clonable capture of a trained model's parameters
+/// — the unit of publication from a trainer to concurrent serving threads
+/// (see the module docs for the split and the cost model).
+#[derive(Debug, Clone)]
+pub struct ServingSnapshot {
+    inner: Arc<Inner>,
+}
+
+impl ServingSnapshot {
+    /// Capture the model's current parameters (clones the arena; `O(dK)`).
+    pub fn capture(model: &LlmModel) -> Self {
+        ServingSnapshot {
+            inner: Arc::new(Inner {
+                config: model.config().clone(),
+                arena: model.arena().clone(),
+                steps: model.steps(),
+                frozen: model.is_frozen(),
+            }),
+        }
+    }
+
+    /// Rebuild a mutable [`LlmModel`] carrying this snapshot's parameters
+    /// (persistence and warm-started trainers; `O(dK)`).
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] / [`CoreError::DimensionMismatch`] if
+    /// the snapshot was built from inconsistent parts (impossible through
+    /// [`ServingSnapshot::capture`]).
+    pub fn to_model(&self) -> Result<LlmModel, CoreError> {
+        LlmModel::from_parts_public(
+            self.inner.config.clone(),
+            self.prototypes(),
+            self.inner.steps,
+            self.inner.frozen,
+        )
+    }
+
+    /// The model configuration at capture time.
+    pub fn config(&self) -> &ModelConfig {
+        &self.inner.config
+    }
+
+    /// The packed prototype storage (the learned parameters `α`).
+    pub fn arena(&self) -> &PrototypeArena {
+        &self.inner.arena
+    }
+
+    /// Owned prototype set (API-edge materialization; allocates).
+    pub fn prototypes(&self) -> Vec<Prototype> {
+        self.inner.arena.to_prototypes()
+    }
+
+    /// Number of prototypes `K`.
+    pub fn k(&self) -> usize {
+        self.inner.arena.len()
+    }
+
+    /// Input dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.inner.config.dim
+    }
+
+    /// Training steps the source model had consumed at capture time. Two
+    /// snapshots of one trainer with equal versions hold identical
+    /// parameters, and versions grow monotonically with training — the
+    /// natural publication epoch.
+    pub fn version(&self) -> u64 {
+        self.inner.steps
+    }
+
+    /// Whether the source model had converged (frozen) at capture time.
+    pub fn is_frozen(&self) -> bool {
+        self.inner.frozen
+    }
+
+    /// `true` when two snapshots share the same underlying capture (an
+    /// `Arc` identity check — cheap, no parameter comparison).
+    pub fn same_capture(&self, other: &ServingSnapshot) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    fn check_query(&self, q: &Query) -> Result<(), CoreError> {
+        if q.dim() != self.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim(),
+                actual: q.dim(),
+            });
+        }
+        if self.k() == 0 {
+            return Err(CoreError::EmptyModel);
+        }
+        Ok(())
+    }
+
+    /// Winner search (index + squared joint distance); `None` when empty.
+    pub fn winner(&self, q: &Query) -> Option<(usize, f64)> {
+        self.inner.arena.winner(&q.center, q.radius)
+    }
+
+    /// The overlap neighborhood `W(q)`, appended to `out` (cleared first).
+    pub fn overlap_set_into(&self, q: &Query, out: &mut Vec<(usize, f64)>) {
+        self.inner.arena.overlap_set_into(&q.center, q.radius, out);
+    }
+
+    /// Algorithm 2 (Q1) — bit-identical to
+    /// [`LlmModel::predict_q1`] on the captured parameters.
+    ///
+    /// # Errors
+    /// [`CoreError::EmptyModel`] on an empty snapshot,
+    /// [`CoreError::DimensionMismatch`] on a wrong-dimension query.
+    pub fn predict_q1(&self, q: &Query) -> Result<f64, CoreError> {
+        self.check_query(q)?;
+        Ok(predict::q1_over_arena(&self.inner.arena, q))
+    }
+
+    /// Algorithm 3 (Q2) — bit-identical to [`LlmModel::predict_q2`].
+    ///
+    /// # Errors
+    /// Same as [`ServingSnapshot::predict_q1`].
+    pub fn predict_q2(&self, q: &Query) -> Result<Vec<LocalModel>, CoreError> {
+        self.check_query(q)?;
+        Ok(predict::q2_over_arena(&self.inner.arena, q))
+    }
+
+    /// Eq. 14 (data value) — bit-identical to
+    /// [`LlmModel::predict_value`].
+    ///
+    /// # Errors
+    /// Same as [`ServingSnapshot::predict_q1`], plus a dimension check on
+    /// `x`.
+    pub fn predict_value(&self, q: &Query, x: &[f64]) -> Result<f64, CoreError> {
+        self.check_query(q)?;
+        if x.len() != self.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim(),
+                actual: x.len(),
+            });
+        }
+        Ok(predict::value_over_arena(&self.inner.arena, q, x))
+    }
+
+    /// Confidence assessment — bit-identical to [`LlmModel::confidence`].
+    ///
+    /// # Errors
+    /// Same as [`ServingSnapshot::predict_q1`].
+    pub fn confidence(&self, q: &Query) -> Result<Confidence, CoreError> {
+        self.check_query(q)?;
+        confidence::confidence_over_arena(&self.inner.arena, self.inner.config.rho(), q)
+            .ok_or(CoreError::EmptyModel)
+    }
+
+    /// Q1 prediction and confidence from one overlap resolution (the
+    /// routing fast path) — bit-identical to
+    /// [`LlmModel::predict_q1_with_confidence`].
+    ///
+    /// # Errors
+    /// Same as [`ServingSnapshot::predict_q1`].
+    pub fn predict_q1_with_confidence(&self, q: &Query) -> Result<(f64, Confidence), CoreError> {
+        self.check_query(q)?;
+        confidence::q1_with_confidence_over_arena(&self.inner.arena, self.inner.config.rho(), q)
+            .ok_or(CoreError::EmptyModel)
+    }
+
+    /// Q2 list and confidence from one overlap resolution (the routing
+    /// fast path for `LINREG`) — the list is bit-identical to
+    /// [`ServingSnapshot::predict_q2`], the confidence to
+    /// [`ServingSnapshot::confidence`].
+    ///
+    /// # Errors
+    /// Same as [`ServingSnapshot::predict_q1`].
+    pub fn predict_q2_with_confidence(
+        &self,
+        q: &Query,
+    ) -> Result<(Vec<LocalModel>, Confidence), CoreError> {
+        self.check_query(q)?;
+        confidence::q2_with_confidence_over_arena(&self.inner.arena, self.inner.config.rho(), q)
+            .ok_or(CoreError::EmptyModel)
+    }
+}
+
+impl LlmModel {
+    /// Capture an immutable [`ServingSnapshot`] of the current parameters
+    /// (the trainer side of the publication handshake; `O(dK)`).
+    pub fn snapshot(&self) -> ServingSnapshot {
+        ServingSnapshot::capture(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn q(center: &[f64], r: f64) -> Query {
+        Query::new_unchecked(center.to_vec(), r)
+    }
+
+    fn trained(seed: u64, steps: usize) -> LlmModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cfg = ModelConfig::with_vigilance(2, 0.15);
+        cfg.gamma = 1e-6; // keep it plastic across the probe points
+        let mut m = LlmModel::new(cfg).unwrap();
+        for _ in 0..steps {
+            let c: Vec<f64> = (0..2).map(|_| rng.random_range(0.0..1.0)).collect();
+            let y = c[0] - 2.0 * c[1];
+            m.train_step(&Query::new_unchecked(c, rng.random_range(0.05..0.2)), y)
+                .unwrap();
+        }
+        m
+    }
+
+    fn probe_grid() -> Vec<Query> {
+        let mut probes = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                for theta in [0.05, 0.2, 0.6] {
+                    probes.push(q(&[i as f64 * 0.5 - 0.5, j as f64 * 0.5 - 0.5], theta));
+                }
+            }
+        }
+        probes
+    }
+
+    #[test]
+    fn snapshot_matches_model_bit_for_bit() {
+        let m = trained(1, 4_000);
+        let s = m.snapshot();
+        assert_eq!(s.k(), m.k());
+        assert_eq!(s.dim(), m.dim());
+        assert_eq!(s.version(), m.steps());
+        assert_eq!(s.is_frozen(), m.is_frozen());
+        assert_eq!(s.prototypes(), m.prototypes());
+        for probe in probe_grid() {
+            assert_eq!(s.predict_q1(&probe), m.predict_q1(&probe));
+            assert_eq!(s.predict_q2(&probe), m.predict_q2(&probe));
+            assert_eq!(
+                s.predict_value(&probe, &probe.center),
+                m.predict_value(&probe, &probe.center)
+            );
+            assert_eq!(s.confidence(&probe), m.confidence(&probe));
+            assert_eq!(
+                s.predict_q1_with_confidence(&probe),
+                m.predict_q1_with_confidence(&probe)
+            );
+            // The fused Q2 path decomposes into the two separate calls.
+            let (list, conf) = s.predict_q2_with_confidence(&probe).unwrap();
+            assert_eq!(list, s.predict_q2(&probe).unwrap());
+            assert_eq!(conf, s.confidence(&probe).unwrap());
+            assert_eq!(s.winner(&probe), m.winner(&probe));
+        }
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_further_training() {
+        let mut m = trained(2, 1_000);
+        let s = m.snapshot();
+        let before: Vec<f64> = probe_grid()
+            .iter()
+            .map(|p| s.predict_q1(p).unwrap())
+            .collect();
+        // Keep training the source model well past the capture point.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2_000 {
+            let c: Vec<f64> = (0..2).map(|_| rng.random_range(0.0..1.0)).collect();
+            let y = c[0] - 2.0 * c[1];
+            m.train_step(&Query::new_unchecked(c, 0.1), y).unwrap();
+        }
+        let after: Vec<f64> = probe_grid()
+            .iter()
+            .map(|p| s.predict_q1(p).unwrap())
+            .collect();
+        assert_eq!(before, after, "snapshot must be immutable");
+        assert!(m.steps() > s.version());
+    }
+
+    #[test]
+    fn clone_shares_the_capture() {
+        let m = trained(4, 500);
+        let a = m.snapshot();
+        let b = a.clone();
+        assert!(a.same_capture(&b));
+        assert!(!a.same_capture(&m.snapshot()));
+    }
+
+    #[test]
+    fn to_model_round_trips_parameters() {
+        let m = trained(5, 2_000);
+        let s = m.snapshot();
+        let back = s.to_model().unwrap();
+        assert_eq!(back.prototypes(), m.prototypes());
+        assert_eq!(back.steps(), m.steps());
+        assert_eq!(back.is_frozen(), m.is_frozen());
+        for probe in probe_grid() {
+            assert_eq!(back.predict_q1(&probe), m.predict_q1(&probe));
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_errors_like_an_empty_model() {
+        let m = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
+        let s = m.snapshot();
+        assert!(matches!(
+            s.predict_q1(&q(&[0.5, 0.5], 0.1)),
+            Err(CoreError::EmptyModel)
+        ));
+        assert!(matches!(
+            s.confidence(&q(&[0.5, 0.5], 0.1)),
+            Err(CoreError::EmptyModel)
+        ));
+        let t = trained(6, 200).snapshot();
+        assert!(matches!(
+            t.predict_q1(&q(&[0.5], 0.1)),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            t.predict_value(&q(&[0.5, 0.5], 0.1), &[0.5]),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+    }
+}

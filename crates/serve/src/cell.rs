@@ -1,0 +1,244 @@
+//! The publication point between one trainer and many serving threads.
+//!
+//! [`SnapshotCell`] is an epoch-style swap cell specialized to this
+//! workload: a single (or occasional) writer publishes immutable
+//! [`ServingSnapshot`]s; any number of readers resolve the current
+//! snapshot **lock-free** — one `Acquire` pointer load per query, no
+//! reference-count traffic, no mutex, no spin.
+//!
+//! # How reads stay lock-free
+//!
+//! Every published snapshot is boxed and *retained* by the cell for the
+//! cell's whole lifetime (writer-side `Mutex`-guarded append list — the
+//! lock is taken only on `publish`, never on a read). A reader therefore
+//! dereferences the current pointer without any reclamation protocol: the
+//! pointee cannot be freed while the cell is alive, and the borrow it gets
+//! back is tied to the cell's lifetime. Readers that need to pin a version
+//! across publishes clone the snapshot (an `Arc` bump — still lock-free).
+//!
+//! # Memory bound
+//!
+//! Retention trades memory for zero-cost reads: a cell holds every epoch
+//! it ever published, `O(epochs × dK)` via the snapshots' shared inner
+//! `Arc`s. Publication is expected at coarse cadence (the serve engine
+//! defaults to one publish per `publish_interval = 256` accepted training
+//! examples, and a converged trainer stops publishing entirely), so the
+//! bound is modest; epoch-based reclamation for unbounded training runs is
+//! a documented follow-up (see ROADMAP).
+
+use regq_core::ServingSnapshot;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Lock-free-read publication cell for [`ServingSnapshot`]s (see module
+/// docs for the protocol and the memory bound).
+#[derive(Debug)]
+pub struct SnapshotCell {
+    /// The currently served snapshot; null until the first publish. Always
+    /// points into a box retained by `published`.
+    current: AtomicPtr<ServingSnapshot>,
+    /// Every snapshot ever published, in epoch order. Writer-side only.
+    /// Raw pointers from [`Box::into_raw`] (freed in `Drop`), not `Box`es:
+    /// readers hold aliases into the pointees, and a `Box` value moving
+    /// (into the `Vec`, or when the `Vec` reallocates) would invalidate
+    /// those aliases under the `Box` noalias/unique-ownership rules. Once
+    /// `into_raw` has disowned the allocation, nothing retags it.
+    published: Mutex<Vec<*mut ServingSnapshot>>,
+    /// Number of publishes so far.
+    epoch: AtomicU64,
+}
+
+/// SAFETY: the raw pointers in `published` are uniquely owned by the cell
+/// (created by `Box::into_raw`, freed only in `Drop`) and point to
+/// `ServingSnapshot`s, which are themselves `Send + Sync` (asserted
+/// below); all shared access goes through the `Mutex` / atomics.
+unsafe impl Send for SnapshotCell {}
+/// SAFETY: see the `Send` impl.
+unsafe impl Sync for SnapshotCell {}
+
+/// Compile-time guard for the `unsafe impl`s above: the pointees readers
+/// share must themselves be freely shareable across threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServingSnapshot>();
+};
+
+impl SnapshotCell {
+    /// An empty cell (readers see `None` until the first publish).
+    pub fn new() -> Self {
+        SnapshotCell {
+            current: AtomicPtr::new(std::ptr::null_mut()),
+            published: Mutex::new(Vec::new()),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// A cell pre-loaded with one snapshot (epoch 1).
+    pub fn with_snapshot(snapshot: ServingSnapshot) -> Self {
+        let cell = Self::new();
+        cell.publish(snapshot);
+        cell
+    }
+
+    /// The current snapshot, or `None` before the first publish.
+    ///
+    /// Lock-free: one `Acquire` load. The borrow is valid for the cell's
+    /// lifetime; clone the snapshot to hold it across publishes.
+    #[inline]
+    pub fn load(&self) -> Option<&ServingSnapshot> {
+        let p = self.current.load(Ordering::Acquire);
+        if p.is_null() {
+            None
+        } else {
+            // SAFETY: a non-null `current` was stored (Release) after the
+            // pointed-to box was pushed onto `published`, which retains it
+            // until `self` drops; the Acquire load makes the snapshot's
+            // construction visible. The borrow cannot outlive `self`.
+            Some(unsafe { &*p })
+        }
+    }
+
+    /// Clone out the current snapshot (an `Arc` bump), or `None` before
+    /// the first publish.
+    pub fn load_owned(&self) -> Option<ServingSnapshot> {
+        self.load().cloned()
+    }
+
+    /// Publish a snapshot: subsequent [`SnapshotCell::load`]s observe it.
+    /// Returns the new epoch (1-based). Writer-side: takes the publish
+    /// lock; concurrent publishers are serialized in epoch order.
+    pub fn publish(&self, snapshot: ServingSnapshot) -> u64 {
+        let mut retained = self
+            .published
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // `into_raw` before anything else: the allocation must never be
+        // reachable through a `Box` again once readers can alias it.
+        let ptr = Box::into_raw(Box::new(snapshot));
+        retained.push(ptr);
+        // Release: pairs with the Acquire in `load` — the pointee's
+        // construction happens-before any reader that observes this
+        // pointer.
+        self.current.store(ptr, Ordering::Release);
+        let epoch = self.epoch.load(Ordering::Relaxed) + 1;
+        self.epoch.store(epoch, Ordering::Release);
+        epoch
+    }
+
+    /// Number of publishes so far (the current epoch; 0 = empty cell).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Number of snapshots currently retained (== epoch; diagnostics for
+    /// the memory bound).
+    pub fn retained(&self) -> usize {
+        self.published
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+}
+
+impl Default for SnapshotCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for SnapshotCell {
+    fn drop(&mut self) {
+        // `&mut self`: no readers can exist anymore (their borrows are
+        // tied to the cell), so reclaiming every retained epoch is safe.
+        for ptr in self
+            .published
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+        {
+            // SAFETY: `ptr` came from `Box::into_raw` in `publish` and is
+            // dropped exactly once (drained here, never freed elsewhere).
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regq_core::{LlmModel, ModelConfig, Query};
+
+    fn snapshot_with_k(k: usize) -> ServingSnapshot {
+        let mut cfg = ModelConfig::paper_defaults(2);
+        cfg.vigilance_override = Some(1e-12);
+        let mut m = LlmModel::new(cfg).unwrap();
+        for i in 0..k {
+            let x = i as f64 * 10.0;
+            m.train_step(&Query::new_unchecked(vec![x, x], 0.1), x)
+                .unwrap();
+        }
+        m.snapshot()
+    }
+
+    #[test]
+    fn empty_cell_loads_none() {
+        let cell = SnapshotCell::new();
+        assert!(cell.load().is_none());
+        assert!(cell.load_owned().is_none());
+        assert_eq!(cell.epoch(), 0);
+        assert_eq!(cell.retained(), 0);
+    }
+
+    #[test]
+    fn publish_makes_the_snapshot_visible() {
+        let cell = SnapshotCell::new();
+        assert_eq!(cell.publish(snapshot_with_k(3)), 1);
+        assert_eq!(cell.load().unwrap().k(), 3);
+        assert_eq!(cell.epoch(), 1);
+        assert_eq!(cell.publish(snapshot_with_k(5)), 2);
+        assert_eq!(cell.load().unwrap().k(), 5);
+        assert_eq!(cell.retained(), 2);
+    }
+
+    #[test]
+    fn load_owned_pins_a_version_across_publishes() {
+        let cell = SnapshotCell::with_snapshot(snapshot_with_k(2));
+        let pinned = cell.load_owned().unwrap();
+        cell.publish(snapshot_with_k(7));
+        assert_eq!(pinned.k(), 2, "pinned version must not move");
+        assert_eq!(cell.load().unwrap().k(), 7);
+        assert!(pinned.same_capture(&pinned.clone()));
+    }
+
+    #[test]
+    fn concurrent_readers_see_whole_snapshots_during_publishes() {
+        // Readers hammer `load` while a writer publishes a monotonically
+        // growing sequence; every observed snapshot must be internally
+        // consistent (K matches its version order) and versions must be
+        // monotone per reader.
+        let cell = SnapshotCell::with_snapshot(snapshot_with_k(1));
+        std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut last_k = 0usize;
+                        for _ in 0..20_000 {
+                            let snap = cell.load().expect("published");
+                            let k = snap.k();
+                            assert!(k >= last_k, "readers must see monotone publishes");
+                            assert_eq!(snap.prototypes().len(), k);
+                            last_k = k;
+                        }
+                    })
+                })
+                .collect();
+            for k in 2..=32 {
+                cell.publish(snapshot_with_k(k));
+            }
+            for r in readers {
+                r.join().unwrap();
+            }
+        });
+        assert_eq!(cell.epoch(), 32);
+    }
+}

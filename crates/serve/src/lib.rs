@@ -1,0 +1,59 @@
+//! # regq-serve
+//!
+//! The concurrent snapshot-serving engine: the layer that turns the
+//! `regq` library into a server core.
+//!
+//! The paper's deployment story (Fig. 2, desideratum D2) has three actors:
+//! an **online trainer** consuming `(query, answer)` pairs from the DBMS,
+//! a fleet of **serving threads** answering Q1/Q2 in `O(dK)` with zero
+//! data access, and the **exact engine** standing by for queries the model
+//! cannot answer with confidence. This crate wires them together:
+//!
+//! * [`SnapshotCell`] — the epoch publication point: the trainer publishes
+//!   immutable [`regq_core::ServingSnapshot`]s; readers resolve the
+//!   current one with a single atomic load — **no `Mutex`/`RwLock` on the
+//!   serve path**;
+//! * [`ServeEngine`] — confidence-gated hybrid routing: score each query
+//!   with [`regq_core::confidence`], serve from the snapshot above the
+//!   [`RoutePolicy`] threshold, fall back to the
+//!   [`regq_exact::ExactEngine`] below it — and feed the exact answer
+//!   back to the trainer as a free training example, closing Algorithm 1's
+//!   loop in production.
+//!
+//! In the MADlib / unified in-RDBMS architecture sense, this is the
+//! "engine layer" that owns routing across the exact and learned backends
+//! behind one declarative surface (`regq_sql` executes through it).
+//!
+//! ```
+//! use regq_core::{LlmModel, ModelConfig, Query};
+//! use regq_data::generators::GasSensorSurrogate;
+//! use regq_data::{rng::seeded, Dataset, SampleOptions};
+//! use regq_exact::ExactEngine;
+//! use regq_serve::{Route, RoutePolicy, ServeEngine};
+//! use regq_store::AccessPathKind;
+//! use std::sync::Arc;
+//!
+//! let field = GasSensorSurrogate::new(2, 7);
+//! let mut rng = seeded(1);
+//! let data = Dataset::from_function(&field, 5_000, SampleOptions::default(), &mut rng);
+//! let exact = ExactEngine::new(Arc::new(data), AccessPathKind::KdTree);
+//!
+//! // An empty trainer: the engine starts on the exact route and trains
+//! // itself from its own fallbacks (the closed loop).
+//! let model = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
+//! let engine = ServeEngine::with_model(exact, model, RoutePolicy::default());
+//!
+//! let q = Query::new(vec![0.4, 0.6], 0.1).unwrap();
+//! let served = engine.q1(&q).unwrap();
+//! assert_eq!(served.route, Route::Exact); // nothing learned yet
+//! assert!(engine.stats().feedback_fed >= 1); // …but the trainer just ate it
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cell;
+pub mod engine;
+
+pub use cell::SnapshotCell;
+pub use engine::{Route, RoutePolicy, ServeEngine, ServeError, ServeStats, Served};

@@ -32,6 +32,11 @@ pub enum ExecMode {
     Exact,
     /// Serve from the trained model with zero data access.
     Model,
+    /// Confidence-gated hybrid routing (`USING AUTO`): serve from the
+    /// model when its confidence score clears the session's route policy,
+    /// fall back to exact execution otherwise — the paper's desideratum
+    /// D2 as a statement-level mode.
+    Auto,
 }
 
 /// One parsed statement:

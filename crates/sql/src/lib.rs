@@ -18,12 +18,19 @@
 //!
 //! -- serve from the trained model instead of touching the data
 //! SELECT AVG(u) FROM readings WHERE DIST(x, [0.4, 0.6]) <= 0.1 USING MODEL;
+//!
+//! -- confidence-gated hybrid routing: model when trustworthy, DBMS else
+//! SELECT AVG(u) FROM readings WHERE DIST(x, [0.4, 0.6]) <= 0.1 USING AUTO;
 //! ```
 //!
 //! `USING EXACT` (the default) routes to [`regq_exact::ExactEngine`];
-//! `USING MODEL` routes to a trained [`regq_core::LlmModel`] registered
-//! for the table and never touches the relation — the paper's
-//! prediction-phase deployment.
+//! `USING MODEL` routes to the published model snapshot and never touches
+//! the relation — the paper's prediction-phase deployment; `USING AUTO`
+//! executes through the table's [`regq_serve::ServeEngine`], serving from
+//! the snapshot when its confidence score clears the route policy and
+//! falling back to exact execution (which feeds the online trainer)
+//! otherwise. Every [`QueryOutput`] reports the route taken, the
+//! confidence score and the snapshot version consulted.
 //!
 //! ## Modules
 //! * [`token`] — lexer with positioned errors;
@@ -41,4 +48,4 @@ pub mod token;
 
 pub use ast::{Aggregate, ExecMode, Statement};
 pub use parser::parse;
-pub use session::{QueryOutput, Session, SqlError};
+pub use session::{QueryOutput, QueryValue, Session, SqlError};

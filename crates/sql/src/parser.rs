@@ -5,7 +5,7 @@
 //! ```text
 //! statement := SELECT aggregate FROM ident
 //!              WHERE DIST '(' ident ',' vector ')' '<=' number
-//!              [USING (EXACT | MODEL)] [';']
+//!              [USING (EXACT | MODEL | AUTO)] [';']
 //! aggregate := AVG '(' ident ')' | LINREG '(' ident ')'
 //!            | VAR '(' ident ')' | COUNT '(' '*' ')'
 //! vector    := '[' number (',' number)* ']'
@@ -92,6 +92,13 @@ impl Parser {
     fn number(&mut self, what: &str) -> Result<f64, ParseError> {
         match self.peek().kind {
             TokenKind::Number(n) => {
+                // A literal like 1e999 lexes fine but overflows f64 to
+                // infinity; reject it here so no non-finite value ever
+                // reaches the engines (Query validation would otherwise
+                // surface it later as a confusing model-side error).
+                if !n.is_finite() {
+                    return Err(self.error(format!("{what} overflows f64 (not finite)")));
+                }
                 self.bump();
                 Ok(n)
             }
@@ -157,14 +164,16 @@ impl Parser {
         if let TokenKind::Word(w) = &self.peek().kind {
             if w.eq_ignore_ascii_case("USING") {
                 self.bump();
-                let which = self.ident("EXACT or MODEL")?;
+                let which = self.ident("EXACT, MODEL or AUTO")?;
                 mode = if which.eq_ignore_ascii_case("EXACT") {
                     ExecMode::Exact
                 } else if which.eq_ignore_ascii_case("MODEL") {
                     ExecMode::Model
+                } else if which.eq_ignore_ascii_case("AUTO") {
+                    ExecMode::Auto
                 } else {
                     return Err(self.error(format!(
-                        "unknown execution mode '{which}' (expected EXACT or MODEL)"
+                        "unknown execution mode '{which}' (expected EXACT, MODEL or AUTO)"
                     )));
                 };
             }
@@ -235,6 +244,14 @@ mod tests {
     }
 
     #[test]
+    fn parses_auto_mode() {
+        let s = parse("SELECT AVG(u) FROM t WHERE DIST(x, [0.4, 0.6]) <= 0.1 USING AUTO;").unwrap();
+        assert_eq!(s.mode, ExecMode::Auto);
+        let s = parse("select linreg(u) from t where dist(x, [1.0]) <= 0.5 using auto").unwrap();
+        assert_eq!(s.mode, ExecMode::Auto);
+    }
+
+    #[test]
     fn parses_count_star_and_var() {
         let c = parse("SELECT COUNT(*) FROM t WHERE DIST(x, [0.0]) <= 1.0").unwrap();
         assert_eq!(c.aggregate, Aggregate::Count);
@@ -264,6 +281,16 @@ mod tests {
     fn rejects_non_positive_radius() {
         let err = parse("SELECT AVG(u) FROM t WHERE DIST(x, [0.0]) <= 0.0").unwrap_err();
         assert!(err.message.contains("radius must be positive"));
+    }
+
+    #[test]
+    fn rejects_overflowing_literals() {
+        // 1e999 lexes as f64 infinity: must be a parse error, not a
+        // model-side validation failure downstream.
+        let err = parse("SELECT AVG(u) FROM t WHERE DIST(x, [0.0]) <= 1e999").unwrap_err();
+        assert!(err.message.contains("overflows"), "{}", err.message);
+        let err = parse("SELECT AVG(u) FROM t WHERE DIST(x, [1e999]) <= 1.0").unwrap_err();
+        assert!(err.message.contains("overflows"), "{}", err.message);
     }
 
     #[test]

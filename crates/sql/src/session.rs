@@ -1,5 +1,13 @@
-//! The SQL session: a catalog of tables (exact engines) and registered
-//! models, plus the executor routing statements to the right backend.
+//! The SQL session: a catalog of tables (serve engines over exact
+//! backends) and registered models, plus the executor routing statements.
+//!
+//! Every table is backed by a [`ServeEngine`]: `USING EXACT` forces the
+//! DBMS route, `USING MODEL` forces the published snapshot, and
+//! `USING AUTO` lets the engine route per query on its confidence score —
+//! falling back to exact execution (and feeding the trainer) below the
+//! threshold. Executions take `&self` and the session is `Send + Sync`,
+//! so one session serves any number of threads concurrently; the serve
+//! path is lock-free (see `regq_serve`).
 
 use crate::ast::{Aggregate, ExecMode, Statement};
 use crate::parser::{parse, ParseError};
@@ -7,6 +15,7 @@ use regq_core::moments::MomentsModel;
 use regq_core::{CoreError, LlmModel, LocalModel, Query};
 use regq_exact::ExactEngine;
 use regq_linalg::LinalgError;
+use regq_serve::{Route, RoutePolicy, ServeEngine, ServeError, Served};
 use std::collections::HashMap;
 use std::fmt;
 use std::time::Duration;
@@ -66,7 +75,23 @@ impl fmt::Display for SqlError {
     }
 }
 
-impl std::error::Error for SqlError {}
+impl std::error::Error for SqlError {
+    /// Thread the underlying cause so serving layers can report routed
+    /// failures structurally (`anyhow`-style chains, log scrubbers)
+    /// instead of leaking `fmt::Debug` dumps.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Parse(e) => Some(e),
+            SqlError::Model(e) => Some(e),
+            SqlError::Numeric(e) => Some(e),
+            SqlError::UnknownTable(_)
+            | SqlError::DimensionMismatch { .. }
+            | SqlError::NoModel(_)
+            | SqlError::NoMomentsModel(_)
+            | SqlError::EmptySubspace => None,
+        }
+    }
+}
 
 impl From<ParseError> for SqlError {
     fn from(e: ParseError) -> Self {
@@ -74,9 +99,9 @@ impl From<ParseError> for SqlError {
     }
 }
 
-/// Result of executing a statement.
-#[derive(Debug, Clone)]
-pub enum QueryOutput {
+/// The value produced by a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryValue {
     /// `AVG(u)` / `VAR(u)` result.
     Scalar(f64),
     /// `COUNT(*)` result.
@@ -87,12 +112,12 @@ pub enum QueryOutput {
     Regression(Vec<LocalModel>),
 }
 
-impl fmt::Display for QueryOutput {
+impl fmt::Display for QueryValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            QueryOutput::Scalar(v) => write!(f, "{v:.6}"),
-            QueryOutput::Count(n) => write!(f, "{n}"),
-            QueryOutput::Regression(models) => {
+            QueryValue::Scalar(v) => write!(f, "{v:.6}"),
+            QueryValue::Count(n) => write!(f, "{n}"),
+            QueryValue::Regression(models) => {
                 for (i, m) in models.iter().enumerate() {
                     if i > 0 {
                         writeln!(f)?;
@@ -117,14 +142,78 @@ impl fmt::Display for QueryOutput {
     }
 }
 
+/// Result of executing a statement: the value plus how it was produced
+/// (per-query route and confidence reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// The answer.
+    pub value: QueryValue,
+    /// Which backend produced it.
+    pub route: Route,
+    /// Confidence score that drove (or would drive) the routing decision;
+    /// `None` when no snapshot was consulted.
+    pub confidence: Option<f64>,
+    /// Version of the model snapshot consulted, if any.
+    pub snapshot_version: Option<u64>,
+}
+
+impl QueryOutput {
+    fn exact(value: QueryValue) -> Self {
+        QueryOutput {
+            value,
+            route: Route::Exact,
+            confidence: None,
+            snapshot_version: None,
+        }
+    }
+
+    fn served(s: Served<QueryValue>) -> Self {
+        QueryOutput {
+            value: s.value,
+            route: s.route,
+            confidence: s.score,
+            snapshot_version: s.snapshot_version,
+        }
+    }
+
+    /// The scalar value, if this output is one.
+    pub fn scalar(&self) -> Option<f64> {
+        match self.value {
+            QueryValue::Scalar(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The count value, if this output is one.
+    pub fn count(&self) -> Option<usize> {
+        match self.value {
+            QueryValue::Count(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The regression list, if this output is one.
+    pub fn regression(&self) -> Option<&[LocalModel]> {
+        match &self.value {
+            QueryValue::Regression(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for QueryOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.value.fmt(f)
+    }
+}
+
 struct TableEntry {
-    engine: ExactEngine,
-    model: Option<LlmModel>,
+    serve: ServeEngine,
     moments: Option<MomentsModel>,
 }
 
 /// A catalog of named tables with optional trained models, executing
-/// statements of the dialect.
+/// statements of the dialect through per-table [`ServeEngine`]s.
 #[derive(Default)]
 pub struct Session {
     tables: HashMap<String, TableEntry>,
@@ -136,19 +225,31 @@ impl Session {
         Session::default()
     }
 
-    /// Register (or replace) a table backed by an exact engine.
+    /// Register (or replace) a table backed by an exact engine, with the
+    /// default [`RoutePolicy`].
     pub fn register_table(&mut self, name: impl Into<String>, engine: ExactEngine) {
+        self.register_table_with_policy(name, engine, RoutePolicy::default());
+    }
+
+    /// Register (or replace) a table with an explicit routing policy for
+    /// its `USING AUTO` statements.
+    pub fn register_table_with_policy(
+        &mut self,
+        name: impl Into<String>,
+        engine: ExactEngine,
+        policy: RoutePolicy,
+    ) {
         self.tables.insert(
             name.into(),
             TableEntry {
-                engine,
-                model: None,
+                serve: ServeEngine::new(engine, policy),
                 moments: None,
             },
         );
     }
 
-    /// Attach a trained model to a table (enables `USING MODEL`).
+    /// Attach a trained model to a table (enables `USING MODEL` and the
+    /// model route of `USING AUTO`); publishes the model's first snapshot.
     ///
     /// # Errors
     /// [`SqlError::UnknownTable`] when the table is not registered;
@@ -158,14 +259,15 @@ impl Session {
             .tables
             .get_mut(table)
             .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
-        if model.dim() != entry.engine.relation().dim() {
+        let expected = entry.serve.exact_engine().relation().dim();
+        if model.dim() != expected {
             return Err(SqlError::DimensionMismatch {
                 table: table.to_string(),
-                expected: entry.engine.relation().dim(),
+                expected,
                 actual: model.dim(),
             });
         }
-        entry.model = Some(model);
+        entry.serve.attach_model(model);
         Ok(())
     }
 
@@ -182,10 +284,11 @@ impl Session {
             .tables
             .get_mut(table)
             .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
-        if model.mean_head().dim() != entry.engine.relation().dim() {
+        let expected = entry.serve.exact_engine().relation().dim();
+        if model.mean_head().dim() != expected {
             return Err(SqlError::DimensionMismatch {
                 table: table.to_string(),
-                expected: entry.engine.relation().dim(),
+                expected,
                 actual: model.mean_head().dim(),
             });
         }
@@ -198,6 +301,17 @@ impl Session {
         let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
         names.sort_unstable();
         names
+    }
+
+    /// The serve engine backing a table (routing stats, snapshot access).
+    ///
+    /// Scope note: the engine's route counters cover the statements it
+    /// executes — `AVG`/`LINREG` in every mode. `VAR` and `COUNT` are
+    /// session-level operators (the moments head and cardinality live
+    /// outside the snapshot) and do not move `model_served`/
+    /// `exact_served`, though exact `VAR` still feeds the trainer.
+    pub fn serve_engine(&self, table: &str) -> Option<&ServeEngine> {
+        self.tables.get(table).map(|e| &e.serve)
     }
 
     /// Parse and execute one statement.
@@ -229,7 +343,7 @@ impl Session {
             .tables
             .get(&stmt.table)
             .ok_or_else(|| SqlError::UnknownTable(stmt.table.clone()))?;
-        let dim = entry.engine.relation().dim();
+        let dim = entry.serve.exact_engine().relation().dim();
         if stmt.center.len() != dim {
             return Err(SqlError::DimensionMismatch {
                 table: stmt.table.clone(),
@@ -238,84 +352,117 @@ impl Session {
             });
         }
 
-        match stmt.mode {
-            ExecMode::Exact => self.execute_exact(entry, stmt),
-            ExecMode::Model => self.execute_model(entry, stmt),
+        // COUNT requires the data by definition; the model never sees
+        // cardinalities. Route to the exact engine regardless of mode.
+        if stmt.aggregate == Aggregate::Count {
+            let n = entry
+                .serve
+                .exact_engine()
+                .relation()
+                .count(&stmt.center, stmt.radius);
+            return Ok(QueryOutput::exact(QueryValue::Count(n)));
         }
-    }
 
-    fn execute_exact(&self, entry: &TableEntry, stmt: &Statement) -> Result<QueryOutput, SqlError> {
-        let engine = &entry.engine;
-        match stmt.aggregate {
-            Aggregate::Avg => engine
-                .q1(&stmt.center, stmt.radius)
-                .map(QueryOutput::Scalar)
-                .ok_or(SqlError::EmptySubspace),
-            Aggregate::Var => engine
-                .q1_moments(&stmt.center, stmt.radius)
-                .map(|m| QueryOutput::Scalar(m.variance))
-                .ok_or(SqlError::EmptySubspace),
-            Aggregate::Count => Ok(QueryOutput::Count(
-                engine.relation().count(&stmt.center, stmt.radius),
-            )),
-            Aggregate::LinReg => {
-                let model = engine
-                    .q2_reg(&stmt.center, stmt.radius)
-                    .map_err(|e| match e {
-                        LinalgError::Empty => SqlError::EmptySubspace,
-                        other => SqlError::Numeric(other),
-                    })?;
-                Ok(QueryOutput::Regression(vec![LocalModel {
-                    intercept: model.intercept,
-                    slope: model.slope,
-                    prototype: 0,
-                    weight: 1.0,
-                    center: stmt.center.clone(),
-                    radius: stmt.radius,
-                }]))
-            }
-        }
-    }
-
-    fn execute_model(&self, entry: &TableEntry, stmt: &Statement) -> Result<QueryOutput, SqlError> {
         let q = Query::new(stmt.center.clone(), stmt.radius).map_err(SqlError::Model)?;
+        let serve_err = |e: ServeError| convert_serve_error(&stmt.table, e);
         match stmt.aggregate {
             Aggregate::Avg => {
-                let model = entry
-                    .model
-                    .as_ref()
-                    .ok_or_else(|| SqlError::NoModel(stmt.table.clone()))?;
-                model
-                    .predict_q1(&q)
-                    .map(QueryOutput::Scalar)
-                    .map_err(SqlError::Model)
+                let served = match stmt.mode {
+                    ExecMode::Exact => entry.serve.q1_exact(&q),
+                    ExecMode::Model => entry.serve.q1_model(&q),
+                    ExecMode::Auto => entry.serve.q1(&q),
+                }
+                .map_err(serve_err)?;
+                Ok(QueryOutput::served(served.map_value(QueryValue::Scalar)))
             }
             Aggregate::LinReg => {
-                let model = entry
-                    .model
-                    .as_ref()
-                    .ok_or_else(|| SqlError::NoModel(stmt.table.clone()))?;
-                model
-                    .predict_q2(&q)
-                    .map(QueryOutput::Regression)
-                    .map_err(SqlError::Model)
+                let served = match stmt.mode {
+                    ExecMode::Exact => entry.serve.q2_exact(&q),
+                    ExecMode::Model => entry.serve.q2_model(&q),
+                    ExecMode::Auto => entry.serve.q2(&q),
+                }
+                .map_err(serve_err)?;
+                Ok(QueryOutput::served(
+                    served.map_value(QueryValue::Regression),
+                ))
             }
-            Aggregate::Var => {
+            Aggregate::Var => self.execute_var(entry, stmt, &q),
+            Aggregate::Count => unreachable!("handled above"),
+        }
+    }
+
+    /// `VAR(u)`: the moments model lives beside the serve engine (the
+    /// variance head is a session-level extension), so the confidence
+    /// gate for `USING AUTO` is evaluated here against the same policy
+    /// threshold, scoring the query on the moments model's mean head.
+    fn execute_var(
+        &self,
+        entry: &TableEntry,
+        stmt: &Statement,
+        q: &Query,
+    ) -> Result<QueryOutput, SqlError> {
+        let exact = || -> Result<QueryOutput, SqlError> {
+            let m = entry
+                .serve
+                .exact_engine()
+                .q1_moments(&stmt.center, stmt.radius)
+                .ok_or(SqlError::EmptySubspace)?;
+            // The exact traversal computed the subspace mean anyway —
+            // feed it to the trainer like the engine's own exact routes
+            // do (a VAR-heavy workload still trains the Q1 model).
+            if entry.serve.policy().feedback {
+                entry.serve.observe(q, m.mean);
+            }
+            Ok(QueryOutput::exact(QueryValue::Scalar(m.variance)))
+        };
+        match stmt.mode {
+            ExecMode::Exact => exact(),
+            ExecMode::Model => {
                 let moments = entry
                     .moments
                     .as_ref()
                     .ok_or_else(|| SqlError::NoMomentsModel(stmt.table.clone()))?;
-                moments
-                    .predict(&q)
-                    .map(|p| QueryOutput::Scalar(p.variance))
-                    .map_err(SqlError::Model)
+                let p = moments.predict(q).map_err(SqlError::Model)?;
+                let score = moments.mean_head().confidence(q).ok().map(|c| c.score);
+                Ok(QueryOutput {
+                    value: QueryValue::Scalar(p.variance),
+                    route: Route::Model,
+                    confidence: score,
+                    snapshot_version: None,
+                })
             }
-            // COUNT requires the data by definition; the model never sees
-            // cardinalities. Route to the exact engine regardless of mode.
-            Aggregate::Count => Ok(QueryOutput::Count(
-                entry.engine.relation().count(&stmt.center, stmt.radius),
-            )),
+            ExecMode::Auto => {
+                let Some(moments) = entry.moments.as_ref() else {
+                    return exact();
+                };
+                let score = match moments.mean_head().confidence(q) {
+                    Ok(c) => c.score,
+                    Err(_) => return exact(), // untrained head: exact route
+                };
+                if score >= entry.serve.policy().confidence_threshold {
+                    let p = moments.predict(q).map_err(SqlError::Model)?;
+                    Ok(QueryOutput {
+                        value: QueryValue::Scalar(p.variance),
+                        route: Route::Model,
+                        confidence: Some(score),
+                        snapshot_version: None,
+                    })
+                } else {
+                    let mut out = exact()?;
+                    out.confidence = Some(score);
+                    Ok(out)
+                }
+            }
         }
+    }
+}
+
+fn convert_serve_error(table: &str, e: ServeError) -> SqlError {
+    match e {
+        ServeError::NoModel => SqlError::NoModel(table.to_string()),
+        ServeError::EmptySubspace => SqlError::EmptySubspace,
+        ServeError::Model(c) => SqlError::Model(c),
+        ServeError::Numeric(n) => SqlError::Numeric(n),
     }
 }
 
@@ -376,10 +523,8 @@ mod tests {
         let out = s
             .execute("SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2")
             .unwrap();
-        let QueryOutput::Scalar(v) = out else {
-            panic!("expected scalar")
-        };
-        assert!(v.is_finite());
+        assert_eq!(out.route, Route::Exact);
+        assert!(out.scalar().expect("scalar").is_finite());
     }
 
     #[test]
@@ -391,14 +536,15 @@ mod tests {
         let model = s
             .execute("SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.15 USING MODEL")
             .unwrap();
-        let (QueryOutput::Scalar(e), QueryOutput::Scalar(m)) = (exact, model) else {
-            panic!("expected scalars")
-        };
+        let (e, m) = (exact.scalar().unwrap(), model.scalar().unwrap());
         assert!((e - m).abs() < 0.15, "exact {e} vs model {m}");
+        assert_eq!(model.route, Route::Model);
+        assert!(model.confidence.is_some(), "model route reports its score");
+        assert!(model.snapshot_version.is_some());
     }
 
     #[test]
-    fn count_star_works_in_both_modes() {
+    fn count_star_works_in_every_mode() {
         let s = session_with_model();
         let a = s
             .execute("SELECT COUNT(*) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2")
@@ -406,11 +552,14 @@ mod tests {
         let b = s
             .execute("SELECT COUNT(*) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2 USING MODEL")
             .unwrap();
-        let (QueryOutput::Count(ca), QueryOutput::Count(cb)) = (a, b) else {
-            panic!("expected counts")
-        };
+        let c = s
+            .execute("SELECT COUNT(*) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2 USING AUTO")
+            .unwrap();
+        let (ca, cb, cc) = (a.count().unwrap(), b.count().unwrap(), c.count().unwrap());
         assert_eq!(ca, cb);
+        assert_eq!(ca, cc);
         assert!(ca > 10);
+        assert_eq!(b.route, Route::Exact, "COUNT always runs on the data");
     }
 
     #[test]
@@ -419,18 +568,14 @@ mod tests {
         let exact = s
             .execute("SELECT LINREG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2")
             .unwrap();
-        let QueryOutput::Regression(ms) = exact else {
-            panic!("expected regression")
-        };
+        let ms = exact.regression().expect("regression");
         assert_eq!(ms.len(), 1);
         assert_eq!(ms[0].slope.len(), 2);
 
         let served = s
             .execute("SELECT LINREG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2 USING MODEL")
             .unwrap();
-        let QueryOutput::Regression(list) = served else {
-            panic!("expected regression")
-        };
+        let list = served.regression().expect("regression");
         assert!(!list.is_empty());
         let wsum: f64 = list.iter().map(|m| m.weight).sum();
         assert!((wsum - 1.0).abs() < 1e-9);
@@ -445,11 +590,47 @@ mod tests {
         let m = s
             .execute("SELECT VAR(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2 USING MODEL")
             .unwrap();
-        let (QueryOutput::Scalar(ev), QueryOutput::Scalar(mv)) = (e, m) else {
-            panic!("expected scalars")
-        };
+        let (ev, mv) = (e.scalar().unwrap(), m.scalar().unwrap());
         assert!(ev >= 0.0 && mv >= 0.0);
         assert!((ev - mv).abs() < 0.1, "exact {ev} vs model {mv}");
+        assert_eq!(m.route, Route::Model);
+    }
+
+    #[test]
+    fn auto_mode_reports_route_and_score_per_query() {
+        let s = session_with_model();
+        // A query far outside the trained region but selecting plenty of
+        // data must fall back to exact execution with the low score
+        // reported; the served answer equals the exact one.
+        let low = s
+            .execute("SELECT AVG(u) FROM readings WHERE DIST(x, [30.0, 30.0]) <= 50.0 USING AUTO")
+            .unwrap();
+        assert_eq!(low.route, Route::Exact);
+        let score = low.confidence.expect("snapshot was consulted");
+        assert!(score < 1.0);
+        let exact = s
+            .execute("SELECT AVG(u) FROM readings WHERE DIST(x, [30.0, 30.0]) <= 50.0")
+            .unwrap();
+        assert_eq!(low.scalar().unwrap(), exact.scalar().unwrap());
+
+        // Probe at the most mature prototype's own subspace: the score
+        // clears the default threshold and the model serves.
+        let snap = s.serve_engine("readings").unwrap().snapshot().unwrap();
+        let protos = snap.prototypes();
+        let p = protos.iter().max_by_key(|p| p.updates).unwrap();
+        let sql = format!(
+            "SELECT AVG(u) FROM readings WHERE DIST(x, [{}, {}]) <= {} USING AUTO",
+            p.center[0], p.center[1], p.radius
+        );
+        let high = s.execute(&sql).unwrap();
+        assert_eq!(high.route, Route::Model, "score {:?}", high.confidence);
+        assert!(high.confidence.unwrap() >= 0.3);
+
+        // VAR auto mode routes too (moments head gate).
+        let var = s
+            .execute("SELECT VAR(u) FROM readings WHERE DIST(x, [30.0, 30.0]) <= 50.0 USING AUTO")
+            .unwrap();
+        assert_eq!(var.route, Route::Exact);
     }
 
     #[test]
@@ -493,6 +674,12 @@ mod tests {
             s.execute("SELECT VAR(u) FROM t WHERE DIST(x, [0.5, 0.5]) <= 0.2 USING MODEL"),
             Err(SqlError::NoMomentsModel(_))
         ));
+        // AUTO without a model degrades gracefully to exact execution.
+        let out = s
+            .execute("SELECT AVG(u) FROM t WHERE DIST(x, [0.5, 0.5]) <= 0.2 USING AUTO")
+            .unwrap();
+        assert_eq!(out.route, Route::Exact);
+        assert_eq!(out.confidence, None);
     }
 
     #[test]
@@ -526,9 +713,9 @@ mod tests {
 
     #[test]
     fn output_display_formats() {
-        assert_eq!(QueryOutput::Scalar(0.5).to_string(), "0.500000");
-        assert_eq!(QueryOutput::Count(42).to_string(), "42");
-        let reg = QueryOutput::Regression(vec![LocalModel {
+        assert_eq!(QueryValue::Scalar(0.5).to_string(), "0.500000");
+        assert_eq!(QueryValue::Count(42).to_string(), "42");
+        let reg = QueryValue::Regression(vec![LocalModel {
             intercept: 1.0,
             slope: vec![2.0, -3.0],
             prototype: 0,
@@ -540,20 +727,64 @@ mod tests {
         assert!(text.contains("u ≈ 1.0000"));
         assert!(text.contains("+ 2.0000·x1"));
         assert!(text.contains("- 3.0000·x2"));
+        // QueryOutput displays its value.
+        let out = QueryOutput::exact(QueryValue::Count(7));
+        assert_eq!(out.to_string(), "7");
     }
 
     #[test]
     fn tables_listing_is_sorted() {
         let field = GasSensorSurrogate::new(1, 3);
-        let mut rng = seeded(11);
         let mk = || {
             let ds = Dataset::from_function(&field, 10, SampleOptions::default(), &mut seeded(1));
             ExactEngine::new(Arc::new(ds), AccessPathKind::Scan)
         };
-        let _ = &mut rng;
         let mut s = Session::new();
         s.register_table("zeta", mk());
         s.register_table("alpha", mk());
         assert_eq!(s.tables(), vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn session_is_send_and_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<Session>();
+    }
+
+    #[test]
+    fn concurrent_executions_share_one_session() {
+        let s = session_with_model();
+        let reference = s
+            .execute("SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.15 USING MODEL")
+            .unwrap();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        s.execute(
+                            "SELECT AVG(u) FROM readings \
+                             WHERE DIST(x, [0.5, 0.5]) <= 0.15 USING MODEL",
+                        )
+                        .unwrap()
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), reference);
+            }
+        });
+    }
+
+    #[test]
+    fn error_sources_thread_the_cause() {
+        use std::error::Error as _;
+        let s = session_with_model();
+        let parse_err = s.execute("this is not sql").unwrap_err();
+        assert!(parse_err.source().is_some(), "parse cause must thread");
+        let null_err = s
+            .execute("SELECT AVG(u) FROM readings WHERE DIST(x, [50.0, 50.0]) <= 0.01")
+            .unwrap_err();
+        assert!(null_err.source().is_none(), "NULL has no deeper cause");
+        assert!(matches!(null_err, SqlError::EmptySubspace));
     }
 }

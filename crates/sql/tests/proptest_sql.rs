@@ -7,8 +7,8 @@ use regq_sql::{parse, Aggregate, ExecMode};
 fn ident_strategy() -> impl Strategy<Value = String> {
     "[a-zA-Z_][a-zA-Z0-9_]{0,12}".prop_filter("not a keyword", |s| {
         ![
-            "SELECT", "FROM", "WHERE", "DIST", "USING", "EXACT", "MODEL", "AVG", "VAR", "LINREG",
-            "COUNT",
+            "SELECT", "FROM", "WHERE", "DIST", "USING", "EXACT", "MODEL", "AUTO", "AVG", "VAR",
+            "LINREG", "COUNT",
         ]
         .iter()
         .any(|kw| s.eq_ignore_ascii_case(kw))
@@ -24,7 +24,7 @@ proptest! {
         center in prop::collection::vec(-100.0..100.0f64, 1..6),
         radius in 0.001..50.0f64,
         agg_pick in 0usize..4,
-        mode_pick in 0usize..3,
+        mode_pick in 0usize..4,
         semicolon in any::<bool>(),
     ) {
         let (agg_sql, agg) = match agg_pick {
@@ -36,6 +36,7 @@ proptest! {
         let (mode_sql, mode) = match mode_pick {
             0 => ("", ExecMode::Exact),
             1 => (" USING EXACT", ExecMode::Exact),
+            2 => (" USING AUTO", ExecMode::Auto),
             _ => (" USING MODEL", ExecMode::Model),
         };
         let center_sql: Vec<String> = center.iter().map(|c| format!("{c:?}")).collect();

@@ -12,6 +12,9 @@
 //!   without changing the trained model;
 //! * [`pool`] — minimal scoped-thread executors shared by the training
 //!   and throughput drivers;
+//! * [`throughput`] — concurrent serving measurement: frozen-model vs
+//!   exact thread sweeps, plus the closed-loop readers × 1 writer driver
+//!   over a live `regq_serve::ServeEngine`;
 //! * [`eval`] — the A1 / A2 / FVU / CoD evaluators comparing LLM against
 //!   global REG, per-query REG and PLR on unseen query sets `V`;
 //! * [`experiment`] — tiny series/table printer used by every `fig*`
@@ -34,5 +37,7 @@ pub use querygen::QueryGenerator;
 pub use stream::{
     train_from_engine, train_from_engine_parallel, ParallelTrainOptions, StreamReport,
 };
-pub use throughput::{exact_q1_throughput, model_q1_throughput, ThroughputResult};
+pub use throughput::{
+    exact_q1_throughput, model_q1_throughput, serve_closed_loop, ServeLoopResult, ThroughputResult,
+};
 pub use timer::LatencyStats;

@@ -13,6 +13,8 @@ use crate::pool;
 use crate::querygen::QueryGenerator;
 use regq_core::{LlmModel, Query};
 use regq_exact::ExactEngine;
+use regq_serve::{ServeEngine, ServeError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Result of one throughput measurement.
@@ -73,6 +75,137 @@ fn run_parallel(
         threads,
         queries: queries.len(),
         elapsed: t0.elapsed(),
+    }
+}
+
+/// Result of one closed-loop concurrent-serving measurement
+/// ([`serve_closed_loop`]): `readers` serving threads auto-routing a
+/// shared workload through a [`ServeEngine`] while one writer thread
+/// keeps executing ground-truth queries, feeding the trainer and
+/// publishing fresh snapshots.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeLoopResult {
+    /// Number of reader (serving) threads.
+    pub readers: usize,
+    /// Reader queries answered (each exactly once across the readers).
+    pub queries: usize,
+    /// Wall-clock until the last reader finished.
+    pub elapsed: Duration,
+    /// Reader queries served from the model snapshot.
+    pub model_served: u64,
+    /// Reader queries that fell back to the exact engine.
+    pub exact_served: u64,
+    /// Training examples the trainer accepted during the run (writer
+    /// stream + reader-fallback feedback).
+    pub feedback_fed: u64,
+    /// Feedback examples dropped to lock contention (serving never
+    /// blocks on training).
+    pub feedback_skipped: u64,
+    /// Snapshots published during the run.
+    pub publishes: u64,
+    /// Ground-truth queries the writer executed before the readers
+    /// drained the workload.
+    pub writer_examples: usize,
+}
+
+impl ServeLoopResult {
+    /// Reader queries per second.
+    pub fn qps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.queries as f64 / secs
+        }
+    }
+
+    /// Fraction of reader queries served from the model snapshot.
+    pub fn model_share(&self) -> f64 {
+        let total = self.model_served + self.exact_served;
+        if total == 0 {
+            0.0
+        } else {
+            self.model_served as f64 / total as f64
+        }
+    }
+}
+
+/// Closed-loop concurrent serving: `readers` threads drain
+/// `reader_queries` (work-stealing over a shared cursor) through
+/// [`ServeEngine::q1`] — lock-free snapshot reads, confidence-gated exact
+/// fallback — while **one** writer thread (the caller's) runs the Fig. 2
+/// trainer loop over `writer_queries`: execute exactly, feed the trainer,
+/// let the engine republish snapshots at its policy cadence. The writer
+/// stops as soon as the readers drain the workload, so `elapsed` measures
+/// reader throughput under live training.
+///
+/// Reader queries whose exact fallback selects an empty subspace count as
+/// answered (SQL NULL); any other serve error panics (measurement bug).
+///
+/// # Panics
+/// Panics if `readers == 0` or on a non-NULL serve error.
+pub fn serve_closed_loop(
+    engine: &ServeEngine,
+    reader_queries: &[Query],
+    readers: usize,
+    writer_queries: &[Query],
+) -> ServeLoopResult {
+    assert!(readers >= 1, "need at least one reader thread");
+    let before = engine.stats();
+    let cursor = AtomicUsize::new(0);
+    let drained = AtomicBool::new(false);
+    let mut writer_examples = 0usize;
+    let t0 = Instant::now();
+    // `elapsed` is taken per reader at its own finish and maxed — the
+    // writer's in-flight ground-truth query after the drain must not
+    // inflate the reader-throughput clock.
+    let elapsed = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                scope.spawn(|| {
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= reader_queries.len() {
+                            break;
+                        }
+                        match engine.q1(&reader_queries[i]) {
+                            Ok(_) | Err(ServeError::EmptySubspace) => {}
+                            Err(e) => panic!("closed-loop serve failed: {e}"),
+                        }
+                    }
+                    drained.store(true, Ordering::Release);
+                    t0.elapsed()
+                })
+            })
+            .collect();
+        // The single writer: ground-truth execution + trainer feedback on
+        // the calling thread, until the readers finish.
+        for q in writer_queries {
+            if drained.load(Ordering::Acquire) {
+                break;
+            }
+            if let Some(y) = engine.exact_engine().q1(&q.center, q.radius) {
+                engine.observe(q, y);
+            }
+            writer_examples += 1;
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader thread"))
+            .max()
+            .expect("at least one reader")
+    });
+    let after = engine.stats();
+    ServeLoopResult {
+        readers,
+        queries: reader_queries.len(),
+        elapsed,
+        model_served: after.model_served - before.model_served,
+        exact_served: after.exact_served - before.exact_served,
+        feedback_fed: after.feedback_fed - before.feedback_fed,
+        feedback_skipped: after.feedback_skipped - before.feedback_skipped,
+        publishes: after.publishes - before.publishes,
+        writer_examples,
     }
 }
 
@@ -167,5 +300,83 @@ mod tests {
         let mut rng = seeded(5);
         let queries = gen.generate_many(10, &mut rng);
         let _ = model_q1_throughput(&model, &queries, 0);
+    }
+
+    mod closed_loop {
+        use super::*;
+        use regq_core::ModelConfig;
+        use regq_serve::RoutePolicy;
+
+        fn serve_engine(trained: bool) -> ServeEngine {
+            let f = GasSensorSurrogate::new(2, 5);
+            let mut rng = seeded(21);
+            let ds = Dataset::from_function(&f, 20_000, SampleOptions::default(), &mut rng);
+            let exact = ExactEngine::new(Arc::new(ds), AccessPathKind::KdTree);
+            let mut model = LlmModel::new(ModelConfig::with_vigilance(2, 0.08)).unwrap();
+            if trained {
+                let gen = QueryGenerator::for_function(&f, 0.1);
+                train_from_engine(&mut model, &exact, &gen, 10_000, &mut rng).unwrap();
+            }
+            ServeEngine::with_model(
+                exact,
+                model,
+                RoutePolicy {
+                    confidence_threshold: 0.3,
+                    feedback: true,
+                    publish_interval: 64,
+                },
+            )
+        }
+
+        #[test]
+        fn closed_loop_answers_every_reader_query_and_trains() {
+            let engine = serve_engine(false);
+            let f = GasSensorSurrogate::new(2, 5);
+            let gen = QueryGenerator::for_function(&f, 0.1);
+            let mut rng = seeded(22);
+            let reader_queries = gen.generate_many(600, &mut rng);
+            let writer_queries = gen.generate_many(5_000, &mut rng);
+            let r = serve_closed_loop(&engine, &reader_queries, 2, &writer_queries);
+            assert_eq!(r.queries, 600);
+            assert_eq!(r.readers, 2);
+            // Every reader query routes somewhere; the handful whose
+            // fallback selection is empty are answered as SQL NULL and
+            // bump neither counter.
+            let routed = r.model_served + r.exact_served;
+            assert!(
+                routed <= 600 && routed > 550,
+                "unexpected route accounting: {routed}/600"
+            );
+            assert!(r.qps() > 0.0);
+            assert!(
+                r.feedback_fed > 0,
+                "the live writer must train the model mid-run"
+            );
+            assert!(r.writer_examples > 0);
+        }
+
+        #[test]
+        fn trained_engine_serves_mostly_from_the_model() {
+            let engine = serve_engine(true);
+            let f = GasSensorSurrogate::new(2, 5);
+            let gen = QueryGenerator::for_function(&f, 0.1);
+            let mut rng = seeded(23);
+            let reader_queries = gen.generate_many(400, &mut rng);
+            let writer_queries = gen.generate_many(2_000, &mut rng);
+            let r = serve_closed_loop(&engine, &reader_queries, 4, &writer_queries);
+            assert!(
+                r.model_share() > 0.5,
+                "trained engine should clear the gate for most in-distribution \
+                 queries (model share {})",
+                r.model_share()
+            );
+        }
+
+        #[test]
+        #[should_panic(expected = "at least one reader")]
+        fn zero_readers_panics() {
+            let engine = serve_engine(false);
+            let _ = serve_closed_loop(&engine, &[], 0, &[]);
+        }
     }
 }

@@ -74,6 +74,11 @@ fn main() {
         "SELECT VAR(u) FROM readings WHERE DIST(x, [0.4, 0.6]) <= 0.15 USING MODEL;",
         "SELECT LINREG(u) FROM readings WHERE DIST(x, [0.4, 0.6]) <= 0.15;",
         "SELECT LINREG(u) FROM readings WHERE DIST(x, [0.4, 0.6]) <= 0.15 USING MODEL;",
+        // Confidence-gated hybrid routing: the session serves from the
+        // model when the score clears the gate, otherwise executes on the
+        // data — and reports the route it took either way.
+        "SELECT AVG(u) FROM readings WHERE DIST(x, [0.4, 0.6]) <= 0.15 USING AUTO;",
+        "SELECT AVG(u) FROM readings WHERE DIST(x, [30.0, 30.0]) <= 50.0 USING AUTO;",
         // Error cases surface as readable diagnostics, not panics.
         "SELECT AVG(u) FROM missing WHERE DIST(x, [0.4, 0.6]) <= 0.15;",
         "SELECT MEDIAN(u) FROM readings WHERE DIST(x, [0.4, 0.6]) <= 0.15;",
@@ -86,7 +91,12 @@ fn main() {
                 for line in out.to_string().lines() {
                     println!("  {line}");
                 }
-                println!("  ({dur:.2?})");
+                match out.confidence {
+                    Some(score) => {
+                        println!("  (route: {}, confidence {score:.2}, {dur:.2?})", out.route)
+                    }
+                    None => println!("  (route: {}, {dur:.2?})", out.route),
+                }
             }
             Err(e) => println!("  ERROR: {e}"),
         }

@@ -45,6 +45,8 @@
 //! |-------|------|
 //! | [`core`] | the paper's model: vigilance AVQ + Local Linear Mappings |
 //! | [`exact`] | exact engines: Q1, REG (OLS), PLR (MARS) |
+//! | [`serve`] | concurrent snapshot serving: lock-free publication + confidence-gated hybrid routing |
+//! | [`sql`] | declarative front end: `USING EXACT \| MODEL \| AUTO` |
 //! | [`store`] | column store + dNN selection access paths |
 //! | [`data`] | datasets: Rosenbrock (R2), gas-sensor surrogate (R1) |
 //! | [`workload`] | query generation, Fig.-2 training loop, evaluators |
@@ -57,6 +59,7 @@ pub use regq_core as core;
 pub use regq_data as data;
 pub use regq_exact as exact;
 pub use regq_linalg as linalg;
+pub use regq_serve as serve;
 pub use regq_sql as sql;
 pub use regq_store as store;
 pub use regq_workload as workload;
@@ -65,7 +68,7 @@ pub use regq_workload as workload;
 pub mod prelude {
     pub use regq_core::{
         overlap_degree, overlaps, Confidence, CoreError, LearningSchedule, LlmModel, LocalModel,
-        ModelConfig, MomentsModel, Prototype, Query, StepOutcome, TrainReport,
+        ModelConfig, MomentsModel, Prototype, Query, ServingSnapshot, StepOutcome, TrainReport,
     };
     pub use regq_data::generators::{
         Doppler1d, Friedman1, GasSensorSurrogate, PiecewiseLinear1d, Rosenbrock, Saddle2d,
@@ -77,6 +80,7 @@ pub mod prelude {
         fit_ols, fit_ols_global, q1_mean, q1_moments, ExactEngine, GoodnessOfFit, LinearModel,
         Mars, MarsModel, MarsParams, Moments,
     };
+    pub use regq_serve::{Route, RoutePolicy, ServeEngine, ServeError, Served, SnapshotCell};
     pub use regq_store::{AccessPathKind, Norm, Relation};
     pub use regq_workload::{
         eval::{

@@ -1,9 +1,11 @@
 //! Integration tests for the declarative front end and concurrent serving
-//! through the facade crate.
+//! through the facade crate: the SQL surface (`USING EXACT | MODEL |
+//! AUTO`), the train/serve snapshot split, and the lock-free serving
+//! engine under live training.
 
 use regq::core::moments::{MomentPair, MomentsModel};
 use regq::prelude::*;
-use regq::sql::{QueryOutput, Session, SqlError};
+use regq::sql::{Session, SqlError};
 use std::sync::Arc;
 use std::sync::OnceLock;
 
@@ -69,10 +71,13 @@ fn sql_exact_and_model_answers_agree() {
         .session
         .execute("SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.15 USING MODEL")
         .unwrap();
-    let (QueryOutput::Scalar(e), QueryOutput::Scalar(m)) = (exact, served) else {
-        panic!("expected scalars");
-    };
+    let (e, m) = (
+        exact.scalar().expect("scalar"),
+        served.scalar().expect("scalar"),
+    );
     assert!((e - m).abs() < 0.12, "exact {e} vs model {m}");
+    assert_eq!(exact.route, Route::Exact);
+    assert_eq!(served.route, Route::Model);
 }
 
 #[test]
@@ -82,9 +87,7 @@ fn sql_linreg_list_is_weight_normalized() {
         .session
         .execute("SELECT LINREG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2 USING MODEL")
         .unwrap();
-    let QueryOutput::Regression(list) = out else {
-        panic!("expected regression list");
-    };
+    let list = out.regression().expect("regression list");
     assert!(!list.is_empty());
     let wsum: f64 = list.iter().map(|m| m.weight).sum();
     assert!((wsum - 1.0).abs() < 1e-9);
@@ -93,13 +96,12 @@ fn sql_linreg_list_is_weight_normalized() {
 #[test]
 fn sql_count_matches_engine_row_semantics() {
     let f = fixture();
-    let QueryOutput::Count(n) = f
+    let n = f
         .session
         .execute("SELECT COUNT(*) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 10.0")
         .unwrap()
-    else {
-        panic!("expected count");
-    };
+        .count()
+        .expect("count");
     assert_eq!(n, f.engine_rows, "whole-domain ball must count every row");
 }
 
@@ -115,6 +117,76 @@ fn sql_errors_are_structured() {
         f.session.execute("this is not sql"),
         Err(SqlError::Parse(_))
     ));
+    // source() threads the cause for structured error reporting.
+    use std::error::Error as _;
+    let err = f.session.execute("this is not sql").unwrap_err();
+    assert!(err.source().is_some());
+}
+
+#[test]
+fn sql_auto_mode_gates_on_confidence_end_to_end() {
+    let f = fixture();
+    // Far-but-data-rich ball: the snapshot is consulted, doubts itself,
+    // and the exact engine answers — with the score reported.
+    let low = f
+        .session
+        .execute("SELECT AVG(u) FROM readings WHERE DIST(x, [40.0, 40.0]) <= 60.0 USING AUTO")
+        .unwrap();
+    assert_eq!(low.route, Route::Exact);
+    assert!(low.confidence.is_some(), "snapshot must be consulted");
+    let exact = f
+        .session
+        .execute("SELECT AVG(u) FROM readings WHERE DIST(x, [40.0, 40.0]) <= 60.0")
+        .unwrap();
+    assert_eq!(low.scalar().unwrap(), exact.scalar().unwrap());
+
+    // At a mature prototype's own subspace the gate clears and the model
+    // serves with zero data access.
+    let engine = f.session.serve_engine("readings").unwrap();
+    let protos = engine.snapshot().unwrap().prototypes();
+    let p = protos.iter().max_by_key(|p| p.updates).unwrap();
+    let sql = format!(
+        "SELECT AVG(u) FROM readings WHERE DIST(x, [{}, {}]) <= {} USING AUTO",
+        p.center[0], p.center[1], p.radius
+    );
+    let high = f.session.execute(&sql).unwrap();
+    assert_eq!(high.route, Route::Model, "score {:?}", high.confidence);
+    assert!(high.confidence.unwrap() >= 0.3);
+    assert!(high.scalar().unwrap().is_finite());
+    assert!(high.snapshot_version.is_some());
+}
+
+#[test]
+fn sql_auto_mode_serves_concurrently_from_one_session() {
+    let f = fixture();
+    let statements = [
+        "SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.15 USING AUTO",
+        "SELECT AVG(u) FROM readings WHERE DIST(x, [0.2, 0.8]) <= 0.1 USING AUTO",
+        "SELECT LINREG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2 USING AUTO",
+        "SELECT VAR(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2 USING AUTO",
+    ];
+    let reference: Vec<_> = statements
+        .iter()
+        .map(|s| f.session.execute(s).unwrap())
+        .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    statements
+                        .iter()
+                        .map(|s| f.session.execute(s).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            // The fixture's model is converged (frozen trainer), so the
+            // published snapshot is stable and answers are deterministic
+            // across threads, routes included.
+            assert_eq!(h.join().unwrap(), reference);
+        }
+    });
 }
 
 #[test]
@@ -164,4 +236,128 @@ fn parallel_serving_throughput_beats_exact() {
         m.qps(),
         e.qps()
     );
+}
+
+#[test]
+fn closed_loop_serving_exercises_both_routes_under_live_training() {
+    use regq::workload::serve_closed_loop;
+    let field = GasSensorSurrogate::new(2, 33);
+    let mut rng = seeded(11);
+    let ds = Dataset::from_function(&field, 20_000, SampleOptions::default(), &mut rng);
+    let exact = ExactEngine::new(Arc::new(ds), AccessPathKind::KdTree);
+    let engine = ServeEngine::with_model(
+        exact,
+        LlmModel::new(ModelConfig::with_vigilance(2, 0.08)).unwrap(),
+        RoutePolicy {
+            confidence_threshold: 0.3,
+            feedback: true,
+            publish_interval: 64,
+        },
+    );
+    let gen = QueryGenerator::for_function(&field, 0.1);
+    let reader_queries = gen.generate_many(3_000, &mut rng);
+    let writer_queries = gen.generate_many(20_000, &mut rng);
+    let r = serve_closed_loop(&engine, &reader_queries, 4, &writer_queries);
+    assert_eq!(r.queries, 3_000);
+    assert!(r.exact_served > 0, "a fresh engine must fall back at first");
+    assert!(
+        r.feedback_fed > 0,
+        "the closed loop must train from fallbacks/writer"
+    );
+    assert!(r.publishes >= 1, "the trainer must republish mid-run");
+    let stats = engine.stats();
+    assert_eq!(
+        stats.model_served + stats.exact_served,
+        r.model_served + r.exact_served
+    );
+}
+
+mod snapshot_equivalence {
+    //! Proptest: `ServingSnapshot` predictions are **bit-identical** to
+    //! the mutable `LlmModel` at every publish point, observed from any
+    //! number of reader threads (the invariant that makes lock-free
+    //! serving sound: a published snapshot is the model, frozen in time).
+
+    use proptest::prelude::*;
+    use regq::core::snapshot::ServingSnapshot;
+    use regq::prelude::*;
+
+    fn probe_grid() -> Vec<Query> {
+        let mut probes = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                for theta in [0.05, 0.25, 0.7] {
+                    probes.push(Query::new_unchecked(
+                        vec![i as f64 * 0.5 - 0.25, j as f64 * 0.5 - 0.25],
+                        theta,
+                    ));
+                }
+            }
+        }
+        probes
+    }
+
+    fn assert_capture_matches(model: &LlmModel, snap: &ServingSnapshot) {
+        assert_eq!(snap.version(), model.steps());
+        assert_eq!(snap.prototypes(), model.prototypes());
+        for probe in probe_grid() {
+            assert_eq!(snap.predict_q1(&probe), model.predict_q1(&probe));
+            assert_eq!(snap.predict_q2(&probe), model.predict_q2(&probe));
+            assert_eq!(
+                snap.predict_value(&probe, &probe.center),
+                model.predict_value(&probe, &probe.center)
+            );
+            assert_eq!(snap.confidence(&probe), model.confidence(&probe));
+            assert_eq!(
+                snap.predict_q1_with_confidence(&probe),
+                model.predict_q1_with_confidence(&probe)
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn snapshots_match_the_model_at_every_publish_point_from_any_thread_count(
+            pairs in prop::collection::vec(
+                (prop::collection::vec(-1.0..2.0f64, 2), 0.01..0.6f64, -5.0..5.0f64),
+                40..140,
+            ),
+            publish_every in 7usize..40,
+            threads in 1usize..5,
+        ) {
+            let mut model = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
+            // Publish points: every `publish_every` steps, a (frozen model
+            // clone, snapshot) capture pair — exactly what a trainer
+            // publishes mid-stream.
+            let mut captures: Vec<(LlmModel, ServingSnapshot)> = Vec::new();
+            for (i, (c, r, y)) in pairs.iter().enumerate() {
+                let q = Query::new_unchecked(c.clone(), *r);
+                model.train_step(&q, *y).unwrap();
+                if i % publish_every == 0 {
+                    captures.push((model.clone(), model.snapshot()));
+                }
+            }
+            captures.push((model.clone(), model.snapshot()));
+
+            // Any number of concurrent readers observe every capture
+            // bit-identically (thread-local serving scratch, shared
+            // immutable snapshots).
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            for (m, s) in &captures {
+                                assert_capture_matches(m, s);
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            });
+        }
+    }
 }
