@@ -17,7 +17,11 @@
 //! 6. the concurrent snapshot-serving engine — closed-loop reader-count
 //!    scaling through `regq_serve::ServeEngine` with one live writer
 //!    (Fig. 2 trainer) feeding and republishing, confidence-gated exact
-//!    fallback exercised end-to-end.
+//!    fallback exercised end-to-end;
+//! 7. the sharded serve/train fabric — the same closed loop through
+//!    `regq_serve::ShardRouter` at shard counts {1, 2, 4, 8} with a fixed
+//!    reader pool, cross-shard fusion and bounded feedback queues live
+//!    (drops are counted, never silent).
 //!
 //! The emitted JSON carries a `host` object (core count, `--smoke`,
 //! os/arch) so single-core-container runs are machine-readable.
@@ -37,11 +41,11 @@ use regq_core::predict::reference;
 use regq_core::{LlmModel, ModelConfig, Query};
 use regq_data::rng::seeded;
 use regq_exact::{fit_ols, fit_ols_design, q1_mean_materialized, ExactEngine};
-use regq_serve::{RoutePolicy, ServeEngine};
+use regq_serve::{RoutePolicy, ServeEngine, ShardRouter};
 use regq_store::AccessPathKind;
 use regq_workload::{
-    serve_closed_loop, train_from_engine, train_from_engine_parallel, ParallelTrainOptions,
-    QueryGenerator,
+    serve_closed_loop, serve_closed_loop_sharded, train_from_engine, train_from_engine_parallel,
+    ParallelTrainOptions, QueryGenerator,
 };
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -419,6 +423,30 @@ fn main() {
         serve_rows.push(r);
     }
 
+    // ---- Section 7: sharded fabric — shard-count scaling at fixed readers.
+    // Same pre-trained model and workloads as section 6; the only variable
+    // is the shard count, so any qps movement is the fabric itself (routing
+    // + per-shard trainers + cross-shard fusion on boundary balls).
+    let shard_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let shard_readers = 2usize;
+    let mut shard_rows = Vec::new();
+    for &shards in shard_counts {
+        let router =
+            ShardRouter::with_model(serve_exact(), pretrained.clone(), serve_policy, shards);
+        let r =
+            serve_closed_loop_sharded(&router, &reader_workload, shard_readers, &writer_workload);
+        eprintln!(
+            "  sharded serving x{shards} shards: {:.0} qps, model share {:.2}, \
+             feedback {} fed / {} dropped, {} publishes",
+            r.qps(),
+            r.model_share(),
+            r.feedback_fed,
+            r.feedback_dropped,
+            r.publishes
+        );
+        shard_rows.push(r);
+    }
+
     // ---- Emit JSON (hand-rolled: the serde shim's derives are no-ops).
     let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     let mut json = String::new();
@@ -540,6 +568,43 @@ fn main() {
             r.publishes,
             r.writer_examples,
             if i + 1 < serve_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n  },\n");
+    let shard_note = if cores <= 1 {
+        "recorded on a 1-core host: shard scaling is necessarily flat here; \
+         re-record on a multi-core host before reading the scaling shape"
+    } else {
+        "readers fixed; the variable is the shard count of the serve/train fabric"
+    };
+    let _ = writeln!(
+        json,
+        "  \"serving_sharded\": {{\n    \"engine\": \"kd_tree\", \"queries\": {serve_queries_n}, \
+         \"readers\": {shard_readers}, \"pretrain_budget\": {pretrain_budget}, \
+         \"note\": \"{shard_note}\", \
+         \"setup\": \"closed loop through ShardRouter: kd-partitioned per-shard \
+         trainers + snapshot cells, cross-shard fused answers bit-identical to \
+         the single model, bounded per-shard feedback queues with counted drops\","
+    );
+    json.push_str("    \"by_shards\": [\n");
+    for (i, r) in shard_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"shards\": {}, \"qps\": {}, \"model_share\": {}, \
+             \"model_served\": {}, \"exact_served\": {}, \"feedback_enqueued\": {}, \
+             \"feedback_fed\": {}, \"feedback_dropped\": {}, \"publishes\": {}, \
+             \"writer_examples\": {}}}{}",
+            r.shards,
+            fmt_f(r.qps()),
+            fmt_f(r.model_share()),
+            r.model_served,
+            r.exact_served,
+            r.feedback_enqueued,
+            r.feedback_fed,
+            r.feedback_dropped,
+            r.publishes,
+            r.writer_examples,
+            if i + 1 < shard_rows.len() { "," } else { "" }
         );
     }
     json.push_str("    ]\n  }\n}\n");

@@ -109,9 +109,16 @@ pub fn prune_rare_prototypes(model: &mut LlmModel, min_updates: u64) -> usize {
 }
 
 impl LlmModel {
-    /// Public wrapper over the crate-private constructor (used by `adapt`
-    /// and `persist`).
-    pub(crate) fn from_parts_public(
+    /// Assemble a model from explicit parts: configuration, prototype
+    /// set, consumed-step count and frozen flag. Used by `adapt` and
+    /// `persist` internally, and by the serving layer's shard fabric to
+    /// build per-shard models from prototype subsets.
+    ///
+    /// # Errors
+    /// [`crate::error::CoreError::InvalidConfig`] /
+    /// [`crate::error::CoreError::DimensionMismatch`] on inconsistent
+    /// parts.
+    pub fn from_parts_public(
         config: crate::config::ModelConfig,
         prototypes: Vec<crate::prototype::Prototype>,
         steps: u64,

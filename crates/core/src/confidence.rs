@@ -61,9 +61,15 @@ pub struct Confidence {
     pub score: f64,
 }
 
-/// Fold the three axes into a [`Confidence`] (shared by the model and the
-/// snapshot paths so the heuristic is combined identically everywhere).
-fn combine(winner_sq: f64, rho: f64, support_updates: f64, info: FusionInfo) -> Confidence {
+/// Fold the three axes into a [`Confidence`] (shared by the model, the
+/// snapshot and the cross-shard fusion paths so the heuristic is combined
+/// identically everywhere).
+pub(crate) fn combine(
+    winner_sq: f64,
+    rho: f64,
+    support_updates: f64,
+    info: FusionInfo,
+) -> Confidence {
     let winner_distance_ratio = winner_sq.sqrt() / rho;
     // Heuristic combination: each axis maps to [0, 1] and the score is
     // their product, with a floor on the mass term so a mature, nearby

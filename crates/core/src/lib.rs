@@ -81,4 +81,6 @@ pub use predict::LocalModel;
 pub use prototype::Prototype;
 pub use query::Query;
 pub use schedule::LearningSchedule;
-pub use snapshot::ServingSnapshot;
+pub use snapshot::{
+    sharded_q1_with_confidence, sharded_q2_with_confidence, ServingSnapshot, ShardPart,
+};

@@ -77,7 +77,17 @@ pub(crate) fn for_each_overlap_weight_with_winner(
 /// of membership to the `A(q, q')` boundary cannot divide by zero.
 #[inline]
 fn fusion_falls_back(set: &[(usize, f64)], total: f64) -> bool {
-    set.is_empty() || total <= 0.0
+    fusion_degenerate(set.len(), total)
+}
+
+/// Length/total form of the fallback decision, shared with the
+/// cross-shard fusion driver ([`crate::snapshot`]'s sharded predictors),
+/// which stores its merged overlap set in a different shape. One function
+/// so the degeneracy rule cannot drift between the single-arena and
+/// sharded paths.
+#[inline]
+pub(crate) fn fusion_degenerate(len: usize, total: f64) -> bool {
+    len == 0 || total <= 0.0
 }
 
 fn drive_overlap_weights(

@@ -26,7 +26,7 @@ use crate::confidence::{self, Confidence};
 use crate::config::ModelConfig;
 use crate::error::CoreError;
 use crate::model::LlmModel;
-use crate::predict::{self, LocalModel};
+use crate::predict::{self, FusionInfo, LocalModel};
 use crate::prototype::Prototype;
 use crate::query::Query;
 use std::sync::Arc;
@@ -229,6 +229,142 @@ impl LlmModel {
     }
 }
 
+/// One shard's contribution to a cross-shard fused prediction: the
+/// shard's snapshot plus the **global** prototype id of each local arena
+/// slot.
+///
+/// The sharded predictors ([`sharded_q1_with_confidence`] /
+/// [`sharded_q2_with_confidence`]) reconstruct the single-arena answer
+/// bit-for-bit from such parts, provided the sharding invariants hold:
+///
+/// * `ids.len() == snapshot.k()`, and `ids` is strictly ascending — a
+///   shard holds its prototypes in global arena order (the shard fabric
+///   assigns ids in arena order and only ever appends);
+/// * ids are disjoint across the parts of one query;
+/// * every part shares one [`ModelConfig`] (in particular one vigilance
+///   `ρ` and one dimension).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardPart<'a> {
+    /// The shard's published snapshot.
+    pub snapshot: &'a ServingSnapshot,
+    /// Global prototype ids, one per arena slot, strictly ascending.
+    pub ids: &'a [usize],
+}
+
+/// Global winner across parts: `(part, local index, squared distance)`.
+/// Matches the single-arena first-wins tie-break — strict `<` on the
+/// squared distance, lowest global id on ties. `None` when every part is
+/// empty.
+fn sharded_winner(parts: &[ShardPart<'_>], q: &Query) -> Option<(usize, usize, f64)> {
+    let mut best: Option<(usize, usize, f64, usize)> = None;
+    for (pi, part) in parts.iter().enumerate() {
+        debug_assert_eq!(part.ids.len(), part.snapshot.k(), "ids must map every slot");
+        if let Some((lk, sq)) = part.snapshot.winner(q) {
+            let gid = part.ids[lk];
+            let better = match best {
+                None => true,
+                Some((_, _, best_sq, best_gid)) => {
+                    sq < best_sq || (sq == best_sq && gid < best_gid)
+                }
+            };
+            if better {
+                best = Some((pi, lk, sq, gid));
+            }
+        }
+    }
+    best.map(|(pi, lk, sq, _)| (pi, lk, sq))
+}
+
+/// Resolve the merged overlap set across parts, **in global arena order**
+/// (ascending global id), then hand each `(part, local, δ/total)` triple
+/// to `apply` — or the winner with weight 1 on the degenerate path. This
+/// is [`crate::predict`]'s overlap-weight driver re-run over a
+/// partitioned arena: because per-prototype `δ`, the merged summation
+/// order and the degeneracy rule are all identical, every accumulation
+/// below replays the exact floating-point operation sequence of the
+/// single-arena drivers.
+fn drive_sharded_overlap(
+    parts: &[ShardPart<'_>],
+    q: &Query,
+    winner: (usize, usize),
+    mut apply: impl FnMut(usize, usize, f64),
+) -> FusionInfo {
+    // (gid, part, local, δ) — sorted by gid below; ids are disjoint, so
+    // the sort is a deterministic k-way merge into global arena order.
+    let mut entries: Vec<(usize, usize, usize, f64)> = Vec::new();
+    let mut buf: Vec<(usize, f64)> = Vec::new();
+    for (pi, part) in parts.iter().enumerate() {
+        part.snapshot.overlap_set_into(q, &mut buf);
+        for &(lk, d) in &buf {
+            entries.push((part.ids[lk], pi, lk, d));
+        }
+    }
+    entries.sort_unstable_by_key(|e| e.0);
+    let total: f64 = entries.iter().map(|e| e.3).sum();
+    if predict::fusion_degenerate(entries.len(), total) {
+        let (wp, wl) = winner;
+        apply(wp, wl, 1.0);
+        FusionInfo {
+            fused: false,
+            mass: 0.0,
+        }
+    } else {
+        for &(_, pi, lk, d) in &entries {
+            apply(pi, lk, d / total);
+        }
+        FusionInfo {
+            fused: true,
+            mass: total,
+        }
+    }
+}
+
+/// Q1 prediction and confidence fused **across shards** — bit-identical
+/// to [`ServingSnapshot::predict_q1_with_confidence`] on the single
+/// unpartitioned snapshot (see [`ShardPart`] for the invariants that make
+/// this hold). `None` when every part is empty.
+pub fn sharded_q1_with_confidence(parts: &[ShardPart<'_>], q: &Query) -> Option<(f64, Confidence)> {
+    let (wp, wl, winner_sq) = sharded_winner(parts, q)?;
+    let rho = parts[wp].snapshot.config().rho();
+    let mut yhat = 0.0;
+    let mut support_updates = 0.0;
+    let info = drive_sharded_overlap(parts, q, (wp, wl), |pi, lk, w| {
+        let arena = parts[pi].snapshot.arena();
+        yhat += w * arena.eval(lk, &q.center, q.radius);
+        support_updates += w * arena.updates(lk) as f64;
+    });
+    Some((
+        yhat,
+        confidence::combine(winner_sq, rho, support_updates, info),
+    ))
+}
+
+/// Q2 list and confidence fused across shards — bit-identical to
+/// [`ServingSnapshot::predict_q2_with_confidence`] on the unpartitioned
+/// snapshot; list elements carry the **global** prototype id, so the list
+/// is indistinguishable from the single-arena one. `None` when every part
+/// is empty.
+pub fn sharded_q2_with_confidence(
+    parts: &[ShardPart<'_>],
+    q: &Query,
+) -> Option<(Vec<LocalModel>, Confidence)> {
+    let (wp, wl, winner_sq) = sharded_winner(parts, q)?;
+    let rho = parts[wp].snapshot.config().rho();
+    let mut s = Vec::new();
+    let mut support_updates = 0.0;
+    let info = drive_sharded_overlap(parts, q, (wp, wl), |pi, lk, w| {
+        let arena = parts[pi].snapshot.arena();
+        let mut lm = predict::local_model_at(arena, lk, w);
+        lm.prototype = parts[pi].ids[lk];
+        s.push(lm);
+        support_updates += w * arena.updates(lk) as f64;
+    });
+    Some((
+        s,
+        confidence::combine(winner_sq, rho, support_updates, info),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,5 +496,87 @@ mod tests {
             t.predict_value(&q(&[0.5, 0.5], 0.1), &[0.5]),
             Err(CoreError::DimensionMismatch { .. })
         ));
+    }
+
+    /// Split a model's prototypes round-robin (`gid % n`) into `n`
+    /// per-shard snapshots, keeping each slot's global arena index.
+    fn split_round_robin(m: &LlmModel, n: usize) -> Vec<(ServingSnapshot, Vec<usize>)> {
+        let protos = m.prototypes();
+        (0..n)
+            .map(|shard| {
+                let mut subset = Vec::new();
+                let mut ids = Vec::new();
+                for (gid, p) in protos.iter().enumerate() {
+                    if gid % n == shard {
+                        subset.push(p.clone());
+                        ids.push(gid);
+                    }
+                }
+                let part = LlmModel::from_parts_public(m.config().clone(), subset, m.steps(), true)
+                    .unwrap();
+                (part.snapshot(), ids)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_fusion_is_bit_identical_to_the_single_snapshot() {
+        let m = trained(21, 4_000);
+        assert!(m.k() >= 5, "need enough prototypes to shard: k={}", m.k());
+        let full = m.snapshot();
+        for n in [1usize, 2, 3, 5] {
+            let split = split_round_robin(&m, n);
+            let parts: Vec<ShardPart<'_>> = split
+                .iter()
+                .map(|(s, ids)| ShardPart { snapshot: s, ids })
+                .collect();
+            for probe in probe_grid() {
+                let (fy, fc) = full.predict_q1_with_confidence(&probe).unwrap();
+                let (y, c) = sharded_q1_with_confidence(&parts, &probe).unwrap();
+                assert_eq!(y.to_bits(), fy.to_bits(), "q1 value drifted at n={n}");
+                assert_eq!(c.score.to_bits(), fc.score.to_bits());
+                assert_eq!(c, fc, "confidence drifted at n={n}");
+                let (flist, fconf) = full.predict_q2_with_confidence(&probe).unwrap();
+                let (list, conf) = sharded_q2_with_confidence(&parts, &probe).unwrap();
+                assert_eq!(list, flist, "q2 list drifted at n={n}");
+                assert_eq!(conf, fconf);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_fusion_handles_empty_and_missing_parts() {
+        // No parts at all, or only empty parts → None.
+        assert!(sharded_q1_with_confidence(&[], &q(&[0.5, 0.5], 0.1)).is_none());
+        let empty = LlmModel::new(ModelConfig::with_vigilance(2, 0.15))
+            .unwrap()
+            .snapshot();
+        let parts = [ShardPart {
+            snapshot: &empty,
+            ids: &[],
+        }];
+        assert!(sharded_q1_with_confidence(&parts, &q(&[0.5, 0.5], 0.1)).is_none());
+        assert!(sharded_q2_with_confidence(&parts, &q(&[0.5, 0.5], 0.1)).is_none());
+
+        // A mix of an empty shard and a full one ≡ the full snapshot alone.
+        let m = trained(22, 2_000);
+        let full = m.snapshot();
+        let all_ids: Vec<usize> = (0..m.k()).collect();
+        let mixed = [
+            ShardPart {
+                snapshot: &empty,
+                ids: &[],
+            },
+            ShardPart {
+                snapshot: &full,
+                ids: &all_ids,
+            },
+        ];
+        for probe in probe_grid() {
+            assert_eq!(
+                sharded_q1_with_confidence(&mixed, &probe),
+                Some(full.predict_q1_with_confidence(&probe).unwrap())
+            );
+        }
     }
 }

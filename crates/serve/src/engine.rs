@@ -5,22 +5,26 @@
 //! Query flow (the paper's desideratum D2 made operational):
 //!
 //! 1. resolve the current [`ServingSnapshot`] from the lock-free
-//!    [`SnapshotCell`];
+//!    [`SnapshotCell`] under a hazard-slot read guard (the cell reclaims
+//!    stale epochs, so reads pin the snapshot for exactly the prediction's
+//!    duration);
 //! 2. score the query with [`regq_core::confidence`] — the assessment
 //!    shares the prediction's own overlap-weight resolution, so answer
 //!    and score come out of a single `O(dK)` scan;
 //! 3. serve from the snapshot when the score clears the policy threshold;
 //!    otherwise execute on the [`ExactEngine`] and — Algorithm 1's Fig. 2
 //!    loop — feed the exact answer back to the trainer as a free training
-//!    example (`try_lock`: feedback never blocks a serving thread);
+//!    example (`try_lock`: feedback never blocks a serving thread; a
+//!    contended example is *dropped* and the drop is counted, see
+//!    [`Feedback`]);
 //! 4. the trainer republishes a fresh snapshot every
 //!    [`RoutePolicy::publish_interval`] accepted examples, so readers pick
 //!    up the improved model without ever taking a lock.
 //!
 //! The serve path holds **no `Mutex`/`RwLock`**: model-served queries cost
-//! one atomic pointer load plus the `O(dK)` scan; exact-served queries add
-//! the data traversal and an optional `try_lock` that gives up instantly
-//! under contention.
+//! three thread-private atomics (the cell's announce/validate handshake)
+//! plus the `O(dK)` scan; exact-served queries add the data traversal and
+//! an optional `try_lock` that gives up instantly under contention.
 
 use crate::cell::SnapshotCell;
 use regq_core::{CoreError, LlmModel, LocalModel, Query, ServingSnapshot};
@@ -61,6 +65,10 @@ pub struct Served<T> {
     pub score: Option<f64>,
     /// Version ([`ServingSnapshot::version`]) of the snapshot consulted.
     pub snapshot_version: Option<u64>,
+    /// `true` when this query's own feedback example was dropped because
+    /// the trainer lock was contended (or poisoned). Always `false` on
+    /// model routes and with feedback disabled.
+    pub feedback_dropped: bool,
 }
 
 impl<T> Served<T> {
@@ -70,6 +78,7 @@ impl<T> Served<T> {
             route: Route::Exact,
             score: None,
             snapshot_version: None,
+            feedback_dropped: false,
         }
     }
 
@@ -81,6 +90,7 @@ impl<T> Served<T> {
             route: self.route,
             score: self.score,
             snapshot_version: self.snapshot_version,
+            feedback_dropped: self.feedback_dropped,
         }
     }
 }
@@ -120,11 +130,28 @@ pub struct ServeStats {
     pub exact_served: u64,
     /// Exact answers accepted by the trainer as feedback.
     pub feedback_fed: u64,
-    /// Feedback attempts dropped because the trainer lock was contended
-    /// (serving never blocks on training).
+    /// Feedback examples *lost*: the trainer lock was contended or
+    /// poisoned, so the example was dropped (serving never blocks on
+    /// training). Every drop is counted — see [`Feedback::Dropped`].
     pub feedback_skipped: u64,
     /// Snapshots published so far (the cell epoch).
     pub publishes: u64,
+}
+
+/// Outcome of offering one feedback example to the trainer
+/// ([`ServeEngine::observe_outcome`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feedback {
+    /// The trainer trained on the example.
+    Accepted,
+    /// The trainer declined it deliberately (no model attached, frozen
+    /// model, or a model-side validation error) — not a loss.
+    Rejected,
+    /// The example was lost to contention (trainer lock busy, or poisoned
+    /// by a panicked trainer thread). Counted in
+    /// [`ServeStats::feedback_skipped`] and surfaced per-query via
+    /// [`Served::feedback_dropped`].
+    Dropped,
 }
 
 /// Errors from routed execution.
@@ -165,6 +192,20 @@ struct Trainer {
     model: Option<LlmModel>,
     /// Accepted feedback examples since the last publish.
     since_publish: usize,
+}
+
+/// What the snapshot gate decided before any exact work runs (computed
+/// entirely under the read guard, consumed after it drops).
+enum Gate<T> {
+    /// No non-empty snapshot published: plain exact execution.
+    NoSnapshot,
+    /// Confidence cleared the threshold: serve this value.
+    Hit { value: T, score: f64, version: u64 },
+    /// Snapshot consulted but below threshold: fall back to exact,
+    /// annotated with the score that rejected the model route.
+    Fallback { score: f64, version: u64 },
+    /// Model-side failure (dimension mismatch etc.).
+    Failed(CoreError),
 }
 
 /// The concurrent snapshot-serving engine (see module docs).
@@ -226,9 +267,11 @@ impl ServeEngine {
         &self.exact
     }
 
-    /// The currently published snapshot (lock-free), if any.
-    pub fn snapshot(&self) -> Option<&ServingSnapshot> {
-        self.cell.load()
+    /// An owned copy of the currently published snapshot, if any (an
+    /// `Arc` bump of the shared capture — versions pinned this way survive
+    /// any number of later publishes).
+    pub fn snapshot(&self) -> Option<ServingSnapshot> {
+        self.cell.load_owned()
     }
 
     /// The routing policy.
@@ -253,23 +296,17 @@ impl ServeEngine {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// A non-empty snapshot to serve from, if one is published.
-    fn serving_snapshot(&self) -> Option<&ServingSnapshot> {
-        self.cell.load().filter(|s| s.k() > 0)
-    }
-
     /// Offer an executed `(q, y)` pair to the trainer (Fig. 2's stream).
-    /// Never blocks: under lock contention the example is dropped and
-    /// counted in [`ServeStats::feedback_skipped`]. Returns `true` when
-    /// the trainer accepted the example.
-    pub fn observe(&self, q: &Query, y: f64) -> bool {
+    /// Never blocks: under lock contention (or a poisoned lock) the
+    /// example is dropped and counted in [`ServeStats::feedback_skipped`].
+    pub fn observe_outcome(&self, q: &Query, y: f64) -> Feedback {
         match self.trainer.try_lock() {
             Ok(mut t) => {
                 let Some(model) = t.model.as_mut() else {
-                    return false;
+                    return Feedback::Rejected;
                 };
                 if model.is_frozen() || model.train_step(q, y).is_err() {
-                    return false;
+                    return Feedback::Rejected;
                 }
                 self.feedback_fed.fetch_add(1, Ordering::Relaxed);
                 t.since_publish += 1;
@@ -278,18 +315,27 @@ impl ServeEngine {
                     let snapshot = t.model.as_ref().expect("just trained").snapshot();
                     self.cell.publish(snapshot);
                 }
-                true
+                Feedback::Accepted
             }
             Err(std::sync::TryLockError::WouldBlock) => {
                 self.feedback_skipped.fetch_add(1, Ordering::Relaxed);
-                false
+                Feedback::Dropped
             }
             Err(std::sync::TryLockError::Poisoned(mut p)) => {
-                // A panicked trainer thread must not poison serving.
+                // A panicked trainer thread must not poison serving — but
+                // the example is still lost, so it counts as a drop (it
+                // used to vanish from the stats entirely).
                 p.get_mut().since_publish = 0;
-                false
+                self.feedback_skipped.fetch_add(1, Ordering::Relaxed);
+                Feedback::Dropped
             }
         }
+    }
+
+    /// [`ServeEngine::observe_outcome`] collapsed to "did the trainer
+    /// train on it".
+    pub fn observe(&self, q: &Query, y: f64) -> bool {
+        self.observe_outcome(q, y) == Feedback::Accepted
     }
 
     /// Force-publish the trainer's current parameters (blocks on the
@@ -307,6 +353,37 @@ impl ServeEngine {
             .ok_or(ServeError::EmptySubspace)
     }
 
+    /// Feed the trainer (policy permitting) and report whether *this*
+    /// example was lost to contention.
+    fn feed_back(&self, q: &Query, y: f64) -> bool {
+        self.policy.feedback && self.observe_outcome(q, y) == Feedback::Dropped
+    }
+
+    /// Gate a query against the current snapshot under the read guard.
+    fn gate<T>(
+        &self,
+        q: &Query,
+        predict: impl FnOnce(&ServingSnapshot, &Query) -> Result<(T, regq_core::Confidence), CoreError>,
+    ) -> Gate<T> {
+        self.cell.with_current(|snap| {
+            let Some(snap) = snap.filter(|s| s.k() > 0) else {
+                return Gate::NoSnapshot;
+            };
+            match predict(snap, q) {
+                Ok((value, conf)) if conf.score >= self.policy.confidence_threshold => Gate::Hit {
+                    value,
+                    score: conf.score,
+                    version: snap.version(),
+                },
+                Ok((_, conf)) => Gate::Fallback {
+                    score: conf.score,
+                    version: snap.version(),
+                },
+                Err(e) => Gate::Failed(e),
+            }
+        })
+    }
+
     /// **Auto-routed Q1** (the paper's D2 serve-or-fall-back): snapshot
     /// when the confidence score clears the threshold, exact otherwise —
     /// with the exact answer fed back to the trainer.
@@ -316,25 +393,30 @@ impl ServeEngine {
     /// [`ServeError::Model`] on model-side failures (e.g. dimension
     /// mismatch).
     pub fn q1(&self, q: &Query) -> Result<Served<f64>, ServeError> {
-        if let Some(snap) = self.serving_snapshot() {
-            let (y, conf) = snap
-                .predict_q1_with_confidence(q)
-                .map_err(ServeError::Model)?;
-            if conf.score >= self.policy.confidence_threshold {
+        match self.gate(q, ServingSnapshot::predict_q1_with_confidence) {
+            Gate::NoSnapshot => self.q1_exact(q),
+            Gate::Hit {
+                value,
+                score,
+                version,
+            } => {
                 self.model_served.fetch_add(1, Ordering::Relaxed);
-                return Ok(Served {
-                    value: y,
+                Ok(Served {
+                    value,
                     route: Route::Model,
-                    score: Some(conf.score),
-                    snapshot_version: Some(snap.version()),
-                });
+                    score: Some(score),
+                    snapshot_version: Some(version),
+                    feedback_dropped: false,
+                })
             }
-            let mut served = self.q1_exact(q)?;
-            served.score = Some(conf.score);
-            served.snapshot_version = Some(snap.version());
-            return Ok(served);
+            Gate::Fallback { score, version } => {
+                let mut served = self.q1_exact(q)?;
+                served.score = Some(score);
+                served.snapshot_version = Some(version);
+                Ok(served)
+            }
+            Gate::Failed(e) => Err(ServeError::Model(e)),
         }
-        self.q1_exact(q)
     }
 
     /// **Forced model Q1** (the SQL `USING MODEL` route).
@@ -343,16 +425,20 @@ impl ServeEngine {
     /// [`ServeError::NoModel`] without a non-empty snapshot;
     /// [`ServeError::Model`] on prediction failures.
     pub fn q1_model(&self, q: &Query) -> Result<Served<f64>, ServeError> {
-        let snap = self.serving_snapshot().ok_or(ServeError::NoModel)?;
-        let (y, conf) = snap
-            .predict_q1_with_confidence(q)
-            .map_err(ServeError::Model)?;
+        let (value, score, version) = self.cell.with_current(|snap| {
+            let snap = snap.filter(|s| s.k() > 0).ok_or(ServeError::NoModel)?;
+            let (y, conf) = snap
+                .predict_q1_with_confidence(q)
+                .map_err(ServeError::Model)?;
+            Ok((y, conf.score, snap.version()))
+        })?;
         self.model_served.fetch_add(1, Ordering::Relaxed);
         Ok(Served {
-            value: y,
+            value,
             route: Route::Model,
-            score: Some(conf.score),
-            snapshot_version: Some(snap.version()),
+            score: Some(score),
+            snapshot_version: Some(version),
+            feedback_dropped: false,
         })
     }
 
@@ -364,11 +450,11 @@ impl ServeEngine {
     /// [`ServeError::EmptySubspace`] when the selection is empty.
     pub fn q1_exact(&self, q: &Query) -> Result<Served<f64>, ServeError> {
         let y = self.exact_q1_value(q)?;
-        if self.policy.feedback {
-            self.observe(q, y);
-        }
+        let dropped = self.feed_back(q, y);
         self.exact_served.fetch_add(1, Ordering::Relaxed);
-        Ok(Served::exact_only(y))
+        let mut served = Served::exact_only(y);
+        served.feedback_dropped = dropped;
+        Ok(served)
     }
 
     /// **Auto-routed Q2** (regression-model list vs per-query OLS). The
@@ -379,25 +465,30 @@ impl ServeEngine {
     /// [`ServeError::EmptySubspace`] / [`ServeError::Numeric`] from the
     /// fallback; [`ServeError::Model`] from the snapshot.
     pub fn q2(&self, q: &Query) -> Result<Served<Vec<LocalModel>>, ServeError> {
-        if let Some(snap) = self.serving_snapshot() {
-            let (s, conf) = snap
-                .predict_q2_with_confidence(q)
-                .map_err(ServeError::Model)?;
-            if conf.score >= self.policy.confidence_threshold {
+        match self.gate(q, ServingSnapshot::predict_q2_with_confidence) {
+            Gate::NoSnapshot => self.q2_exact(q),
+            Gate::Hit {
+                value,
+                score,
+                version,
+            } => {
                 self.model_served.fetch_add(1, Ordering::Relaxed);
-                return Ok(Served {
-                    value: s,
+                Ok(Served {
+                    value,
                     route: Route::Model,
-                    score: Some(conf.score),
-                    snapshot_version: Some(snap.version()),
-                });
+                    score: Some(score),
+                    snapshot_version: Some(version),
+                    feedback_dropped: false,
+                })
             }
-            let mut served = self.q2_exact(q)?;
-            served.score = Some(conf.score);
-            served.snapshot_version = Some(snap.version());
-            return Ok(served);
+            Gate::Fallback { score, version } => {
+                let mut served = self.q2_exact(q)?;
+                served.score = Some(score);
+                served.snapshot_version = Some(version);
+                Ok(served)
+            }
+            Gate::Failed(e) => Err(ServeError::Model(e)),
         }
-        self.q2_exact(q)
     }
 
     /// **Forced model Q2** (Algorithm 3's list `S`).
@@ -406,16 +497,20 @@ impl ServeEngine {
     /// [`ServeError::NoModel`] without a non-empty snapshot;
     /// [`ServeError::Model`] on prediction failures.
     pub fn q2_model(&self, q: &Query) -> Result<Served<Vec<LocalModel>>, ServeError> {
-        let snap = self.serving_snapshot().ok_or(ServeError::NoModel)?;
-        let (s, conf) = snap
-            .predict_q2_with_confidence(q)
-            .map_err(ServeError::Model)?;
+        let (value, score, version) = self.cell.with_current(|snap| {
+            let snap = snap.filter(|s| s.k() > 0).ok_or(ServeError::NoModel)?;
+            let (s, conf) = snap
+                .predict_q2_with_confidence(q)
+                .map_err(ServeError::Model)?;
+            Ok((s, conf.score, snap.version()))
+        })?;
         self.model_served.fetch_add(1, Ordering::Relaxed);
         Ok(Served {
-            value: s,
+            value,
             route: Route::Model,
-            score: Some(conf.score),
-            snapshot_version: Some(snap.version()),
+            score: Some(score),
+            snapshot_version: Some(version),
+            feedback_dropped: false,
         })
     }
 
@@ -435,18 +530,18 @@ impl ServeEngine {
                 LinalgError::Empty => ServeError::EmptySubspace,
                 other => ServeError::Numeric(other),
             })?;
-        if self.policy.feedback {
-            self.observe(q, fit.moments.mean);
-        }
+        let dropped = self.feed_back(q, fit.moments.mean);
         self.exact_served.fetch_add(1, Ordering::Relaxed);
-        Ok(Served::exact_only(vec![LocalModel {
+        let mut served = Served::exact_only(vec![LocalModel {
             intercept: fit.model.intercept,
             slope: fit.model.slope,
             prototype: 0,
             weight: 1.0,
             center: q.center.clone(),
             radius: q.radius,
-        }]))
+        }]);
+        served.feedback_dropped = dropped;
+        Ok(served)
     }
 }
 
@@ -509,7 +604,7 @@ mod tests {
         let engine = engine_with_model();
         // Probe at a mature prototype's own ball: guaranteed overlap mass,
         // guaranteed high confidence.
-        let snapshot = engine.snapshot().unwrap().clone();
+        let snapshot = engine.snapshot().unwrap();
         let protos = snapshot.prototypes();
         let p = protos.iter().max_by_key(|p| p.updates).unwrap();
         let probe = q(&p.center, p.radius);
@@ -517,6 +612,7 @@ mod tests {
         assert_eq!(served.route, Route::Model);
         assert!(served.score.unwrap() >= engine.policy().confidence_threshold);
         assert_eq!(served.value, snapshot.predict_q1(&probe).unwrap());
+        assert!(!served.feedback_dropped);
         assert_eq!(engine.stats().model_served, 1);
     }
 
@@ -607,6 +703,47 @@ mod tests {
     }
 
     #[test]
+    fn contended_feedback_is_counted_and_reported() {
+        // Satellite fix regression: a `try_lock` loss must increment the
+        // drop counter AND be visible on the served answer — previously
+        // the example vanished silently.
+        let engine = engine_with_model();
+        let query = q(&[0.5, 0.5], 0.2);
+        // Hold the trainer lock so every feedback attempt loses the race
+        // deterministically (std mutexes are not reentrant: `try_lock`
+        // from this thread reports WouldBlock).
+        let guard = engine.trainer.lock().unwrap();
+        assert_eq!(engine.observe_outcome(&query, 1.0), Feedback::Dropped);
+        let served = engine.q1_exact(&query).unwrap();
+        assert!(served.feedback_dropped, "drop must surface on the answer");
+        drop(guard);
+        assert_eq!(engine.stats().feedback_skipped, 2);
+        // Uncontended attempts are not drops (the frozen trainer rejects
+        // them, which is a deliberate decline, not a loss).
+        let served = engine.q1_exact(&query).unwrap();
+        assert!(!served.feedback_dropped);
+        assert_eq!(engine.stats().feedback_skipped, 2);
+    }
+
+    #[test]
+    fn poisoned_trainer_lock_counts_as_a_drop() {
+        // The old code path reset `since_publish` on a poisoned lock but
+        // forgot the drop counter entirely.
+        let engine = engine_with_model();
+        let poisoner = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = engine.trainer.lock().unwrap();
+            panic!("poison the trainer lock");
+        }));
+        assert!(poisoner.is_err());
+        let query = q(&[0.5, 0.5], 0.2);
+        assert_eq!(engine.observe_outcome(&query, 1.0), Feedback::Dropped);
+        assert_eq!(engine.stats().feedback_skipped, 1);
+        let served = engine.q1_exact(&query).unwrap();
+        assert!(served.feedback_dropped);
+        assert_eq!(engine.stats().feedback_skipped, 2);
+    }
+
+    #[test]
     fn self_training_engine_graduates_to_model_serving() {
         // Start with an *empty* trainer and let the closed loop train it:
         // after enough exact-served queries, in-distribution queries must
@@ -650,7 +787,8 @@ mod tests {
     #[test]
     fn q2_routes_and_shapes_match_the_session_contract() {
         let engine = engine_with_model();
-        let protos = engine.snapshot().unwrap().prototypes();
+        let snapshot = engine.snapshot().unwrap();
+        let protos = snapshot.prototypes();
         let p = protos.iter().max_by_key(|p| p.updates).unwrap();
         let query = q(&p.center, p.radius);
         let model_route = engine.q2_model(&query).unwrap();
@@ -687,7 +825,9 @@ mod tests {
         // thread keeps feeding/publishing; every answer must be finite,
         // and model-served answers must be deterministic per published
         // version: two readers seeing the same (query, version) pair must
-        // read the same value, even though publishes land mid-flight.
+        // read the same value, even though publishes land mid-flight (and
+        // superseded snapshots are being *freed* mid-flight by the cell's
+        // reclamation).
         let exact = exact_engine(10_000, 9);
         let cfg = ModelConfig::with_vigilance(2, 0.15);
         let engine = ServeEngine::with_model(
@@ -749,6 +889,8 @@ mod tests {
             readers.into_iter().map(|r| r.join().unwrap()).collect()
         });
         assert!(engine.stats().publishes >= 2);
+        // Reclamation kept the cell bounded: 4 reader threads + this one.
+        assert!(engine.cell.retained() <= 6);
         // Per-version determinism across readers.
         let mut by_key: std::collections::HashMap<(usize, u64), f64> =
             std::collections::HashMap::new();

@@ -11,14 +11,20 @@
 //!
 //! * [`SnapshotCell`] — the epoch publication point: the trainer publishes
 //!   immutable [`regq_core::ServingSnapshot`]s; readers resolve the
-//!   current one with a single atomic load — **no `Mutex`/`RwLock` on the
-//!   serve path**;
+//!   current one through per-reader hazard slots — **no `Mutex`/`RwLock`
+//!   on the serve path** — and the writer reclaims superseded epochs, so
+//!   retention stays bounded by the reader count (not the publish count);
 //! * [`ServeEngine`] — confidence-gated hybrid routing: score each query
 //!   with [`regq_core::confidence`], serve from the snapshot above the
 //!   [`RoutePolicy`] threshold, fall back to the
 //!   [`regq_exact::ExactEngine`] below it — and feed the exact answer
 //!   back to the trainer as a free training example, closing Algorithm 1's
-//!   loop in production.
+//!   loop in production;
+//! * [`ShardRouter`] — the sharded fabric: a kd-split of the joint query
+//!   space `[x, θ]` assigns each feedback example to one of `n`
+//!   trainer+cell shards (bounded per-shard queues, work-stealing drain),
+//!   while predictions fuse overlap weights **across** shards
+//!   bit-identically to the single-model answer.
 //!
 //! In the MADlib / unified in-RDBMS architecture sense, this is the
 //! "engine layer" that owns routing across the exact and learned backends
@@ -54,6 +60,8 @@
 
 pub mod cell;
 pub mod engine;
+pub mod shard;
 
-pub use cell::SnapshotCell;
-pub use engine::{Route, RoutePolicy, ServeEngine, ServeError, ServeStats, Served};
+pub use cell::{ReadGuard, ReaderHandle, SnapshotCell, TlsReader};
+pub use engine::{Feedback, Route, RoutePolicy, ServeEngine, ServeError, ServeStats, Served};
+pub use shard::{RouterStats, ShardRouter, ShardSnapshot};

@@ -1,0 +1,1083 @@
+//! [`ShardRouter`]: the sharded serve/train fabric.
+//!
+//! One [`crate::ServeEngine`] serializes all training through a single
+//! trainer mutex — fine for one feedback stream, a bottleneck for many.
+//! The router partitions the **joint query space** `[x, θ]` (a kd-split
+//! over the attached model's prototypes, hash fallback while there is
+//! nothing to split) into `n` shards, each owning
+//!
+//! * its own trainer (an [`LlmModel`] over the shard's prototype subset),
+//! * its own [`SnapshotCell`] (so publishes on one shard never disturb
+//!   readers of another),
+//! * a bounded feedback queue drained with work stealing: any caller that
+//!   fails to find work on its own shard drains whichever shard's trainer
+//!   lock it can grab.
+//!
+//! Prediction is the interesting half. A query ball near a shard boundary
+//! overlaps prototypes in *several* shards, and the paper's fused answer
+//! (Algorithm 3) is a normalized overlap-weighted sum over **all** of
+//! them. The router therefore resolves one hazard-slot read guard per
+//! shard and hands the guarded snapshots to
+//! [`regq_core::sharded_q1_with_confidence`] /
+//! [`regq_core::sharded_q2_with_confidence`], which replay the exact
+//! floating-point operation sequence of the single-arena predictors —
+//! the sharded answer is **bit-identical** to the unsharded one, not
+//! merely close. The contract making that possible: every prototype
+//! carries a *global id* (its index in the pre-split arena, or a fresh
+//! `next_id` ticket on spawn), per-shard id lists stay strictly
+//! ascending (training only ever appends), and the fusion driver merges
+//! the per-shard overlap sets back into global-id order.
+
+use crate::cell::SnapshotCell;
+use crate::engine::{Feedback, Route, RoutePolicy, ServeError, Served};
+use regq_core::{
+    sharded_q1_with_confidence, sharded_q2_with_confidence, CoreError, LlmModel, LocalModel,
+    Prototype, Query, ServingSnapshot, ShardPart,
+};
+use regq_exact::ExactEngine;
+use regq_linalg::LinalgError;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, TryLockError};
+
+/// Default bound on each shard's feedback queue (examples, not bytes).
+const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// What one shard publishes: its snapshot plus the global prototype id of
+/// each local arena slot, as **one atomic unit** — a reader never sees a
+/// snapshot paired with another version's id map.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// The shard's model snapshot.
+    pub snapshot: ServingSnapshot,
+    /// Global prototype ids, one per arena slot, strictly ascending.
+    pub ids: Arc<Vec<usize>>,
+}
+
+/// FNV-1a over the joint point's bit patterns — the partitioner of last
+/// resort (no prototypes to split yet), still deterministic per query.
+fn hash_route(center: &[f64], radius: f64, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for c in center.iter().chain(std::iter::once(&radius)) {
+        for b in c.to_bits().to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+#[derive(Debug, Clone)]
+enum KdNode {
+    Leaf {
+        shard: usize,
+    },
+    Split {
+        dim: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// Deterministic map from a joint query point `[x, θ]` to a shard.
+#[derive(Debug, Clone)]
+enum Partitioner {
+    /// No spatial structure available: hash the joint point.
+    Hash { shards: usize },
+    /// kd-split of the joint space, built from the prototype set.
+    Kd { nodes: Vec<KdNode> },
+}
+
+impl Partitioner {
+    /// Build a kd-split putting roughly `len/shards` of `points` in each
+    /// region. Degenerate inputs (too few points, zero spread) collapse
+    /// branches into leaves early — some shards then simply stay empty.
+    fn kd(points: &[Vec<f64>], shards: usize) -> Partitioner {
+        if shards <= 1 || points.len() < 2 {
+            return Partitioner::Hash {
+                shards: shards.max(1),
+            };
+        }
+        let mut nodes = Vec::new();
+        let mut next_shard = 0usize;
+        let mut pts: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
+        Self::build(&mut nodes, &mut pts, shards, &mut next_shard);
+        Partitioner::Kd { nodes }
+    }
+
+    fn build(
+        nodes: &mut Vec<KdNode>,
+        pts: &mut [&[f64]],
+        want: usize,
+        next_shard: &mut usize,
+    ) -> usize {
+        let leaf = |nodes: &mut Vec<KdNode>, next_shard: &mut usize| {
+            let id = nodes.len();
+            nodes.push(KdNode::Leaf { shard: *next_shard });
+            *next_shard += 1;
+            id
+        };
+        if want <= 1 || pts.len() < 2 {
+            return leaf(nodes, next_shard);
+        }
+        // Split the widest joint dimension; zero spread everywhere means
+        // the points are indistinguishable — stop early.
+        let d = pts[0].len();
+        let (mut best_dim, mut best_spread) = (0usize, 0.0f64);
+        for dim in 0..d {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for p in pts.iter() {
+                lo = lo.min(p[dim]);
+                hi = hi.max(p[dim]);
+            }
+            if hi - lo > best_spread {
+                best_spread = hi - lo;
+                best_dim = dim;
+            }
+        }
+        if best_spread <= 0.0 {
+            return leaf(nodes, next_shard);
+        }
+        let (nl, nr) = (want / 2, want - want / 2);
+        pts.sort_unstable_by(|a, b| a[best_dim].total_cmp(&b[best_dim]));
+        // Proportional cut, nudged off any run of ties so the threshold
+        // genuinely separates the two sides (spread > 0 guarantees some
+        // valid cut exists).
+        let target = (pts.len() * nl / want).clamp(1, pts.len() - 1);
+        let mut cut = None;
+        for delta in 0..pts.len() {
+            for cand in [target.saturating_sub(delta), target + delta] {
+                if (1..pts.len()).contains(&cand) && pts[cand - 1][best_dim] < pts[cand][best_dim] {
+                    cut = Some(cand);
+                    break;
+                }
+            }
+            if cut.is_some() {
+                break;
+            }
+        }
+        let Some(cut) = cut else {
+            return leaf(nodes, next_shard);
+        };
+        let threshold = (pts[cut - 1][best_dim] + pts[cut][best_dim]) / 2.0;
+        let id = nodes.len();
+        nodes.push(KdNode::Leaf { shard: usize::MAX }); // placeholder
+        let (lpts, rpts) = pts.split_at_mut(cut);
+        let left = Self::build(nodes, lpts, nl, next_shard);
+        let right = Self::build(nodes, rpts, nr, next_shard);
+        nodes[id] = KdNode::Split {
+            dim: best_dim,
+            threshold,
+            left,
+            right,
+        };
+        id
+    }
+
+    fn route(&self, center: &[f64], radius: f64) -> usize {
+        match self {
+            Partitioner::Hash { shards } => hash_route(center, radius, *shards),
+            Partitioner::Kd { nodes } => {
+                let mut i = 0usize;
+                loop {
+                    match &nodes[i] {
+                        KdNode::Leaf { shard } => return *shard,
+                        KdNode::Split {
+                            dim,
+                            threshold,
+                            left,
+                            right,
+                        } => {
+                            let v = center.get(*dim).copied().unwrap_or(radius);
+                            i = if v <= *threshold { *left } else { *right };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct ShardTrainer {
+    model: Option<LlmModel>,
+    /// Global id of each arena slot — strictly ascending (training only
+    /// appends; merges/prunes never run inside the fabric).
+    ids: Vec<usize>,
+    since_publish: usize,
+}
+
+struct Shard {
+    trainer: Mutex<ShardTrainer>,
+    cell: SnapshotCell<ShardSnapshot>,
+    queue: Mutex<VecDeque<(Query, f64)>>,
+}
+
+impl Shard {
+    fn empty() -> Self {
+        Shard {
+            trainer: Mutex::new(ShardTrainer {
+                model: None,
+                ids: Vec::new(),
+                since_publish: 0,
+            }),
+            cell: SnapshotCell::new(),
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+}
+
+/// Counter snapshot from [`ShardRouter::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouterStats {
+    /// Queries answered from the fused shard snapshots.
+    pub model_served: u64,
+    /// Queries answered by the exact engine.
+    pub exact_served: u64,
+    /// Feedback examples accepted into a shard queue.
+    pub feedback_enqueued: u64,
+    /// Feedback examples actually consumed by a shard trainer.
+    pub feedback_fed: u64,
+    /// Feedback examples *lost*: the target shard's bounded queue was
+    /// full. Every drop is counted and surfaced per-query via
+    /// [`Served::feedback_dropped`].
+    pub feedback_dropped: u64,
+    /// Snapshot publishes summed over all shard cells.
+    pub publishes: u64,
+    /// Number of shards.
+    pub shards: usize,
+    /// Retained snapshot epochs summed over all shard cells (bounded by
+    /// readers, not publishes — the reclamation invariant).
+    pub retained: usize,
+}
+
+/// The sharded serve/train fabric (see module docs). API mirrors
+/// [`crate::ServeEngine`]: `&self` prediction/feedback from any number of
+/// threads; attaching models and resharding are `&mut self`
+/// administrative operations.
+pub struct ShardRouter {
+    exact: ExactEngine,
+    policy: RoutePolicy,
+    partitioner: Partitioner,
+    shards: Vec<Shard>,
+    queue_capacity: usize,
+    /// Next unassigned global prototype id (spawn ticket counter).
+    next_id: AtomicUsize,
+    model_served: AtomicU64,
+    exact_served: AtomicU64,
+    feedback_enqueued: AtomicU64,
+    feedback_fed: AtomicU64,
+    feedback_dropped: AtomicU64,
+}
+
+/// The gate decision, mirroring the unsharded engine's.
+enum Gate<T> {
+    NoSnapshot,
+    Hit { value: T, score: f64, version: u64 },
+    Fallback { score: f64, version: u64 },
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ShardRouter {
+    /// Router over `shards` empty shards — every query routes exact (and,
+    /// with feedback on, the fabric trains itself once models are
+    /// attached or [`ShardRouter::attach_model`] seeds them).
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    pub fn new(exact: ExactEngine, policy: RoutePolicy, shards: usize) -> Self {
+        assert!(shards >= 1, "a router needs at least one shard");
+        ShardRouter {
+            exact,
+            policy,
+            partitioner: Partitioner::Hash { shards },
+            shards: (0..shards).map(|_| Shard::empty()).collect(),
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            next_id: AtomicUsize::new(0),
+            model_served: AtomicU64::new(0),
+            exact_served: AtomicU64::new(0),
+            feedback_enqueued: AtomicU64::new(0),
+            feedback_fed: AtomicU64::new(0),
+            feedback_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Router with `model` partitioned across `shards` shards and every
+    /// shard's first snapshot published.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    pub fn with_model(
+        exact: ExactEngine,
+        model: LlmModel,
+        policy: RoutePolicy,
+        shards: usize,
+    ) -> Self {
+        let mut router = Self::new(exact, policy, shards);
+        router.attach_model(model);
+        router
+    }
+
+    /// Partition `model` across the current shards: a kd-split is built
+    /// from the prototypes' joint points `[center, radius]`, each
+    /// prototype keeps its arena index as its global id, and every shard
+    /// publishes its subset snapshot. Pending queued feedback is
+    /// discarded (it belonged to the replaced model).
+    pub fn attach_model(&mut self, model: LlmModel) {
+        let protos = model.prototypes();
+        let joint: Vec<Vec<f64>> = protos
+            .iter()
+            .map(|p| joint_point(&p.center, p.radius))
+            .collect();
+        self.partitioner = Partitioner::kd(&joint, self.shards.len());
+        let mut per: Vec<(Vec<Prototype>, Vec<usize>)> =
+            (0..self.shards.len()).map(|_| Default::default()).collect();
+        for (gid, p) in protos.into_iter().enumerate() {
+            let shard = self.partitioner.route(&p.center, p.radius);
+            per[shard].0.push(p);
+            per[shard].1.push(gid);
+        }
+        self.next_id
+            .store(per.iter().map(|(s, _)| s.len()).sum(), Ordering::SeqCst);
+        for (shard, (subset, ids)) in self.shards.iter().zip(per) {
+            let m = LlmModel::from_parts_public(
+                model.config().clone(),
+                subset,
+                model.steps(),
+                model.is_frozen(),
+            )
+            .expect("subset of a valid model is valid");
+            let snapshot = m.snapshot();
+            lock(&shard.queue).clear();
+            let mut t = lock(&shard.trainer);
+            t.model = Some(m);
+            t.ids = ids.clone();
+            t.since_publish = 0;
+            shard.cell.publish(ShardSnapshot {
+                snapshot,
+                ids: Arc::new(ids),
+            });
+        }
+    }
+
+    /// Re-shard in place: drain every queue, merge the per-shard models
+    /// back into one (global-id order), rebuild `shards` fresh shards and
+    /// re-partition. Model parameters survive bit-for-bit; global ids are
+    /// compacted to `0..K`.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    pub fn set_shards(&mut self, shards: usize) {
+        assert!(shards >= 1, "a router needs at least one shard");
+        self.drain_all_blocking();
+        let merged = self.merged_model();
+        self.partitioner = Partitioner::Hash { shards };
+        self.shards = (0..shards).map(|_| Shard::empty()).collect();
+        self.next_id.store(0, Ordering::SeqCst);
+        if let Some(model) = merged {
+            self.attach_model(model);
+        }
+    }
+
+    /// Reassemble the single unsharded model: all shard prototypes in
+    /// ascending global-id order, `steps` = the max over shards, frozen
+    /// iff every shard is. `None` when no shard has a trainer.
+    pub fn merged_model(&self) -> Option<LlmModel> {
+        let mut entries: Vec<(usize, Prototype)> = Vec::new();
+        let mut config = None;
+        let mut steps = 0u64;
+        let mut frozen = true;
+        for shard in &self.shards {
+            let t = lock(&shard.trainer);
+            let Some(model) = t.model.as_ref() else {
+                continue;
+            };
+            config.get_or_insert_with(|| model.config().clone());
+            steps = steps.max(model.steps());
+            frozen &= model.is_frozen();
+            for (local, p) in model.prototypes().into_iter().enumerate() {
+                entries.push((t.ids[local], p));
+            }
+        }
+        let config = config?;
+        entries.sort_unstable_by_key(|e| e.0);
+        let protos = entries.into_iter().map(|(_, p)| p).collect();
+        Some(
+            LlmModel::from_parts_public(config, protos, steps, frozen)
+                .expect("merged shard parts are consistent"),
+        )
+    }
+
+    /// The exact backend.
+    pub fn exact_engine(&self) -> &ExactEngine {
+        &self.exact
+    }
+
+    /// The routing policy.
+    pub fn policy(&self) -> &RoutePolicy {
+        &self.policy
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Bound each shard's feedback queue to `capacity` examples (an
+    /// administrative knob; the default is 1024).
+    pub fn set_queue_capacity(&mut self, capacity: usize) {
+        self.queue_capacity = capacity.max(1);
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            model_served: self.model_served.load(Ordering::Relaxed),
+            exact_served: self.exact_served.load(Ordering::Relaxed),
+            feedback_enqueued: self.feedback_enqueued.load(Ordering::Relaxed),
+            feedback_fed: self.feedback_fed.load(Ordering::Relaxed),
+            feedback_dropped: self.feedback_dropped.load(Ordering::Relaxed),
+            publishes: self.shards.iter().map(|s| s.cell.epoch()).sum(),
+            shards: self.shards.len(),
+            retained: self.shards.iter().map(|s| s.cell.retained()).sum(),
+        }
+    }
+
+    /// Offer one `(q, y)` feedback example to the fabric. The example is
+    /// routed to its shard's bounded queue; `Accepted` means *enqueued*
+    /// (a trainer consumes it at the next drain), `Dropped` means the
+    /// queue was full and the example is lost — counted in
+    /// [`RouterStats::feedback_dropped`]. Never blocks on a trainer lock.
+    pub fn observe_outcome(&self, q: &Query, y: f64) -> Feedback {
+        let shard = &self.shards[self.partitioner.route(&q.center, q.radius)];
+        {
+            let mut queue = lock(&shard.queue);
+            if queue.len() >= self.queue_capacity {
+                drop(queue);
+                self.feedback_dropped.fetch_add(1, Ordering::Relaxed);
+                return Feedback::Dropped;
+            }
+            queue.push_back((q.clone(), y));
+        }
+        self.feedback_enqueued.fetch_add(1, Ordering::Relaxed);
+        // Opportunistic drain: this caller steals whatever shard work it
+        // can grab without blocking (its own shard included).
+        self.pump();
+        Feedback::Accepted
+    }
+
+    /// [`ShardRouter::observe_outcome`] collapsed to "did the fabric
+    /// accept it".
+    pub fn observe(&self, q: &Query, y: f64) -> bool {
+        self.observe_outcome(q, y) == Feedback::Accepted
+    }
+
+    /// Drain queued feedback into whichever shard trainers are free
+    /// (`try_lock` — contended shards are left for whoever holds them;
+    /// that holder drains the examples this caller enqueued, which is the
+    /// work-stealing contract in both directions). Returns the number of
+    /// examples trained.
+    pub fn pump(&self) -> usize {
+        let mut trained = 0;
+        for shard in &self.shards {
+            match shard.trainer.try_lock() {
+                Ok(mut t) => trained += self.drain_shard(shard, &mut t),
+                Err(TryLockError::WouldBlock) => {}
+                Err(TryLockError::Poisoned(mut p)) => {
+                    trained += self.drain_shard(shard, p.get_mut())
+                }
+            }
+        }
+        trained
+    }
+
+    /// Drain one shard's queue into its trainer (caller holds the lock).
+    /// A shard that cannot train (no model, frozen) leaves its queue
+    /// untouched — the bound then converts sustained pressure into
+    /// counted drops instead of silent discards.
+    fn drain_shard(&self, shard: &Shard, t: &mut ShardTrainer) -> usize {
+        let ShardTrainer {
+            model,
+            ids,
+            since_publish,
+        } = t;
+        let Some(model) = model.as_mut() else {
+            return 0;
+        };
+        if model.is_frozen() {
+            return 0;
+        }
+        let batch: Vec<(Query, f64)> = lock(&shard.queue).drain(..).collect();
+        if batch.is_empty() {
+            return 0;
+        }
+        let mut trained = 0usize;
+        for (q, y) in batch {
+            let k_before = model.k();
+            if model.train_step(&q, y).is_err() {
+                continue;
+            }
+            if model.k() > k_before {
+                // Spawn appends exactly one prototype at the arena's end,
+                // so a fresh (globally unique, per-shard ascending) id
+                // ticket keeps ids aligned slot-for-slot.
+                ids.push(self.next_id.fetch_add(1, Ordering::SeqCst));
+            }
+            trained += 1;
+            *since_publish += 1;
+        }
+        self.feedback_fed
+            .fetch_add(trained as u64, Ordering::Relaxed);
+        if *since_publish >= self.policy.publish_interval {
+            *since_publish = 0;
+            shard.cell.publish(ShardSnapshot {
+                snapshot: model.snapshot(),
+                ids: Arc::new(ids.clone()),
+            });
+        }
+        trained
+    }
+
+    /// Blocking drain of every shard (administrative; used by
+    /// [`ShardRouter::set_shards`]).
+    fn drain_all_blocking(&self) {
+        for shard in &self.shards {
+            let mut t = lock(&shard.trainer);
+            self.drain_shard(shard, &mut t);
+        }
+    }
+
+    /// Force-publish every shard's current parameters (blocks on each
+    /// trainer lock in turn). Returns the total publish count.
+    pub fn publish_now(&self) -> u64 {
+        for shard in &self.shards {
+            let mut t = lock(&shard.trainer);
+            t.since_publish = 0;
+            let ShardTrainer { model, ids, .. } = &*t;
+            if let Some(model) = model {
+                shard.cell.publish(ShardSnapshot {
+                    snapshot: model.snapshot(),
+                    ids: Arc::new(ids.clone()),
+                });
+            }
+        }
+        self.stats().publishes
+    }
+
+    fn check_dim(&self, q: &Query) -> Result<(), ServeError> {
+        let expected = self.exact.relation().dim();
+        if q.dim() != expected {
+            return Err(ServeError::Model(CoreError::DimensionMismatch {
+                expected,
+                actual: q.dim(),
+            }));
+        }
+        Ok(())
+    }
+
+    /// Resolve one read guard per shard and run `f` over the non-empty
+    /// parts (plus the max snapshot version). The guards pin every
+    /// involved epoch for exactly the call's duration — publishes land
+    /// concurrently, reclamation frees what no guard pins.
+    fn with_parts<R>(&self, f: impl FnOnce(&[ShardPart<'_>], u64) -> R) -> R {
+        let mut readers: Vec<_> = self.shards.iter().map(|s| s.cell.tls_reader()).collect();
+        let mut guards = Vec::with_capacity(readers.len());
+        for reader in &mut readers {
+            guards.push(reader.enter());
+        }
+        let mut version = 0u64;
+        let parts: Vec<ShardPart<'_>> = guards
+            .iter()
+            .filter_map(|g| g.get())
+            .filter(|ss| ss.snapshot.k() > 0)
+            .map(|ss| {
+                version = version.max(ss.snapshot.version());
+                ShardPart {
+                    snapshot: &ss.snapshot,
+                    ids: &ss.ids,
+                }
+            })
+            .collect();
+        f(&parts, version)
+    }
+
+    fn gate<T>(
+        &self,
+        q: &Query,
+        predict: impl FnOnce(&[ShardPart<'_>], &Query) -> Option<(T, regq_core::Confidence)>,
+    ) -> Gate<T> {
+        self.with_parts(|parts, version| match predict(parts, q) {
+            None => Gate::NoSnapshot,
+            Some((value, conf)) if conf.score >= self.policy.confidence_threshold => Gate::Hit {
+                value,
+                score: conf.score,
+                version,
+            },
+            Some((_, conf)) => Gate::Fallback {
+                score: conf.score,
+                version,
+            },
+        })
+    }
+
+    /// Feed the fabric (policy permitting) and report whether *this*
+    /// example was dropped.
+    fn feed_back(&self, q: &Query, y: f64) -> bool {
+        self.policy.feedback && self.observe_outcome(q, y) == Feedback::Dropped
+    }
+
+    fn exact_q1_value(&self, q: &Query) -> Result<f64, ServeError> {
+        self.exact
+            .q1(&q.center, q.radius)
+            .ok_or(ServeError::EmptySubspace)
+    }
+
+    /// **Auto-routed Q1** across the shard fabric — the fused cross-shard
+    /// answer when the confidence score clears the policy threshold,
+    /// exact fallback (with feedback) otherwise. Bit-identical to
+    /// [`crate::ServeEngine::q1`] over the same model.
+    ///
+    /// # Errors
+    /// [`ServeError::EmptySubspace`] when the fallback selection is
+    /// empty; [`ServeError::Model`] on a dimension mismatch.
+    pub fn q1(&self, q: &Query) -> Result<Served<f64>, ServeError> {
+        self.check_dim(q)?;
+        match self.gate(q, sharded_q1_with_confidence) {
+            Gate::NoSnapshot => self.q1_exact(q),
+            Gate::Hit {
+                value,
+                score,
+                version,
+            } => {
+                self.model_served.fetch_add(1, Ordering::Relaxed);
+                Ok(Served {
+                    value,
+                    route: Route::Model,
+                    score: Some(score),
+                    snapshot_version: Some(version),
+                    feedback_dropped: false,
+                })
+            }
+            Gate::Fallback { score, version } => {
+                let mut served = self.q1_exact(q)?;
+                served.score = Some(score);
+                served.snapshot_version = Some(version);
+                Ok(served)
+            }
+        }
+    }
+
+    /// **Forced model Q1** (the SQL `USING MODEL` route).
+    ///
+    /// # Errors
+    /// [`ServeError::NoModel`] when every shard is empty;
+    /// [`ServeError::Model`] on a dimension mismatch.
+    pub fn q1_model(&self, q: &Query) -> Result<Served<f64>, ServeError> {
+        self.check_dim(q)?;
+        let (value, score, version) = self.with_parts(|parts, version| {
+            let (y, conf) = sharded_q1_with_confidence(parts, q).ok_or(ServeError::NoModel)?;
+            Ok::<_, ServeError>((y, conf.score, version))
+        })?;
+        self.model_served.fetch_add(1, Ordering::Relaxed);
+        Ok(Served {
+            value,
+            route: Route::Model,
+            score: Some(score),
+            snapshot_version: Some(version),
+            feedback_dropped: false,
+        })
+    }
+
+    /// **Forced exact Q1** (the SQL `USING EXACT` route); still feeds the
+    /// fabric when feedback is on.
+    ///
+    /// # Errors
+    /// [`ServeError::EmptySubspace`] when the selection is empty.
+    pub fn q1_exact(&self, q: &Query) -> Result<Served<f64>, ServeError> {
+        self.check_dim(q)?;
+        let y = self.exact_q1_value(q)?;
+        let dropped = self.feed_back(q, y);
+        self.exact_served.fetch_add(1, Ordering::Relaxed);
+        Ok(Served {
+            value: y,
+            route: Route::Exact,
+            score: None,
+            snapshot_version: None,
+            feedback_dropped: dropped,
+        })
+    }
+
+    /// **Auto-routed Q2** across the shard fabric. List elements carry
+    /// global prototype ids, so the answer is indistinguishable from the
+    /// unsharded engine's.
+    ///
+    /// # Errors
+    /// [`ServeError::EmptySubspace`] / [`ServeError::Numeric`] from the
+    /// fallback; [`ServeError::Model`] on a dimension mismatch.
+    pub fn q2(&self, q: &Query) -> Result<Served<Vec<LocalModel>>, ServeError> {
+        self.check_dim(q)?;
+        match self.gate(q, sharded_q2_with_confidence) {
+            Gate::NoSnapshot => self.q2_exact(q),
+            Gate::Hit {
+                value,
+                score,
+                version,
+            } => {
+                self.model_served.fetch_add(1, Ordering::Relaxed);
+                Ok(Served {
+                    value,
+                    route: Route::Model,
+                    score: Some(score),
+                    snapshot_version: Some(version),
+                    feedback_dropped: false,
+                })
+            }
+            Gate::Fallback { score, version } => {
+                let mut served = self.q2_exact(q)?;
+                served.score = Some(score);
+                served.snapshot_version = Some(version);
+                Ok(served)
+            }
+        }
+    }
+
+    /// **Forced model Q2**.
+    ///
+    /// # Errors
+    /// [`ServeError::NoModel`] when every shard is empty;
+    /// [`ServeError::Model`] on a dimension mismatch.
+    pub fn q2_model(&self, q: &Query) -> Result<Served<Vec<LocalModel>>, ServeError> {
+        self.check_dim(q)?;
+        let (value, score, version) = self.with_parts(|parts, version| {
+            let (s, conf) = sharded_q2_with_confidence(parts, q).ok_or(ServeError::NoModel)?;
+            Ok::<_, ServeError>((s, conf.score, version))
+        })?;
+        self.model_served.fetch_add(1, Ordering::Relaxed);
+        Ok(Served {
+            value,
+            route: Route::Model,
+            score: Some(score),
+            snapshot_version: Some(version),
+            feedback_dropped: false,
+        })
+    }
+
+    /// **Forced exact Q2**: the per-query OLS fit in [`LocalModel`]
+    /// shape, feeding the subspace mean back to the fabric.
+    ///
+    /// # Errors
+    /// [`ServeError::EmptySubspace`] on an empty selection;
+    /// [`ServeError::Numeric`] on a numerical failure.
+    pub fn q2_exact(&self, q: &Query) -> Result<Served<Vec<LocalModel>>, ServeError> {
+        self.check_dim(q)?;
+        let fit = self
+            .exact
+            .q1_reg_fused(&q.center, q.radius)
+            .map_err(|e| match e {
+                LinalgError::Empty => ServeError::EmptySubspace,
+                other => ServeError::Numeric(other),
+            })?;
+        let dropped = self.feed_back(q, fit.moments.mean);
+        self.exact_served.fetch_add(1, Ordering::Relaxed);
+        Ok(Served {
+            value: vec![LocalModel {
+                intercept: fit.model.intercept,
+                slope: fit.model.slope,
+                prototype: 0,
+                weight: 1.0,
+                center: q.center.clone(),
+                radius: q.radius,
+            }],
+            route: Route::Exact,
+            score: None,
+            snapshot_version: None,
+            feedback_dropped: dropped,
+        })
+    }
+}
+
+impl std::fmt::Debug for ShardRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRouter")
+            .field("shards", &self.shards.len())
+            .field("policy", &self.policy)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+fn joint_point(center: &[f64], radius: f64) -> Vec<f64> {
+    let mut p = Vec::with_capacity(center.len() + 1);
+    p.extend_from_slice(center);
+    p.push(radius);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeEngine;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use regq_core::ModelConfig;
+    use regq_data::generators::GasSensorSurrogate;
+    use regq_data::rng::seeded;
+    use regq_data::{Dataset, SampleOptions};
+    use regq_store::AccessPathKind;
+
+    fn q(center: &[f64], r: f64) -> Query {
+        Query::new_unchecked(center.to_vec(), r)
+    }
+
+    fn dataset(rows: usize, seed: u64) -> Arc<Dataset> {
+        let field = GasSensorSurrogate::new(2, 3);
+        let mut rng = seeded(seed);
+        Arc::new(Dataset::from_function(
+            &field,
+            rows,
+            SampleOptions::default(),
+            &mut rng,
+        ))
+    }
+
+    fn exact_over(data: &Arc<Dataset>) -> ExactEngine {
+        ExactEngine::new(Arc::clone(data), AccessPathKind::KdTree)
+    }
+
+    fn trained_model(engine: &ExactEngine, budget: usize, seed: u64) -> LlmModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cfg = ModelConfig::with_vigilance(2, 0.15);
+        cfg.gamma = 1e-3;
+        let mut model = LlmModel::new(cfg).unwrap();
+        for _ in 0..budget {
+            let c = vec![rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)];
+            let r = rng.random_range(0.05..0.2);
+            if let Some(y) = engine.q1(&c, r) {
+                if model.train_step(&q(&c, r), y).unwrap().converged {
+                    break;
+                }
+            }
+        }
+        model
+    }
+
+    /// Probes spanning in-distribution balls, boundary straddlers (wide
+    /// balls overlapping many shards) and out-of-distribution corners.
+    fn probes() -> Vec<Query> {
+        let mut probes = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                for theta in [0.05, 0.15, 0.45, 1.5] {
+                    probes.push(q(&[i as f64 * 0.2, j as f64 * 0.2], theta));
+                }
+            }
+        }
+        probes
+    }
+
+    #[test]
+    fn router_matches_the_unsharded_engine_bit_for_bit() {
+        let data = dataset(20_000, 1);
+        let model = trained_model(&exact_over(&data), 30_000, 2);
+        assert!(model.k() >= 4, "need prototypes to shard: k={}", model.k());
+        let policy = RoutePolicy {
+            feedback: false, // hold both models fixed for the comparison
+            ..RoutePolicy::default()
+        };
+        let engine = ServeEngine::with_model(exact_over(&data), model.clone(), policy);
+        for shards in [1usize, 2, 3, 5] {
+            let router = ShardRouter::with_model(exact_over(&data), model.clone(), policy, shards);
+            for probe in probes() {
+                let (a, b) = (engine.q1(&probe), router.q1(&probe));
+                match (a, b) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.route, b.route, "route diverged at {shards} shards");
+                        assert_eq!(a.value.to_bits(), b.value.to_bits());
+                        assert_eq!(
+                            a.score.map(f64::to_bits),
+                            b.score.map(f64::to_bits),
+                            "score diverged at {shards} shards"
+                        );
+                    }
+                    (Err(ServeError::EmptySubspace), Err(ServeError::EmptySubspace)) => {}
+                    (a, b) => panic!("outcome diverged: {a:?} vs {b:?}"),
+                }
+                let (a2, b2) = (engine.q2(&probe), router.q2(&probe));
+                match (a2, b2) {
+                    (Ok(a2), Ok(b2)) => {
+                        assert_eq!(a2.route, b2.route);
+                        assert_eq!(a2.value, b2.value, "q2 list diverged at {shards} shards");
+                    }
+                    (Err(ServeError::EmptySubspace), Err(ServeError::EmptySubspace)) => {}
+                    (a2, b2) => panic!("q2 outcome diverged: {a2:?} vs {b2:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kd_partitioner_spreads_prototypes_and_routing_is_consistent() {
+        let data = dataset(20_000, 3);
+        let model = trained_model(&exact_over(&data), 30_000, 4);
+        let k = model.k();
+        let router = ShardRouter::with_model(exact_over(&data), model, RoutePolicy::default(), 4);
+        let per_shard: Vec<usize> = router
+            .shards
+            .iter()
+            .map(|s| lock(&s.trainer).model.as_ref().unwrap().k())
+            .collect();
+        assert_eq!(
+            per_shard.iter().sum::<usize>(),
+            k,
+            "prototypes lost/duplicated"
+        );
+        assert!(
+            per_shard.iter().filter(|&&n| n > 0).count() >= 2,
+            "kd split left everything in one shard: {per_shard:?}"
+        );
+        // Every prototype routes back to the shard that owns it.
+        for (si, shard) in router.shards.iter().enumerate() {
+            let t = lock(&shard.trainer);
+            for p in t.model.as_ref().unwrap().prototypes() {
+                assert_eq!(router.partitioner.route(&p.center, p.radius), si);
+            }
+        }
+        // Ids: disjoint, per-shard ascending, covering 0..k.
+        let mut all: Vec<usize> = Vec::new();
+        for shard in &router.shards {
+            let t = lock(&shard.trainer);
+            assert!(t.ids.windows(2).all(|w| w[0] < w[1]), "ids not ascending");
+            all.extend_from_slice(&t.ids);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..k).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_queues_drop_deterministically_and_surface_on_answers() {
+        let data = dataset(5_000, 5);
+        let mut model = trained_model(&exact_over(&data), 10_000, 6);
+        model.freeze();
+        let mut router = ShardRouter::with_model(
+            exact_over(&data),
+            model,
+            RoutePolicy {
+                confidence_threshold: 2.0, // force exact so feedback flows
+                feedback: true,
+                publish_interval: 8,
+            },
+            1, // single shard: every example targets the same queue
+        );
+        router.set_queue_capacity(2);
+        // A frozen trainer never drains, so the third enqueue must drop.
+        let probe = q(&[0.5, 0.5], 0.2);
+        assert_eq!(router.observe_outcome(&probe, 1.0), Feedback::Accepted);
+        assert_eq!(router.observe_outcome(&probe, 1.0), Feedback::Accepted);
+        assert_eq!(router.observe_outcome(&probe, 1.0), Feedback::Dropped);
+        assert_eq!(router.stats().feedback_dropped, 1);
+        // …and the drop surfaces on the query that caused it.
+        let served = router.q1(&probe).unwrap();
+        assert_eq!(served.route, Route::Exact);
+        assert!(served.feedback_dropped, "drop must surface on the answer");
+        assert_eq!(router.stats().feedback_dropped, 2);
+    }
+
+    #[test]
+    fn sharded_closed_loop_trains_itself_to_model_serving() {
+        let data = dataset(20_000, 7);
+        let cfg = ModelConfig::with_vigilance(2, 0.08);
+        let router = ShardRouter::with_model(
+            exact_over(&data),
+            LlmModel::new(cfg).unwrap(),
+            RoutePolicy {
+                confidence_threshold: 0.3,
+                feedback: true,
+                publish_interval: 32,
+            },
+            4,
+        );
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut model_routes = 0usize;
+        for _ in 0..4_000 {
+            let c = vec![rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)];
+            match router.q1(&q(&c, 0.15)) {
+                Ok(served) => {
+                    if served.route == Route::Model {
+                        model_routes += 1;
+                    }
+                }
+                Err(ServeError::EmptySubspace) => {}
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(
+            model_routes > 100,
+            "sharded closed loop never graduated: {model_routes} model routes"
+        );
+        let stats = router.stats();
+        assert!(stats.feedback_fed > 0 && stats.publishes > 1);
+        // Spawned ids stayed disjoint and per-shard ascending.
+        let mut all: Vec<usize> = Vec::new();
+        for shard in &router.shards {
+            let t = lock(&shard.trainer);
+            assert!(t.ids.windows(2).all(|w| w[0] < w[1]));
+            all.extend_from_slice(&t.ids);
+        }
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "global ids collided across shards");
+    }
+
+    #[test]
+    fn set_shards_preserves_predictions_bit_for_bit() {
+        let data = dataset(20_000, 9);
+        let mut model = trained_model(&exact_over(&data), 30_000, 10);
+        model.freeze();
+        let policy = RoutePolicy {
+            feedback: false,
+            ..RoutePolicy::default()
+        };
+        let mut router = ShardRouter::with_model(exact_over(&data), model, policy, 3);
+        let before: Vec<_> = probes()
+            .iter()
+            .map(|p| router.q1(p).map(|s| (s.route, s.value.to_bits())).ok())
+            .collect();
+        let k_before = router.merged_model().unwrap().k();
+        router.set_shards(2);
+        assert_eq!(router.shards(), 2);
+        assert_eq!(router.merged_model().unwrap().k(), k_before);
+        let after: Vec<_> = probes()
+            .iter()
+            .map(|p| router.q1(p).map(|s| (s.route, s.value.to_bits())).ok())
+            .collect();
+        assert_eq!(before, after, "resharding changed answers");
+    }
+
+    #[test]
+    fn empty_router_routes_exact_and_reports_no_model() {
+        let data = dataset(5_000, 11);
+        let router = ShardRouter::new(
+            exact_over(&data),
+            RoutePolicy {
+                feedback: false,
+                ..RoutePolicy::default()
+            },
+            2,
+        );
+        let served = router.q1(&q(&[0.5, 0.5], 0.2)).unwrap();
+        assert_eq!(served.route, Route::Exact);
+        assert_eq!(served.score, None);
+        assert!(matches!(
+            router.q1_model(&q(&[0.5, 0.5], 0.2)),
+            Err(ServeError::NoModel)
+        ));
+        // Dimension mismatches surface like the unsharded engine's.
+        assert!(matches!(
+            router.q1(&q(&[0.5], 0.2)),
+            Err(ServeError::Model(CoreError::DimensionMismatch { .. }))
+        ));
+    }
+}

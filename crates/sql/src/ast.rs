@@ -55,6 +55,22 @@ pub struct Statement {
     pub mode: ExecMode,
 }
 
+/// One parsed command: a query statement, or a session-administration
+/// directive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// An ordinary `SELECT …` statement.
+    Query(Statement),
+    /// `SET SHARDS <n> [FOR <table>];` — re-shard one table's serve/train
+    /// fabric (or every table's, without `FOR`).
+    SetShards {
+        /// Requested shard count (`>= 1`, enforced by the parser).
+        shards: usize,
+        /// Target table; `None` applies to every registered table.
+        table: Option<String>,
+    },
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,11 +26,19 @@
 //! `USING EXACT` (the default) routes to [`regq_exact::ExactEngine`];
 //! `USING MODEL` routes to the published model snapshot and never touches
 //! the relation — the paper's prediction-phase deployment; `USING AUTO`
-//! executes through the table's [`regq_serve::ServeEngine`], serving from
-//! the snapshot when its confidence score clears the route policy and
-//! falling back to exact execution (which feeds the online trainer)
-//! otherwise. Every [`QueryOutput`] reports the route taken, the
-//! confidence score and the snapshot version consulted.
+//! executes through the table's [`regq_serve::ShardRouter`], serving the
+//! cross-shard fused answer when its confidence score clears the route
+//! policy and falling back to exact execution (which feeds the online
+//! trainers) otherwise. Every [`QueryOutput`] reports the route taken,
+//! the confidence score, the snapshot version consulted and whether the
+//! query's own feedback example was dropped.
+//!
+//! Administration goes through [`Session::execute_command`]:
+//!
+//! ```sql
+//! -- re-shard one table's serve/train fabric (model survives bit-for-bit)
+//! SET SHARDS 4 FOR readings;
+//! ```
 //!
 //! ## Modules
 //! * [`token`] — lexer with positioned errors;
@@ -46,6 +54,6 @@ pub mod parser;
 pub mod session;
 pub mod token;
 
-pub use ast::{Aggregate, ExecMode, Statement};
-pub use parser::parse;
+pub use ast::{Aggregate, Command, ExecMode, Statement};
+pub use parser::{parse, parse_command};
 pub use session::{QueryOutput, QueryValue, Session, SqlError};

@@ -3,15 +3,17 @@
 //! Grammar (keywords case-insensitive, identifiers case-sensitive):
 //!
 //! ```text
+//! command   := statement | set_shards
 //! statement := SELECT aggregate FROM ident
 //!              WHERE DIST '(' ident ',' vector ')' '<=' number
 //!              [USING (EXACT | MODEL | AUTO)] [';']
+//! set_shards:= SET SHARDS number [FOR ident] [';']
 //! aggregate := AVG '(' ident ')' | LINREG '(' ident ')'
 //!            | VAR '(' ident ')' | COUNT '(' '*' ')'
 //! vector    := '[' number (',' number)* ']'
 //! ```
 
-use crate::ast::{Aggregate, ExecMode, Statement};
+use crate::ast::{Aggregate, Command, ExecMode, Statement};
 use crate::token::{lex, Token, TokenKind};
 use std::fmt;
 
@@ -192,6 +194,45 @@ impl Parser {
             other => Err(self.error(format!("unexpected trailing {other}"))),
         }
     }
+
+    /// `SET SHARDS <n> [FOR <table>]` — the leading `SET` is already
+    /// consumed.
+    fn set_shards(&mut self) -> Result<Command, ParseError> {
+        self.expect_keyword("SHARDS")?;
+        let n = self.number("the shard count")?;
+        if n < 1.0 || n.fract() != 0.0 || n > 4096.0 {
+            return Err(self.error(format!(
+                "shard count must be an integer in 1..=4096, got {n}"
+            )));
+        }
+        let mut table = None;
+        if let TokenKind::Word(w) = &self.peek().kind {
+            if w.eq_ignore_ascii_case("FOR") {
+                self.bump();
+                table = Some(self.ident("a table name")?);
+            }
+        }
+        if self.peek().kind == TokenKind::Semicolon {
+            self.bump();
+        }
+        match &self.peek().kind {
+            TokenKind::Eof => Ok(Command::SetShards {
+                shards: n as usize,
+                table,
+            }),
+            other => Err(self.error(format!("unexpected trailing {other}"))),
+        }
+    }
+
+    fn command(&mut self) -> Result<Command, ParseError> {
+        if let TokenKind::Word(w) = &self.peek().kind {
+            if w.eq_ignore_ascii_case("SET") {
+                self.bump();
+                return self.set_shards();
+            }
+        }
+        self.statement().map(Command::Query)
+    }
 }
 
 /// Parse one statement of the dialect.
@@ -219,6 +260,19 @@ pub fn parse(input: &str) -> Result<Statement, ParseError> {
         message: e.message,
     })?;
     Parser { tokens, pos: 0 }.statement()
+}
+
+/// Parse one command: a statement, or an administration directive such as
+/// `SET SHARDS 4 FOR readings;`.
+///
+/// # Errors
+/// [`ParseError`], as for [`parse`].
+pub fn parse_command(input: &str) -> Result<Command, ParseError> {
+    let tokens = lex(input).map_err(|e| ParseError {
+        offset: e.offset,
+        message: e.message,
+    })?;
+    Parser { tokens, pos: 0 }.command()
 }
 
 #[cfg(test)]
@@ -313,6 +367,41 @@ mod tests {
     #[test]
     fn count_requires_star() {
         assert!(parse("SELECT COUNT(u) FROM t WHERE DIST(x, [0.0]) <= 1.0").is_err());
+    }
+
+    #[test]
+    fn parses_set_shards() {
+        assert_eq!(
+            parse_command("SET SHARDS 4;").unwrap(),
+            Command::SetShards {
+                shards: 4,
+                table: None
+            }
+        );
+        assert_eq!(
+            parse_command("set shards 2 for readings").unwrap(),
+            Command::SetShards {
+                shards: 2,
+                table: Some("readings".into())
+            }
+        );
+        // Ordinary statements still come through the command surface.
+        let Command::Query(s) =
+            parse_command("SELECT AVG(u) FROM t WHERE DIST(x, [0.0]) <= 1.0").unwrap()
+        else {
+            panic!("expected a query command");
+        };
+        assert_eq!(s.aggregate, Aggregate::Avg);
+    }
+
+    #[test]
+    fn rejects_bad_shard_counts() {
+        assert!(parse_command("SET SHARDS 0").is_err());
+        assert!(parse_command("SET SHARDS 2.5").is_err());
+        assert!(parse_command("SET SHARDS -1").is_err());
+        assert!(parse_command("SET SHARDS 5000").is_err());
+        assert!(parse_command("SET SHARDS 2 garbage").is_err());
+        assert!(parse_command("SET RHO 2").is_err());
     }
 
     #[test]

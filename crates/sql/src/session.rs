@@ -1,21 +1,25 @@
-//! The SQL session: a catalog of tables (serve engines over exact
+//! The SQL session: a catalog of tables (shard routers over exact
 //! backends) and registered models, plus the executor routing statements.
 //!
-//! Every table is backed by a [`ServeEngine`]: `USING EXACT` forces the
-//! DBMS route, `USING MODEL` forces the published snapshot, and
-//! `USING AUTO` lets the engine route per query on its confidence score —
-//! falling back to exact execution (and feeding the trainer) below the
-//! threshold. Executions take `&self` and the session is `Send + Sync`,
-//! so one session serves any number of threads concurrently; the serve
-//! path is lock-free (see `regq_serve`).
+//! Every table is backed by a [`ShardRouter`] (one shard until
+//! `SET SHARDS n` says otherwise): `USING EXACT` forces the DBMS route,
+//! `USING MODEL` forces the published snapshots, and `USING AUTO` lets
+//! the router gate per query on its confidence score — falling back to
+//! exact execution (and feeding the shard trainers) below the threshold.
+//! Executions take `&self` and the session is `Send + Sync`, so one
+//! session serves any number of threads concurrently; the serve path is
+//! lock-free (see `regq_serve`). Resharding ([`Session::set_shards`],
+//! or `SET SHARDS n [FOR table]` through
+//! [`Session::execute_command`]) takes `&mut self` and preserves the
+//! merged model bit-for-bit.
 
-use crate::ast::{Aggregate, ExecMode, Statement};
-use crate::parser::{parse, ParseError};
+use crate::ast::{Aggregate, Command, ExecMode, Statement};
+use crate::parser::{parse, parse_command, ParseError};
 use regq_core::moments::MomentsModel;
 use regq_core::{CoreError, LlmModel, LocalModel, Query};
 use regq_exact::ExactEngine;
 use regq_linalg::LinalgError;
-use regq_serve::{Route, RoutePolicy, ServeEngine, ServeError, Served};
+use regq_serve::{Feedback, Route, RoutePolicy, ServeError, Served, ShardRouter};
 use std::collections::HashMap;
 use std::fmt;
 use std::time::Duration;
@@ -155,6 +159,10 @@ pub struct QueryOutput {
     pub confidence: Option<f64>,
     /// Version of the model snapshot consulted, if any.
     pub snapshot_version: Option<u64>,
+    /// `true` when this query's own feedback example was dropped by the
+    /// serving fabric (bounded queue full / trainer lock contended) — the
+    /// answer itself is unaffected, but the example did not train anyone.
+    pub feedback_dropped: bool,
 }
 
 impl QueryOutput {
@@ -164,6 +172,7 @@ impl QueryOutput {
             route: Route::Exact,
             confidence: None,
             snapshot_version: None,
+            feedback_dropped: false,
         }
     }
 
@@ -173,6 +182,7 @@ impl QueryOutput {
             route: s.route,
             confidence: s.score,
             snapshot_version: s.snapshot_version,
+            feedback_dropped: s.feedback_dropped,
         }
     }
 
@@ -208,12 +218,12 @@ impl fmt::Display for QueryOutput {
 }
 
 struct TableEntry {
-    serve: ServeEngine,
+    serve: ShardRouter,
     moments: Option<MomentsModel>,
 }
 
 /// A catalog of named tables with optional trained models, executing
-/// statements of the dialect through per-table [`ServeEngine`]s.
+/// statements of the dialect through per-table [`ShardRouter`]s.
 #[derive(Default)]
 pub struct Session {
     tables: HashMap<String, TableEntry>,
@@ -242,10 +252,25 @@ impl Session {
         self.tables.insert(
             name.into(),
             TableEntry {
-                serve: ServeEngine::new(engine, policy),
+                serve: ShardRouter::new(engine, policy, 1),
                 moments: None,
             },
         );
+    }
+
+    /// Re-shard a table's serve/train fabric in place (`SET SHARDS n FOR
+    /// table`). The merged model survives bit-for-bit; pending queued
+    /// feedback is drained into the trainers first.
+    ///
+    /// # Errors
+    /// [`SqlError::UnknownTable`] when the table is not registered.
+    pub fn set_shards(&mut self, table: &str, shards: usize) -> Result<(), SqlError> {
+        let entry = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+        entry.serve.set_shards(shards);
+        Ok(())
     }
 
     /// Attach a trained model to a table (enables `USING MODEL` and the
@@ -303,15 +328,59 @@ impl Session {
         names
     }
 
-    /// The serve engine backing a table (routing stats, snapshot access).
+    /// Bound a table's per-shard feedback queues to `capacity` examples
+    /// (administrative knob; see
+    /// [`ShardRouter::set_queue_capacity`]).
     ///
-    /// Scope note: the engine's route counters cover the statements it
+    /// # Errors
+    /// [`SqlError::UnknownTable`] when the table is not registered.
+    pub fn set_feedback_queue_capacity(
+        &mut self,
+        table: &str,
+        capacity: usize,
+    ) -> Result<(), SqlError> {
+        let entry = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+        entry.serve.set_queue_capacity(capacity);
+        Ok(())
+    }
+
+    /// The shard router backing a table (routing stats, merged-model
+    /// access, manual pump/publish).
+    ///
+    /// Scope note: the router's route counters cover the statements it
     /// executes — `AVG`/`LINREG` in every mode. `VAR` and `COUNT` are
     /// session-level operators (the moments head and cardinality live
-    /// outside the snapshot) and do not move `model_served`/
-    /// `exact_served`, though exact `VAR` still feeds the trainer.
-    pub fn serve_engine(&self, table: &str) -> Option<&ServeEngine> {
+    /// outside the snapshots) and do not move `model_served`/
+    /// `exact_served`, though exact `VAR` still feeds the trainers.
+    pub fn router(&self, table: &str) -> Option<&ShardRouter> {
         self.tables.get(table).map(|e| &e.serve)
+    }
+
+    /// Parse and execute one command: `SELECT …` statements return
+    /// `Some(output)`, administration directives (`SET SHARDS n
+    /// [FOR table]`) apply their effect and return `None`.
+    ///
+    /// # Errors
+    /// See [`SqlError`]; `SET SHARDS` on an unknown table is
+    /// [`SqlError::UnknownTable`].
+    pub fn execute_command(&mut self, sql: &str) -> Result<Option<QueryOutput>, SqlError> {
+        match parse_command(sql)? {
+            Command::Query(stmt) => self.execute_statement(&stmt).map(Some),
+            Command::SetShards { shards, table } => {
+                match table {
+                    Some(t) => self.set_shards(&t, shards)?,
+                    None => {
+                        for entry in self.tables.values_mut() {
+                            entry.serve.set_shards(shards);
+                        }
+                    }
+                }
+                Ok(None)
+            }
+        }
     }
 
     /// Parse and execute one statement.
@@ -408,12 +477,14 @@ impl Session {
                 .q1_moments(&stmt.center, stmt.radius)
                 .ok_or(SqlError::EmptySubspace)?;
             // The exact traversal computed the subspace mean anyway —
-            // feed it to the trainer like the engine's own exact routes
-            // do (a VAR-heavy workload still trains the Q1 model).
-            if entry.serve.policy().feedback {
-                entry.serve.observe(q, m.mean);
-            }
-            Ok(QueryOutput::exact(QueryValue::Scalar(m.variance)))
+            // feed it to the trainers like the router's own exact routes
+            // do (a VAR-heavy workload still trains the Q1 model), and
+            // surface a drop like any other route.
+            let dropped = entry.serve.policy().feedback
+                && entry.serve.observe_outcome(q, m.mean) == Feedback::Dropped;
+            let mut out = QueryOutput::exact(QueryValue::Scalar(m.variance));
+            out.feedback_dropped = dropped;
+            Ok(out)
         };
         match stmt.mode {
             ExecMode::Exact => exact(),
@@ -429,6 +500,7 @@ impl Session {
                     route: Route::Model,
                     confidence: score,
                     snapshot_version: None,
+                    feedback_dropped: false,
                 })
             }
             ExecMode::Auto => {
@@ -446,6 +518,7 @@ impl Session {
                         route: Route::Model,
                         confidence: Some(score),
                         snapshot_version: None,
+                        feedback_dropped: false,
                     })
                 } else {
                     let mut out = exact()?;
@@ -615,8 +688,8 @@ mod tests {
 
         // Probe at the most mature prototype's own subspace: the score
         // clears the default threshold and the model serves.
-        let snap = s.serve_engine("readings").unwrap().snapshot().unwrap();
-        let protos = snap.prototypes();
+        let model = s.router("readings").unwrap().merged_model().unwrap();
+        let protos = model.prototypes();
         let p = protos.iter().max_by_key(|p| p.updates).unwrap();
         let sql = format!(
             "SELECT AVG(u) FROM readings WHERE DIST(x, [{}, {}]) <= {} USING AUTO",
@@ -743,6 +816,79 @@ mod tests {
         s.register_table("zeta", mk());
         s.register_table("alpha", mk());
         assert_eq!(s.tables(), vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn set_shards_command_preserves_model_answers() {
+        let mut s = session_with_model();
+        let sql = "SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.15 USING MODEL";
+        let before = s.execute(sql).unwrap();
+        assert!(s
+            .execute_command("SET SHARDS 4 FOR readings;")
+            .unwrap()
+            .is_none());
+        assert_eq!(s.router("readings").unwrap().shards(), 4);
+        let after = s.execute(sql).unwrap();
+        assert_eq!(before, after, "resharding changed a model-served answer");
+        // Table-less form applies to every table; queries still flow
+        // through the command surface.
+        assert!(s.execute_command("SET SHARDS 2").unwrap().is_none());
+        assert_eq!(s.router("readings").unwrap().shards(), 2);
+        let out = s
+            .execute_command("SELECT COUNT(*) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2")
+            .unwrap()
+            .expect("queries produce output");
+        assert!(out.count().unwrap() > 10);
+        assert!(matches!(
+            s.execute_command("SET SHARDS 2 FOR nope"),
+            Err(SqlError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn feedback_drops_surface_on_query_outputs() {
+        // A frozen trainer never drains its queue, so a capacity-1 queue
+        // overflows on the second exact-routed query — deterministically —
+        // and the drop must be visible on the output that caused it.
+        let field = GasSensorSurrogate::new(2, 3);
+        let mut rng = seeded(12);
+        let ds = Dataset::from_function(&field, 5_000, SampleOptions::default(), &mut rng);
+        let engine = ExactEngine::new(Arc::new(ds), AccessPathKind::KdTree);
+        let mut model = LlmModel::new(ModelConfig::with_vigilance(2, 0.15)).unwrap();
+        model
+            .train_step(&Query::new_unchecked(vec![0.5, 0.5], 0.1), 1.0)
+            .unwrap();
+        model.freeze();
+        let mut moments = MomentsModel::new(ModelConfig::with_vigilance(2, 0.15)).unwrap();
+        moments
+            .train_step(
+                &Query::new_unchecked(vec![0.5, 0.5], 0.1),
+                MomentPair {
+                    mean: 1.0,
+                    variance: 0.1,
+                },
+            )
+            .unwrap();
+        let mut s = Session::new();
+        s.register_table("readings", engine);
+        s.register_model("readings", model).unwrap();
+        s.register_moments_model("readings", moments).unwrap();
+        s.set_feedback_queue_capacity("readings", 1).unwrap();
+        let sql = "SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2 USING EXACT";
+        let first = s.execute(sql).unwrap();
+        assert!(!first.feedback_dropped, "first example fits the queue");
+        let second = s.execute(sql).unwrap();
+        assert!(second.feedback_dropped, "queue full: drop must surface");
+        assert_eq!(s.router("readings").unwrap().stats().feedback_dropped, 1);
+        // VAR's exact path reports drops too (it feeds the same fabric).
+        let var = s
+            .execute("SELECT VAR(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2")
+            .unwrap();
+        assert!(var.feedback_dropped);
+        assert!(matches!(
+            s.set_feedback_queue_capacity("nope", 1),
+            Err(SqlError::UnknownTable(_))
+        ));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::pool;
 use crate::querygen::QueryGenerator;
 use regq_core::{LlmModel, Query};
 use regq_exact::ExactEngine;
-use regq_serve::{ServeEngine, ServeError};
+use regq_serve::{ServeEngine, ServeError, ShardRouter};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -209,6 +209,133 @@ pub fn serve_closed_loop(
     }
 }
 
+/// Result of one sharded closed-loop measurement
+/// ([`serve_closed_loop_sharded`]): like [`ServeLoopResult`], but over a
+/// [`ShardRouter`] — feedback flows through bounded per-shard queues, so
+/// the drop accounting distinguishes enqueued/fed/dropped.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedLoopResult {
+    /// Number of shards in the router.
+    pub shards: usize,
+    /// Number of reader (serving) threads.
+    pub readers: usize,
+    /// Reader queries answered (each exactly once across the readers).
+    pub queries: usize,
+    /// Wall-clock until the last reader finished.
+    pub elapsed: Duration,
+    /// Reader queries served from the fused shard snapshots.
+    pub model_served: u64,
+    /// Reader queries that fell back to the exact engine.
+    pub exact_served: u64,
+    /// Feedback examples accepted into shard queues during the run.
+    pub feedback_enqueued: u64,
+    /// Feedback examples the shard trainers consumed during the run.
+    pub feedback_fed: u64,
+    /// Feedback examples dropped at full shard queues (every drop is
+    /// counted — the satellite accounting fix).
+    pub feedback_dropped: u64,
+    /// Snapshot publishes (summed over shard cells) during the run.
+    pub publishes: u64,
+    /// Ground-truth queries the writer executed before the readers
+    /// drained the workload.
+    pub writer_examples: usize,
+}
+
+impl ShardedLoopResult {
+    /// Reader queries per second.
+    pub fn qps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.queries as f64 / secs
+        }
+    }
+
+    /// Fraction of reader queries served from the shard snapshots.
+    pub fn model_share(&self) -> f64 {
+        let total = self.model_served + self.exact_served;
+        if total == 0 {
+            0.0
+        } else {
+            self.model_served as f64 / total as f64
+        }
+    }
+}
+
+/// Closed-loop concurrent serving over a [`ShardRouter`]: the sharded
+/// counterpart of [`serve_closed_loop`]. `readers` threads drain
+/// `reader_queries` through [`ShardRouter::q1`] (one hazard-slot guard
+/// per shard, cross-shard fusion) while the calling thread runs the
+/// writer loop — execute exactly, enqueue into the shard fabric, and
+/// steal whatever drain work its `observe` can grab.
+///
+/// # Panics
+/// Panics if `readers == 0` or on a non-NULL serve error.
+pub fn serve_closed_loop_sharded(
+    router: &ShardRouter,
+    reader_queries: &[Query],
+    readers: usize,
+    writer_queries: &[Query],
+) -> ShardedLoopResult {
+    assert!(readers >= 1, "need at least one reader thread");
+    let before = router.stats();
+    let cursor = AtomicUsize::new(0);
+    let drained = AtomicBool::new(false);
+    let mut writer_examples = 0usize;
+    let t0 = Instant::now();
+    let elapsed = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                scope.spawn(|| {
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= reader_queries.len() {
+                            break;
+                        }
+                        match router.q1(&reader_queries[i]) {
+                            Ok(_) | Err(ServeError::EmptySubspace) => {}
+                            Err(e) => panic!("sharded closed-loop serve failed: {e}"),
+                        }
+                    }
+                    drained.store(true, Ordering::Release);
+                    t0.elapsed()
+                })
+            })
+            .collect();
+        for q in writer_queries {
+            if drained.load(Ordering::Acquire) {
+                break;
+            }
+            if let Some(y) = router.exact_engine().q1(&q.center, q.radius) {
+                router.observe(q, y);
+            }
+            writer_examples += 1;
+        }
+        // Flush whatever the opportunistic pumps left queued.
+        router.pump();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader thread"))
+            .max()
+            .expect("at least one reader")
+    });
+    let after = router.stats();
+    ShardedLoopResult {
+        shards: router.shards(),
+        readers,
+        queries: reader_queries.len(),
+        elapsed,
+        model_served: after.model_served - before.model_served,
+        exact_served: after.exact_served - before.exact_served,
+        feedback_enqueued: after.feedback_enqueued - before.feedback_enqueued,
+        feedback_fed: after.feedback_fed - before.feedback_fed,
+        feedback_dropped: after.feedback_dropped - before.feedback_dropped,
+        publishes: after.publishes - before.publishes,
+        writer_examples,
+    }
+}
+
 /// Convenience: generate a workload and sweep thread counts for both
 /// serving paths. Returns `(threads, model_qps, exact_qps)` rows.
 pub fn throughput_sweep(
@@ -377,6 +504,57 @@ mod tests {
         fn zero_readers_panics() {
             let engine = serve_engine(false);
             let _ = serve_closed_loop(&engine, &[], 0, &[]);
+        }
+
+        fn shard_router(shards: usize) -> ShardRouter {
+            let f = GasSensorSurrogate::new(2, 5);
+            let mut rng = seeded(25);
+            let ds = Dataset::from_function(&f, 20_000, SampleOptions::default(), &mut rng);
+            let exact = ExactEngine::new(Arc::new(ds), AccessPathKind::KdTree);
+            let mut model = LlmModel::new(ModelConfig::with_vigilance(2, 0.08)).unwrap();
+            let gen = QueryGenerator::for_function(&f, 0.1);
+            train_from_engine(&mut model, &exact, &gen, 10_000, &mut rng).unwrap();
+            ShardRouter::with_model(
+                exact,
+                model,
+                RoutePolicy {
+                    confidence_threshold: 0.3,
+                    feedback: true,
+                    publish_interval: 64,
+                },
+                shards,
+            )
+        }
+
+        #[test]
+        fn sharded_closed_loop_answers_trains_and_accounts_for_drops() {
+            for shards in [1usize, 2, 4] {
+                let router = shard_router(shards);
+                let f = GasSensorSurrogate::new(2, 5);
+                let gen = QueryGenerator::for_function(&f, 0.1);
+                let mut rng = seeded(26);
+                let reader_queries = gen.generate_many(400, &mut rng);
+                let writer_queries = gen.generate_many(3_000, &mut rng);
+                let r = serve_closed_loop_sharded(&router, &reader_queries, 2, &writer_queries);
+                assert_eq!(r.shards, shards);
+                assert_eq!(r.queries, 400);
+                let routed = r.model_served + r.exact_served;
+                assert!(
+                    routed <= 400 && routed > 350,
+                    "unexpected route accounting at {shards} shards: {routed}/400"
+                );
+                assert!(
+                    r.model_share() > 0.5,
+                    "trained router should serve mostly from the model \
+                     (share {} at {shards} shards)",
+                    r.model_share()
+                );
+                // Nothing leaks from the accounting: everything the fabric
+                // consumed was first enqueued, and every loss is counted.
+                // (A fast reader pool may drain before the writer starts,
+                // so writer_examples itself carries no lower bound.)
+                assert!(r.feedback_fed <= r.feedback_enqueued);
+            }
         }
     }
 }

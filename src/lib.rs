@@ -80,7 +80,10 @@ pub mod prelude {
         fit_ols, fit_ols_global, q1_mean, q1_moments, ExactEngine, GoodnessOfFit, LinearModel,
         Mars, MarsModel, MarsParams, Moments,
     };
-    pub use regq_serve::{Route, RoutePolicy, ServeEngine, ServeError, Served, SnapshotCell};
+    pub use regq_serve::{
+        Feedback, Route, RoutePolicy, RouterStats, ServeEngine, ServeError, Served, ShardRouter,
+        ShardSnapshot, SnapshotCell,
+    };
     pub use regq_store::{AccessPathKind, Norm, Relation};
     pub use regq_workload::{
         eval::{

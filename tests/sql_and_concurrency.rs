@@ -1,7 +1,12 @@
 //! Integration tests for the declarative front end and concurrent serving
 //! through the facade crate: the SQL surface (`USING EXACT | MODEL |
-//! AUTO`), the train/serve snapshot split, and the lock-free serving
-//! engine under live training.
+//! AUTO`), the train/serve snapshot split, the lock-free serving engine
+//! under live training, and the sharded fabric's battery — shard
+//! bit-identity (proptest), scripted epoch-reclamation interleavings, and
+//! counted feedback drops surfacing on query outputs.
+//!
+//! Property-based suites here run on the in-tree proptest shim: failures
+//! print a `REGQ_PROPTEST_SEED=<seed>` repro line.
 
 use regq::core::moments::{MomentPair, MomentsModel};
 use regq::prelude::*;
@@ -142,8 +147,8 @@ fn sql_auto_mode_gates_on_confidence_end_to_end() {
 
     // At a mature prototype's own subspace the gate clears and the model
     // serves with zero data access.
-    let engine = f.session.serve_engine("readings").unwrap();
-    let protos = engine.snapshot().unwrap().prototypes();
+    let router = f.session.router("readings").unwrap();
+    let protos = router.merged_model().unwrap().prototypes();
     let p = protos.iter().max_by_key(|p| p.updates).unwrap();
     let sql = format!(
         "SELECT AVG(u) FROM readings WHERE DIST(x, [{}, {}]) <= {} USING AUTO",
@@ -360,4 +365,263 @@ mod snapshot_equivalence {
             });
         }
     }
+}
+
+mod shard_equivalence {
+    //! Proptest: the `ShardRouter`'s fused cross-shard answer is
+    //! **bit-identical** to the unsharded `ServeEngine` over the same
+    //! model — routes, values, confidence scores and Q2 lists — at 1, 2,
+    //! 4 and 8 shards, including wide balls that straddle every shard
+    //! boundary. This is the invariant that makes sharding a pure
+    //! throughput decision: no answer may depend on the shard count.
+
+    use proptest::prelude::*;
+    use regq::prelude::*;
+    use std::sync::{Arc, OnceLock};
+
+    /// One shared dataset (exact fallback must agree too, so every engine
+    /// instance wraps the same rows behind the same access path).
+    fn shared_exact() -> ExactEngine {
+        static DATA: OnceLock<Arc<Dataset>> = OnceLock::new();
+        let data = DATA.get_or_init(|| {
+            let field = GasSensorSurrogate::new(2, 5);
+            let mut rng = seeded(55);
+            Arc::new(Dataset::from_function(
+                &field,
+                8_000,
+                SampleOptions::default(),
+                &mut rng,
+            ))
+        });
+        ExactEngine::new(data.clone(), AccessPathKind::KdTree)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn shard_router_answers_are_bit_identical_to_the_unsharded_engine(
+            pairs in prop::collection::vec(
+                (prop::collection::vec(0.0..1.0f64, 2), 0.02..0.5f64, -3.0..3.0f64),
+                30..90,
+            ),
+            probes in prop::collection::vec(
+                // Centers beyond the data domain and radii up to 1.2 (the
+                // whole unit square) force boundary-straddling balls whose
+                // overlap set spans several shards.
+                (prop::collection::vec(-0.3..1.3f64, 2), 0.01..1.2f64),
+                20..40,
+            ),
+        ) {
+            let mut model = LlmModel::new(ModelConfig::with_vigilance(2, 0.2)).unwrap();
+            for (c, r, y) in &pairs {
+                model.train_step(&Query::new_unchecked(c.clone(), *r), *y).unwrap();
+            }
+            // Feedback off: both sides hold the published model fixed, so
+            // any divergence is the fusion itself, not training drift.
+            let policy = RoutePolicy { feedback: false, ..RoutePolicy::default() };
+            let engine = ServeEngine::with_model(shared_exact(), model.clone(), policy);
+            for shards in [1usize, 2, 4, 8] {
+                let router =
+                    ShardRouter::with_model(shared_exact(), model.clone(), policy, shards);
+                for (c, r) in &probes {
+                    let q = Query::new_unchecked(c.clone(), *r);
+                    match (engine.q1(&q), router.q1(&q)) {
+                        (Ok(a), Ok(b)) => {
+                            prop_assert_eq!(a.route, b.route, "q1 route at {} shards", shards);
+                            prop_assert_eq!(
+                                a.value.to_bits(),
+                                b.value.to_bits(),
+                                "q1 value at {} shards",
+                                shards
+                            );
+                            prop_assert_eq!(
+                                a.score.map(f64::to_bits),
+                                b.score.map(f64::to_bits),
+                                "q1 score at {} shards",
+                                shards
+                            );
+                        }
+                        (Err(ServeError::EmptySubspace), Err(ServeError::EmptySubspace)) => {}
+                        (a, b) => prop_assert!(false, "q1 outcome diverged: {:?} vs {:?}", a, b),
+                    }
+                    match (engine.q2(&q), router.q2(&q)) {
+                        (Ok(a), Ok(b)) => {
+                            prop_assert_eq!(a.route, b.route, "q2 route at {} shards", shards);
+                            prop_assert_eq!(
+                                a.value, b.value,
+                                "q2 list at {} shards", shards
+                            );
+                        }
+                        (Err(ServeError::EmptySubspace), Err(ServeError::EmptySubspace)) => {}
+                        (a, b) => prop_assert!(false, "q2 outcome diverged: {:?} vs {:?}", a, b),
+                    }
+                }
+            }
+        }
+    }
+}
+
+mod epoch_reclamation {
+    //! Scripted interleavings of the `SnapshotCell` publish/read/free
+    //! protocol — the epoch state machine driven **single-threaded** so
+    //! every hazard window is hit deterministically on every run, with
+    //! retention counted at each step. (The multi-threaded stress
+    //! companion lives in `regq_serve`'s unit suite; this battery pins
+    //! the protocol itself.)
+
+    use regq::prelude::*;
+
+    #[test]
+    fn scripted_publish_between_announce_and_validate_is_caught() {
+        let cell: SnapshotCell<u64> = SnapshotCell::with_snapshot(1);
+        assert_eq!(cell.epoch(), 1);
+        assert_eq!(cell.retained(), 1);
+
+        // t0: the reader announces the current epoch into its hazard slot.
+        let mut r1 = cell.reader();
+        r1.announce();
+
+        // t1: the writer publishes *inside* the reader's announce→validate
+        // window — the classic hazard. The announced node is pinned by the
+        // slot, so the writer must retain both epochs.
+        cell.publish(2);
+        assert_eq!(cell.retained(), 2, "pinned epoch 1 + current epoch 2");
+
+        // t2: validation fails (current moved since the announce), which
+        // is exactly what keeps the pinned-but-stale value from being
+        // served as current.
+        assert!(
+            r1.validate().is_none(),
+            "a publish inside the announce window must fail validation"
+        );
+
+        // t3: the retry loop lands on the new epoch.
+        {
+            let g = r1.enter();
+            assert_eq!(g.get(), Some(&2));
+            assert_eq!(g.epoch(), Some(2));
+
+            // t4: a publish while the guard pins epoch 2 frees the now
+            // unpinned epoch 1 but must keep 2 (pinned) and 3 (current).
+            cell.publish(3);
+            assert_eq!(cell.retained(), 2, "epoch 1 freed; 2 pinned, 3 current");
+
+            // t5: a second reader sees the new current while the first
+            // still holds the old epoch — no reader blocks another.
+            let mut r2 = cell.reader();
+            let g2 = r2.enter();
+            assert_eq!(g2.get(), Some(&3));
+            assert_eq!(g2.epoch(), Some(3));
+        }
+
+        // t6: both guards dropped — reclaim frees everything but current.
+        cell.reclaim();
+        assert_eq!(cell.retained(), 1, "only the current epoch survives");
+        assert_eq!(cell.load_owned(), Some(3));
+    }
+
+    #[test]
+    fn retention_is_bounded_by_pinned_readers_plus_current() {
+        let cell: SnapshotCell<u64> = SnapshotCell::new();
+        assert_eq!(cell.epoch(), 0);
+
+        // With no readers the writer self-cleans: retention never grows
+        // past the current epoch no matter how many stream through.
+        for v in 1..=50u64 {
+            cell.publish(v);
+            assert_eq!(cell.retained(), 1, "unpinned epochs must free on publish");
+        }
+
+        // Three readers pin three *distinct* epochs via their hazard
+        // slots (an announce is a pin even before validation — the writer
+        // may never free an announced node).
+        let mut r1 = cell.reader();
+        let mut r2 = cell.reader();
+        let mut r3 = cell.reader();
+        r1.announce(); // pins epoch 50
+        cell.publish(51);
+        r2.announce(); // pins epoch 51
+        cell.publish(52);
+        r3.announce(); // pins epoch 52
+        cell.publish(53);
+        assert_eq!(cell.reader_slots(), 3);
+        assert_eq!(cell.retained(), 4, "three pinned epochs + current");
+        assert!(
+            cell.retained() <= cell.reader_slots() + 1,
+            "the memory bound"
+        );
+
+        // Dropping handles retires their slots; reclaim frees their pins
+        // one by one, never touching the current epoch.
+        drop(r1);
+        cell.reclaim();
+        assert_eq!(cell.retained(), 3);
+        drop(r2);
+        drop(r3);
+        cell.reclaim();
+        assert_eq!(cell.retained(), 1);
+        assert_eq!(cell.reader_slots(), 0);
+        assert_eq!(cell.load_owned(), Some(53));
+    }
+}
+
+#[test]
+fn feedback_queue_drops_are_counted_and_surface_through_sql() {
+    use regq::core::moments::{MomentPair, MomentsModel};
+    use regq::sql::Session;
+
+    // A self-contained table whose trainer can never drain: the model is
+    // frozen, so queued feedback stays queued and the 1-slot queue turns
+    // sustained pressure into *counted* drops (never silent ones).
+    let field = GasSensorSurrogate::new(2, 13);
+    let mut rng = seeded(17);
+    let ds = Dataset::from_function(&field, 5_000, SampleOptions::default(), &mut rng);
+    let engine = ExactEngine::new(Arc::new(ds), AccessPathKind::KdTree);
+
+    let cfg = ModelConfig::with_vigilance(2, 0.15);
+    let mut model = LlmModel::new(cfg.clone()).unwrap();
+    let q0 = Query::new_unchecked(vec![0.5, 0.5], 0.1);
+    model.train_step(&q0, 0.0).unwrap();
+    model.freeze();
+    let mut moments = MomentsModel::new(cfg).unwrap();
+    moments
+        .train_step(
+            &q0,
+            MomentPair {
+                mean: 0.0,
+                variance: 1.0,
+            },
+        )
+        .unwrap();
+
+    let mut session = Session::new();
+    session.register_table_with_policy(
+        "readings",
+        engine,
+        RoutePolicy {
+            confidence_threshold: 2.0, // force exact routing; feedback still flows
+            feedback: true,
+            publish_interval: 64,
+        },
+    );
+    session.register_model("readings", model).unwrap();
+    session.register_moments_model("readings", moments).unwrap();
+    session.set_feedback_queue_capacity("readings", 1).unwrap();
+
+    let sql = "SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.2";
+    let first = session.execute(sql).unwrap();
+    assert_eq!(first.route, Route::Exact);
+    assert!(
+        !first.feedback_dropped,
+        "the first example fits the 1-slot queue"
+    );
+    let second = session.execute(sql).unwrap();
+    assert!(
+        second.feedback_dropped,
+        "overflow must surface on the answer, not vanish"
+    );
+    let stats = session.router("readings").unwrap().stats();
+    assert_eq!(stats.feedback_enqueued, 1);
+    assert!(stats.feedback_dropped >= 1, "drops must be counted");
 }
