@@ -21,7 +21,11 @@
 //! 7. the sharded serve/train fabric — the same closed loop through
 //!    `regq_serve::ShardRouter` at shard counts {1, 2, 4, 8} with a fixed
 //!    reader pool, cross-shard fusion and bounded feedback queues live
-//!    (drops are counted, never silent).
+//!    (drops are counted, never silent);
+//! 8. the batched serving path — `predict_q1_batch`'s blocked Q×K
+//!    distance tiles vs the scalar per-query loop over the same
+//!    snapshot (batch sizes × K), plus the shard fabric's `q1_batch`
+//!    vs per-query `q1` at shard counts {1, 2, 4}.
 //!
 //! The emitted JSON carries a `host` object (core count, `--smoke`,
 //! os/arch) so single-core-container runs are machine-readable.
@@ -413,9 +417,9 @@ fn main() {
         let engine = ServeEngine::with_model(serve_exact(), pretrained.clone(), serve_policy);
         let r = serve_closed_loop(&engine, &reader_workload, readers, &writer_workload);
         eprintln!(
-            "  concurrent serving x{readers}: {:.0} qps, model share {:.2}, \
+            "  concurrent serving x{readers}: {} qps, model share {:.2}, \
              {} feedback examples, {} publishes",
-            r.qps(),
+            r.qps_label(),
             r.model_share(),
             r.feedback_fed,
             r.publishes
@@ -436,15 +440,129 @@ fn main() {
         let r =
             serve_closed_loop_sharded(&router, &reader_workload, shard_readers, &writer_workload);
         eprintln!(
-            "  sharded serving x{shards} shards: {:.0} qps, model share {:.2}, \
+            "  sharded serving x{shards} shards: {} qps, model share {:.2}, \
              feedback {} fed / {} dropped, {} publishes",
-            r.qps(),
+            r.qps_label(),
             r.model_share(),
             r.feedback_fed,
             r.feedback_dropped,
             r.publishes
         );
         shard_rows.push(r);
+    }
+
+    // ---- Section 8: batched serving — Q×K distance tiles vs the scalar
+    // per-query loop. Same snapshot, same queries, bit-identical answers;
+    // the only variable is how many queries share one arena pass. The
+    // scalar loop here pays the production serving cost (winner pass for
+    // confidence + overlap pass), so `speedup` is the end-to-end win of
+    // the fused batch resolution, not a kernel microbenchmark.
+    let batch_sizes: &[usize] = if smoke { &[1, 8, 64] } else { &[1, 8, 64, 256] };
+    // (K, scalar µs/query, per-batch-size (batch, µs/query) rows).
+    #[allow(clippy::type_complexity)]
+    let mut batched_rows: Vec<(usize, f64, Vec<(usize, f64)>)> = Vec::new();
+    for &k in serving_ks {
+        let model = build_serving_model(k, serving_d, 9000 + k as u64);
+        let snapshot = model.snapshot();
+        let serving_passes = passes.max(5);
+        let mut scalar_us = f64::INFINITY;
+        let mut batch_us: Vec<f64> = vec![f64::INFINITY; batch_sizes.len()];
+        // Interleaved min-of-passes, as in section 5.
+        for warmup_and_passes in 0..=serving_passes {
+            let timed = warmup_and_passes > 0;
+            let t0 = Instant::now();
+            for q in &serving_queries {
+                black_box(
+                    snapshot
+                        .predict_q1_with_confidence(q)
+                        .expect("trained model"),
+                );
+            }
+            if timed {
+                scalar_us =
+                    scalar_us.min(t0.elapsed().as_secs_f64() * 1e6 / serving_queries.len() as f64);
+            }
+            for (bi, &b) in batch_sizes.iter().enumerate() {
+                let t0 = Instant::now();
+                for chunk in serving_queries.chunks(b) {
+                    black_box(
+                        snapshot
+                            .predict_q1_with_confidence_batch(chunk)
+                            .expect("trained model"),
+                    );
+                }
+                if timed {
+                    batch_us[bi] = batch_us[bi]
+                        .min(t0.elapsed().as_secs_f64() * 1e6 / serving_queries.len() as f64);
+                }
+            }
+        }
+        let best = batch_us.iter().cloned().fold(f64::INFINITY, f64::min);
+        eprintln!(
+            "  batched serving K={k}: scalar {scalar_us:.2} us -> batch {:?} us \
+             (best {:.2}x)",
+            batch_us
+                .iter()
+                .map(|us| (us * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
+            scalar_us / best
+        );
+        batched_rows.push((
+            k,
+            scalar_us,
+            batch_sizes.iter().cloned().zip(batch_us).collect(),
+        ));
+    }
+
+    // Shard fan-out: the fabric's q1_batch vs per-query q1, all queries
+    // forced down the model route (threshold -1, feedback off) so the
+    // measurement is the serving fabric itself — guards, cross-shard
+    // fusion, batch resolution — not exact-engine traversals.
+    let batched_shard_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    let batched_shard_k = *serving_ks.last().expect("non-empty");
+    let batched_shard_batch = 64usize;
+    let shard_exact_data = bench::r2_dataset(serving_d, if smoke { 1_000 } else { 2_000 }, 8);
+    let batched_model = build_serving_model(batched_shard_k, serving_d, 12_000);
+    let mut batched_shard_rows: Vec<(usize, f64, f64)> = Vec::new();
+    for &shards in batched_shard_counts {
+        let router = ShardRouter::with_model(
+            ExactEngine::new(shard_exact_data.clone(), AccessPathKind::KdTree),
+            batched_model.clone(),
+            RoutePolicy {
+                confidence_threshold: -1.0,
+                feedback: false,
+                publish_interval: usize::MAX,
+            },
+            shards,
+        );
+        let serving_passes = passes.max(5);
+        let (mut scalar_us, mut batch_us) = (f64::INFINITY, f64::INFINITY);
+        for warmup_and_passes in 0..=serving_passes {
+            let timed = warmup_and_passes > 0;
+            let t0 = Instant::now();
+            for q in &serving_queries {
+                black_box(router.q1(q).expect("model route"));
+            }
+            if timed {
+                scalar_us =
+                    scalar_us.min(t0.elapsed().as_secs_f64() * 1e6 / serving_queries.len() as f64);
+            }
+            let t0 = Instant::now();
+            for chunk in serving_queries.chunks(batched_shard_batch) {
+                black_box(router.q1_batch(chunk).expect("model route"));
+            }
+            if timed {
+                batch_us =
+                    batch_us.min(t0.elapsed().as_secs_f64() * 1e6 / serving_queries.len() as f64);
+            }
+        }
+        eprintln!(
+            "  batched fabric x{shards} shards (K={batched_shard_k}, batch \
+             {batched_shard_batch}): scalar {scalar_us:.2} us -> batch {batch_us:.2} us \
+             ({:.2}x)",
+            scalar_us / batch_us
+        );
+        batched_shard_rows.push((shards, scalar_us, batch_us));
     }
 
     // ---- Emit JSON (hand-rolled: the serde shim's derives are no-ops).
@@ -607,7 +725,64 @@ fn main() {
             if i + 1 < shard_rows.len() { "," } else { "" }
         );
     }
-    json.push_str("    ]\n  }\n}\n");
+    json.push_str("    ]\n  },\n");
+    let _ = writeln!(
+        json,
+        "  \"serving_batched\": {{\n    \"dim\": {serving_d}, \"queries\": {}, \
+         \"note\": \"1-core host; answers bit-identical to the scalar path (the batch \
+         kernels replay the scalar summation order); scalar_us = per-query \
+         predict_q1_with_confidence loop, batch rows = predict_q1_with_confidence_batch \
+         over the same workload in chunks\",",
+        serving_queries.len()
+    );
+    json.push_str("    \"by_k\": [\n");
+    for (i, (k, scalar_us, per_batch)) in batched_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"k\": {k}, \"scalar_us\": {}, \"scalar_pred_per_s\": {}, \"batches\": [",
+            fmt_f(*scalar_us),
+            fmt_f(1e6 / scalar_us)
+        );
+        for (j, (b, us)) in per_batch.iter().enumerate() {
+            let _ = write!(
+                json,
+                "{}{{\"batch\": {b}, \"us\": {}, \"pred_per_s\": {}, \"speedup\": {}}}",
+                if j > 0 { ", " } else { "" },
+                fmt_f(*us),
+                fmt_f(1e6 / us),
+                fmt_f(scalar_us / us)
+            );
+        }
+        let _ = writeln!(
+            json,
+            "]}}{}",
+            if i + 1 < batched_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(
+        json,
+        "    \"fabric\": {{\"k\": {batched_shard_k}, \"batch\": {batched_shard_batch}, \
+         \"note\": \"ShardRouter q1_batch vs per-query q1, every query forced down the \
+         model route (threshold -1, feedback off): measures guards + cross-shard fusion \
+         + batch resolution, not exact traversals\", \"by_shards\": ["
+    );
+    for (i, (shards, scalar_us, batch_us)) in batched_shard_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"shards\": {shards}, \"scalar_us\": {}, \"batch_us\": {}, \
+             \"speedup\": {}}}{}",
+            fmt_f(*scalar_us),
+            fmt_f(*batch_us),
+            fmt_f(scalar_us / batch_us),
+            if i + 1 < batched_shard_rows.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    json.push_str("    ]}\n  }\n}\n");
 
     if smoke {
         println!("{json}");

@@ -31,8 +31,76 @@
 //! [`PrototypeRefMut`] over the arena blocks.
 
 use crate::prototype::Prototype;
+use crate::query::Query;
 use regq_linalg::vector;
 use serde::{Deserialize, Serialize};
+
+/// Queries resolved per prototype pass of
+/// [`PrototypeArena::resolve_batch`]: the per-query winner state and
+/// overlap scratch for one block stay cache-resident while the packed
+/// prototype blocks stream past them, one [`ROW_TILE`] cut at a time.
+const QUERY_BLOCK: usize = 16;
+
+/// Prototype rows per cut of the packed center block (must stay a
+/// multiple of 4 so the fused kernel's quad boundaries line up with the
+/// scalar pass's — the bit-identity argument in
+/// [`PrototypeArena::resolve_batch`] depends on it). One cut is
+/// `ROW_TILE × d` doubles — 2 KiB at `d = 4` — so it stays L1-resident
+/// while every query in the block runs
+/// [`vector::winner_overlap_block`] over it.
+const ROW_TILE: usize = 64;
+
+/// The result of one fused batched winner/overlap pass
+/// ([`PrototypeArena::resolve_batch`]): per query, the winner `(index,
+/// squared joint distance)` and the overlap neighborhood `W(q)` as CSR
+/// `(offsets, entries)` slices. Reusable — internal buffers are
+/// retained across calls, so a serving thread resolves batches
+/// allocation-free in steady state.
+#[derive(Debug, Default)]
+pub struct BatchResolution {
+    winners: Vec<(usize, f64)>,
+    offsets: Vec<usize>,
+    entries: Vec<(usize, f64)>,
+    // Scratch (retained capacity, contents meaningless between calls).
+    block_sets: Vec<Vec<(usize, f64)>>,
+}
+
+impl BatchResolution {
+    /// Empty resolution ready to be filled by
+    /// [`PrototypeArena::resolve_batch`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resolved queries.
+    pub fn len(&self) -> usize {
+        self.winners.len()
+    }
+
+    /// `true` when no queries are resolved.
+    pub fn is_empty(&self) -> bool {
+        self.winners.is_empty()
+    }
+
+    /// Winner `(index, squared joint distance)` of query `i` — identical
+    /// to [`PrototypeArena::winner`] for the same query.
+    pub fn winner(&self, i: usize) -> (usize, f64) {
+        self.winners[i]
+    }
+
+    /// Overlap neighborhood `W(q_i)` in ascending prototype index —
+    /// identical to [`PrototypeArena::overlap_set_into`] for the same
+    /// query.
+    pub fn overlap(&self, i: usize) -> &[(usize, f64)] {
+        &self.entries[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    fn clear(&mut self) {
+        self.winners.clear();
+        self.offsets.clear();
+        self.entries.clear();
+    }
+}
 
 /// Contiguous struct-of-arrays storage for `K` prototypes of dimension `d`.
 ///
@@ -436,6 +504,79 @@ impl PrototypeArena {
             k += 1;
         }
     }
+
+    /// Fused batched winner **and** overlap resolution: one pass over the
+    /// packed prototype blocks per query block, each center distance
+    /// computed once and reused for both the winner update and the
+    /// membership test (the scalar path pays two passes — winner, then
+    /// overlap — and computes every distance twice).
+    ///
+    /// **Bit-identity contract.** The whole resolution runs on
+    /// [`regq_linalg::vector::winner_overlap_block`], whose per-pair
+    /// summation order is exactly the scalar kernel's; the packed center
+    /// block is cut at `ROW_TILE` (a multiple of 4) rows, so quad
+    /// boundaries — and with them the `sq_dists4`-vs-`sq_dist` tail split
+    /// — line up with [`PrototypeArena::winner`] /
+    /// [`PrototypeArena::overlap_set_into`] for any `K`. Winner updates
+    /// keep strict-`<` ascending-scan semantics (ties keep the lowest
+    /// index), and overlap members are pushed in ascending index with the
+    /// same membership arithmetic, so for every query the resolution
+    /// equals the scalar calls **bit for bit** — the invariant the
+    /// `batch_equivalence` proptests pin.
+    ///
+    /// Must be called on a non-empty arena with dimension-checked
+    /// queries (the snapshot layer enforces both).
+    pub fn resolve_batch(&self, queries: &[Query], out: &mut BatchResolution) {
+        out.clear();
+        debug_assert!(self.len > 0, "resolve_batch: empty arena");
+        let d = self.dim;
+        let BatchResolution {
+            winners,
+            offsets,
+            entries,
+            block_sets,
+        } = out;
+        offsets.push(0);
+        while block_sets.len() < QUERY_BLOCK {
+            block_sets.push(Vec::new());
+        }
+        for block in queries.chunks(QUERY_BLOCK) {
+            let bq = block.len();
+            for q in block {
+                debug_assert_eq!(q.center.len(), d, "resolve_batch: dimension mismatch");
+            }
+            let mut best = [(0usize, f64::INFINITY); QUERY_BLOCK];
+            for set in block_sets.iter_mut().take(bq) {
+                set.clear();
+            }
+            let mut k = 0usize;
+            for rows in self.centers.chunks(ROW_TILE * d) {
+                let nr = rows.len() / d;
+                // `k` is a multiple of ROW_TILE (itself a multiple of 4),
+                // so quad boundaries inside the cut line up with the
+                // arena-global quad boundaries of the scalar kernels.
+                let radii = &self.radii[k..k + nr];
+                for (qi, q) in block.iter().enumerate() {
+                    vector::winner_overlap_block(
+                        &q.center,
+                        q.radius,
+                        rows,
+                        radii,
+                        d,
+                        k,
+                        &mut best[qi],
+                        &mut block_sets[qi],
+                    );
+                }
+                k += nr;
+            }
+            for qi in 0..bq {
+                winners.push(best[qi]);
+                entries.extend_from_slice(&block_sets[qi]);
+                offsets.push(entries.len());
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -545,6 +686,40 @@ mod tests {
                 .collect();
             assert_eq!(got, want, "k = {k}");
         }
+    }
+
+    #[test]
+    fn resolve_batch_is_bit_identical_to_scalar_passes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // K values straddling the quad and ROW_TILE boundaries.
+        for k in [1usize, 3, 4, 5, 63, 64, 65, 130] {
+            let arena = PrototypeArena::from_prototypes(3, &random_protos(k, 3, k as u64));
+            let queries: Vec<Query> = (0..37)
+                .map(|_| {
+                    let c: Vec<f64> = (0..3).map(|_| rng.random_range(-1.5..1.5)).collect();
+                    Query::new_unchecked(c, rng.random_range(0.01..1.0))
+                })
+                .collect();
+            let mut res = BatchResolution::new();
+            arena.resolve_batch(&queries, &mut res);
+            assert_eq!(res.len(), queries.len());
+            let mut scalar_set = Vec::new();
+            for (i, q) in queries.iter().enumerate() {
+                let want = arena.winner(&q.center, q.radius).unwrap();
+                assert_eq!(res.winner(i), want, "K={k} query {i} winner");
+                arena.overlap_set_into(&q.center, q.radius, &mut scalar_set);
+                assert_eq!(res.overlap(i), &scalar_set[..], "K={k} query {i} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_batch_of_empty_query_slice_is_empty() {
+        let arena = PrototypeArena::from_prototypes(2, &random_protos(5, 2, 1));
+        let mut res = BatchResolution::new();
+        arena.resolve_batch(&[], &mut res);
+        assert!(res.is_empty());
+        assert_eq!(res.len(), 0);
     }
 
     #[test]

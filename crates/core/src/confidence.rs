@@ -289,7 +289,7 @@ mod tests {
         // back to the winner prototype (today the δ > 0 membership filter
         // yields an *empty* set for this geometry; the non-empty
         // zero-total variant of the same decision is pinned directly in
-        // `predict::fusion_falls_back`'s unit test). The confidence
+        // `predict::fuse_weights_from_set`'s unit test). The confidence
         // assessment must describe that same path — winner support, zero
         // mass, fused = false — not a phantom fused route, because it now
         // *derives from* the prediction's own overlap-weight resolution.

@@ -68,18 +68,6 @@ pub(crate) fn for_each_overlap_weight_with_winner(
     drive_overlap_weights(arena, center, radius, Some(winner), f)
 }
 
-/// The fusion-degeneracy decision: fall back to the winner when the
-/// resolved set is empty, or when it is non-empty but carries zero total
-/// weight (every member exactly tangent). The second disjunct is
-/// unreachable through today's [`PrototypeArena::overlap_set_into`] —
-/// membership requires `δ > 0` — but is guarded (and unit-tested
-/// directly, since no end-to-end path can reach it) so a future widening
-/// of membership to the `A(q, q')` boundary cannot divide by zero.
-#[inline]
-fn fusion_falls_back(set: &[(usize, f64)], total: f64) -> bool {
-    fusion_degenerate(set.len(), total)
-}
-
 /// Length/total form of the fallback decision, shared with the
 /// cross-shard fusion driver ([`crate::snapshot`]'s sharded predictors),
 /// which stores its merged overlap set in a different shape. One function
@@ -90,34 +78,58 @@ pub(crate) fn fusion_degenerate(len: usize, total: f64) -> bool {
     len == 0 || total <= 0.0
 }
 
+/// Fold a *resolved* overlap set into normalized fusion weights: sum the
+/// degrees, decide degeneracy ([`fusion_degenerate`] — empty set, or a
+/// non-empty set whose members are all exactly tangent), and hand each
+/// `(k, δ/total)` pair to `f` — or the winner with weight 1 on the
+/// fallback path. `winner` is resolved lazily so the scalar no-winner
+/// path still skips its extra `O(dK)` scan unless the fallback fires.
+///
+/// This is the single fusion fold shared by the scalar drivers (below,
+/// via the thread-local scratch) and the batched predictors
+/// ([`crate::snapshot`], over CSR slices of a
+/// [`crate::arena::BatchResolution`]): one function, so the batch path
+/// replays the exact floating-point operation sequence of the scalar
+/// path — summation order, degeneracy rule, division — and stays
+/// bit-identical to it.
+pub(crate) fn fuse_weights_from_set(
+    set: &[(usize, f64)],
+    winner: impl FnOnce() -> usize,
+    mut f: impl FnMut(usize, f64),
+) -> FusionInfo {
+    let total: f64 = set.iter().map(|(_, d)| d).sum();
+    if fusion_degenerate(set.len(), total) {
+        f(winner(), 1.0);
+        FusionInfo {
+            fused: false,
+            mass: 0.0,
+        }
+    } else {
+        for &(k, d) in set {
+            f(k, d / total);
+        }
+        FusionInfo {
+            fused: true,
+            mass: total,
+        }
+    }
+}
+
 fn drive_overlap_weights(
     arena: &PrototypeArena,
     center: &[f64],
     radius: f64,
     winner: Option<usize>,
-    mut f: impl FnMut(usize, f64),
+    f: impl FnMut(usize, f64),
 ) -> FusionInfo {
     OVERLAP_SCRATCH.with(|scratch| {
         let mut w = scratch.borrow_mut();
         arena.overlap_set_into(center, radius, &mut w);
-        let total: f64 = w.iter().map(|(_, d)| d).sum();
-        if fusion_falls_back(&w, total) {
-            let j =
-                winner.unwrap_or_else(|| arena.winner(center, radius).expect("non-empty arena").0);
-            f(j, 1.0);
-            FusionInfo {
-                fused: false,
-                mass: 0.0,
-            }
-        } else {
-            for &(k, d) in w.iter() {
-                f(k, d / total);
-            }
-            FusionInfo {
-                fused: true,
-                mass: total,
-            }
-        }
+        fuse_weights_from_set(
+            &w,
+            || winner.unwrap_or_else(|| arena.winner(center, radius).expect("non-empty arena").0),
+            f,
+        )
     })
 }
 
@@ -408,13 +420,19 @@ mod tests {
         // end today (`overlap_set_into` filters δ = 0 members), so the
         // decision is pinned here directly: a non-empty but all-tangent
         // set must take the winner fallback, never the weighted fusion.
-        assert!(fusion_falls_back(&[], 0.0), "empty set falls back");
+        assert!(fusion_degenerate(0, 0.0), "empty set falls back");
         assert!(
-            fusion_falls_back(&[(0, 0.0), (3, 0.0)], 0.0),
+            fusion_degenerate(2, 0.0),
             "non-empty all-tangent set falls back (zero total weight)"
         );
-        assert!(!fusion_falls_back(&[(1, 0.5)], 0.5), "positive mass fuses");
-        assert!(!fusion_falls_back(&[(0, 1e-300), (2, 0.2)], 0.2 + 1e-300));
+        assert!(!fusion_degenerate(1, 0.5), "positive mass fuses");
+        assert!(!fusion_degenerate(2, 0.2 + 1e-300));
+        // And the shared fold takes the winner-with-weight-1 path on it.
+        let mut calls = Vec::new();
+        let info = fuse_weights_from_set(&[(0, 0.0), (3, 0.0)], || 7, |k, w| calls.push((k, w)));
+        assert_eq!(calls, vec![(7, 1.0)]);
+        assert!(!info.fused);
+        assert_eq!(info.mass, 0.0);
     }
 
     /// Model trained on a linear teacher y = 2 + x1 + x2 (mean over a ball

@@ -21,7 +21,7 @@
 //! `ServingSnapshot` bumps an `Arc` (the reader cost, paid by threads that
 //! pin a version across queries).
 
-use crate::arena::PrototypeArena;
+use crate::arena::{BatchResolution, PrototypeArena};
 use crate::confidence::{self, Confidence};
 use crate::config::ModelConfig;
 use crate::error::CoreError;
@@ -29,7 +29,21 @@ use crate::model::LlmModel;
 use crate::predict::{self, FusionInfo, LocalModel};
 use crate::prototype::Prototype;
 use crate::query::Query;
+use std::cell::RefCell;
 use std::sync::Arc;
+
+thread_local! {
+    /// Reusable batch-resolution scratch for the snapshot batch
+    /// predictors — like the scalar path's overlap scratch, it keeps the
+    /// batched serving path allocation-free per call in steady state.
+    static BATCH_SCRATCH: RefCell<BatchResolution> = RefCell::new(BatchResolution::new());
+
+    /// Per-part resolutions plus the merged-entry buffer for the sharded
+    /// batch predictors.
+    #[allow(clippy::type_complexity)]
+    static SHARD_BATCH_SCRATCH: RefCell<(Vec<BatchResolution>, Vec<(usize, usize, usize, f64)>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
 
 #[derive(Debug)]
 struct Inner {
@@ -219,6 +233,199 @@ impl ServingSnapshot {
         confidence::q2_with_confidence_over_arena(&self.inner.arena, self.inner.config.rho(), q)
             .ok_or(CoreError::EmptyModel)
     }
+
+    // ---- Batched serving -------------------------------------------------
+    //
+    // One fused winner+overlap pass over the arena per query block
+    // (`PrototypeArena::resolve_batch`), then the *same* per-query fusion
+    // fold the scalar path runs (`predict::fuse_weights_from_set`). Every
+    // batch answer is therefore **bit-identical** to the corresponding
+    // scalar call on the same snapshot — the equivalence contract this
+    // reproduction chose (see the `batch_equivalence` test battery) over
+    // the re-baselined-tolerance alternative.
+
+    /// Shared driver of the batch predictors: validate, resolve the batch
+    /// in the thread-local scratch, then fold each query. An empty batch
+    /// short-circuits to an empty result *before* the model checks, so a
+    /// zero-length request never errors.
+    fn batch_fold<T>(
+        &self,
+        queries: &[Query],
+        mut per_query: impl FnMut(&PrototypeArena, &Query, (usize, f64), &[(usize, f64)]) -> T,
+    ) -> Result<Vec<T>, CoreError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        for q in queries {
+            self.check_query(q)?;
+        }
+        BATCH_SCRATCH.with(|scratch| {
+            let mut res = scratch.borrow_mut();
+            let arena = &self.inner.arena;
+            arena.resolve_batch(queries, &mut res);
+            Ok(queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| per_query(arena, q, res.winner(i), res.overlap(i)))
+                .collect())
+        })
+    }
+
+    /// Batched Algorithm 2 (Q1): `out[i]` is bit-identical to
+    /// [`ServingSnapshot::predict_q1`] on `queries[i]`, computed from one
+    /// fused pass over the arena per query block.
+    ///
+    /// # Errors
+    /// [`CoreError::DimensionMismatch`] on the first wrong-dimension
+    /// query, [`CoreError::EmptyModel`] on an empty snapshot (a
+    /// zero-length batch returns `Ok(vec![])` without either check).
+    pub fn predict_q1_batch(&self, queries: &[Query]) -> Result<Vec<f64>, CoreError> {
+        self.batch_fold(queries, |arena, q, (wk, _), set| {
+            let mut yhat = 0.0;
+            predict::fuse_weights_from_set(
+                set,
+                || wk,
+                |k, w| {
+                    yhat += w * arena.eval(k, &q.center, q.radius);
+                },
+            );
+            yhat
+        })
+    }
+
+    /// Batched Algorithm 3 (Q2): `out[i]` is bit-identical to
+    /// [`ServingSnapshot::predict_q2`] on `queries[i]`.
+    ///
+    /// # Errors
+    /// Same as [`ServingSnapshot::predict_q1_batch`].
+    pub fn predict_q2_batch(&self, queries: &[Query]) -> Result<Vec<Vec<LocalModel>>, CoreError> {
+        self.batch_fold(queries, |arena, _, (wk, _), set| {
+            let mut s = Vec::new();
+            predict::fuse_weights_from_set(
+                set,
+                || wk,
+                |k, w| {
+                    s.push(predict::local_model_at(arena, k, w));
+                },
+            );
+            s
+        })
+    }
+
+    /// Batched Eq. 14 (data value): `out[i]` is bit-identical to
+    /// [`ServingSnapshot::predict_value`] on `(queries[i], xs[i])`.
+    ///
+    /// # Errors
+    /// Same as [`ServingSnapshot::predict_q1_batch`], plus a dimension
+    /// check on every probe point.
+    ///
+    /// # Panics
+    /// Panics when `queries` and `xs` have different lengths (a malformed
+    /// request shape, as with ragged slices in the kernels below).
+    pub fn predict_value_batch(
+        &self,
+        queries: &[Query],
+        xs: &[Vec<f64>],
+    ) -> Result<Vec<f64>, CoreError> {
+        assert_eq!(
+            queries.len(),
+            xs.len(),
+            "predict_value_batch: query/probe length mismatch"
+        );
+        for x in xs {
+            if x.len() != self.dim() {
+                return Err(CoreError::DimensionMismatch {
+                    expected: self.dim(),
+                    actual: x.len(),
+                });
+            }
+        }
+        let mut i = 0usize;
+        self.batch_fold(queries, |arena, _, (wk, _), set| {
+            let x = &xs[i];
+            i += 1;
+            let mut uhat = 0.0;
+            predict::fuse_weights_from_set(
+                set,
+                || wk,
+                |k, w| {
+                    uhat += w * arena.eval_at_own_radius(k, x);
+                },
+            );
+            uhat
+        })
+    }
+
+    /// Batched confidence assessment: `out[i]` is bit-identical to
+    /// [`ServingSnapshot::confidence`] on `queries[i]`.
+    ///
+    /// # Errors
+    /// Same as [`ServingSnapshot::predict_q1_batch`].
+    pub fn confidence_batch(&self, queries: &[Query]) -> Result<Vec<Confidence>, CoreError> {
+        let rho = self.inner.config.rho();
+        self.batch_fold(queries, |arena, _, (wk, wsq), set| {
+            let mut support_updates = 0.0;
+            let info = predict::fuse_weights_from_set(
+                set,
+                || wk,
+                |k, w| {
+                    support_updates += w * arena.updates(k) as f64;
+                },
+            );
+            confidence::combine(wsq, rho, support_updates, info)
+        })
+    }
+
+    /// Batched Q1 + confidence (the serving layers' routing fast path,
+    /// batch form): `out[i]` is bit-identical to
+    /// [`ServingSnapshot::predict_q1_with_confidence`] on `queries[i]`.
+    ///
+    /// # Errors
+    /// Same as [`ServingSnapshot::predict_q1_batch`].
+    pub fn predict_q1_with_confidence_batch(
+        &self,
+        queries: &[Query],
+    ) -> Result<Vec<(f64, Confidence)>, CoreError> {
+        let rho = self.inner.config.rho();
+        self.batch_fold(queries, |arena, q, (wk, wsq), set| {
+            let mut yhat = 0.0;
+            let mut support_updates = 0.0;
+            let info = predict::fuse_weights_from_set(
+                set,
+                || wk,
+                |k, w| {
+                    yhat += w * arena.eval(k, &q.center, q.radius);
+                    support_updates += w * arena.updates(k) as f64;
+                },
+            );
+            (yhat, confidence::combine(wsq, rho, support_updates, info))
+        })
+    }
+
+    /// Batched Q2 + confidence: `out[i]` is bit-identical to
+    /// [`ServingSnapshot::predict_q2_with_confidence`] on `queries[i]`.
+    ///
+    /// # Errors
+    /// Same as [`ServingSnapshot::predict_q1_batch`].
+    pub fn predict_q2_with_confidence_batch(
+        &self,
+        queries: &[Query],
+    ) -> Result<Vec<(Vec<LocalModel>, Confidence)>, CoreError> {
+        let rho = self.inner.config.rho();
+        self.batch_fold(queries, |arena, _, (wk, wsq), set| {
+            let mut s = Vec::new();
+            let mut support_updates = 0.0;
+            let info = predict::fuse_weights_from_set(
+                set,
+                || wk,
+                |k, w| {
+                    s.push(predict::local_model_at(arena, k, w));
+                    support_updates += w * arena.updates(k) as f64;
+                },
+            );
+            (s, confidence::combine(wsq, rho, support_updates, info))
+        })
+    }
 }
 
 impl LlmModel {
@@ -287,7 +494,7 @@ fn drive_sharded_overlap(
     parts: &[ShardPart<'_>],
     q: &Query,
     winner: (usize, usize),
-    mut apply: impl FnMut(usize, usize, f64),
+    apply: impl FnMut(usize, usize, f64),
 ) -> FusionInfo {
     // (gid, part, local, δ) — sorted by gid below; ids are disjoint, so
     // the sort is a deterministic k-way merge into global arena order.
@@ -300,6 +507,20 @@ fn drive_sharded_overlap(
         }
     }
     entries.sort_unstable_by_key(|e| e.0);
+    fuse_sharded_entries(&entries, winner, apply)
+}
+
+/// The fold half of the sharded fusion driver, over an already-merged,
+/// gid-sorted entry list: sum the degrees in global arena order, decide
+/// degeneracy with the shared rule, and apply either the normalized
+/// weights or the winner fallback. Shared by the scalar driver above and
+/// the batched driver ([`sharded_batch_drive`]) so the two replay one
+/// floating-point operation sequence.
+fn fuse_sharded_entries(
+    entries: &[(usize, usize, usize, f64)],
+    winner: (usize, usize),
+    mut apply: impl FnMut(usize, usize, f64),
+) -> FusionInfo {
     let total: f64 = entries.iter().map(|e| e.3).sum();
     if predict::fusion_degenerate(entries.len(), total) {
         let (wp, wl) = winner;
@@ -309,7 +530,7 @@ fn drive_sharded_overlap(
             mass: 0.0,
         }
     } else {
-        for &(_, pi, lk, d) in &entries {
+        for &(_, pi, lk, d) in entries {
             apply(pi, lk, d / total);
         }
         FusionInfo {
@@ -363,6 +584,119 @@ pub fn sharded_q2_with_confidence(
         s,
         confidence::combine(winner_sq, rho, support_updates, info),
     ))
+}
+
+/// Shared driver of the sharded **batch** predictors: resolve the whole
+/// batch once per part (one fused arena pass per shard, amortized over
+/// the query block), then per query replay the scalar sharded path —
+/// winner selection with the same strict-`<`/lowest-gid tie-break as
+/// [`sharded_winner`], the same gid-sorted entry merge as the scalar
+/// driver, and the shared [`fuse_sharded_entries`] fold. `out[i]` is
+/// `None` exactly when the scalar call would return `None` (every part
+/// empty).
+fn sharded_batch_drive<T>(
+    parts: &[ShardPart<'_>],
+    queries: &[Query],
+    mut per_query: impl FnMut(&Query, (usize, usize, f64), &[(usize, usize, usize, f64)]) -> T,
+) -> Vec<Option<T>> {
+    if queries.is_empty() {
+        return Vec::new();
+    }
+    SHARD_BATCH_SCRATCH.with(|scratch| {
+        let mut s = scratch.borrow_mut();
+        let (resolutions, merged) = &mut *s;
+        while resolutions.len() < parts.len() {
+            resolutions.push(BatchResolution::new());
+        }
+        for (pi, part) in parts.iter().enumerate() {
+            debug_assert_eq!(part.ids.len(), part.snapshot.k(), "ids must map every slot");
+            if part.snapshot.k() == 0 {
+                continue;
+            }
+            part.snapshot
+                .arena()
+                .resolve_batch(queries, &mut resolutions[pi]);
+        }
+        queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let mut best: Option<(usize, usize, f64, usize)> = None;
+                for (pi, part) in parts.iter().enumerate() {
+                    if part.snapshot.k() == 0 {
+                        continue;
+                    }
+                    let (lk, sq) = resolutions[pi].winner(i);
+                    let gid = part.ids[lk];
+                    let better = match best {
+                        None => true,
+                        Some((_, _, best_sq, best_gid)) => {
+                            sq < best_sq || (sq == best_sq && gid < best_gid)
+                        }
+                    };
+                    if better {
+                        best = Some((pi, lk, sq, gid));
+                    }
+                }
+                let (wp, wl, wsq, _) = best?;
+                merged.clear();
+                for (pi, part) in parts.iter().enumerate() {
+                    if part.snapshot.k() == 0 {
+                        continue;
+                    }
+                    for &(lk, d) in resolutions[pi].overlap(i) {
+                        merged.push((part.ids[lk], pi, lk, d));
+                    }
+                }
+                merged.sort_unstable_by_key(|e| e.0);
+                Some(per_query(q, (wp, wl, wsq), merged))
+            })
+            .collect()
+    })
+}
+
+/// Batched Q1 + confidence fused across shards: `out[i]` is bit-identical
+/// to [`sharded_q1_with_confidence`] on `queries[i]` — and therefore to
+/// the unsharded [`ServingSnapshot::predict_q1_with_confidence`] under
+/// the [`ShardPart`] invariants. Queries must be dimension-checked by the
+/// caller (the serve fabric does this up front).
+pub fn sharded_q1_with_confidence_batch(
+    parts: &[ShardPart<'_>],
+    queries: &[Query],
+) -> Vec<Option<(f64, Confidence)>> {
+    sharded_batch_drive(parts, queries, |q, (wp, wl, wsq), entries| {
+        let rho = parts[wp].snapshot.config().rho();
+        let mut yhat = 0.0;
+        let mut support_updates = 0.0;
+        let info = fuse_sharded_entries(entries, (wp, wl), |pi, lk, w| {
+            let arena = parts[pi].snapshot.arena();
+            yhat += w * arena.eval(lk, &q.center, q.radius);
+            support_updates += w * arena.updates(lk) as f64;
+        });
+        (yhat, confidence::combine(wsq, rho, support_updates, info))
+    })
+}
+
+/// Batched Q2 + confidence fused across shards: `out[i]` is bit-identical
+/// to [`sharded_q2_with_confidence`] on `queries[i]`, global prototype
+/// ids included.
+pub fn sharded_q2_with_confidence_batch(
+    parts: &[ShardPart<'_>],
+    queries: &[Query],
+) -> Vec<Option<(Vec<LocalModel>, Confidence)>> {
+    sharded_batch_drive(parts, queries, |_, (wp, wl, wsq), entries| {
+        let rho = parts[wp].snapshot.config().rho();
+        let mut s = Vec::new();
+        let mut support_updates = 0.0;
+        let info = fuse_sharded_entries(entries, (wp, wl), |pi, lk, w| {
+            let arena = parts[pi].snapshot.arena();
+            let mut lm = predict::local_model_at(arena, lk, w);
+            lm.prototype = parts[pi].ids[lk];
+            s.push(lm);
+            support_updates += w * arena.updates(lk) as f64;
+        });
+        (s, confidence::combine(wsq, rho, support_updates, info))
+    })
 }
 
 #[cfg(test)]
@@ -542,6 +876,95 @@ mod tests {
                 assert_eq!(conf, fconf);
             }
         }
+    }
+
+    #[test]
+    fn batch_predictors_are_bit_identical_to_scalar_calls() {
+        let m = trained(31, 4_000);
+        let s = m.snapshot();
+        let probes = probe_grid();
+        let xs: Vec<Vec<f64>> = probes.iter().map(|p| p.center.clone()).collect();
+        let q1 = s.predict_q1_batch(&probes).unwrap();
+        let q2 = s.predict_q2_batch(&probes).unwrap();
+        let vals = s.predict_value_batch(&probes, &xs).unwrap();
+        let confs = s.confidence_batch(&probes).unwrap();
+        let q1c = s.predict_q1_with_confidence_batch(&probes).unwrap();
+        let q2c = s.predict_q2_with_confidence_batch(&probes).unwrap();
+        for (i, probe) in probes.iter().enumerate() {
+            assert_eq!(q1[i].to_bits(), s.predict_q1(probe).unwrap().to_bits());
+            assert_eq!(q2[i], s.predict_q2(probe).unwrap());
+            assert_eq!(
+                vals[i].to_bits(),
+                s.predict_value(probe, &probe.center).unwrap().to_bits()
+            );
+            assert_eq!(confs[i], s.confidence(probe).unwrap());
+            assert_eq!(q1c[i], s.predict_q1_with_confidence(probe).unwrap());
+            assert_eq!(q2c[i], s.predict_q2_with_confidence(probe).unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_predictor_edges_are_typed_not_panics() {
+        let m = trained(32, 2_000);
+        let s = m.snapshot();
+        // Empty batch: empty result, no model checks.
+        assert_eq!(s.predict_q1_batch(&[]).unwrap(), Vec::<f64>::new());
+        let empty = LlmModel::new(ModelConfig::with_vigilance(2, 0.15))
+            .unwrap()
+            .snapshot();
+        assert!(empty.predict_q1_batch(&[]).unwrap().is_empty());
+        assert_eq!(
+            empty.predict_q1_batch(&[q(&[0.5, 0.5], 0.1)]),
+            Err(CoreError::EmptyModel)
+        );
+        // Wrong-dimension query anywhere in the batch: typed error.
+        let batch = [q(&[0.5, 0.5], 0.1), q(&[0.5, 0.5, 0.5], 0.1)];
+        assert_eq!(
+            s.predict_q1_batch(&batch),
+            Err(CoreError::DimensionMismatch {
+                expected: 2,
+                actual: 3
+            })
+        );
+        assert_eq!(
+            s.predict_q2_with_confidence_batch(&batch).unwrap_err(),
+            CoreError::DimensionMismatch {
+                expected: 2,
+                actual: 3
+            }
+        );
+        // Wrong-dimension probe point on the value path.
+        assert_eq!(
+            s.predict_value_batch(&[q(&[0.5, 0.5], 0.1)], &[vec![0.1]]),
+            Err(CoreError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
+        );
+    }
+
+    #[test]
+    fn sharded_batch_fusion_matches_scalar_sharded_calls() {
+        let m = trained(33, 4_000);
+        let probes = probe_grid();
+        for n in [1usize, 2, 3, 5] {
+            let split = split_round_robin(&m, n);
+            let parts: Vec<ShardPart<'_>> = split
+                .iter()
+                .map(|(s, ids)| ShardPart { snapshot: s, ids })
+                .collect();
+            let q1 = sharded_q1_with_confidence_batch(&parts, &probes);
+            let q2 = sharded_q2_with_confidence_batch(&parts, &probes);
+            for (i, probe) in probes.iter().enumerate() {
+                assert_eq!(q1[i], sharded_q1_with_confidence(&parts, probe), "n={n}");
+                assert_eq!(q2[i], sharded_q2_with_confidence(&parts, probe), "n={n}");
+            }
+        }
+        // Empty parts → per-query None; empty batch → empty vec.
+        assert!(sharded_q1_with_confidence_batch(&[], &probes)
+            .iter()
+            .all(Option::is_none));
+        assert!(sharded_q1_with_confidence_batch(&[], &[]).is_empty());
     }
 
     #[test]

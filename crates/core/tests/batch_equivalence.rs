@@ -1,0 +1,220 @@
+//! The acceptance gate for the batched serving path.
+//!
+//! # Equivalence contract
+//!
+//! The batched serving path is **bit-identical** to the scalar serving
+//! path — not merely close. A batch of any size, over any shard layout,
+//! returns for every query *exactly* the bytes the scalar call sequence
+//! returns for that query: the fused winner/overlap kernel
+//! ([`regq_linalg::vector::winner_overlap_block`]) performs per
+//! `(query, prototype)` pair exactly the additions of the scalar kernels
+//! in the same order, winner ties keep the lowest index (lowest global id
+//! across shards), overlap members fuse in ascending (global) prototype
+//! order, and the per-query folds are the shared scalar folds. The only
+//! intended difference is *consistency*, not *value*: a batch resolves
+//! every query against one snapshot, where a scalar loop may straddle a
+//! republish.
+//!
+//! These properties pin that contract across shard counts {1, 2, 4, 8}
+//! (including an empty shard) × batch sizes {1, 7, 64, 1000}, with balls
+//! that straddle the trained domain's boundary and dwarf the prototype
+//! radii. On failure the proptest shim prints a `REGQ_PROPTEST_SEED=<n>`
+//! line — re-run with that env var set to reproduce the exact case.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use regq_core::{
+    sharded_q1_with_confidence, sharded_q1_with_confidence_batch, sharded_q2_with_confidence,
+    sharded_q2_with_confidence_batch, LlmModel, ModelConfig, Query, ServingSnapshot, ShardPart,
+};
+use std::sync::OnceLock;
+
+const BATCH_SIZES: [usize; 4] = [1, 7, 64, 1000];
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One trained 2-d snapshot for the single-arena batch predictors.
+fn trained_snapshot() -> &'static ServingSnapshot {
+    static SNAP: OnceLock<ServingSnapshot> = OnceLock::new();
+    SNAP.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut cfg = ModelConfig::with_vigilance(2, 0.12);
+        cfg.gamma = 1e-4;
+        let mut m = LlmModel::new(cfg).unwrap();
+        m.fit_stream((0..12_000).map(|_| {
+            let c: Vec<f64> = (0..2).map(|_| rng.random_range(0.0..1.0)).collect();
+            let y = (4.0 * c[0]).sin() + c[1] * c[1];
+            (Query::new_unchecked(c, rng.random_range(0.05..0.15)), y)
+        }))
+        .unwrap();
+        m.snapshot()
+    })
+}
+
+/// Per shard count, the published parts: `(snapshot, global ids)` with
+/// ids strictly ascending per part and disjoint across parts (the
+/// [`ShardPart`] invariants). For 4 and 8 shards the last trained slot is
+/// followed by an **empty** shard, pinning the empty-part skip on both
+/// sides of the contract.
+#[allow(clippy::type_complexity)]
+fn sharded_fixtures() -> &'static Vec<(usize, Vec<(ServingSnapshot, Vec<usize>)>)> {
+    static PARTS: OnceLock<Vec<(usize, Vec<(ServingSnapshot, Vec<usize>)>)>> = OnceLock::new();
+    PARTS.get_or_init(|| {
+        SHARD_COUNTS
+            .iter()
+            .map(|&shards| {
+                let trained = if shards > 2 { shards - 1 } else { shards };
+                let mut fixtures: Vec<(ServingSnapshot, Vec<usize>)> = (0..trained)
+                    .map(|si| {
+                        let mut rng = StdRng::seed_from_u64(31 + 7 * si as u64);
+                        let mut cfg = ModelConfig::with_vigilance(2, 0.15);
+                        cfg.gamma = 1e-4;
+                        let mut m = LlmModel::new(cfg).unwrap();
+                        // Each shard trains on its own slice of the domain,
+                        // so shard boundaries fall inside [0, 1]² and wide
+                        // probe balls straddle them.
+                        let lo = si as f64 / trained as f64;
+                        let hi = (si + 1) as f64 / trained as f64;
+                        m.fit_stream((0..4_000).map(|_| {
+                            let c = vec![rng.random_range(lo..hi), rng.random_range(0.0..1.0)];
+                            let y = c[0] - 2.0 * c[1];
+                            (Query::new_unchecked(c, rng.random_range(0.05..0.2)), y)
+                        }))
+                        .unwrap();
+                        let snapshot = m.snapshot();
+                        let ids = (0..snapshot.k()).map(|lk| lk * trained + si).collect();
+                        (snapshot, ids)
+                    })
+                    .collect();
+                if trained < shards {
+                    let empty = LlmModel::new(ModelConfig::paper_defaults(2)).unwrap();
+                    fixtures.push((empty.snapshot(), Vec::new()));
+                }
+                (shards, fixtures)
+            })
+            .collect()
+    })
+}
+
+fn borrow_parts(fixtures: &[(ServingSnapshot, Vec<usize>)]) -> Vec<ShardPart<'_>> {
+    fixtures
+        .iter()
+        .map(|(snapshot, ids)| ShardPart { snapshot, ids })
+        .collect()
+}
+
+/// `n` probe balls: the proptest-chosen seed ball first, then a seeded
+/// stream of balls spanning centers in [-0.5, 1.5]² (straddling the
+/// trained [0, 1]² domain and every internal shard boundary) and radii
+/// from prototype-sized (0.01) to domain-dwarfing (1.5).
+fn probe_balls(seed_ball: &Query, rng_seed: u64, n: usize) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut out = vec![seed_ball.clone()];
+    while out.len() < n {
+        let c: Vec<f64> = (0..2).map(|_| rng.random_range(-0.5..1.5)).collect();
+        out.push(Query::new_unchecked(c, rng.random_range(0.01..1.5)));
+    }
+    out
+}
+
+#[test]
+fn fixtures_cover_the_shard_matrix() {
+    let all = sharded_fixtures();
+    assert_eq!(all.len(), SHARD_COUNTS.len());
+    for (shards, fixtures) in all {
+        assert_eq!(fixtures.len(), *shards);
+        let trained: Vec<_> = fixtures.iter().filter(|(s, _)| s.k() > 0).collect();
+        assert!(!trained.is_empty());
+        if *shards > 2 {
+            assert_eq!(fixtures.last().unwrap().0.k(), 0, "last shard stays empty");
+        }
+        // The ShardPart id invariants the equivalence argument leans on.
+        let mut seen = std::collections::BTreeSet::new();
+        for (snapshot, ids) in fixtures.iter() {
+            assert_eq!(ids.len(), snapshot.k());
+            assert!(ids.windows(2).all(|w| w[0] < w[1]));
+            for id in ids {
+                assert!(seen.insert(*id), "global ids must be disjoint");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every single-arena batch predictor equals its scalar loop, bit for
+    /// bit, at every batch size.
+    #[test]
+    fn snapshot_batch_predictors_match_scalar_loops(
+        coords in prop::collection::vec(-0.5..1.5f64, 2),
+        radius in 0.01..1.5f64,
+        rng_seed in any::<u64>(),
+    ) {
+        let snap = trained_snapshot();
+        let seed_ball = Query::new_unchecked(coords, radius);
+        for &size in &BATCH_SIZES {
+            let queries = probe_balls(&seed_ball, rng_seed, size);
+            let q1 = snap.predict_q1_batch(&queries).unwrap();
+            let q2 = snap.predict_q2_batch(&queries).unwrap();
+            let conf = snap.confidence_batch(&queries).unwrap();
+            let q1c = snap.predict_q1_with_confidence_batch(&queries).unwrap();
+            let q2c = snap.predict_q2_with_confidence_batch(&queries).unwrap();
+            let xs: Vec<Vec<f64>> = queries.iter().map(|q| q.center.clone()).collect();
+            let values = snap.predict_value_batch(&queries, &xs).unwrap();
+            for (i, q) in queries.iter().enumerate() {
+                prop_assert_eq!(q1[i], snap.predict_q1(q).unwrap());
+                prop_assert_eq!(&q2[i], &snap.predict_q2(q).unwrap());
+                prop_assert_eq!(&conf[i], &snap.confidence(q).unwrap());
+                prop_assert_eq!(&q1c[i], &snap.predict_q1_with_confidence(q).unwrap());
+                prop_assert_eq!(&q2c[i], &snap.predict_q2_with_confidence(q).unwrap());
+                prop_assert_eq!(values[i], snap.predict_value(q, &q.center).unwrap());
+            }
+        }
+    }
+
+    /// The cross-shard batch drivers equal the scalar sharded calls, bit
+    /// for bit, across the full shard-count × batch-size matrix.
+    #[test]
+    fn sharded_batch_drivers_match_scalar_loops(
+        coords in prop::collection::vec(-0.5..1.5f64, 2),
+        radius in 0.01..1.5f64,
+        rng_seed in any::<u64>(),
+    ) {
+        let seed_ball = Query::new_unchecked(coords, radius);
+        for (_, fixtures) in sharded_fixtures() {
+            let parts = borrow_parts(fixtures);
+            for &size in &BATCH_SIZES {
+                let queries = probe_balls(&seed_ball, rng_seed, size);
+                let q1 = sharded_q1_with_confidence_batch(&parts, &queries);
+                let q2 = sharded_q2_with_confidence_batch(&parts, &queries);
+                prop_assert_eq!(q1.len(), queries.len());
+                prop_assert_eq!(q2.len(), queries.len());
+                for (i, q) in queries.iter().enumerate() {
+                    prop_assert_eq!(&q1[i], &sharded_q1_with_confidence(&parts, q));
+                    prop_assert_eq!(&q2[i], &sharded_q2_with_confidence(&parts, q));
+                }
+            }
+        }
+    }
+
+    /// Degenerate batches: empty in, empty out; a 1-query batch is the
+    /// scalar call.
+    #[test]
+    fn batch_edges_hold(
+        coords in prop::collection::vec(-0.5..1.5f64, 2),
+        radius in 0.01..1.5f64,
+    ) {
+        let snap = trained_snapshot();
+        prop_assert!(snap.predict_q1_batch(&[]).unwrap().is_empty());
+        let q = Query::new_unchecked(coords, radius);
+        let lone = snap.predict_q1_with_confidence_batch(std::slice::from_ref(&q)).unwrap();
+        prop_assert_eq!(&lone[0], &snap.predict_q1_with_confidence(&q).unwrap());
+        for (_, fixtures) in sharded_fixtures() {
+            let parts = borrow_parts(fixtures);
+            prop_assert!(sharded_q1_with_confidence_batch(&parts, &[]).is_empty());
+            let lone = sharded_q1_with_confidence_batch(&parts, std::slice::from_ref(&q));
+            prop_assert_eq!(&lone[0], &sharded_q1_with_confidence(&parts, &q));
+        }
+    }
+}

@@ -278,6 +278,254 @@ pub fn sq_dists_into(q: &[f64], rows: &[f64], dim: usize, out: &mut Vec<f64>) {
     }
 }
 
+/// Q×R squared-distance tile: `out[qi * nrows + r] = ‖q_qi − row_r‖₂²`
+/// for every query row of `queries` (`nq` rows, `dim`-strided) against
+/// every row of `rows`, in **lockstep summation order**.
+///
+/// This is the batched-serving tile kernel on the *bit-identical* side of
+/// the equivalence contract: each `(query, row)` pair runs exactly the
+/// additions of a scalar [`sq_dist`], in the same order (quads via
+/// [`sq_dists4`], tail via [`sq_dist`]), so a batch of size 1 — and every
+/// larger batch — reproduces the scalar serving path bit for bit. The
+/// batching win is memory-shaped, not algebraic: each 4-row prototype
+/// block is loaded once and reused across the whole query block, instead
+/// of once per query.
+///
+/// For the GEMM-shaped expanded form (`‖q‖² + ‖r‖² − 2q·r`), which
+/// re-associates the summation and is therefore *not* bit-identical, see
+/// [`sq_dist_tile_expanded`].
+///
+/// # Panics
+/// Panics in debug builds on ragged blocks or an undersized `out`
+/// (`out.len() ≥ nq * nrows` required; only the tile prefix is written).
+pub fn sq_dist_tile(queries: &[f64], nq: usize, rows: &[f64], dim: usize, out: &mut [f64]) {
+    debug_assert!(dim > 0, "sq_dist_tile: dim must be positive");
+    debug_assert_eq!(queries.len(), nq * dim, "sq_dist_tile: ragged query block");
+    debug_assert_eq!(rows.len() % dim, 0, "sq_dist_tile: ragged row block");
+    let nrows = rows.len() / dim;
+    debug_assert!(out.len() >= nq * nrows, "sq_dist_tile: undersized out");
+    if nrows == 0 {
+        return;
+    }
+    // Queries outer, row quads inner: the caller keeps `rows` small enough
+    // to stay L1-resident (one ROW_TILE cut), so every query streams the
+    // same hot block while its output row fills contiguously — no strided
+    // stores, and the zipped exact chunks elide every bounds check.
+    for (q, orow) in queries
+        .chunks_exact(dim)
+        .zip(out.chunks_exact_mut(nrows))
+        .take(nq)
+    {
+        let mut quads = rows.chunks_exact(4 * dim);
+        let mut ochunks = orow.chunks_exact_mut(4);
+        for (quad, o) in quads.by_ref().zip(ochunks.by_ref()) {
+            let sq = sq_dists4(q, quad, dim);
+            o[0] = sq[0];
+            o[1] = sq[1];
+            o[2] = sq[2];
+            o[3] = sq[3];
+        }
+        for (row, o) in quads
+            .remainder()
+            .chunks_exact(dim)
+            .zip(ochunks.into_remainder())
+        {
+            *o = sq_dist(q, row);
+        }
+    }
+}
+
+/// Fused blocked winner-and-overlap kernel for one query over an
+/// L1-sized cut of a packed ball block: squared center distances come out
+/// of [`sq_dists4`] quad by quad and are consumed **in registers** — each
+/// feeds the running winner update (squared *joint* distance
+/// `‖c − q‖² + (θ_q − θ_k)²`, strict `<`, ties keep the lowest index) and
+/// the overlap membership test (`‖c − q‖² ≤ (θ_q + θ_k)²`, degree
+/// `1 − spread / (θ_q + θ_k)` with `spread = max(‖c − q‖, |θ_q − θ_k|)`,
+/// appended as `(row index, degree)` when positive) without ever
+/// materializing the distance row.
+///
+/// This is the serving path's side of the bit-identity contract: per row
+/// the additions are exactly a scalar [`sq_dist`]'s, in the same order
+/// (quads via [`sq_dists4`], tail via [`sq_dist`]), the winner update is
+/// a branchless 4-wide compare whose rare improving quad falls back to
+/// the exact ascending strict-`<` scan (ties keep the lowest index), and
+/// members are pushed in
+/// ascending row order. Callers cut `rows` at multiples of four rows so
+/// quad boundaries — and with them the quad-vs-tail split — line up with
+/// an uncut pass for any block length.
+///
+/// `base` is the global index of the cut's first row: winner indices and
+/// membership entries come out in the caller's global numbering, and
+/// `best` carries the running winner across cuts (seed with
+/// `(0, f64::INFINITY)`).
+///
+/// # Panics
+/// Panics in debug builds on ragged blocks or `rows`/`radii` length
+/// disagreement.
+#[inline]
+// Flat scalar parameters on purpose: bundling them into a struct would
+// buy nothing at the single call site and this is the innermost serving
+// kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn winner_overlap_block(
+    q: &[f64],
+    q_radius: f64,
+    rows: &[f64],
+    radii: &[f64],
+    dim: usize,
+    base: usize,
+    best: &mut (usize, f64),
+    hits: &mut Vec<(usize, f64)>,
+) {
+    debug_assert!(dim > 0, "winner_overlap_block: dim must be positive");
+    debug_assert_eq!(
+        rows.len() % dim,
+        0,
+        "winner_overlap_block: ragged row block"
+    );
+    debug_assert_eq!(
+        rows.len() / dim,
+        radii.len(),
+        "winner_overlap_block: rows/radii length mismatch"
+    );
+    let (mut best_k, mut best_sq) = *best;
+    let mut k = base;
+    let mut quads = rows.chunks_exact(4 * dim);
+    let mut r_quads = radii.chunks_exact(4);
+    for (quad, r) in quads.by_ref().zip(r_quads.by_ref()) {
+        let sq = sq_dists4(q, quad, dim);
+        let d0 = q_radius - r[0];
+        let d1 = q_radius - r[1];
+        let d2 = q_radius - r[2];
+        let d3 = q_radius - r[3];
+        let j0 = sq[0] + d0 * d0;
+        let j1 = sq[1] + d1 * d1;
+        let j2 = sq[2] + d2 * d2;
+        let j3 = sq[3] + d3 * d3;
+        // Branchless quad screens: the winner compare and the membership
+        // test are both evaluated 4-wide with no data-dependent control
+        // flow, and the slow paths (ascending winner scan, root + degree
+        // + push) hide behind one rarely-taken branch per quad. The slow
+        // winner scan is literally the scalar ascending strict-`<` scan,
+        // so `(best_k, best_sq)` stays bit-identical to an uncut pass.
+        let any_better = (j0 < best_sq) | (j1 < best_sq) | (j2 < best_sq) | (j3 < best_sq);
+        let s0 = q_radius + r[0];
+        let s1 = q_radius + r[1];
+        let s2 = q_radius + r[2];
+        let s3 = q_radius + r[3];
+        let any_hit =
+            (sq[0] <= s0 * s0) | (sq[1] <= s1 * s1) | (sq[2] <= s2 * s2) | (sq[3] <= s3 * s3);
+        if any_hit | any_better {
+            if any_better {
+                if j0 < best_sq {
+                    best_sq = j0;
+                    best_k = k;
+                }
+                if j1 < best_sq {
+                    best_sq = j1;
+                    best_k = k + 1;
+                }
+                if j2 < best_sq {
+                    best_sq = j2;
+                    best_k = k + 2;
+                }
+                if j3 < best_sq {
+                    best_sq = j3;
+                    best_k = k + 3;
+                }
+            }
+            if any_hit {
+                for (t, (&csq, &rk)) in sq.iter().zip(r).enumerate() {
+                    let radius_sum = q_radius + rk;
+                    if csq <= radius_sum * radius_sum {
+                        let spread = csq.sqrt().max((q_radius - rk).abs());
+                        let degree = 1.0 - spread / radius_sum;
+                        if degree > 0.0 {
+                            hits.push((k + t, degree));
+                        }
+                    }
+                }
+            }
+        }
+        k += 4;
+    }
+    for (row, &rk) in quads.remainder().chunks_exact(dim).zip(r_quads.remainder()) {
+        let csq = sq_dist(q, row);
+        let dr = q_radius - rk;
+        let joint = csq + dr * dr;
+        if joint < best_sq {
+            best_sq = joint;
+            best_k = k;
+        }
+        let radius_sum = q_radius + rk;
+        if csq <= radius_sum * radius_sum {
+            let spread = csq.sqrt().max((q_radius - rk).abs());
+            let degree = 1.0 - spread / radius_sum;
+            if degree > 0.0 {
+                hits.push((k, degree));
+            }
+        }
+        k += 1;
+    }
+    *best = (best_k, best_sq);
+}
+
+/// Q×R squared-distance tile via the GEMM-shaped expanded form
+/// `‖q − r‖₂² = ‖q‖₂² + ‖r‖₂² − 2 ⟨q, r⟩`, with per-row and per-query
+/// norms hoisted out of the pair loop and tiny negative results of the
+/// cancellation clamped to zero.
+///
+/// **Not bit-identical** to [`sq_dist`]/[`sq_dist_tile`]: the expanded
+/// form re-associates the summation, so results differ from the direct
+/// form by cancellation error — tiny relative to `‖q‖² + ‖r‖²`, but
+/// unbounded relative to a small true distance (two nearly equal
+/// far-from-origin points can come out as any small non-negative number,
+/// including exact 0). The serving path therefore does **not** use this
+/// kernel; it exists for throughput work that tolerates a re-baselined
+/// guard (block skipping, runtime-SIMD GEMM backends) and for screening
+/// passes that re-check candidates with the exact kernel.
+///
+/// # Panics
+/// Same shape contract as [`sq_dist_tile`].
+pub fn sq_dist_tile_expanded(
+    queries: &[f64],
+    nq: usize,
+    rows: &[f64],
+    dim: usize,
+    out: &mut [f64],
+) {
+    debug_assert!(dim > 0, "sq_dist_tile_expanded: dim must be positive");
+    debug_assert_eq!(
+        queries.len(),
+        nq * dim,
+        "sq_dist_tile_expanded: ragged query block"
+    );
+    debug_assert_eq!(
+        rows.len() % dim,
+        0,
+        "sq_dist_tile_expanded: ragged row block"
+    );
+    let nrows = rows.len() / dim;
+    debug_assert!(
+        out.len() >= nq * nrows,
+        "sq_dist_tile_expanded: undersized out"
+    );
+    // ‖r‖² per row, hoisted: paid once per tile, amortized over nq.
+    let row_norms: Vec<f64> = rows.chunks_exact(dim).map(|r| dot(r, r)).collect();
+    for qi in 0..nq {
+        let q = &queries[qi * dim..(qi + 1) * dim];
+        let q_norm = dot(q, q);
+        let out_row = &mut out[qi * nrows..(qi + 1) * nrows];
+        for (r, (row, &rn)) in rows.chunks_exact(dim).zip(row_norms.iter()).enumerate() {
+            // max(0.0) clamps the negative cancellation residue a true
+            // distance can never have (and eats NaN from inf − inf only
+            // for non-finite inputs, which the validated paths exclude).
+            out_row[r] = (q_norm + rn - 2.0 * dot(q, row)).max(0.0);
+        }
+    }
+}
+
 /// [`sq_dists4`] with block skipping: the coordinate loop runs in blocks
 /// of eight lanes, and after each block the quad is abandoned when **all
 /// four** partial sums already exceed `limit` (squared distances only
@@ -602,6 +850,75 @@ mod tests {
         hits.clear();
         sq_dist_within_batch(&q, &rows, 2, 25.0 - 1e-9, |r| hits.push(r));
         assert!(hits.is_empty());
+    }
+
+    /// Deterministic query block (n queries of width d), phase-shifted
+    /// from [`row_block`] so queries and rows do not coincide.
+    fn query_block(n: usize, d: usize) -> Vec<f64> {
+        (0..n * d).map(|i| (i as f64 * 0.19 + 0.5).sin()).collect()
+    }
+
+    #[test]
+    fn sq_dist_tile_is_bit_identical_to_scalar_kernel() {
+        for d in [1usize, 2, 3, 4, 5, 8, 9, 24, 25] {
+            for nr in [0usize, 1, 3, 4, 5, 8, 11] {
+                for nq in [0usize, 1, 2, 7] {
+                    let (_, rows) = row_block(nr, d);
+                    let qs = query_block(nq, d);
+                    let mut out = vec![f64::NAN; nq * nr + 3];
+                    sq_dist_tile(&qs, nq, &rows, d, &mut out);
+                    for qi in 0..nq {
+                        for r in 0..nr {
+                            let got = out[qi * nr + r];
+                            let want =
+                                sq_dist(&qs[qi * d..(qi + 1) * d], &rows[r * d..(r + 1) * d]);
+                            assert!(got == want, "d={d} nq={nq} q {qi} row {r}: {got} vs {want}");
+                        }
+                    }
+                    // Only the tile prefix is written.
+                    assert!(out[nq * nr..].iter().all(|v| v.is_nan()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sq_dist_tile_expanded_is_close_and_clamped() {
+        for d in [1usize, 2, 4, 7, 9, 25] {
+            for nr in [1usize, 4, 5, 11] {
+                for nq in [1usize, 2, 7] {
+                    let (_, rows) = row_block(nr, d);
+                    let qs = query_block(nq, d);
+                    let mut exact = vec![0.0; nq * nr];
+                    let mut approx = vec![0.0; nq * nr];
+                    sq_dist_tile(&qs, nq, &rows, d, &mut exact);
+                    sq_dist_tile_expanded(&qs, nq, &rows, d, &mut approx);
+                    for (i, (&e, &a)) in exact.iter().zip(approx.iter()).enumerate() {
+                        assert!(a >= 0.0, "clamped form must be non-negative ({i})");
+                        // Cancellation error scales with the norms, not
+                        // with the distance — bound it accordingly.
+                        let qi = i / nr;
+                        let r = i % nr;
+                        let scale = dot(&qs[qi * d..(qi + 1) * d], &qs[qi * d..(qi + 1) * d])
+                            + dot(&rows[r * d..(r + 1) * d], &rows[r * d..(r + 1) * d]);
+                        assert!(
+                            (a - e).abs() <= 1e-14 * scale.max(1.0),
+                            "d={d} pair {i}: {a} vs {e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sq_dist_tile_expanded_is_exactly_zero_on_identical_points() {
+        // q == r: ‖q‖² + ‖r‖² − 2⟨q, r⟩ sums the identical dot three
+        // times, so the cancellation is exact and the clamp never fires.
+        let q: Vec<f64> = (0..6).map(|i| (i as f64 * 1.3e7).sin() * 1e6).collect();
+        let mut out = [f64::NAN];
+        sq_dist_tile_expanded(&q, 1, &q, 6, &mut out);
+        assert_eq!(out[0], 0.0);
     }
 
     #[test]

@@ -208,6 +208,23 @@ enum Gate<T> {
     Failed(CoreError),
 }
 
+/// Batch analogue of [`Gate`]: one snapshot consultation for the whole
+/// batch. Every query in a batch gates against the *same* snapshot
+/// version — a deliberate consistency upgrade over the scalar loop,
+/// which may observe a mid-loop republish.
+enum GateBatch<T> {
+    /// No non-empty snapshot published: every query runs exact.
+    NoSnapshot,
+    /// Batched prediction ran; per-query values and scores, all from one
+    /// snapshot version. Threshold routing happens after the guard drops.
+    Resolved {
+        results: Vec<(T, regq_core::Confidence)>,
+        version: u64,
+    },
+    /// Model-side failure (dimension mismatch etc.).
+    Failed(CoreError),
+}
+
 /// The concurrent snapshot-serving engine (see module docs).
 ///
 /// `&self` everywhere: an engine is shared across any number of serving
@@ -542,6 +559,221 @@ impl ServeEngine {
         }]);
         served.feedback_dropped = dropped;
         Ok(served)
+    }
+
+    // ---- Batched serving ----------------------------------------------
+    //
+    // The batch entry points route a whole `&[Query]` through ONE
+    // snapshot read guard and ONE trainer `try_lock`. Per-query answers
+    // are bit-identical to the scalar path (the snapshot batch
+    // predictors replay the scalar kernels' floating-point operation
+    // sequence exactly); the observable difference is consistency:
+    // a batch never straddles a republish, whereas a scalar loop can.
+
+    /// Offer a whole batch of executed `(q, y)` pairs to the trainer
+    /// under a single `try_lock`. Per-example semantics match
+    /// [`ServeEngine::observe_outcome`] exactly (train → publish at the
+    /// interval); under contention or poisoning the *entire batch* is
+    /// dropped and counted, because serving never blocks on training.
+    pub fn observe_outcome_batch(&self, pairs: &[(Query, f64)]) -> Vec<Feedback> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        match self.trainer.try_lock() {
+            Ok(mut t) => pairs
+                .iter()
+                .map(|(q, y)| {
+                    let Some(model) = t.model.as_mut() else {
+                        return Feedback::Rejected;
+                    };
+                    if model.is_frozen() || model.train_step(q, *y).is_err() {
+                        return Feedback::Rejected;
+                    }
+                    self.feedback_fed.fetch_add(1, Ordering::Relaxed);
+                    t.since_publish += 1;
+                    if t.since_publish >= self.policy.publish_interval {
+                        t.since_publish = 0;
+                        let snapshot = t.model.as_ref().expect("just trained").snapshot();
+                        self.cell.publish(snapshot);
+                    }
+                    Feedback::Accepted
+                })
+                .collect(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.feedback_skipped
+                    .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+                vec![Feedback::Dropped; pairs.len()]
+            }
+            Err(std::sync::TryLockError::Poisoned(mut p)) => {
+                p.get_mut().since_publish = 0;
+                self.feedback_skipped
+                    .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+                vec![Feedback::Dropped; pairs.len()]
+            }
+        }
+    }
+
+    /// Gate a whole batch against the current snapshot under one read
+    /// guard.
+    fn gate_batch<T>(
+        &self,
+        queries: &[Query],
+        predict: impl FnOnce(
+            &ServingSnapshot,
+            &[Query],
+        ) -> Result<Vec<(T, regq_core::Confidence)>, CoreError>,
+    ) -> GateBatch<T> {
+        self.cell.with_current(|snap| {
+            let Some(snap) = snap.filter(|s| s.k() > 0) else {
+                return GateBatch::NoSnapshot;
+            };
+            match predict(snap, queries) {
+                Ok(results) => GateBatch::Resolved {
+                    results,
+                    version: snap.version(),
+                },
+                Err(e) => GateBatch::Failed(e),
+            }
+        })
+    }
+
+    /// Shared batch driver: gate every query against one snapshot, serve
+    /// the confident ones from the model, run the rest on the exact
+    /// engine (after the read guard drops), and feed the exact answers
+    /// back in one batched trainer offer. `exact` returns the served
+    /// value plus the label to feed back. Fails fast on the first exact
+    /// error (answers already produced are discarded — a batch is one
+    /// all-or-nothing call).
+    fn route_batch<T>(
+        &self,
+        queries: &[Query],
+        predict: impl FnOnce(
+            &ServingSnapshot,
+            &[Query],
+        ) -> Result<Vec<(T, regq_core::Confidence)>, CoreError>,
+        mut exact: impl FnMut(&Query) -> Result<(T, f64), ServeError>,
+    ) -> Result<Vec<Served<T>>, ServeError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let expected = self.exact.relation().dim();
+        for q in queries {
+            if q.dim() != expected {
+                return Err(ServeError::Model(CoreError::DimensionMismatch {
+                    expected,
+                    actual: q.dim(),
+                }));
+            }
+        }
+        let mut out: Vec<Served<T>> = Vec::with_capacity(queries.len());
+        let mut fb_pairs: Vec<(Query, f64)> = Vec::new();
+        let mut fb_slots: Vec<usize> = Vec::new();
+        #[allow(clippy::type_complexity)]
+        let mut fallback = |q: &Query,
+                            score: Option<f64>,
+                            version: Option<u64>,
+                            out: &mut Vec<Served<T>>,
+                            exact: &mut dyn FnMut(&Query) -> Result<(T, f64), ServeError>|
+         -> Result<(), ServeError> {
+            let (value, y) = exact(q)?;
+            if self.policy.feedback {
+                fb_pairs.push((q.clone(), y));
+                fb_slots.push(out.len());
+            }
+            self.exact_served.fetch_add(1, Ordering::Relaxed);
+            let mut served = Served::exact_only(value);
+            served.score = score;
+            served.snapshot_version = version;
+            out.push(served);
+            Ok(())
+        };
+        match self.gate_batch(queries, predict) {
+            GateBatch::Failed(e) => return Err(ServeError::Model(e)),
+            GateBatch::NoSnapshot => {
+                for q in queries {
+                    fallback(q, None, None, &mut out, &mut exact)?;
+                }
+            }
+            GateBatch::Resolved { results, version } => {
+                debug_assert_eq!(results.len(), queries.len());
+                for (q, (value, conf)) in queries.iter().zip(results) {
+                    if conf.score >= self.policy.confidence_threshold {
+                        self.model_served.fetch_add(1, Ordering::Relaxed);
+                        out.push(Served {
+                            value,
+                            route: Route::Model,
+                            score: Some(conf.score),
+                            snapshot_version: Some(version),
+                            feedback_dropped: false,
+                        });
+                    } else {
+                        fallback(q, Some(conf.score), Some(version), &mut out, &mut exact)?;
+                    }
+                }
+            }
+        }
+        let feedback = self.observe_outcome_batch(&fb_pairs);
+        for (&slot, fb) in fb_slots.iter().zip(feedback) {
+            out[slot].feedback_dropped = fb == Feedback::Dropped;
+        }
+        Ok(out)
+    }
+
+    /// **Batched auto-routed Q1**: [`ServeEngine::q1`] over a slice with
+    /// one snapshot read guard, the blocked Q×K distance kernels, and
+    /// one batched feedback offer for the exact-fallback subset. Answers
+    /// are bit-identical to per-query [`ServeEngine::q1`] calls against
+    /// the same snapshot. An empty batch returns an empty vec.
+    ///
+    /// # Errors
+    /// As [`ServeEngine::q1`]; additionally a typed
+    /// [`CoreError::DimensionMismatch`] (wrapped in
+    /// [`ServeError::Model`]) when any query's dimensionality differs
+    /// from the relation's, checked up front before any work runs.
+    pub fn q1_batch(&self, queries: &[Query]) -> Result<Vec<Served<f64>>, ServeError> {
+        self.route_batch(
+            queries,
+            ServingSnapshot::predict_q1_with_confidence_batch,
+            |q| {
+                let y = self.exact_q1_value(q)?;
+                Ok((y, y))
+            },
+        )
+    }
+
+    /// **Batched auto-routed Q2**: [`ServeEngine::q2`] over a slice —
+    /// same single-guard, single-feedback-offer semantics as
+    /// [`ServeEngine::q1_batch`], with the fused Q1+OLS fallback feeding
+    /// the subspace mean back to the trainer.
+    ///
+    /// # Errors
+    /// As [`ServeEngine::q2`], plus the up-front batched dimension check.
+    pub fn q2_batch(&self, queries: &[Query]) -> Result<Vec<Served<Vec<LocalModel>>>, ServeError> {
+        self.route_batch(
+            queries,
+            ServingSnapshot::predict_q2_with_confidence_batch,
+            |q| {
+                let fit = self
+                    .exact
+                    .q1_reg_fused(&q.center, q.radius)
+                    .map_err(|e| match e {
+                        LinalgError::Empty => ServeError::EmptySubspace,
+                        other => ServeError::Numeric(other),
+                    })?;
+                let y = fit.moments.mean;
+                Ok((
+                    vec![LocalModel {
+                        intercept: fit.model.intercept,
+                        slope: fit.model.slope,
+                        prototype: 0,
+                        weight: 1.0,
+                        center: q.center.clone(),
+                        radius: q.radius,
+                    }],
+                    y,
+                ))
+            },
+        )
     }
 }
 
@@ -906,5 +1138,129 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Mixed-route probe set: prototype-centered balls clear the gate,
+    /// wide off-center balls fall back but still select data.
+    fn mixed_probes(engine: &ServeEngine) -> Vec<Query> {
+        let snapshot = engine.snapshot().unwrap();
+        let mut probes: Vec<Query> = snapshot
+            .prototypes()
+            .iter()
+            .take(6)
+            .map(|p| q(&p.center, p.radius.max(0.05)))
+            .collect();
+        // Huge balls at untrained far centers select the whole table but
+        // carry no overlap confidence: guaranteed exact fallbacks.
+        probes.push(q(&[30.0, 30.0], 50.0));
+        probes.push(q(&[-20.0, 40.0], 60.0));
+        probes
+    }
+
+    #[test]
+    fn batch_q1_and_q2_match_scalar_calls_bit_for_bit() {
+        // Feedback off: the scalar loop must not retrain between calls,
+        // so both paths consult the same frozen snapshot. `Served`
+        // derives `PartialEq`, so this compares value, route, score,
+        // version and the feedback flag in one shot.
+        let exact = exact_engine(20_000, 1);
+        let model = trained_model(&exact, 30_000, 2);
+        let policy = RoutePolicy {
+            feedback: false,
+            ..RoutePolicy::default()
+        };
+        let engine = ServeEngine::with_model(exact, model, policy);
+        let probes = mixed_probes(&engine);
+        let batch = engine.q1_batch(&probes).unwrap();
+        assert_eq!(batch.len(), probes.len());
+        for (query, served) in probes.iter().zip(&batch) {
+            assert_eq!(*served, engine.q1(query).unwrap());
+        }
+        let model_routes = batch.iter().filter(|s| s.route == Route::Model).count();
+        assert!(
+            model_routes > 0 && model_routes < batch.len(),
+            "probe set must exercise both model and exact routes ({model_routes}/{})",
+            batch.len()
+        );
+        let batch2 = engine.q2_batch(&probes).unwrap();
+        for (query, served) in probes.iter().zip(&batch2) {
+            assert_eq!(*served, engine.q2(query).unwrap());
+        }
+        // A singleton batch is the scalar call.
+        for query in &probes {
+            assert_eq!(
+                engine.q1_batch(std::slice::from_ref(query)).unwrap()[0],
+                engine.q1(query).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty_not_a_panic() {
+        let engine = engine_with_model();
+        assert!(engine.q1_batch(&[]).unwrap().is_empty());
+        assert!(engine.q2_batch(&[]).unwrap().is_empty());
+        assert!(engine.observe_outcome_batch(&[]).is_empty());
+        // Also on an engine with no snapshot at all.
+        let bare = ServeEngine::new(exact_engine(500, 9), RoutePolicy::default());
+        assert!(bare.q1_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_dimension_mismatch_is_a_typed_error() {
+        let engine = engine_with_model();
+        let queries = vec![q(&[0.5, 0.5], 0.2), q(&[0.5, 0.5, 0.5], 0.2)];
+        match engine.q1_batch(&queries) {
+            Err(ServeError::Model(CoreError::DimensionMismatch { expected, actual })) => {
+                assert_eq!((expected, actual), (2, 3));
+            }
+            other => panic!("expected typed dimension mismatch, got {other:?}"),
+        }
+        // Same contract without any snapshot published: the up-front
+        // check must fire before the exact route would.
+        let bare = ServeEngine::new(exact_engine(500, 9), RoutePolicy::default());
+        assert!(matches!(
+            bare.q1_batch(&queries),
+            Err(ServeError::Model(CoreError::DimensionMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn batched_feedback_feeds_the_trainer_once_per_fallback() {
+        let engine = engine_with_model();
+        // Force every query down the exact path so each one produces a
+        // feedback example.
+        let wide = vec![
+            q(&[30.0, 30.0], 50.0),
+            q(&[-20.0, 40.0], 60.0),
+            q(&[25.0, -25.0], 55.0),
+        ];
+        let before = engine.stats();
+        let served = engine.q1_batch(&wide).unwrap();
+        let exact_count = served.iter().filter(|s| s.route == Route::Exact).count();
+        assert!(exact_count > 0, "probe set must hit the exact route");
+        let after = engine.stats();
+        assert_eq!(after.exact_served - before.exact_served, exact_count as u64);
+        assert_eq!(after.feedback_fed - before.feedback_fed, exact_count as u64);
+        assert!(served.iter().all(|s| !s.feedback_dropped));
+    }
+
+    #[test]
+    fn contended_batch_feedback_drops_the_whole_batch_counted() {
+        let engine = engine_with_model();
+        let wide = vec![q(&[30.0, 30.0], 50.0), q(&[-20.0, 40.0], 60.0)];
+        let guard = engine.trainer.lock().unwrap();
+        let served = engine.q1_batch(&wide).unwrap();
+        drop(guard);
+        let dropped = served
+            .iter()
+            .filter(|s| s.route == Route::Exact)
+            .collect::<Vec<_>>();
+        assert!(!dropped.is_empty());
+        assert!(
+            dropped.iter().all(|s| s.feedback_dropped),
+            "every fallback answer in a contended batch must surface the drop"
+        );
+        assert_eq!(engine.stats().feedback_skipped, dropped.len() as u64);
     }
 }

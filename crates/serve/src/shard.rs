@@ -796,6 +796,167 @@ impl ShardRouter {
             feedback_dropped: dropped,
         })
     }
+
+    // ---- Batched serving ----------------------------------------------
+    //
+    // The batch entry points resolve the shard read guards ONCE for the
+    // whole `&[Query]`, run the blocked cross-shard batch predictors,
+    // and enqueue the exact-fallback feedback with one queue lock per
+    // involved shard plus a single drain pass. Per-query answers are
+    // bit-identical to the scalar fabric (and therefore to the unsharded
+    // engine); the observable difference is consistency — a batch never
+    // straddles a shard republish.
+
+    /// Offer a batch of `(q, y)` feedback examples to the fabric:
+    /// examples are grouped per shard, each involved shard's bounded
+    /// queue is locked once, and one drain pass runs at the end.
+    /// Per-example outcomes match [`ShardRouter::observe_outcome`]
+    /// (`Accepted` = enqueued, `Dropped` = its shard's queue was full —
+    /// counted in [`RouterStats::feedback_dropped`]). Never blocks on a
+    /// trainer lock.
+    pub fn observe_outcome_batch(&self, pairs: &[(Query, f64)]) -> Vec<Feedback> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![Feedback::Dropped; pairs.len()];
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, (q, _)) in pairs.iter().enumerate() {
+            by_shard[self.partitioner.route(&q.center, q.radius)].push(i);
+        }
+        let mut enqueued = 0u64;
+        let mut dropped = 0u64;
+        for (shard, idxs) in self.shards.iter().zip(&by_shard) {
+            if idxs.is_empty() {
+                continue;
+            }
+            let mut queue = lock(&shard.queue);
+            for &i in idxs {
+                if queue.len() >= self.queue_capacity {
+                    dropped += 1;
+                } else {
+                    let (q, y) = &pairs[i];
+                    queue.push_back((q.clone(), *y));
+                    out[i] = Feedback::Accepted;
+                    enqueued += 1;
+                }
+            }
+        }
+        self.feedback_enqueued
+            .fetch_add(enqueued, Ordering::Relaxed);
+        self.feedback_dropped.fetch_add(dropped, Ordering::Relaxed);
+        self.pump();
+        out
+    }
+
+    /// Shared batch driver: dimension-check every query up front, gate
+    /// the whole batch against one pinned set of shard snapshots, serve
+    /// the confident answers from the model, run the rest on the exact
+    /// engine (after the guards drop), and feed the exact answers back in
+    /// one batched fabric offer. Fails fast on the first exact error.
+    fn route_batch<T>(
+        &self,
+        queries: &[Query],
+        predict: impl FnOnce(&[ShardPart<'_>], &[Query]) -> Vec<Option<(T, regq_core::Confidence)>>,
+        mut exact: impl FnMut(&Query) -> Result<(T, f64), ServeError>,
+    ) -> Result<Vec<Served<T>>, ServeError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        for q in queries {
+            self.check_dim(q)?;
+        }
+        let (gates, version) = self.with_parts(|parts, version| (predict(parts, queries), version));
+        debug_assert_eq!(gates.len(), queries.len());
+        let mut out: Vec<Served<T>> = Vec::with_capacity(queries.len());
+        let mut fb_pairs: Vec<(Query, f64)> = Vec::new();
+        let mut fb_slots: Vec<usize> = Vec::new();
+        for (q, gate) in queries.iter().zip(gates) {
+            match gate {
+                Some((value, conf)) if conf.score >= self.policy.confidence_threshold => {
+                    self.model_served.fetch_add(1, Ordering::Relaxed);
+                    out.push(Served {
+                        value,
+                        route: Route::Model,
+                        score: Some(conf.score),
+                        snapshot_version: Some(version),
+                        feedback_dropped: false,
+                    });
+                }
+                gate => {
+                    // Below threshold (`Some`) or every shard empty
+                    // (`None`): exact fallback, annotated with the
+                    // rejecting score when there was one.
+                    let score = gate.map(|(_, conf)| conf.score);
+                    let (value, y) = exact(q)?;
+                    if self.policy.feedback {
+                        fb_pairs.push((q.clone(), y));
+                        fb_slots.push(out.len());
+                    }
+                    self.exact_served.fetch_add(1, Ordering::Relaxed);
+                    out.push(Served {
+                        value,
+                        route: Route::Exact,
+                        score,
+                        snapshot_version: score.is_some().then_some(version),
+                        feedback_dropped: false,
+                    });
+                }
+            }
+        }
+        let feedback = self.observe_outcome_batch(&fb_pairs);
+        for (&slot, fb) in fb_slots.iter().zip(feedback) {
+            out[slot].feedback_dropped = fb == Feedback::Dropped;
+        }
+        Ok(out)
+    }
+
+    /// **Batched auto-routed Q1** across the shard fabric:
+    /// [`ShardRouter::q1`] over a slice with one guard resolution, the
+    /// blocked Q×K distance kernels, and one batched feedback offer.
+    /// Answers are bit-identical to per-query [`ShardRouter::q1`] calls
+    /// against the same pinned snapshots. An empty batch returns an
+    /// empty vec.
+    ///
+    /// # Errors
+    /// As [`ShardRouter::q1`]; the typed dimension mismatch is checked
+    /// up front for every query before any work runs.
+    pub fn q1_batch(&self, queries: &[Query]) -> Result<Vec<Served<f64>>, ServeError> {
+        self.route_batch(queries, regq_core::sharded_q1_with_confidence_batch, |q| {
+            let y = self.exact_q1_value(q)?;
+            Ok((y, y))
+        })
+    }
+
+    /// **Batched auto-routed Q2** across the shard fabric — same
+    /// single-resolution semantics as [`ShardRouter::q1_batch`], list
+    /// elements carrying global prototype ids, the fused Q1+OLS fallback
+    /// feeding the subspace mean back.
+    ///
+    /// # Errors
+    /// As [`ShardRouter::q2`], plus the up-front batched dimension check.
+    pub fn q2_batch(&self, queries: &[Query]) -> Result<Vec<Served<Vec<LocalModel>>>, ServeError> {
+        self.route_batch(queries, regq_core::sharded_q2_with_confidence_batch, |q| {
+            let fit = self
+                .exact
+                .q1_reg_fused(&q.center, q.radius)
+                .map_err(|e| match e {
+                    LinalgError::Empty => ServeError::EmptySubspace,
+                    other => ServeError::Numeric(other),
+                })?;
+            let y = fit.moments.mean;
+            Ok((
+                vec![LocalModel {
+                    intercept: fit.model.intercept,
+                    slope: fit.model.slope,
+                    prototype: 0,
+                    weight: 1.0,
+                    center: q.center.clone(),
+                    radius: q.radius,
+                }],
+                y,
+            ))
+        })
+    }
 }
 
 impl std::fmt::Debug for ShardRouter {

