@@ -55,6 +55,7 @@
 //! the writer is quiet, and never blocking either way. The writer pays for
 //! reclamation (a lock + slot scan) only on publish.
 
+use crate::fault::FaultPlan;
 use regq_core::ServingSnapshot;
 use std::any::Any;
 use std::cell::RefCell;
@@ -95,6 +96,9 @@ struct CellState<T> {
     /// Every registered reader slot (including retired ones awaiting
     /// pruning or re-issue).
     slots: Vec<Arc<Slot<T>>>,
+    /// Armed fault schedule ([`SnapshotCell::arm_faults`]); `None` (the
+    /// default) costs nothing on the publish path.
+    fault: Option<FaultPlan>,
 }
 
 struct CellInner<T> {
@@ -151,6 +155,7 @@ impl<T: Send + Sync> SnapshotCell<T> {
                 state: Mutex::new(CellState {
                     retained: Vec::new(),
                     slots: Vec::new(),
+                    fault: None,
                 }),
             }),
         }
@@ -169,6 +174,16 @@ impl<T: Send + Sync> SnapshotCell<T> {
     /// retained node that is neither current nor pinned by a reader slot.
     pub fn publish(&self, value: T) -> u64 {
         let mut state = self.lock_state();
+        // Injected publish stall ([`FaultKind::PublishStall`]): the writer
+        // wedges here *holding the state lock*, before the new epoch is
+        // stored — the most adversarial spot. Hazard-slot readers
+        // ([`SnapshotCell::with_current`] etc.) keep serving the previous
+        // epoch untouched; only lock-taking paths (`load_owned`,
+        // diagnostics, other publishers) wait, which is exactly what the
+        // stall battery asserts.
+        if let Some(plan) = state.fault.clone() {
+            plan.stall_publish();
+        }
         let epoch = self.inner.epoch.load(Ordering::Relaxed) + 1;
         // `into_raw` before anything else: the allocation must never be
         // reachable through a `Box` again once readers can alias it.
@@ -198,7 +213,9 @@ impl<T: Send + Sync> SnapshotCell<T> {
         // A retired slot's owner cleared `protected` before retiring and
         // never touches the slot again, so pruning cannot drop a pin.
         state.slots.retain(|s| !s.retired.load(Ordering::SeqCst));
-        let CellState { retained, slots } = state;
+        let CellState {
+            retained, slots, ..
+        } = state;
         let mut freed = 0usize;
         retained.retain(|&ptr| {
             if ptr == current {
@@ -291,6 +308,15 @@ impl<T: Send + Sync> SnapshotCell<T> {
             .iter()
             .filter(|s| !s.retired.load(Ordering::SeqCst))
             .count()
+    }
+
+    /// Arm a fault-injection schedule on this cell's publish path (see
+    /// [`crate::fault`]): [`crate::fault::FaultKind::PublishStall`]
+    /// occurrences stall the writer mid-publish while readers keep
+    /// serving. Engines and routers arm their cells when a plan is
+    /// installed on them; direct cell users call this themselves.
+    pub fn arm_faults(&self, plan: FaultPlan) {
+        self.lock_state().fault = Some(plan);
     }
 
     fn lock_state(&self) -> std::sync::MutexGuard<'_, CellState<T>> {
@@ -736,6 +762,37 @@ mod tests {
         // All reader handles dropped: one reclaim collapses to current.
         cell.reclaim();
         assert_eq!(cell.retained(), 1);
+    }
+
+    #[test]
+    fn a_stalled_publish_never_blocks_hazard_readers() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let cell: SnapshotCell<u64> = SnapshotCell::new();
+        cell.publish(1);
+        let (plan, gate) = FaultPlan::new()
+            .inject(FaultKind::PublishStall, &[1])
+            .with_publish_gate();
+        cell.arm_faults(plan.clone());
+        // Register before arming the writer: registration takes the state
+        // lock, which the stalled publish holds.
+        let mut reader = cell.reader();
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| cell.publish(2));
+            while plan.fired(FaultKind::PublishStall) == 0 {
+                std::hint::spin_loop();
+            }
+            // The writer is wedged inside `publish` with the state lock
+            // held; hazard-slot reads keep serving the previous epoch.
+            for _ in 0..100 {
+                let guard = reader.enter();
+                assert_eq!(guard.get(), Some(&1));
+                assert_eq!(guard.epoch(), Some(1));
+            }
+            gate.release();
+            assert_eq!(writer.join().unwrap(), 2);
+        });
+        assert_eq!(cell.with_current(|v| *v.unwrap()), 2);
+        assert_eq!(cell.epoch(), 2);
     }
 
     #[test]

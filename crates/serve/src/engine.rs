@@ -25,14 +25,32 @@
 //! three thread-private atomics (the cell's announce/validate handshake)
 //! plus the `O(dK)` scan; exact-served queries add the data traversal and
 //! an optional `try_lock` that gives up instantly under contention.
+//!
+//! # Fault tolerance
+//!
+//! Training is *supervised*: every SGD ingestion runs under
+//! `catch_unwind`. A panicking trainer (including injected
+//! [`crate::fault::FaultKind::TrainerPanic`] faults) quarantines the
+//! offending example (retrievable via [`ServeEngine::quarantined`]),
+//! restarts the trainer from the last published snapshot, and counts the
+//! whole event in [`ServeStats`] — serving never stops and recovery is
+//! never silent. A poisoned trainer lock triggers the same
+//! restart-from-snapshot (a poisoned guard may hold a half-applied
+//! update, which must not be trained on or published) and then clears the
+//! poison. Under a [`RoutePolicy::deadline_us`] budget, fallbacks whose
+//! exact execution is estimated to blow the budget are served from the
+//! snapshot instead, explicitly flagged [`Route::Degraded`].
 
 use crate::cell::SnapshotCell;
+use crate::fault::{FaultKind, FaultPlan};
 use regq_core::{CoreError, LlmModel, LocalModel, Query, ServingSnapshot};
 use regq_exact::ExactEngine;
 use regq_linalg::LinalgError;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Which backend answered a routed query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +59,14 @@ pub enum Route {
     Model,
     /// Executed on the exact engine (data traversal).
     Exact,
+    /// Served from the snapshot **below** the confidence threshold,
+    /// because the exact fallback was refused — its estimated cost blew
+    /// the [`RoutePolicy::deadline_us`] budget, or feedback pressure
+    /// crossed [`RoutePolicy::pressure_watermark`]. The value is the same
+    /// bits the model route would serve; the distinct variant exists so a
+    /// degraded answer is *always* flagged, never mistaken for a
+    /// confident one.
+    Degraded,
 }
 
 impl fmt::Display for Route {
@@ -48,6 +74,7 @@ impl fmt::Display for Route {
         match self {
             Route::Model => write!(f, "model"),
             Route::Exact => write!(f, "exact"),
+            Route::Degraded => write!(f, "degraded"),
         }
     }
 }
@@ -65,9 +92,10 @@ pub struct Served<T> {
     pub score: Option<f64>,
     /// Version ([`ServingSnapshot::version`]) of the snapshot consulted.
     pub snapshot_version: Option<u64>,
-    /// `true` when this query's own feedback example was dropped because
-    /// the trainer lock was contended (or poisoned). Always `false` on
-    /// model routes and with feedback disabled.
+    /// `true` when this query's own feedback example was *lost*: dropped
+    /// to trainer-lock contention / queue overflow, or quarantined by a
+    /// panicking trainer. Always `false` on model and degraded routes and
+    /// with feedback disabled.
     pub feedback_dropped: bool,
 }
 
@@ -109,6 +137,26 @@ pub struct RoutePolicy {
     /// examples. Larger intervals amortize the `O(dK)` capture; smaller
     /// ones propagate learning to readers sooner.
     pub publish_interval: usize,
+    /// Deadline budget (µs) for the exact fallback. When set and the
+    /// engine's exact-cost estimate (a served-cost EMA, folded with any
+    /// [`crate::fault::FaultPlan::with_exact_cost_hint_us`] hint) exceeds
+    /// it, below-threshold queries are served from the snapshot as
+    /// [`Route::Degraded`] instead of traversing data. `None` (default)
+    /// never degrades on cost.
+    pub deadline_us: Option<f64>,
+    /// Feedback-pressure watermark for the sharded fabric: when the
+    /// routed shard's feedback queue holds at least this many pending
+    /// examples, fallbacks degrade to the snapshot answer instead of
+    /// piling more work onto a struggling trainer. `None` (default)
+    /// never degrades on pressure. Ignored by the unsharded
+    /// [`ServeEngine`], which has no queue.
+    pub pressure_watermark: Option<usize>,
+    /// Bounded retry budget for feedback that hits a full shard queue:
+    /// each retry backs off deterministically (a doubling spin) and pumps
+    /// the owning shard once before re-offering. `0` (default) keeps the
+    /// original drop-immediately behavior. Ignored by the unsharded
+    /// engine (no queue to retry into).
+    pub overflow_retries: u32,
 }
 
 impl Default for RoutePolicy {
@@ -117,6 +165,9 @@ impl Default for RoutePolicy {
             confidence_threshold: 0.3,
             feedback: true,
             publish_interval: 256,
+            deadline_us: None,
+            pressure_watermark: None,
+            overflow_retries: 0,
         }
     }
 }
@@ -136,6 +187,19 @@ pub struct ServeStats {
     pub feedback_skipped: u64,
     /// Snapshots published so far (the cell epoch).
     pub publishes: u64,
+    /// Below-threshold queries served from the snapshot as
+    /// [`Route::Degraded`] because the exact fallback was refused
+    /// (deadline budget / pressure watermark).
+    pub degraded_served: u64,
+    /// Trainer panics caught mid-update; each one quarantined its example
+    /// (see [`ServeEngine::quarantined`]) and restarted the trainer.
+    pub trainer_panics: u64,
+    /// Trainer restarts from the last published snapshot (panic or
+    /// poison recovery). Recovery is never silent.
+    pub trainer_restarts: u64,
+    /// Poisoned trainer locks encountered and healed (restart + poison
+    /// cleared).
+    pub lock_poisonings: u64,
 }
 
 /// Outcome of offering one feedback example to the trainer
@@ -147,11 +211,25 @@ pub enum Feedback {
     /// The trainer declined it deliberately (no model attached, frozen
     /// model, or a model-side validation error) — not a loss.
     Rejected,
-    /// The example was lost to contention (trainer lock busy, or poisoned
-    /// by a panicked trainer thread). Counted in
+    /// The example was lost to contention (trainer lock busy) or to a
+    /// full/overflowing feedback queue after the retry budget. Counted in
     /// [`ServeStats::feedback_skipped`] and surfaced per-query via
     /// [`Served::feedback_dropped`].
     Dropped,
+    /// The trainer panicked while ingesting this example; the example was
+    /// quarantined (retrievable via [`ServeEngine::quarantined`]) and the
+    /// trainer restarted from the last published snapshot. Counted in
+    /// [`ServeStats::trainer_panics`] and surfaced per-query via
+    /// [`Served::feedback_dropped`].
+    Quarantined,
+}
+
+impl Feedback {
+    /// Whether this outcome lost the example (drop or quarantine) — the
+    /// condition surfaced as [`Served::feedback_dropped`].
+    pub fn is_lost(self) -> bool {
+        matches!(self, Feedback::Dropped | Feedback::Quarantined)
+    }
 }
 
 /// Errors from routed execution.
@@ -202,8 +280,10 @@ enum Gate<T> {
     /// Confidence cleared the threshold: serve this value.
     Hit { value: T, score: f64, version: u64 },
     /// Snapshot consulted but below threshold: fall back to exact,
-    /// annotated with the score that rejected the model route.
-    Fallback { score: f64, version: u64 },
+    /// annotated with the score that rejected the model route. The
+    /// predicted value rides along (it was computed anyway) so a
+    /// deadline-refused fallback can serve it as [`Route::Degraded`].
+    Fallback { value: T, score: f64, version: u64 },
     /// Model-side failure (dimension mismatch etc.).
     Failed(CoreError),
 }
@@ -235,11 +315,31 @@ pub struct ServeEngine {
     cell: SnapshotCell,
     trainer: Mutex<Trainer>,
     policy: RoutePolicy,
+    fault: FaultPlan,
+    /// Examples a panicking trainer was fed, kept for post-mortems
+    /// (bounded at [`QUARANTINE_CAP`]; the unbounded count is
+    /// [`ServeStats::trainer_panics`]).
+    quarantine: Mutex<Vec<(Query, f64)>>,
+    /// Set on every trainer restart, cleared on the next publish: the
+    /// served snapshot lags the (reset) trainer until then.
+    degraded: AtomicBool,
+    /// Exact-path cost EMA in µs, stored as `f64` bits (0 = no sample
+    /// yet). Only maintained when a deadline budget or injected exact
+    /// latency makes it relevant.
+    exact_cost_bits: AtomicU64,
     model_served: AtomicU64,
     exact_served: AtomicU64,
     feedback_fed: AtomicU64,
     feedback_skipped: AtomicU64,
+    degraded_served: AtomicU64,
+    trainer_panics: AtomicU64,
+    trainer_restarts: AtomicU64,
+    lock_poisonings: AtomicU64,
 }
+
+/// Most quarantined examples retained for inspection; the counter in
+/// [`ServeStats::trainer_panics`] is never capped.
+pub const QUARANTINE_CAP: usize = 64;
 
 impl ServeEngine {
     /// Engine over an exact backend with no model yet (every query routes
@@ -254,10 +354,18 @@ impl ServeEngine {
                 since_publish: 0,
             }),
             policy,
+            fault: FaultPlan::new(),
+            quarantine: Mutex::new(Vec::new()),
+            degraded: AtomicBool::new(false),
+            exact_cost_bits: AtomicU64::new(0),
             model_served: AtomicU64::new(0),
             exact_served: AtomicU64::new(0),
             feedback_fed: AtomicU64::new(0),
             feedback_skipped: AtomicU64::new(0),
+            degraded_served: AtomicU64::new(0),
+            trainer_panics: AtomicU64::new(0),
+            trainer_restarts: AtomicU64::new(0),
+            lock_poisonings: AtomicU64::new(0),
         }
     }
 
@@ -277,6 +385,7 @@ impl ServeEngine {
         t.model = Some(model);
         t.since_publish = 0;
         self.cell.publish(snapshot);
+        self.degraded.store(false, Ordering::Relaxed);
     }
 
     /// The exact backend.
@@ -304,49 +413,175 @@ impl ServeEngine {
             feedback_fed: self.feedback_fed.load(Ordering::Relaxed),
             feedback_skipped: self.feedback_skipped.load(Ordering::Relaxed),
             publishes: self.cell.epoch(),
+            degraded_served: self.degraded_served.load(Ordering::Relaxed),
+            trainer_panics: self.trainer_panics.load(Ordering::Relaxed),
+            trainer_restarts: self.trainer_restarts.load(Ordering::Relaxed),
+            lock_poisonings: self.lock_poisonings.load(Ordering::Relaxed),
         }
     }
 
-    fn lock_trainer(&self) -> std::sync::MutexGuard<'_, Trainer> {
-        self.trainer
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// Install a fault-injection plan (see [`crate::fault`]); also arms
+    /// the snapshot cell's publish path. `&mut self`: plans are installed
+    /// at setup, before the engine is shared.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.cell.arm_faults(plan.clone());
+        self.fault = plan;
     }
 
-    /// Offer an executed `(q, y)` pair to the trainer (Fig. 2's stream).
-    /// Never blocks: under lock contention (or a poisoned lock) the
-    /// example is dropped and counted in [`ServeStats::feedback_skipped`].
-    pub fn observe_outcome(&self, q: &Query, y: f64) -> Feedback {
-        match self.trainer.try_lock() {
-            Ok(mut t) => {
-                let Some(model) = t.model.as_mut() else {
-                    return Feedback::Rejected;
-                };
-                if model.is_frozen() || model.train_step(q, y).is_err() {
-                    return Feedback::Rejected;
-                }
+    /// Examples quarantined by panicking trainers, oldest first (bounded
+    /// at [`QUARANTINE_CAP`]; [`ServeStats::trainer_panics`] has the
+    /// unbounded count).
+    pub fn quarantined(&self) -> Vec<(Query, f64)> {
+        self.quarantine
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// `true` between a trainer restart and the next publish: answers are
+    /// correct (they come from the last *published* snapshot, which the
+    /// restarted trainer was rebuilt from) but learning regressed to that
+    /// snapshot.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    fn lock_trainer(&self) -> std::sync::MutexGuard<'_, Trainer> {
+        match self.trainer.lock() {
+            Ok(t) => t,
+            Err(p) => {
+                let mut t = p.into_inner();
+                self.recover_poisoned(&mut t);
+                t
+            }
+        }
+    }
+
+    /// Heal a poisoned trainer lock: the guard may expose a half-applied
+    /// SGD update (the panicking thread died mid-`train_step`), which
+    /// must be neither trained on nor published — so restart from the
+    /// last published snapshot and clear the poison. Counted, never
+    /// silent.
+    fn recover_poisoned(&self, t: &mut Trainer) {
+        self.lock_poisonings.fetch_add(1, Ordering::Relaxed);
+        self.restart_trainer(t);
+        self.trainer.clear_poison();
+    }
+
+    /// Restart the trainer from the last published snapshot (or, before
+    /// any publish, from a fresh model with the same config). Marks the
+    /// engine degraded until the next publish.
+    fn restart_trainer(&self, t: &mut Trainer) {
+        t.since_publish = 0;
+        t.model = self
+            .cell
+            .load_owned()
+            .and_then(|s| s.to_model().ok())
+            .or_else(|| {
+                t.model
+                    .as_ref()
+                    .and_then(|m| LlmModel::new(m.config().clone()).ok())
+            });
+        self.trainer_restarts.fetch_add(1, Ordering::Relaxed);
+        self.degraded.store(true, Ordering::Relaxed);
+    }
+
+    fn push_quarantine(&self, q: &Query, y: f64) {
+        let mut quarantine = self
+            .quarantine
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if quarantine.len() < QUARANTINE_CAP {
+            quarantine.push((q.clone(), y));
+        }
+    }
+
+    /// Supervised SGD ingestion of one example, with the trainer lock
+    /// held. A panicking `train_step` (real or injected) quarantines the
+    /// example, restarts the trainer from the last published snapshot,
+    /// and reports [`Feedback::Quarantined`] — the caller keeps serving.
+    fn ingest(&self, t: &mut Trainer, q: &Query, y: f64) -> Feedback {
+        let Some(model) = t.model.as_mut() else {
+            return Feedback::Rejected;
+        };
+        if model.is_frozen() {
+            return Feedback::Rejected;
+        }
+        let boom = self.fault.fires(FaultKind::TrainerPanic);
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            let step = model.train_step(q, y);
+            // Injected *after* the step so the model really is mid-update
+            // (mutated but unaccounted) when the supervisor catches it.
+            if boom {
+                panic!("injected fault: trainer panic mid-update");
+            }
+            step
+        }));
+        match step {
+            Ok(Ok(_)) => {
                 self.feedback_fed.fetch_add(1, Ordering::Relaxed);
                 t.since_publish += 1;
                 if t.since_publish >= self.policy.publish_interval {
                     t.since_publish = 0;
                     let snapshot = t.model.as_ref().expect("just trained").snapshot();
                     self.cell.publish(snapshot);
+                    self.degraded.store(false, Ordering::Relaxed);
                 }
                 Feedback::Accepted
+            }
+            Ok(Err(_)) => Feedback::Rejected,
+            Err(_) => {
+                self.trainer_panics.fetch_add(1, Ordering::Relaxed);
+                self.push_quarantine(q, y);
+                self.restart_trainer(t);
+                Feedback::Quarantined
+            }
+        }
+    }
+
+    /// Offer an executed `(q, y)` pair to the trainer (Fig. 2's stream).
+    /// Never blocks: under lock contention the example is dropped and
+    /// counted in [`ServeStats::feedback_skipped`]. A poisoned lock is
+    /// healed first (restart from snapshot, poison cleared, counted) and
+    /// the example is then ingested normally; a panicking ingestion
+    /// quarantines the example ([`Feedback::Quarantined`]).
+    pub fn observe_outcome(&self, q: &Query, y: f64) -> Feedback {
+        if self.fault.fires(FaultKind::QueueOverflow) {
+            // The unsharded engine has no queue; an injected overflow
+            // models the bounded-queue refusal as a counted drop.
+            self.feedback_skipped.fetch_add(1, Ordering::Relaxed);
+            return Feedback::Dropped;
+        }
+        match self.trainer.try_lock() {
+            Ok(mut t) => {
+                if self.fault.fires(FaultKind::LockPoison) {
+                    self.poison_trainer_lock(t);
+                    self.feedback_skipped.fetch_add(1, Ordering::Relaxed);
+                    return Feedback::Dropped;
+                }
+                self.ingest(&mut t, q, y)
             }
             Err(std::sync::TryLockError::WouldBlock) => {
                 self.feedback_skipped.fetch_add(1, Ordering::Relaxed);
                 Feedback::Dropped
             }
-            Err(std::sync::TryLockError::Poisoned(mut p)) => {
-                // A panicked trainer thread must not poison serving — but
-                // the example is still lost, so it counts as a drop (it
-                // used to vanish from the stats entirely).
-                p.get_mut().since_publish = 0;
-                self.feedback_skipped.fetch_add(1, Ordering::Relaxed);
-                Feedback::Dropped
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                let mut t = p.into_inner();
+                self.recover_poisoned(&mut t);
+                self.ingest(&mut t, q, y)
             }
         }
+    }
+
+    /// Genuinely poison the trainer mutex (injected
+    /// [`FaultKind::LockPoison`]): panic while the guard unwinds, exactly
+    /// like a real trainer thread dying with the lock held.
+    fn poison_trainer_lock(&self, guard: std::sync::MutexGuard<'_, Trainer>) {
+        let poisoner = catch_unwind(AssertUnwindSafe(move || {
+            let _guard = guard;
+            panic!("injected fault: trainer lock poisoned");
+        }));
+        debug_assert!(poisoner.is_err());
     }
 
     /// [`ServeEngine::observe_outcome`] collapsed to "did the trainer
@@ -361,19 +596,84 @@ impl ServeEngine {
         let mut t = self.lock_trainer();
         t.since_publish = 0;
         let snapshot = t.model.as_ref()?.snapshot();
-        Some(self.cell.publish(snapshot))
+        let epoch = self.cell.publish(snapshot);
+        self.degraded.store(false, Ordering::Relaxed);
+        Some(epoch)
     }
 
     fn exact_q1_value(&self, q: &Query) -> Result<f64, ServeError> {
-        self.exact
-            .q1(&q.center, q.radius)
-            .ok_or(ServeError::EmptySubspace)
+        self.timed_exact(|| {
+            self.exact
+                .q1(&q.center, q.radius)
+                .ok_or(ServeError::EmptySubspace)
+        })
+    }
+
+    /// Run an exact execution, folding injected latency
+    /// ([`FaultKind::ExactDelay`]) and — when a deadline budget makes the
+    /// estimate relevant — the measured cost into the exact-cost EMA. The
+    /// default configuration (no budget, no armed delay) is a direct
+    /// call: no clock reads on the hot path.
+    fn timed_exact<T>(&self, run: impl FnOnce() -> Result<T, ServeError>) -> Result<T, ServeError> {
+        if self.policy.deadline_us.is_none() && !self.fault.is_armed(FaultKind::ExactDelay) {
+            return run();
+        }
+        let start = Instant::now();
+        self.fault.delay_exact();
+        let out = run();
+        self.record_exact_cost(start.elapsed().as_secs_f64() * 1e6);
+        out
+    }
+
+    fn record_exact_cost(&self, us: f64) {
+        // Load/store race under concurrent exact calls is acceptable: the
+        // EMA is a routing heuristic, not an accounting counter.
+        let prev = f64::from_bits(self.exact_cost_bits.load(Ordering::Relaxed));
+        let next = if prev > 0.0 {
+            0.8 * prev + 0.2 * us
+        } else {
+            us
+        };
+        self.exact_cost_bits
+            .store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The exact-path cost estimate driving [`RoutePolicy::deadline_us`]:
+    /// the max of the measured EMA and any standing fault-plan hint.
+    fn exact_cost_estimate_us(&self) -> Option<f64> {
+        let ema = f64::from_bits(self.exact_cost_bits.load(Ordering::Relaxed));
+        let measured = (ema > 0.0).then_some(ema);
+        match (measured, self.fault.exact_cost_hint_us()) {
+            (Some(m), Some(h)) => Some(m.max(h)),
+            (m, h) => m.or(h),
+        }
+    }
+
+    /// Whether a below-threshold query should skip the exact fallback
+    /// and serve the snapshot answer as [`Route::Degraded`].
+    fn should_degrade(&self) -> bool {
+        self.policy.deadline_us.is_some_and(|budget| {
+            self.exact_cost_estimate_us()
+                .is_some_and(|cost| cost > budget)
+        })
+    }
+
+    fn degraded_serve<T>(&self, value: T, score: f64, version: u64) -> Served<T> {
+        self.degraded_served.fetch_add(1, Ordering::Relaxed);
+        Served {
+            value,
+            route: Route::Degraded,
+            score: Some(score),
+            snapshot_version: Some(version),
+            feedback_dropped: false,
+        }
     }
 
     /// Feed the trainer (policy permitting) and report whether *this*
-    /// example was lost to contention.
+    /// example was lost (dropped to contention/overflow, or quarantined
+    /// by a panicking trainer).
     fn feed_back(&self, q: &Query, y: f64) -> bool {
-        self.policy.feedback && self.observe_outcome(q, y) == Feedback::Dropped
+        self.policy.feedback && self.observe_outcome(q, y).is_lost()
     }
 
     /// Gate a query against the current snapshot under the read guard.
@@ -392,7 +692,8 @@ impl ServeEngine {
                     score: conf.score,
                     version: snap.version(),
                 },
-                Ok((_, conf)) => Gate::Fallback {
+                Ok((value, conf)) => Gate::Fallback {
+                    value,
                     score: conf.score,
                     version: snap.version(),
                 },
@@ -426,7 +727,14 @@ impl ServeEngine {
                     feedback_dropped: false,
                 })
             }
-            Gate::Fallback { score, version } => {
+            Gate::Fallback {
+                value,
+                score,
+                version,
+            } => {
+                if self.should_degrade() {
+                    return Ok(self.degraded_serve(value, score, version));
+                }
                 let mut served = self.q1_exact(q)?;
                 served.score = Some(score);
                 served.snapshot_version = Some(version);
@@ -498,7 +806,14 @@ impl ServeEngine {
                     feedback_dropped: false,
                 })
             }
-            Gate::Fallback { score, version } => {
+            Gate::Fallback {
+                value,
+                score,
+                version,
+            } => {
+                if self.should_degrade() {
+                    return Ok(self.degraded_serve(value, score, version));
+                }
                 let mut served = self.q2_exact(q)?;
                 served.score = Some(score);
                 served.snapshot_version = Some(version);
@@ -540,13 +855,14 @@ impl ServeEngine {
     /// [`ServeError::EmptySubspace`] on an empty selection;
     /// [`ServeError::Numeric`] on a numerical failure.
     pub fn q2_exact(&self, q: &Query) -> Result<Served<Vec<LocalModel>>, ServeError> {
-        let fit = self
-            .exact
-            .q1_reg_fused(&q.center, q.radius)
-            .map_err(|e| match e {
-                LinalgError::Empty => ServeError::EmptySubspace,
-                other => ServeError::Numeric(other),
-            })?;
+        let fit = self.timed_exact(|| {
+            self.exact
+                .q1_reg_fused(&q.center, q.radius)
+                .map_err(|e| match e {
+                    LinalgError::Empty => ServeError::EmptySubspace,
+                    other => ServeError::Numeric(other),
+                })
+        })?;
         let dropped = self.feed_back(q, fit.moments.mean);
         self.exact_served.fetch_add(1, Ordering::Relaxed);
         let mut served = Served::exact_only(vec![LocalModel {
@@ -572,45 +888,50 @@ impl ServeEngine {
 
     /// Offer a whole batch of executed `(q, y)` pairs to the trainer
     /// under a single `try_lock`. Per-example semantics match
-    /// [`ServeEngine::observe_outcome`] exactly (train → publish at the
-    /// interval); under contention or poisoning the *entire batch* is
-    /// dropped and counted, because serving never blocks on training.
+    /// [`ServeEngine::observe_outcome`] exactly (supervised ingestion,
+    /// publish at the interval, quarantine on panic — the batch continues
+    /// on the restarted trainer); under contention the *entire batch* is
+    /// dropped and counted, because serving never blocks on training. A
+    /// poisoned lock is healed first and the batch then ingests normally.
     pub fn observe_outcome_batch(&self, pairs: &[(Query, f64)]) -> Vec<Feedback> {
         if pairs.is_empty() {
             return Vec::new();
         }
         match self.trainer.try_lock() {
-            Ok(mut t) => pairs
-                .iter()
-                .map(|(q, y)| {
-                    let Some(model) = t.model.as_mut() else {
-                        return Feedback::Rejected;
-                    };
-                    if model.is_frozen() || model.train_step(q, *y).is_err() {
-                        return Feedback::Rejected;
-                    }
-                    self.feedback_fed.fetch_add(1, Ordering::Relaxed);
-                    t.since_publish += 1;
-                    if t.since_publish >= self.policy.publish_interval {
-                        t.since_publish = 0;
-                        let snapshot = t.model.as_ref().expect("just trained").snapshot();
-                        self.cell.publish(snapshot);
-                    }
-                    Feedback::Accepted
-                })
-                .collect(),
+            Ok(mut t) => {
+                if self.fault.fires(FaultKind::LockPoison) {
+                    self.poison_trainer_lock(t);
+                    self.feedback_skipped
+                        .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+                    return vec![Feedback::Dropped; pairs.len()];
+                }
+                self.ingest_batch(&mut t, pairs)
+            }
             Err(std::sync::TryLockError::WouldBlock) => {
                 self.feedback_skipped
                     .fetch_add(pairs.len() as u64, Ordering::Relaxed);
                 vec![Feedback::Dropped; pairs.len()]
             }
-            Err(std::sync::TryLockError::Poisoned(mut p)) => {
-                p.get_mut().since_publish = 0;
-                self.feedback_skipped
-                    .fetch_add(pairs.len() as u64, Ordering::Relaxed);
-                vec![Feedback::Dropped; pairs.len()]
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                let mut t = p.into_inner();
+                self.recover_poisoned(&mut t);
+                self.ingest_batch(&mut t, pairs)
             }
         }
+    }
+
+    fn ingest_batch(&self, t: &mut Trainer, pairs: &[(Query, f64)]) -> Vec<Feedback> {
+        pairs
+            .iter()
+            .map(|(q, y)| {
+                if self.fault.fires(FaultKind::QueueOverflow) {
+                    self.feedback_skipped.fetch_add(1, Ordering::Relaxed);
+                    Feedback::Dropped
+                } else {
+                    self.ingest(t, q, *y)
+                }
+            })
+            .collect()
     }
 
     /// Gate a whole batch against the current snapshot under one read
@@ -696,6 +1017,9 @@ impl ServeEngine {
             }
             GateBatch::Resolved { results, version } => {
                 debug_assert_eq!(results.len(), queries.len());
+                // One degrade decision per batch: every below-threshold
+                // query in this batch routes the same way.
+                let degrade = self.should_degrade();
                 for (q, (value, conf)) in queries.iter().zip(results) {
                     if conf.score >= self.policy.confidence_threshold {
                         self.model_served.fetch_add(1, Ordering::Relaxed);
@@ -706,6 +1030,8 @@ impl ServeEngine {
                             snapshot_version: Some(version),
                             feedback_dropped: false,
                         });
+                    } else if degrade {
+                        out.push(self.degraded_serve(value, conf.score, version));
                     } else {
                         fallback(q, Some(conf.score), Some(version), &mut out, &mut exact)?;
                     }
@@ -714,7 +1040,7 @@ impl ServeEngine {
         }
         let feedback = self.observe_outcome_batch(&fb_pairs);
         for (&slot, fb) in fb_slots.iter().zip(feedback) {
-            out[slot].feedback_dropped = fb == Feedback::Dropped;
+            out[slot].feedback_dropped = fb.is_lost();
         }
         Ok(out)
     }
@@ -753,13 +1079,14 @@ impl ServeEngine {
             queries,
             ServingSnapshot::predict_q2_with_confidence_batch,
             |q| {
-                let fit = self
-                    .exact
-                    .q1_reg_fused(&q.center, q.radius)
-                    .map_err(|e| match e {
-                        LinalgError::Empty => ServeError::EmptySubspace,
-                        other => ServeError::Numeric(other),
-                    })?;
+                let fit = self.timed_exact(|| {
+                    self.exact
+                        .q1_reg_fused(&q.center, q.radius)
+                        .map_err(|e| match e {
+                            LinalgError::Empty => ServeError::EmptySubspace,
+                            other => ServeError::Numeric(other),
+                        })
+                })?;
                 let y = fit.moments.mean;
                 Ok((
                     vec![LocalModel {
@@ -904,6 +1231,7 @@ mod tests {
             confidence_threshold: 2.0, // unreachable: always fall back
             feedback: true,
             publish_interval: 16,
+            ..RoutePolicy::default()
         };
         let model = LlmModel::new(ModelConfig::with_vigilance(2, 0.15)).unwrap();
         let engine = ServeEngine::with_model(exact, model, policy);
@@ -958,20 +1286,181 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_trainer_lock_counts_as_a_drop() {
-        // The old code path reset `since_publish` on a poisoned lock but
-        // forgot the drop counter entirely.
-        let engine = engine_with_model();
+    fn poisoned_trainer_lock_heals_with_a_counted_restart() {
+        // Poison recovery semantics (the shard.rs:279 audit, engine
+        // form): a poisoned guard may hold a half-applied SGD update, so
+        // recovery must reset the trainer from the last published
+        // snapshot, count the health event, clear the poison, and then
+        // keep ingesting — NOT silently train on the poisoned state (the
+        // pre-PR-8 behavior) and NOT drop examples forever.
+        let exact = exact_engine(20_000, 1);
+        let mut model = trained_model(&exact, 30_000, 2);
+        model.freeze(); // frozen survives snapshot → restart round trips
+        let engine = ServeEngine::with_model(exact, model, RoutePolicy::default());
+        let probe = q(&[0.5, 0.5], 0.2);
+        let before = engine.snapshot().unwrap();
         let poisoner = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _g = engine.trainer.lock().unwrap();
             panic!("poison the trainer lock");
         }));
         assert!(poisoner.is_err());
-        let query = q(&[0.5, 0.5], 0.2);
-        assert_eq!(engine.observe_outcome(&query, 1.0), Feedback::Dropped);
-        assert_eq!(engine.stats().feedback_skipped, 1);
-        let served = engine.q1_exact(&query).unwrap();
-        assert!(served.feedback_dropped);
+        // First offer after the poison heals the lock and ingests on the
+        // restarted trainer. The trainer is frozen and the snapshot
+        // restores frozen too: a deliberate Rejected, not a loss.
+        assert_eq!(engine.observe_outcome(&probe, 1.0), Feedback::Rejected);
+        let stats = engine.stats();
+        assert_eq!(stats.lock_poisonings, 1);
+        assert_eq!(stats.trainer_restarts, 1);
+        assert_eq!(stats.feedback_skipped, 0, "recovery is not a drop");
+        assert!(engine.is_degraded(), "restart marks the engine degraded");
+        // The poison is cleared: later offers take the normal path.
+        let served = engine.q1_exact(&probe).unwrap();
+        assert!(!served.feedback_dropped);
+        assert_eq!(engine.stats().lock_poisonings, 1);
+        // The restarted trainer publishes bit-identically to the snapshot
+        // it was rebuilt from — nothing half-applied survived.
+        engine.publish_now().unwrap();
+        assert!(!engine.is_degraded(), "publish clears the degraded flag");
+        let after = engine.snapshot().unwrap();
+        assert_eq!(
+            before.predict_q1(&probe).unwrap().to_bits(),
+            after.predict_q1(&probe).unwrap().to_bits(),
+            "recovered trainer must republish the pre-poison snapshot"
+        );
+    }
+
+    #[test]
+    fn injected_trainer_panic_quarantines_restarts_and_keeps_serving() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let exact = exact_engine(5_000, 21);
+        let model = LlmModel::new(ModelConfig::with_vigilance(2, 0.15)).unwrap();
+        let mut engine = ServeEngine::with_model(
+            exact,
+            model,
+            RoutePolicy {
+                confidence_threshold: 2.0, // always fall back: feed everything
+                publish_interval: 4,
+                ..RoutePolicy::default()
+            },
+        );
+        engine.set_fault_plan(FaultPlan::new().inject(FaultKind::TrainerPanic, &[3]));
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut outcomes = Vec::new();
+        let mut pairs = Vec::new();
+        for _ in 0..8 {
+            let c = vec![rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)];
+            let query = q(&c, 0.15);
+            let y = rng.random_range(-1.0..1.0);
+            pairs.push((query.clone(), y));
+            outcomes.push(engine.observe_outcome(&query, y));
+        }
+        // Exactly ingestion #3 was quarantined; the rest trained.
+        let expected: Vec<Feedback> = (1..=8)
+            .map(|i| {
+                if i == 3 {
+                    Feedback::Quarantined
+                } else {
+                    Feedback::Accepted
+                }
+            })
+            .collect();
+        assert_eq!(outcomes, expected);
+        let stats = engine.stats();
+        assert_eq!(stats.trainer_panics, 1);
+        assert_eq!(stats.trainer_restarts, 1);
+        assert_eq!(stats.feedback_fed, 7);
+        // The quarantined example is retrievable, exactly the third pair.
+        let quarantined = engine.quarantined();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].0.center, pairs[2].0.center);
+        assert_eq!(quarantined[0].1, pairs[2].1);
+        // Serving survived throughout and the fabric still answers.
+        assert!(engine.q1(&q(&[0.5, 0.5], 0.3)).is_ok());
+        assert!(stats.publishes >= 2, "post-restart training republished");
+    }
+
+    #[test]
+    fn deadline_budget_degrades_fallbacks_flagged_and_snapshot_identical() {
+        use crate::fault::FaultPlan;
+        // Twin engines over the same data and model; one advertises an
+        // exact cost far beyond the deadline budget. Model routes must
+        // stay bit-identical; the twin's exact fallbacks must become
+        // flagged Degraded answers that serve the snapshot's own bits.
+        let plain = {
+            let exact = exact_engine(20_000, 1);
+            let model = trained_model(&exact, 30_000, 2);
+            let policy = RoutePolicy {
+                feedback: false,
+                ..RoutePolicy::default()
+            };
+            ServeEngine::with_model(exact, model, policy)
+        };
+        let mut slow = {
+            let exact = exact_engine(20_000, 1);
+            let model = trained_model(&exact, 30_000, 2);
+            let policy = RoutePolicy {
+                feedback: false,
+                deadline_us: Some(50.0),
+                ..RoutePolicy::default()
+            };
+            ServeEngine::with_model(exact, model, policy)
+        };
+        slow.set_fault_plan(FaultPlan::new().with_exact_cost_hint_us(1e6));
+        let snapshot = slow.snapshot().unwrap();
+        let probes = mixed_probes(&plain);
+        let mut degraded = 0usize;
+        for probe in &probes {
+            let a = plain.q1(probe).unwrap();
+            let b = slow.q1(probe).unwrap();
+            match a.route {
+                Route::Model => {
+                    assert_eq!(b.route, Route::Model);
+                    assert_eq!(a.value.to_bits(), b.value.to_bits());
+                }
+                Route::Exact => {
+                    degraded += 1;
+                    assert_eq!(b.route, Route::Degraded, "refused fallback must be flagged");
+                    assert_eq!(
+                        b.value.to_bits(),
+                        snapshot.predict_q1(probe).unwrap().to_bits(),
+                        "degraded answer must be the snapshot's own bits"
+                    );
+                    assert_eq!(b.score, a.score);
+                }
+                Route::Degraded => panic!("plain engine must never degrade"),
+            }
+        }
+        assert!(degraded > 0, "probe set must exercise the fallback route");
+        assert_eq!(slow.stats().degraded_served, degraded as u64);
+        assert_eq!(plain.stats().degraded_served, 0);
+        // Batch path: same per-query routes and bits.
+        let batch = slow.q1_batch(&probes).unwrap();
+        for (probe, served) in probes.iter().zip(&batch) {
+            assert_eq!(*served, slow.q1(probe).unwrap());
+        }
+    }
+
+    #[test]
+    fn injected_queue_overflow_is_a_counted_drop_that_heals() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let exact = exact_engine(5_000, 23);
+        let model = LlmModel::new(ModelConfig::with_vigilance(2, 0.15)).unwrap();
+        let mut engine = ServeEngine::with_model(
+            exact,
+            model,
+            RoutePolicy {
+                confidence_threshold: 2.0,
+                ..RoutePolicy::default()
+            },
+        );
+        engine.set_fault_plan(FaultPlan::new().inject(FaultKind::QueueOverflow, &[1, 2]));
+        let probe = q(&[0.5, 0.5], 0.2);
+        let served = engine.q1(&probe).unwrap();
+        assert!(served.feedback_dropped, "overflow burst surfaces per-query");
+        assert_eq!(engine.observe_outcome(&probe, 1.0), Feedback::Dropped);
+        assert_eq!(engine.stats().feedback_skipped, 2);
+        // Burst over: feedback flows again.
+        assert_eq!(engine.observe_outcome(&probe, 1.0), Feedback::Accepted);
         assert_eq!(engine.stats().feedback_skipped, 2);
     }
 
@@ -991,6 +1480,7 @@ mod tests {
                 confidence_threshold: 0.3,
                 feedback: true,
                 publish_interval: 64,
+                ..RoutePolicy::default()
             },
         );
         let mut rng = StdRng::seed_from_u64(8);
@@ -1069,6 +1559,7 @@ mod tests {
                 confidence_threshold: 0.25,
                 feedback: false, // readers must not train: the writer owns it
                 publish_interval: 128,
+                ..RoutePolicy::default()
             },
         );
         let mut rng = StdRng::seed_from_u64(10);

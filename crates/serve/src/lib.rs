@@ -24,11 +24,31 @@
 //!   space `[x, θ]` assigns each feedback example to one of `n`
 //!   trainer+cell shards (bounded per-shard queues, work-stealing drain),
 //!   while predictions fuse overlap weights **across** shards
-//!   bit-identically to the single-model answer.
+//!   bit-identically to the single-model answer;
+//! * [`FaultPlan`] — the deterministic fault-injection plane behind the
+//!   self-healing story: scripted trainer panics, lock poisonings, queue
+//!   overflow bursts, publish stalls and exact-path delays fire at exact
+//!   occurrence counts, and the supervision machinery (quarantine +
+//!   restart-from-snapshot, poison healing, bounded retry-with-backoff,
+//!   deadline-bounded [`Route::Degraded`] serving) recovers from each —
+//!   counted in the stats, never silently.
 //!
 //! In the MADlib / unified in-RDBMS architecture sense, this is the
 //! "engine layer" that owns routing across the exact and learned backends
 //! behind one declarative surface (`regq_sql` executes through it).
+//!
+//! ## Panic policy
+//!
+//! The serve path must not unwind under any input the public API admits.
+//! Fallible outcomes are typed ([`ServeError`], [`Feedback`]) or counted
+//! (drops, quarantines, poisonings in [`ServeStats`] / [`RouterStats`]);
+//! trainer panics are contained by `catch_unwind` supervision and
+//! answered with a restart. The few remaining `expect`s in this crate
+//! assert local invariants that hold by construction (a model that was
+//! just trained is present; a [`TlsReader`]'s handle exists until drop;
+//! re-assembling prototypes of a valid model is valid) or document a
+//! builder contract ([`FaultPlan`] must be configured before it is
+//! shared) — each states its invariant at the call site.
 //!
 //! ```
 //! use regq_core::{LlmModel, ModelConfig, Query};
@@ -60,8 +80,10 @@
 
 pub mod cell;
 pub mod engine;
+pub mod fault;
 pub mod shard;
 
 pub use cell::{ReadGuard, ReaderHandle, SnapshotCell, TlsReader};
 pub use engine::{Feedback, Route, RoutePolicy, ServeEngine, ServeError, ServeStats, Served};
+pub use fault::{FaultKind, FaultPlan, StallGate};
 pub use shard::{RouterStats, ShardRouter, ShardSnapshot};

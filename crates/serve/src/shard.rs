@@ -27,9 +27,25 @@
 //! `next_id` ticket on spawn), per-shard id lists stay strictly
 //! ascending (training only ever appends), and the fusion driver merges
 //! the per-shard overlap sets back into global-id order.
+//!
+//! # Fault tolerance
+//!
+//! Each shard's trainer is supervised exactly like the unsharded
+//! engine's (see `crate::engine` module docs): a panicking drain
+//! quarantines the offending example, restarts that shard's trainer from
+//! its last published [`ShardSnapshot`], flags the shard *degraded*
+//! until its next publish, and counts everything in [`RouterStats`]. A
+//! poisoned trainer lock gets the same restart-from-snapshot before the
+//! poison is cleared — recovery never trains on (or publishes) a
+//! half-applied update. Feedback that hits a full bounded queue gets a
+//! bounded deterministic retry-with-backoff budget
+//! ([`RoutePolicy::overflow_retries`]) before the counted drop, and
+//! fallbacks degrade to the flagged snapshot answer under a deadline
+//! budget or queue-pressure watermark ([`Route::Degraded`]).
 
 use crate::cell::SnapshotCell;
-use crate::engine::{Feedback, Route, RoutePolicy, ServeError, Served};
+use crate::engine::{Feedback, Route, RoutePolicy, ServeError, Served, QUARANTINE_CAP};
+use crate::fault::{FaultKind, FaultPlan};
 use regq_core::{
     sharded_q1_with_confidence, sharded_q2_with_confidence, CoreError, LlmModel, LocalModel,
     Prototype, Query, ServingSnapshot, ShardPart,
@@ -37,7 +53,8 @@ use regq_core::{
 use regq_exact::ExactEngine;
 use regq_linalg::LinalgError;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, TryLockError};
 
 /// Default bound on each shard's feedback queue (examples, not bytes).
@@ -210,6 +227,10 @@ struct Shard {
     trainer: Mutex<ShardTrainer>,
     cell: SnapshotCell<ShardSnapshot>,
     queue: Mutex<VecDeque<(Query, f64)>>,
+    /// Set when this shard's trainer was restarted from its snapshot,
+    /// cleared at its next publish: answers stay correct (they come from
+    /// the published snapshot) but learning regressed to it.
+    degraded: AtomicBool,
 }
 
 impl Shard {
@@ -222,6 +243,7 @@ impl Shard {
             }),
             cell: SnapshotCell::new(),
             queue: Mutex::new(VecDeque::new()),
+            degraded: AtomicBool::new(false),
         }
     }
 }
@@ -248,6 +270,24 @@ pub struct RouterStats {
     /// Retained snapshot epochs summed over all shard cells (bounded by
     /// readers, not publishes — the reclamation invariant).
     pub retained: usize,
+    /// Below-threshold queries served from the snapshots as
+    /// [`Route::Degraded`] (deadline budget / pressure watermark).
+    pub degraded_served: u64,
+    /// Shard-trainer panics caught mid-drain; each quarantined its
+    /// example ([`ShardRouter::quarantined`]) and restarted that shard's
+    /// trainer.
+    pub trainer_panics: u64,
+    /// Shard-trainer restarts from the shard's last published snapshot
+    /// (panic or poison recovery). Recovery is never silent.
+    pub trainer_restarts: u64,
+    /// Poisoned shard-trainer locks encountered and healed.
+    pub lock_poisonings: u64,
+    /// Retry attempts made for feedback that found its shard queue full
+    /// (the bounded [`RoutePolicy::overflow_retries`] budget).
+    pub feedback_retried: u64,
+    /// Shards currently flagged degraded (restarted trainer awaiting its
+    /// next publish).
+    pub degraded_shards: usize,
 }
 
 /// The sharded serve/train fabric (see module docs). API mirrors
@@ -260,6 +300,13 @@ pub struct ShardRouter {
     partitioner: Partitioner,
     shards: Vec<Shard>,
     queue_capacity: usize,
+    fault: FaultPlan,
+    /// Examples quarantined by panicking shard trainers (bounded at
+    /// [`QUARANTINE_CAP`]; `trainer_panics` has the unbounded count).
+    quarantine: Mutex<Vec<(Query, f64)>>,
+    /// Exact-path cost EMA in µs as `f64` bits (0 = no sample yet); only
+    /// maintained when a deadline budget / injected delay needs it.
+    exact_cost_bits: AtomicU64,
     /// Next unassigned global prototype id (spawn ticket counter).
     next_id: AtomicUsize,
     model_served: AtomicU64,
@@ -267,17 +314,51 @@ pub struct ShardRouter {
     feedback_enqueued: AtomicU64,
     feedback_fed: AtomicU64,
     feedback_dropped: AtomicU64,
+    degraded_served: AtomicU64,
+    trainer_panics: AtomicU64,
+    trainer_restarts: AtomicU64,
+    lock_poisonings: AtomicU64,
+    feedback_retried: AtomicU64,
 }
 
 /// The gate decision, mirroring the unsharded engine's.
 enum Gate<T> {
     NoSnapshot,
     Hit { value: T, score: f64, version: u64 },
-    Fallback { score: f64, version: u64 },
+    Fallback { value: T, score: f64, version: u64 },
 }
 
+/// Poison-tolerant lock for *queue* mutexes and read-only test access.
+///
+/// Satellite audit (PR 8): this helper is deliberately **not** used for
+/// trainer locks anymore. A `VecDeque` of `(Query, f64)` pairs has no
+/// cross-field invariant a mid-operation panic could break (an element is
+/// either in the queue or it isn't), so `into_inner` is sound here. A
+/// *trainer* guard, by contrast, may hold a half-applied SGD update —
+/// those locks go through [`ShardRouter::lock_shard_trainer`], which
+/// restarts the trainer from its last published snapshot and counts the
+/// health event before handing the guard out.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Die holding `guard`, genuinely poisoning its mutex (the injected
+/// [`FaultKind::LockPoison`] mechanism — no simulation, the real thing).
+fn poison_lock(guard: MutexGuard<'_, ShardTrainer>) {
+    let poisoner = catch_unwind(AssertUnwindSafe(move || {
+        let _guard = guard;
+        panic!("injected fault: shard trainer lock poisoned");
+    }));
+    debug_assert!(poisoner.is_err());
+}
+
+/// Deterministic exponential spin backoff between overflow retries —
+/// no clocks, no sleeps, so scripted single-threaded tests replay
+/// bit-identically.
+fn backoff(attempt: u32) {
+    for _ in 0..(64u32 << attempt.min(10)) {
+        std::hint::spin_loop();
+    }
 }
 
 impl ShardRouter {
@@ -295,12 +376,20 @@ impl ShardRouter {
             partitioner: Partitioner::Hash { shards },
             shards: (0..shards).map(|_| Shard::empty()).collect(),
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            fault: FaultPlan::new(),
+            quarantine: Mutex::new(Vec::new()),
+            exact_cost_bits: AtomicU64::new(0),
             next_id: AtomicUsize::new(0),
             model_served: AtomicU64::new(0),
             exact_served: AtomicU64::new(0),
             feedback_enqueued: AtomicU64::new(0),
             feedback_fed: AtomicU64::new(0),
             feedback_dropped: AtomicU64::new(0),
+            degraded_served: AtomicU64::new(0),
+            trainer_panics: AtomicU64::new(0),
+            trainer_restarts: AtomicU64::new(0),
+            lock_poisonings: AtomicU64::new(0),
+            feedback_retried: AtomicU64::new(0),
         }
     }
 
@@ -351,7 +440,7 @@ impl ShardRouter {
             .expect("subset of a valid model is valid");
             let snapshot = m.snapshot();
             lock(&shard.queue).clear();
-            let mut t = lock(&shard.trainer);
+            let mut t = self.lock_shard_trainer(shard);
             t.model = Some(m);
             t.ids = ids.clone();
             t.since_publish = 0;
@@ -359,6 +448,7 @@ impl ShardRouter {
                 snapshot,
                 ids: Arc::new(ids),
             });
+            shard.degraded.store(false, Ordering::Relaxed);
         }
     }
 
@@ -375,6 +465,9 @@ impl ShardRouter {
         let merged = self.merged_model();
         self.partitioner = Partitioner::Hash { shards };
         self.shards = (0..shards).map(|_| Shard::empty()).collect();
+        for shard in &self.shards {
+            shard.cell.arm_faults(self.fault.clone());
+        }
         self.next_id.store(0, Ordering::SeqCst);
         if let Some(model) = merged {
             self.attach_model(model);
@@ -390,7 +483,7 @@ impl ShardRouter {
         let mut steps = 0u64;
         let mut frozen = true;
         for shard in &self.shards {
-            let t = lock(&shard.trainer);
+            let t = self.lock_shard_trainer(shard);
             let Some(model) = t.model.as_ref() else {
                 continue;
             };
@@ -442,30 +535,140 @@ impl ShardRouter {
             publishes: self.shards.iter().map(|s| s.cell.epoch()).sum(),
             shards: self.shards.len(),
             retained: self.shards.iter().map(|s| s.cell.retained()).sum(),
+            degraded_served: self.degraded_served.load(Ordering::Relaxed),
+            trainer_panics: self.trainer_panics.load(Ordering::Relaxed),
+            trainer_restarts: self.trainer_restarts.load(Ordering::Relaxed),
+            lock_poisonings: self.lock_poisonings.load(Ordering::Relaxed),
+            feedback_retried: self.feedback_retried.load(Ordering::Relaxed),
+            degraded_shards: self
+                .shards
+                .iter()
+                .filter(|s| s.degraded.load(Ordering::Relaxed))
+                .count(),
         }
+    }
+
+    /// Arm a [`FaultPlan`] on the router and every shard's snapshot cell
+    /// (for injected publish stalls). Deterministic: occurrence counters
+    /// live in the shared plan, so a scripted schedule fires at exactly
+    /// the configured sites.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for shard in &self.shards {
+            shard.cell.arm_faults(plan.clone());
+        }
+        self.fault = plan;
+    }
+
+    /// Examples quarantined by panicking shard trainers, oldest first
+    /// (bounded at [`QUARANTINE_CAP`] retained examples;
+    /// [`RouterStats::trainer_panics`] has the unbounded count).
+    pub fn quarantined(&self) -> Vec<(Query, f64)> {
+        self.quarantine
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn push_quarantine(&self, q: &Query, y: f64) {
+        let mut quarantine = self
+            .quarantine
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if quarantine.len() < QUARANTINE_CAP {
+            quarantine.push((q.clone(), y));
+        }
+    }
+
+    /// Lock a shard's trainer, healing a poisoned lock on the way in: the
+    /// poisoned guard may expose a half-applied SGD update (the panicking
+    /// thread died mid-`train_step`), which must be neither trained on
+    /// nor published — so restart from the shard's last published
+    /// snapshot and clear the poison. Counted, never silent.
+    fn lock_shard_trainer<'s>(&self, shard: &'s Shard) -> MutexGuard<'s, ShardTrainer> {
+        match shard.trainer.lock() {
+            Ok(t) => t,
+            Err(p) => {
+                let mut t = p.into_inner();
+                self.lock_poisonings.fetch_add(1, Ordering::Relaxed);
+                self.recover_shard_trainer(shard, &mut t);
+                shard.trainer.clear_poison();
+                t
+            }
+        }
+    }
+
+    /// Restart one shard's trainer from its last published
+    /// [`ShardSnapshot`] (or, before any publish, from a fresh model with
+    /// the same config and an empty id list). Marks the shard degraded
+    /// until its next publish.
+    fn recover_shard_trainer(&self, shard: &Shard, t: &mut ShardTrainer) {
+        t.since_publish = 0;
+        match shard.cell.load_owned() {
+            Some(ss) => {
+                t.model = ss.snapshot.to_model().ok();
+                t.ids = ss.ids.as_ref().clone();
+            }
+            None => {
+                t.model = t
+                    .model
+                    .as_ref()
+                    .and_then(|m| LlmModel::new(m.config().clone()).ok());
+                t.ids.clear();
+            }
+        }
+        self.trainer_restarts.fetch_add(1, Ordering::Relaxed);
+        shard.degraded.store(true, Ordering::Relaxed);
     }
 
     /// Offer one `(q, y)` feedback example to the fabric. The example is
     /// routed to its shard's bounded queue; `Accepted` means *enqueued*
-    /// (a trainer consumes it at the next drain), `Dropped` means the
-    /// queue was full and the example is lost — counted in
-    /// [`RouterStats::feedback_dropped`]. Never blocks on a trainer lock.
+    /// (a trainer consumes it at the next drain). A full queue gets the
+    /// bounded retry-with-backoff budget of
+    /// [`RoutePolicy::overflow_retries`] (each attempt pumps the fabric
+    /// first, so retries actively make room) before the example is lost
+    /// as a `Dropped` — counted in [`RouterStats::feedback_dropped`].
+    /// Never blocks on a trainer lock.
     pub fn observe_outcome(&self, q: &Query, y: f64) -> Feedback {
-        let shard = &self.shards[self.partitioner.route(&q.center, q.radius)];
-        {
-            let mut queue = lock(&shard.queue);
-            if queue.len() >= self.queue_capacity {
-                drop(queue);
-                self.feedback_dropped.fetch_add(1, Ordering::Relaxed);
-                return Feedback::Dropped;
-            }
-            queue.push_back((q.clone(), y));
+        let idx = self.partitioner.route(&q.center, q.radius);
+        // An injected overflow burst makes the first offer behave as if
+        // the queue were full — the retry/drop path must absorb it.
+        if !self.fault.fires(FaultKind::QueueOverflow) && self.try_enqueue(idx, q, y) {
+            self.feedback_enqueued.fetch_add(1, Ordering::Relaxed);
+            // Opportunistic drain: this caller steals whatever shard work
+            // it can grab without blocking (its own shard included).
+            self.pump();
+            return Feedback::Accepted;
         }
-        self.feedback_enqueued.fetch_add(1, Ordering::Relaxed);
-        // Opportunistic drain: this caller steals whatever shard work it
-        // can grab without blocking (its own shard included).
-        self.pump();
-        Feedback::Accepted
+        self.retry_enqueue(idx, q, y)
+    }
+
+    /// One lock-and-offer against shard `idx`'s bounded queue.
+    fn try_enqueue(&self, idx: usize, q: &Query, y: f64) -> bool {
+        let mut queue = lock(&self.shards[idx].queue);
+        if queue.len() >= self.queue_capacity {
+            return false;
+        }
+        queue.push_back((q.clone(), y));
+        true
+    }
+
+    /// Deterministic bounded retry after a full-queue offer: up to
+    /// [`RoutePolicy::overflow_retries`] rounds of exponential spin
+    /// backoff, each preceded by a drain pass so the retry has a reason
+    /// to succeed. Exhausting the budget is a counted drop.
+    fn retry_enqueue(&self, idx: usize, q: &Query, y: f64) -> Feedback {
+        for attempt in 0..self.policy.overflow_retries {
+            self.feedback_retried.fetch_add(1, Ordering::Relaxed);
+            backoff(attempt);
+            self.pump();
+            if self.try_enqueue(idx, q, y) {
+                self.feedback_enqueued.fetch_add(1, Ordering::Relaxed);
+                self.pump();
+                return Feedback::Accepted;
+            }
+        }
+        self.feedback_dropped.fetch_add(1, Ordering::Relaxed);
+        Feedback::Dropped
     }
 
     /// [`ShardRouter::observe_outcome`] collapsed to "did the fabric
@@ -483,10 +686,27 @@ impl ShardRouter {
         let mut trained = 0;
         for shard in &self.shards {
             match shard.trainer.try_lock() {
-                Ok(mut t) => trained += self.drain_shard(shard, &mut t),
+                Ok(t) => {
+                    if self.fault.fires(FaultKind::LockPoison) {
+                        // Kill this holder mid-critical-section: the
+                        // guard dies inside a panic, genuinely poisoning
+                        // the lock for whoever comes next.
+                        poison_lock(t);
+                        continue;
+                    }
+                    let mut t = t;
+                    trained += self.drain_shard(shard, &mut t);
+                }
                 Err(TryLockError::WouldBlock) => {}
-                Err(TryLockError::Poisoned(mut p)) => {
-                    trained += self.drain_shard(shard, p.get_mut())
+                Err(TryLockError::Poisoned(p)) => {
+                    // The previous holder panicked mid-update; its model
+                    // state is untrustworthy. Restart from the published
+                    // snapshot before draining anything into it.
+                    let mut t = p.into_inner();
+                    self.lock_poisonings.fetch_add(1, Ordering::Relaxed);
+                    self.recover_shard_trainer(shard, &mut t);
+                    shard.trainer.clear_poison();
+                    trained += self.drain_shard(shard, &mut t);
                 }
             }
         }
@@ -497,16 +717,14 @@ impl ShardRouter {
     /// A shard that cannot train (no model, frozen) leaves its queue
     /// untouched — the bound then converts sustained pressure into
     /// counted drops instead of silent discards.
+    ///
+    /// Every `train_step` runs supervised: a panic (real or injected)
+    /// quarantines the offending example, restarts this shard's trainer
+    /// from its last published snapshot, and the drain *continues* on the
+    /// restarted model — one poisonous example cannot take the rest of
+    /// the batch down with it.
     fn drain_shard(&self, shard: &Shard, t: &mut ShardTrainer) -> usize {
-        let ShardTrainer {
-            model,
-            ids,
-            since_publish,
-        } = t;
-        let Some(model) = model.as_mut() else {
-            return 0;
-        };
-        if model.is_frozen() {
+        if t.model.as_ref().is_none_or(|m| m.is_frozen()) {
             return 0;
         }
         let batch: Vec<(Query, f64)> = lock(&shard.queue).drain(..).collect();
@@ -514,28 +732,63 @@ impl ShardRouter {
             return 0;
         }
         let mut trained = 0usize;
-        for (q, y) in batch {
+        let mut batch = batch.into_iter();
+        while let Some((q, y)) = batch.next() {
+            // Re-check per example: a mid-batch restart may have landed
+            // on a frozen (or unrecoverable) model. Untrainable leftovers
+            // go back to the queue front, order preserved.
+            if t.model.as_ref().is_none_or(|m| m.is_frozen()) {
+                let rest: Vec<(Query, f64)> = std::iter::once((q, y)).chain(batch).collect();
+                let mut queue = lock(&shard.queue);
+                for pair in rest.into_iter().rev() {
+                    queue.push_front(pair);
+                }
+                break;
+            }
+            let model = t.model.as_mut().expect("checked above");
             let k_before = model.k();
-            if model.train_step(&q, y).is_err() {
-                continue;
+            let boom = self.fault.fires(FaultKind::TrainerPanic);
+            let step = catch_unwind(AssertUnwindSafe(|| {
+                let step = model.train_step(&q, y);
+                // Injected *after* the step so the model really is
+                // mid-update (mutated but unaccounted) when the
+                // supervisor catches it.
+                if boom {
+                    panic!("injected fault: shard trainer panic mid-update");
+                }
+                step
+            }));
+            match step {
+                Ok(Ok(_)) => {
+                    if t.model.as_ref().expect("just trained").k() > k_before {
+                        // Spawn appends exactly one prototype at the
+                        // arena's end, so a fresh (globally unique,
+                        // per-shard ascending) id ticket keeps ids
+                        // aligned slot-for-slot.
+                        t.ids.push(self.next_id.fetch_add(1, Ordering::SeqCst));
+                    }
+                    trained += 1;
+                    t.since_publish += 1;
+                }
+                Ok(Err(_)) => continue,
+                Err(_) => {
+                    self.trainer_panics.fetch_add(1, Ordering::Relaxed);
+                    self.push_quarantine(&q, y);
+                    self.recover_shard_trainer(shard, t);
+                }
             }
-            if model.k() > k_before {
-                // Spawn appends exactly one prototype at the arena's end,
-                // so a fresh (globally unique, per-shard ascending) id
-                // ticket keeps ids aligned slot-for-slot.
-                ids.push(self.next_id.fetch_add(1, Ordering::SeqCst));
-            }
-            trained += 1;
-            *since_publish += 1;
         }
         self.feedback_fed
             .fetch_add(trained as u64, Ordering::Relaxed);
-        if *since_publish >= self.policy.publish_interval {
-            *since_publish = 0;
-            shard.cell.publish(ShardSnapshot {
-                snapshot: model.snapshot(),
-                ids: Arc::new(ids.clone()),
-            });
+        if t.since_publish >= self.policy.publish_interval {
+            t.since_publish = 0;
+            if let Some(model) = t.model.as_ref() {
+                shard.cell.publish(ShardSnapshot {
+                    snapshot: model.snapshot(),
+                    ids: Arc::new(t.ids.clone()),
+                });
+                shard.degraded.store(false, Ordering::Relaxed);
+            }
         }
         trained
     }
@@ -544,16 +797,18 @@ impl ShardRouter {
     /// [`ShardRouter::set_shards`]).
     fn drain_all_blocking(&self) {
         for shard in &self.shards {
-            let mut t = lock(&shard.trainer);
+            let mut t = self.lock_shard_trainer(shard);
             self.drain_shard(shard, &mut t);
         }
     }
 
     /// Force-publish every shard's current parameters (blocks on each
-    /// trainer lock in turn). Returns the total publish count.
+    /// trainer lock in turn; a poisoned lock heals first, so a
+    /// half-applied update is never published). Returns the total publish
+    /// count.
     pub fn publish_now(&self) -> u64 {
         for shard in &self.shards {
-            let mut t = lock(&shard.trainer);
+            let mut t = self.lock_shard_trainer(shard);
             t.since_publish = 0;
             let ShardTrainer { model, ids, .. } = &*t;
             if let Some(model) = model {
@@ -561,6 +816,7 @@ impl ShardRouter {
                     snapshot: model.snapshot(),
                     ids: Arc::new(ids.clone()),
                 });
+                shard.degraded.store(false, Ordering::Relaxed);
             }
         }
         self.stats().publishes
@@ -615,7 +871,8 @@ impl ShardRouter {
                 score: conf.score,
                 version,
             },
-            Some((_, conf)) => Gate::Fallback {
+            Some((value, conf)) => Gate::Fallback {
+                value,
                 score: conf.score,
                 version,
             },
@@ -623,15 +880,86 @@ impl ShardRouter {
     }
 
     /// Feed the fabric (policy permitting) and report whether *this*
-    /// example was dropped.
+    /// example was lost (dropped after the retry budget, or quarantined
+    /// by a panicking shard trainer).
     fn feed_back(&self, q: &Query, y: f64) -> bool {
-        self.policy.feedback && self.observe_outcome(q, y) == Feedback::Dropped
+        self.policy.feedback && self.observe_outcome(q, y).is_lost()
     }
 
     fn exact_q1_value(&self, q: &Query) -> Result<f64, ServeError> {
-        self.exact
-            .q1(&q.center, q.radius)
-            .ok_or(ServeError::EmptySubspace)
+        self.timed_exact(|| {
+            self.exact
+                .q1(&q.center, q.radius)
+                .ok_or(ServeError::EmptySubspace)
+        })
+    }
+
+    /// Run an exact-path computation, timing it when a deadline budget
+    /// (or an injected delay) makes the cost estimate matter. With no
+    /// deadline and no armed delay this is a plain call — zero overhead
+    /// on the default path.
+    fn timed_exact<T>(&self, run: impl FnOnce() -> Result<T, ServeError>) -> Result<T, ServeError> {
+        if self.policy.deadline_us.is_none() && !self.fault.is_armed(FaultKind::ExactDelay) {
+            return run();
+        }
+        let start = std::time::Instant::now();
+        self.fault.delay_exact();
+        let out = run();
+        self.record_exact_cost(start.elapsed().as_secs_f64() * 1e6);
+        out
+    }
+
+    fn record_exact_cost(&self, us: f64) {
+        // Load/store race under concurrent exact calls is acceptable: the
+        // EMA is a routing heuristic, not an accounting counter.
+        let prev = f64::from_bits(self.exact_cost_bits.load(Ordering::Relaxed));
+        let next = if prev > 0.0 {
+            0.8 * prev + 0.2 * us
+        } else {
+            us
+        };
+        self.exact_cost_bits
+            .store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The exact-path cost estimate driving [`RoutePolicy::deadline_us`]:
+    /// the max of the measured EMA and any standing fault-plan hint.
+    fn exact_cost_estimate_us(&self) -> Option<f64> {
+        let ema = f64::from_bits(self.exact_cost_bits.load(Ordering::Relaxed));
+        let measured = (ema > 0.0).then_some(ema);
+        match (measured, self.fault.exact_cost_hint_us()) {
+            (Some(m), Some(h)) => Some(m.max(h)),
+            (m, h) => m.or(h),
+        }
+    }
+
+    /// Whether a below-threshold query should skip the exact fallback and
+    /// serve the fused snapshot answer as [`Route::Degraded`]: either its
+    /// shard's feedback queue is at the pressure watermark (the fabric is
+    /// drowning — stop generating more feedback), or the exact-path cost
+    /// estimate exceeds the deadline budget.
+    fn should_degrade(&self, q: &Query) -> bool {
+        if let Some(watermark) = self.policy.pressure_watermark {
+            let shard = &self.shards[self.partitioner.route(&q.center, q.radius)];
+            if lock(&shard.queue).len() >= watermark {
+                return true;
+            }
+        }
+        self.policy.deadline_us.is_some_and(|budget| {
+            self.exact_cost_estimate_us()
+                .is_some_and(|cost| cost > budget)
+        })
+    }
+
+    fn degraded_serve<T>(&self, value: T, score: f64, version: u64) -> Served<T> {
+        self.degraded_served.fetch_add(1, Ordering::Relaxed);
+        Served {
+            value,
+            route: Route::Degraded,
+            score: Some(score),
+            snapshot_version: Some(version),
+            feedback_dropped: false,
+        }
     }
 
     /// **Auto-routed Q1** across the shard fabric — the fused cross-shard
@@ -660,7 +988,14 @@ impl ShardRouter {
                     feedback_dropped: false,
                 })
             }
-            Gate::Fallback { score, version } => {
+            Gate::Fallback {
+                value,
+                score,
+                version,
+            } => {
+                if self.should_degrade(q) {
+                    return Ok(self.degraded_serve(value, score, version));
+                }
                 let mut served = self.q1_exact(q)?;
                 served.score = Some(score);
                 served.snapshot_version = Some(version);
@@ -734,7 +1069,14 @@ impl ShardRouter {
                     feedback_dropped: false,
                 })
             }
-            Gate::Fallback { score, version } => {
+            Gate::Fallback {
+                value,
+                score,
+                version,
+            } => {
+                if self.should_degrade(q) {
+                    return Ok(self.degraded_serve(value, score, version));
+                }
                 let mut served = self.q2_exact(q)?;
                 served.score = Some(score);
                 served.snapshot_version = Some(version);
@@ -772,13 +1114,14 @@ impl ShardRouter {
     /// [`ServeError::Numeric`] on a numerical failure.
     pub fn q2_exact(&self, q: &Query) -> Result<Served<Vec<LocalModel>>, ServeError> {
         self.check_dim(q)?;
-        let fit = self
-            .exact
-            .q1_reg_fused(&q.center, q.radius)
-            .map_err(|e| match e {
-                LinalgError::Empty => ServeError::EmptySubspace,
-                other => ServeError::Numeric(other),
-            })?;
+        let fit = self.timed_exact(|| {
+            self.exact
+                .q1_reg_fused(&q.center, q.radius)
+                .map_err(|e| match e {
+                    LinalgError::Empty => ServeError::EmptySubspace,
+                    other => ServeError::Numeric(other),
+                })
+        })?;
         let dropped = self.feed_back(q, fit.moments.mean);
         self.exact_served.fetch_add(1, Ordering::Relaxed);
         Ok(Served {
@@ -811,8 +1154,9 @@ impl ShardRouter {
     /// examples are grouped per shard, each involved shard's bounded
     /// queue is locked once, and one drain pass runs at the end.
     /// Per-example outcomes match [`ShardRouter::observe_outcome`]
-    /// (`Accepted` = enqueued, `Dropped` = its shard's queue was full —
-    /// counted in [`RouterStats::feedback_dropped`]). Never blocks on a
+    /// (`Accepted` = enqueued; a full shard queue gets the bounded
+    /// retry-with-backoff budget — after the batch's queue locks are
+    /// released — before the counted `Dropped`). Never blocks on a
     /// trainer lock.
     pub fn observe_outcome_batch(&self, pairs: &[(Query, f64)]) -> Vec<Feedback> {
         if pairs.is_empty() {
@@ -824,15 +1168,18 @@ impl ShardRouter {
             by_shard[self.partitioner.route(&q.center, q.radius)].push(i);
         }
         let mut enqueued = 0u64;
-        let mut dropped = 0u64;
-        for (shard, idxs) in self.shards.iter().zip(&by_shard) {
+        // (pair index, shard index) of offers that found the queue full
+        // (or hit an injected overflow burst): retried after this pass.
+        let mut overflowed: Vec<(usize, usize)> = Vec::new();
+        for (shard_idx, (shard, idxs)) in self.shards.iter().zip(&by_shard).enumerate() {
             if idxs.is_empty() {
                 continue;
             }
             let mut queue = lock(&shard.queue);
             for &i in idxs {
-                if queue.len() >= self.queue_capacity {
-                    dropped += 1;
+                if self.fault.fires(FaultKind::QueueOverflow) || queue.len() >= self.queue_capacity
+                {
+                    overflowed.push((i, shard_idx));
                 } else {
                     let (q, y) = &pairs[i];
                     queue.push_back((q.clone(), *y));
@@ -843,8 +1190,14 @@ impl ShardRouter {
         }
         self.feedback_enqueued
             .fetch_add(enqueued, Ordering::Relaxed);
-        self.feedback_dropped.fetch_add(dropped, Ordering::Relaxed);
         self.pump();
+        // Retry pass with no queue lock held: each overflowed example
+        // gets its own bounded backoff budget (or the immediate counted
+        // drop when the budget is zero).
+        for (i, shard_idx) in overflowed {
+            let (q, y) = &pairs[i];
+            out[i] = self.retry_enqueue(shard_idx, q, *y);
+        }
         out
     }
 
@@ -882,6 +1235,12 @@ impl ShardRouter {
                         feedback_dropped: false,
                     });
                 }
+                Some((value, conf)) if self.should_degrade(q) => {
+                    // Below threshold but the exact fallback is over
+                    // budget (or this query's shard queue is at the
+                    // watermark): flagged snapshot answer.
+                    out.push(self.degraded_serve(value, conf.score, version));
+                }
                 gate => {
                     // Below threshold (`Some`) or every shard empty
                     // (`None`): exact fallback, annotated with the
@@ -905,7 +1264,7 @@ impl ShardRouter {
         }
         let feedback = self.observe_outcome_batch(&fb_pairs);
         for (&slot, fb) in fb_slots.iter().zip(feedback) {
-            out[slot].feedback_dropped = fb == Feedback::Dropped;
+            out[slot].feedback_dropped = fb.is_lost();
         }
         Ok(out)
     }
@@ -1128,6 +1487,7 @@ mod tests {
                 confidence_threshold: 2.0, // force exact so feedback flows
                 feedback: true,
                 publish_interval: 8,
+                ..RoutePolicy::default()
             },
             1, // single shard: every example targets the same queue
         );
@@ -1156,6 +1516,7 @@ mod tests {
                 confidence_threshold: 0.3,
                 feedback: true,
                 publish_interval: 32,
+                ..RoutePolicy::default()
             },
             4,
         );
@@ -1240,5 +1601,170 @@ mod tests {
             router.q1(&q(&[0.5], 0.2)),
             Err(ServeError::Model(CoreError::DimensionMismatch { .. }))
         ));
+    }
+
+    #[test]
+    fn injected_shard_trainer_panic_quarantines_restarts_and_keeps_draining() {
+        let data = dataset(5_000, 13);
+        let model = LlmModel::new(ModelConfig::with_vigilance(2, 0.15)).unwrap();
+        let mut router = ShardRouter::with_model(
+            exact_over(&data),
+            model,
+            RoutePolicy {
+                feedback: true,
+                publish_interval: 1024, // keep the drains unpublished
+                ..RoutePolicy::default()
+            },
+            1,
+        );
+        // Each observe_outcome drains exactly one example, so trainer
+        // occurrence 2 is the second example fed.
+        router.set_fault_plan(FaultPlan::new().inject(FaultKind::TrainerPanic, &[2]));
+        let pairs: Vec<(Query, f64)> = (0..4)
+            .map(|i| (q(&[0.1 + 0.2 * i as f64, 0.5], 0.1), i as f64))
+            .collect();
+        for (probe, y) in &pairs {
+            assert_eq!(router.observe_outcome(probe, *y), Feedback::Accepted);
+        }
+        let stats = router.stats();
+        assert_eq!(stats.trainer_panics, 1);
+        assert_eq!(stats.trainer_restarts, 1);
+        assert_eq!(stats.degraded_shards, 1, "restart must flag the shard");
+        // Examples 1, 3, 4 trained (3 restarted after the panic on 2);
+        // the poisonous example is retrievable, not silently gone.
+        assert_eq!(stats.feedback_fed, 3);
+        let quarantined = router.quarantined();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].0.center, pairs[1].0.center);
+        assert_eq!(quarantined[0].1, pairs[1].1);
+        // The fabric keeps serving, and a publish clears the flag.
+        router.q1(&q(&[0.5, 0.5], 0.2)).unwrap();
+        router.publish_now();
+        assert_eq!(router.stats().degraded_shards, 0);
+    }
+
+    #[test]
+    fn poisoned_shard_trainer_lock_heals_and_answers_stay_bit_identical() {
+        let data = dataset(20_000, 15);
+        let mut model = trained_model(&exact_over(&data), 30_000, 16);
+        model.freeze();
+        let mut router = ShardRouter::with_model(
+            exact_over(&data),
+            model,
+            RoutePolicy {
+                feedback: false,
+                ..RoutePolicy::default()
+            },
+            2,
+        );
+        let before: Vec<_> = probes()
+            .iter()
+            .map(|p| router.q1(p).map(|s| (s.route, s.value.to_bits())).ok())
+            .collect();
+        // Occurrence 1 kills the first pump's lock holder mid-section,
+        // genuinely poisoning that shard's trainer mutex.
+        router.set_fault_plan(FaultPlan::new().inject(FaultKind::LockPoison, &[1]));
+        router.pump();
+        // The next pump finds the poison, restarts that trainer from its
+        // published snapshot, and clears it — counted, not silent.
+        router.pump();
+        let stats = router.stats();
+        assert_eq!(stats.lock_poisonings, 1);
+        assert_eq!(stats.trainer_restarts, 1);
+        assert_eq!(stats.degraded_shards, 1);
+        // Publishing the restored (bit-identical) parameters clears the
+        // flag, and every answer matches the pre-fault run exactly.
+        router.publish_now();
+        assert_eq!(router.stats().degraded_shards, 0);
+        let after: Vec<_> = probes()
+            .iter()
+            .map(|p| router.q1(p).map(|s| (s.route, s.value.to_bits())).ok())
+            .collect();
+        assert_eq!(before, after, "poison recovery changed answers");
+    }
+
+    #[test]
+    fn injected_overflow_burst_is_absorbed_by_retries_or_counted_as_drops() {
+        let data = dataset(5_000, 17);
+        let probe = q(&[0.5, 0.5], 0.2);
+        // With a retry budget the burst is invisible: the re-offer lands.
+        let mut patient = ShardRouter::with_model(
+            exact_over(&data),
+            LlmModel::new(ModelConfig::with_vigilance(2, 0.15)).unwrap(),
+            RoutePolicy {
+                overflow_retries: 2,
+                ..RoutePolicy::default()
+            },
+            1,
+        );
+        patient.set_fault_plan(FaultPlan::new().inject(FaultKind::QueueOverflow, &[1, 2]));
+        assert_eq!(patient.observe_outcome(&probe, 1.0), Feedback::Accepted);
+        assert_eq!(patient.observe_outcome(&probe, 2.0), Feedback::Accepted);
+        let stats = patient.stats();
+        assert_eq!(stats.feedback_retried, 2);
+        assert_eq!(stats.feedback_dropped, 0);
+        assert_eq!(stats.feedback_enqueued, 2);
+        // With no budget the same burst is a counted, surfaced drop.
+        let mut impatient = ShardRouter::with_model(
+            exact_over(&data),
+            LlmModel::new(ModelConfig::with_vigilance(2, 0.15)).unwrap(),
+            RoutePolicy::default(), // overflow_retries: 0
+            1,
+        );
+        impatient.set_fault_plan(FaultPlan::new().inject(FaultKind::QueueOverflow, &[1]));
+        assert_eq!(impatient.observe_outcome(&probe, 1.0), Feedback::Dropped);
+        assert_eq!(impatient.stats().feedback_dropped, 1);
+        assert_eq!(impatient.observe_outcome(&probe, 2.0), Feedback::Accepted);
+    }
+
+    #[test]
+    fn pressure_and_deadline_degrade_to_the_flagged_snapshot_answer() {
+        let data = dataset(20_000, 19);
+        let mut model = trained_model(&exact_over(&data), 30_000, 20);
+        model.freeze();
+        let probe = q(&[0.5, 0.5], 0.15);
+        // Queue-pressure watermark: one queued example on the frozen
+        // (never-draining) shard crosses watermark 1.
+        let router = ShardRouter::with_model(
+            exact_over(&data),
+            model.clone(),
+            RoutePolicy {
+                confidence_threshold: 2.0, // everything falls below
+                pressure_watermark: Some(1),
+                ..RoutePolicy::default()
+            },
+            1,
+        );
+        let reference = router.q1_model(&probe).unwrap();
+        assert_eq!(router.q1(&probe).unwrap().route, Route::Exact);
+        router.observe_outcome(&probe, 1.0); // park one example
+        let served = router.q1(&probe).unwrap();
+        assert_eq!(served.route, Route::Degraded);
+        assert_eq!(
+            served.value.to_bits(),
+            reference.value.to_bits(),
+            "degraded answer must be the fused snapshot answer"
+        );
+        assert_eq!(router.stats().degraded_served, 1);
+        // Batches take the same decision.
+        let batch = router.q1_batch(std::slice::from_ref(&probe)).unwrap();
+        assert_eq!(batch[0].route, Route::Degraded);
+        assert_eq!(batch[0].value.to_bits(), reference.value.to_bits());
+        // Deadline budget: a standing cost hint over the budget degrades
+        // without ever running (or timing) the exact path.
+        let mut slow = ShardRouter::with_model(
+            exact_over(&data),
+            model,
+            RoutePolicy {
+                confidence_threshold: 2.0,
+                deadline_us: Some(50.0),
+                ..RoutePolicy::default()
+            },
+            2,
+        );
+        slow.set_fault_plan(FaultPlan::new().with_exact_cost_hint_us(1e6));
+        assert_eq!(slow.q1(&probe).unwrap().route, Route::Degraded);
+        assert_eq!(slow.q2(&probe).unwrap().route, Route::Degraded);
+        assert_eq!(slow.stats().degraded_served, 2);
     }
 }

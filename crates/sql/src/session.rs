@@ -19,7 +19,7 @@ use regq_core::moments::MomentsModel;
 use regq_core::{CoreError, LlmModel, LocalModel, Query};
 use regq_exact::ExactEngine;
 use regq_linalg::LinalgError;
-use regq_serve::{Feedback, Route, RoutePolicy, ServeError, Served, ShardRouter};
+use regq_serve::{FaultPlan, Feedback, Route, RoutePolicy, ServeError, Served, ShardRouter};
 use std::collections::HashMap;
 use std::fmt;
 use std::time::Duration;
@@ -344,6 +344,24 @@ impl Session {
             .get_mut(table)
             .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
         entry.serve.set_queue_capacity(capacity);
+        Ok(())
+    }
+
+    /// Arm a deterministic [`FaultPlan`] on a table's serve fabric
+    /// (testing/chaos knob; see [`ShardRouter::set_fault_plan`]).
+    /// Statements keep executing through the fault schedule: supervised
+    /// recovery is counted in the router's stats, and deadline- or
+    /// pressure-degraded answers surface as [`Route::Degraded`] on
+    /// [`QueryOutput::route`] exactly as the router reports them.
+    ///
+    /// # Errors
+    /// [`SqlError::UnknownTable`] when the table is not registered.
+    pub fn set_fault_plan(&mut self, table: &str, plan: FaultPlan) -> Result<(), SqlError> {
+        let entry = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+        entry.serve.set_fault_plan(plan);
         Ok(())
     }
 
@@ -708,6 +726,64 @@ mod tests {
         assert_eq!(model.route, Route::Model);
         assert!(model.confidence.is_some(), "model route reports its score");
         assert!(model.snapshot_version.is_some());
+    }
+
+    #[test]
+    fn deadline_degraded_routes_surface_through_sql() {
+        let field = GasSensorSurrogate::new(2, 3);
+        let mut rng = seeded(21);
+        let ds = Dataset::from_function(&field, 20_000, SampleOptions::default(), &mut rng);
+        let engine = ExactEngine::new(Arc::new(ds), AccessPathKind::KdTree);
+        let mut cfg = ModelConfig::with_vigilance(2, 0.15);
+        cfg.gamma = 1e-3;
+        let mut model = LlmModel::new(cfg).unwrap();
+        for _ in 0..30_000 {
+            let c = vec![rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)];
+            let r = rng.random_range(0.05..0.2);
+            if let Some(y) = engine.q1(&c, r) {
+                if model
+                    .train_step(&Query::new_unchecked(c, r), y)
+                    .unwrap()
+                    .converged
+                {
+                    break;
+                }
+            }
+        }
+        let mut s = Session::new();
+        // Everything falls below the threshold; the deadline budget plus
+        // a standing exact-cost hint forces the degraded serve.
+        s.register_table_with_policy(
+            "readings",
+            engine,
+            RoutePolicy {
+                confidence_threshold: 2.0,
+                deadline_us: Some(50.0),
+                ..RoutePolicy::default()
+            },
+        );
+        s.register_model("readings", model).unwrap();
+        s.set_fault_plan("readings", FaultPlan::new().with_exact_cost_hint_us(1e6))
+            .unwrap();
+        let out = s
+            .execute("SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.15 USING AUTO")
+            .unwrap();
+        assert_eq!(out.route, Route::Degraded, "degraded must never be silent");
+        assert!(out.confidence.is_some() && out.snapshot_version.is_some());
+        // Snapshot answer: bit-identical to the forced model route.
+        let forced = s
+            .execute("SELECT AVG(u) FROM readings WHERE DIST(x, [0.5, 0.5]) <= 0.15 USING MODEL")
+            .unwrap();
+        assert_eq!(
+            out.scalar().unwrap().to_bits(),
+            forced.scalar().unwrap().to_bits()
+        );
+        assert_eq!(s.router("readings").unwrap().stats().degraded_served, 1);
+        // Unknown tables still error.
+        assert!(matches!(
+            s.set_fault_plan("nope", FaultPlan::new()),
+            Err(SqlError::UnknownTable(_))
+        ));
     }
 
     #[test]

@@ -19,11 +19,16 @@
 //!   global REG, per-query REG and PLR on unseen query sets `V`;
 //! * [`experiment`] — tiny series/table printer used by every `fig*`
 //!   bench target;
+//! * [`drift`] — the concept-drift recovery harness: a deterministic
+//!   drifting workload driven through the serve fabric, measuring the
+//!   dip → fallback-spike → retrain → recovery trajectory (with or
+//!   without an active fault plan);
 //! * [`timer`] — latency accumulation for the efficiency experiments.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod drift;
 pub mod eval;
 pub mod experiment;
 pub mod pool;
@@ -32,6 +37,7 @@ pub mod stream;
 pub mod throughput;
 pub mod timer;
 
+pub use drift::{drift_recovery_loop, DriftReport, DriftWindow, ShiftingValley, RECOVERY_FRACTION};
 pub use eval::{DataValueEval, Q1Eval, Q2Eval};
 pub use querygen::QueryGenerator;
 pub use stream::{

@@ -508,6 +508,7 @@ mod tests {
                     confidence_threshold: 0.3,
                     feedback: true,
                     publish_interval: 64,
+                    ..RoutePolicy::default()
                 },
             )
         }
@@ -578,6 +579,7 @@ mod tests {
                     confidence_threshold: 0.3,
                     feedback: true,
                     publish_interval: 64,
+                    ..RoutePolicy::default()
                 },
                 shards,
             )
