@@ -1,0 +1,544 @@
+//! Exhaustive interleaving exploration of the hazard-slot epoch protocol.
+//!
+//! `crates/serve/src/cell.rs` pins its correctness argument on a prose
+//! proof plus *scripted* interleavings (PR 6) — a handful of schedules
+//! chosen by a human. This module upgrades that to **full coverage of a
+//! model**: every atomic step of the announce/validate/publish/free
+//! protocol is an explicit transition on a virtual cell, and a memoized
+//! DFS enumerates *every* interleaving of N readers and one publishing
+//! writer, asserting at each step that
+//!
+//! 1. no reader ever dereferences a freed node (use-after-free), and
+//! 2. after every reclamation pass, live nodes ≤ pinned readers + 1
+//!    (the memory bound `SnapshotCell` documents), and
+//! 3. at quiescence, one final reclaim collapses retention to exactly the
+//!    current node.
+//!
+//! The state graph is a DAG (a validate can only fail after a `P1` it has
+//! not yet seen, and the writer has finitely many), so memoizing on the
+//! full machine state both terminates and lets the explorer report the
+//! exact number of distinct maximal schedules via dynamic programming —
+//! the "case count" the CI gate asserts.
+//!
+//! The model mirrors `cell.rs` step for step:
+//!
+//! ```text
+//! reader                        writer, per publish
+//! A1  candidate = current       P1  retained ∪= {new}; current = new
+//! A2  slot      = candidate     P2  free retained \ ({current} ∪ slots)
+//! A3  current == candidate ?
+//!       yes → pinned            (A1/A2/A3/P1/P2 are the SeqCst steps of
+//!       no  → slot = ∅, retry    the real protocol; allocation is
+//! D   dereference candidate      thread-local and folded into P1)
+//! REL slot = ∅
+//! ```
+//!
+//! What the model abstracts away: address reuse (nodes get fresh ids, so
+//! the ABA-on-reused-allocation argument in the cell's module docs is
+//! *not* re-proved here — it rests on the validate-sees-live-current
+//! property, which the model does cover), the writer mutex (publishes are
+//! already serialized through one writer thread), and reader
+//! registration/retirement (slots exist for the whole run — the
+//! conservative case for the retention bound).
+//!
+//! [`Protocol`] also carries deliberately broken variants (skip the
+//! validate, announce after validating, reclaim ignoring slots, never
+//! reclaim). The explorer must find the seeded bug in each — that is the
+//! fixture-level "must fail" coverage for this half of the checker, and
+//! the counterexample trace it returns is a ready-made scripted
+//! interleaving for a regression test.
+
+use std::collections::HashMap;
+
+/// The exhaustive maximal-schedule count for [`Config::two_by_two`] under
+/// [`Protocol::Correct`] — pinned so CI notices if the model's step
+/// structure silently changes (a different count means the explorer no
+/// longer walks the protocol it documents). Recomputed deterministically
+/// by every [`explore`] run and asserted by `check` and the unit tests.
+pub const TWO_BY_TWO_SCHEDULES: u128 = 226_332_140;
+
+/// Explorer configuration: `readers` concurrent readers each performing
+/// `reads_per_reader` full guarded reads, against one writer performing
+/// `publishes` publishes (on top of one initial pre-loaded epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Concurrent reader threads (each owns one hazard slot).
+    pub readers: usize,
+    /// Writer publishes after the initial one (node ids `1..=publishes`).
+    pub publishes: usize,
+    /// Guarded reads each reader performs, back to back.
+    pub reads_per_reader: usize,
+}
+
+impl Config {
+    /// The CI gate's smallest exhaustive configuration.
+    pub fn two_by_two() -> Self {
+        Config {
+            readers: 2,
+            publishes: 2,
+            reads_per_reader: 1,
+        }
+    }
+}
+
+/// The protocol variant to explore: the real one, or a seeded mutant the
+/// explorer must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// The protocol `cell.rs` implements.
+    Correct,
+    /// Mutant: dereference straight after announcing, with no validate —
+    /// the hazard window between A1 and A2 becomes a use-after-free.
+    SkipValidate,
+    /// Mutant: validate *before* publishing the slot (A1, A3, A2, D) —
+    /// the reclaim scan can miss the pin that the validate relied on.
+    AnnounceAfterValidate,
+    /// Mutant: the reclaim pass frees everything but `current`, ignoring
+    /// reader slots entirely.
+    ReclaimIgnoresSlots,
+    /// Mutant: `P2` never frees anything — violates the retention bound
+    /// (proves the bound check has teeth, not just the UAF check).
+    NoReclaim,
+}
+
+/// Reader program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Pc {
+    A1,
+    A2,
+    Validate,
+    Deref,
+    Release,
+    Done,
+}
+
+const NO_NODE: u8 = u8::MAX;
+
+/// Full machine state. `Ord`/`Hash` derive gives us the memo key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    /// Next writer step: even = P1 of publish `writer_pc/2`, odd = its
+    /// P2; `2*publishes` = writer done.
+    writer_pc: u8,
+    /// Currently published node id.
+    current: u8,
+    /// Bitmask of live (allocated, unfreed) node ids.
+    alive: u16,
+    readers: Vec<Reader>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Reader {
+    pc: Pc,
+    candidate: u8,
+    slot: u8,
+    reads_done: u8,
+}
+
+/// A safety violation, with the interleaving that produced it. Each trace
+/// entry is one atomic step (`w:P1(n2)`, `r0:A1->n1`, …) — replayable as
+/// a scripted interleaving against the real cell.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// The step sequence from the initial state to the violation.
+    pub trace: Vec<String>,
+}
+
+/// The property a schedule violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A reader dereferenced node `node` after it was freed.
+    UseAfterFree {
+        /// The offending reader's index.
+        reader: usize,
+        /// The freed node's id.
+        node: u8,
+    },
+    /// After a reclaim, `retained` nodes were live for `readers` reader
+    /// slots — more than the documented `readers + 1` bound.
+    RetentionBound {
+        /// Live node count after the reclaim pass.
+        retained: usize,
+        /// Number of reader slots.
+        readers: usize,
+    },
+    /// At quiescence (all threads done, slots clear), a final reclaim
+    /// left more than the current node alive.
+    QuiescentRetention {
+        /// Live node count after the final reclaim.
+        retained: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            ViolationKind::UseAfterFree { reader, node } => write!(
+                f,
+                "use-after-free: reader {reader} dereferenced freed node {node}"
+            )?,
+            ViolationKind::RetentionBound { retained, readers } => write!(
+                f,
+                "retention bound broken: {retained} live nodes > {readers} readers + 1"
+            )?,
+            ViolationKind::QuiescentRetention { retained } => write!(
+                f,
+                "quiescent retention: {retained} live nodes after final reclaim (want 1)"
+            )?,
+        }
+        write!(f, "\n  schedule: {}", self.trace.join(" "))
+    }
+}
+
+/// Exhaustive-exploration summary for a safe run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Explored {
+    /// Number of distinct maximal interleavings (complete schedules).
+    pub schedules: u128,
+    /// Number of distinct reachable machine states.
+    pub states: usize,
+    /// Peak live-node count observed anywhere, including the transient
+    /// inside a publish between `P1` and `P2` (bounded by readers + 2 —
+    /// the real cell holds the same transient between pushing the new
+    /// node and reclaiming).
+    pub peak_live: usize,
+    /// Maximum live-node count observed immediately *after* a reclaim
+    /// pass — the number the documented `≤ pinned readers + 1` bound
+    /// governs.
+    pub max_retained_after_reclaim: usize,
+}
+
+struct Explorer {
+    cfg: Config,
+    proto: Protocol,
+    /// Memo: fully explored safe states → number of maximal schedules
+    /// reachable from them.
+    memo: HashMap<State, u128>,
+    trace: Vec<String>,
+    peak_live: usize,
+    max_retained_after_reclaim: usize,
+}
+
+/// Explore every interleaving of `cfg` under `proto`. `Ok` carries the
+/// exhaustive counts; `Err` carries the first violation found with its
+/// schedule trace.
+pub fn explore(cfg: Config, proto: Protocol) -> Result<Explored, Violation> {
+    assert!(
+        cfg.readers >= 1 && cfg.readers <= 4,
+        "model supports 1–4 readers"
+    );
+    assert!(
+        cfg.publishes >= 1 && cfg.publishes <= 4,
+        "model supports 1–4 publishes"
+    );
+    assert!(cfg.reads_per_reader >= 1 && cfg.reads_per_reader <= 3);
+    let mut explorer = Explorer {
+        cfg,
+        proto,
+        memo: HashMap::new(),
+        trace: Vec::new(),
+        peak_live: 1,
+        max_retained_after_reclaim: 1,
+    };
+    let init = State {
+        writer_pc: 0,
+        current: 0,
+        alive: 1, // node 0: the pre-loaded epoch
+        readers: vec![
+            Reader {
+                pc: Pc::A1,
+                candidate: NO_NODE,
+                slot: NO_NODE,
+                reads_done: 0,
+            };
+            cfg.readers
+        ],
+    };
+    let schedules = explorer.dfs(&init)?;
+    Ok(Explored {
+        schedules,
+        states: explorer.memo.len(),
+        peak_live: explorer.peak_live,
+        max_retained_after_reclaim: explorer.max_retained_after_reclaim,
+    })
+}
+
+impl Explorer {
+    fn dfs(&mut self, state: &State) -> Result<u128, Violation> {
+        if let Some(&count) = self.memo.get(state) {
+            return Ok(count);
+        }
+        let mut enabled = 0usize;
+        let mut total: u128 = 0;
+
+        // Writer step.
+        if (state.writer_pc as usize) < 2 * self.cfg.publishes {
+            enabled += 1;
+            let (next, label) = self.writer_step(state)?;
+            self.trace.push(label);
+            let sub = self.dfs(&next);
+            self.trace.pop();
+            total += sub?;
+        }
+
+        // Reader steps.
+        for r in 0..state.readers.len() {
+            if state.readers[r].pc == Pc::Done {
+                continue;
+            }
+            enabled += 1;
+            let (next, label) = self.reader_step(state, r)?;
+            self.trace.push(label);
+            let sub = self.dfs(&next);
+            self.trace.pop();
+            total += sub?;
+        }
+
+        if enabled == 0 {
+            // Quiescent: run one final reclaim. Every slot is clear, so
+            // it must collapse retention to exactly the current node —
+            // the `cell.reclaim()` postcondition the unit tests assert
+            // after joins.
+            let mut survivors: u16 = 1 << state.current;
+            if self.proto == Protocol::NoReclaim {
+                survivors = state.alive;
+            }
+            for r in &state.readers {
+                if r.slot != NO_NODE {
+                    survivors |= 1 << r.slot;
+                }
+            }
+            let retained = (state.alive & survivors).count_ones() as usize;
+            if retained != 1 {
+                return Err(self.violation(
+                    ViolationKind::QuiescentRetention { retained },
+                    format!("quiesce[retained={retained}]"),
+                ));
+            }
+            total = 1;
+        }
+
+        self.memo.insert(state.clone(), total);
+        Ok(total)
+    }
+
+    fn writer_step(&mut self, state: &State) -> Result<(State, String), Violation> {
+        let mut next = state.clone();
+        let publish_idx = state.writer_pc / 2;
+        if state.writer_pc.is_multiple_of(2) {
+            // P1: allocate node `publish_idx + 1`, make it current.
+            let node = publish_idx + 1;
+            next.alive |= 1u16 << node;
+            next.current = node;
+            next.writer_pc += 1;
+            self.note_retained(next.alive);
+            Ok((next, format!("w:P1(n{node})")))
+        } else {
+            // P2: reclaim.
+            let mut survivors: u16 = 1 << next.current;
+            match self.proto {
+                Protocol::NoReclaim => survivors = next.alive,
+                Protocol::ReclaimIgnoresSlots => {}
+                _ => {
+                    for r in &next.readers {
+                        if r.slot != NO_NODE {
+                            survivors |= 1 << r.slot;
+                        }
+                    }
+                }
+            }
+            next.alive &= survivors;
+            next.writer_pc += 1;
+            let retained = next.alive.count_ones() as usize;
+            self.note_retained(next.alive);
+            self.max_retained_after_reclaim = self.max_retained_after_reclaim.max(retained);
+            if retained > next.readers.len() + 1 {
+                return Err(self.violation(
+                    ViolationKind::RetentionBound {
+                        retained,
+                        readers: next.readers.len(),
+                    },
+                    format!("w:P2[retained={retained}]"),
+                ));
+            }
+            Ok((next, format!("w:P2[retained={retained}]")))
+        }
+    }
+
+    fn reader_step(&mut self, state: &State, r: usize) -> Result<(State, String), Violation> {
+        let mut next = state.clone();
+        let me = &mut next.readers[r];
+        let label;
+        match me.pc {
+            Pc::A1 => {
+                me.candidate = state.current;
+                me.pc = match self.proto {
+                    // Mutant: validate first, slot second.
+                    Protocol::AnnounceAfterValidate => Pc::Validate,
+                    _ => Pc::A2,
+                };
+                label = format!("r{r}:A1->n{}", me.candidate);
+            }
+            Pc::A2 => {
+                me.slot = me.candidate;
+                me.pc = match self.proto {
+                    // Mutant: no validate at all.
+                    Protocol::SkipValidate => Pc::Deref,
+                    Protocol::AnnounceAfterValidate => Pc::Deref,
+                    _ => Pc::Validate,
+                };
+                label = format!("r{r}:A2[slot=n{}]", me.slot);
+            }
+            Pc::Validate => {
+                if state.current == me.candidate {
+                    me.pc = match self.proto {
+                        Protocol::AnnounceAfterValidate => Pc::A2,
+                        _ => Pc::Deref,
+                    };
+                    label = format!("r{r}:A3-ok(n{})", me.candidate);
+                } else {
+                    me.slot = NO_NODE;
+                    me.candidate = NO_NODE;
+                    me.pc = Pc::A1;
+                    label = format!("r{r}:A3-retry");
+                }
+            }
+            Pc::Deref => {
+                let node = me.candidate;
+                if state.alive & (1 << node) == 0 {
+                    return Err(self.violation(
+                        ViolationKind::UseAfterFree { reader: r, node },
+                        format!("r{r}:D(n{node})!!"),
+                    ));
+                }
+                me.pc = Pc::Release;
+                label = format!("r{r}:D(n{node})");
+            }
+            Pc::Release => {
+                me.slot = NO_NODE;
+                me.candidate = NO_NODE;
+                me.reads_done += 1;
+                me.pc = if (me.reads_done as usize) < self.cfg.reads_per_reader {
+                    Pc::A1
+                } else {
+                    Pc::Done
+                };
+                label = format!("r{r}:REL");
+            }
+            Pc::Done => unreachable!("done readers are never scheduled"),
+        }
+        Ok((next, label))
+    }
+
+    fn note_retained(&mut self, alive: u16) {
+        self.peak_live = self.peak_live.max(alive.count_ones() as usize);
+    }
+
+    fn violation(&self, kind: ViolationKind, last: String) -> Violation {
+        let mut trace = self.trace.clone();
+        trace.push(last);
+        Violation { kind, trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_by_two_case_count_is_pinned() {
+        let out = explore(Config::two_by_two(), Protocol::Correct)
+            .expect("the real protocol must be safe");
+        assert_eq!(out.schedules, TWO_BY_TWO_SCHEDULES);
+        assert!(out.max_retained_after_reclaim <= 3, "2 readers + 1");
+    }
+
+    #[test]
+    fn correct_protocol_is_safe_across_the_grid() {
+        for readers in 2..=3 {
+            for publishes in 2..=3 {
+                let cfg = Config {
+                    readers,
+                    publishes,
+                    reads_per_reader: 1,
+                };
+                let out = explore(cfg, Protocol::Correct)
+                    .unwrap_or_else(|v| panic!("{readers}x{publishes}: {v}"));
+                assert!(
+                    out.max_retained_after_reclaim <= readers + 1,
+                    "{readers}x{publishes}: retained {} > bound",
+                    out.max_retained_after_reclaim
+                );
+                assert!(
+                    out.peak_live <= readers + 2,
+                    "{readers}x{publishes}: transient peak {} > readers + 2",
+                    out.peak_live
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn correct_protocol_is_safe_at_minimum_size() {
+        let cfg = Config {
+            readers: 1,
+            publishes: 1,
+            reads_per_reader: 1,
+        };
+        let out = explore(cfg, Protocol::Correct).expect("correct protocol must be safe");
+        assert!(out.schedules > 1);
+        assert!(out.max_retained_after_reclaim <= 2);
+    }
+
+    #[test]
+    fn skip_validate_mutant_is_caught() {
+        let cfg = Config {
+            readers: 1,
+            publishes: 1,
+            reads_per_reader: 1,
+        };
+        let v = explore(cfg, Protocol::SkipValidate).expect_err("hazard window must be found");
+        assert!(matches!(v.kind, ViolationKind::UseAfterFree { .. }), "{v}");
+        assert!(!v.trace.is_empty());
+    }
+
+    #[test]
+    fn announce_after_validate_mutant_is_caught() {
+        let cfg = Config {
+            readers: 1,
+            publishes: 1,
+            reads_per_reader: 1,
+        };
+        let v = explore(cfg, Protocol::AnnounceAfterValidate)
+            .expect_err("slot-after-validate window must be found");
+        assert!(matches!(v.kind, ViolationKind::UseAfterFree { .. }), "{v}");
+    }
+
+    #[test]
+    fn reclaim_ignoring_slots_mutant_is_caught() {
+        let cfg = Config {
+            readers: 1,
+            publishes: 1,
+            reads_per_reader: 1,
+        };
+        let v = explore(cfg, Protocol::ReclaimIgnoresSlots)
+            .expect_err("freeing a pinned node must be found");
+        assert!(matches!(v.kind, ViolationKind::UseAfterFree { .. }), "{v}");
+    }
+
+    #[test]
+    fn no_reclaim_mutant_breaks_the_retention_bound() {
+        let cfg = Config {
+            readers: 1,
+            publishes: 3,
+            reads_per_reader: 1,
+        };
+        let v = explore(cfg, Protocol::NoReclaim).expect_err("unbounded retention must be found");
+        assert!(
+            matches!(v.kind, ViolationKind::RetentionBound { .. }),
+            "{v}"
+        );
+    }
+}

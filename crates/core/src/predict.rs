@@ -127,6 +127,9 @@ fn drive_overlap_weights(
         arena.overlap_set_into(center, radius, &mut w);
         fuse_weights_from_set(
             &w,
+            // INVARIANT: both pub(crate) entry points require a non-empty
+            // arena (documented on `for_each_overlap_weight`), and
+            // `PrototypeArena::winner` is `None` only when empty.
             || winner.unwrap_or_else(|| arena.winner(center, radius).expect("non-empty arena").0),
             f,
         )

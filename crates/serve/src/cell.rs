@@ -116,11 +116,15 @@ struct CellInner<T> {
 }
 
 /// SAFETY: the raw pointers in `state.retained` are uniquely owned by the
-/// cell (created by `Box::into_raw`, freed only under the `state` lock or
-/// in `Drop`) and point to values of `T: Send + Sync`; all shared access
-/// goes through the `Mutex` / atomics.
+/// cell — created by `Box::into_raw` in `publish` before step P1, freed
+/// only by the P2 reclaim scan (under the `state` lock) or in `Drop` —
+/// and point to values of `T: Send + Sync`. Cross-thread access is
+/// confined to the protocol: readers reach a node only through a
+/// validated hazard slot (A1→A2→A3), writers only under the state lock,
+/// so moving/sharing the container itself adds no unsynchronized path.
 unsafe impl<T: Send + Sync> Send for CellInner<T> {}
-/// SAFETY: see the `Send` impl.
+/// SAFETY: see the `Send` impl — every shared path is either the state
+/// `Mutex` or a SeqCst protocol step.
 unsafe impl<T: Send + Sync> Sync for CellInner<T> {}
 
 /// Compile-time guard: the default pointee readers share must itself be
@@ -132,6 +136,9 @@ const _: fn() = || {
 
 fn next_cell_id() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(1);
+    // RELAXED: a ticket counter — `fetch_add` atomicity alone makes the
+    // ids unique, and the id is only ever compared for equality (it keys
+    // the thread-local handle cache), never used to order memory.
     NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
@@ -184,6 +191,9 @@ impl<T: Send + Sync> SnapshotCell<T> {
         if let Some(plan) = state.fault.clone() {
             plan.stall_publish();
         }
+        // RELAXED: `epoch` is only written here, under the state lock we
+        // hold, so this load cannot race a writer; readers observe epochs
+        // through the SeqCst store below (or the node itself).
         let epoch = self.inner.epoch.load(Ordering::Relaxed) + 1;
         // `into_raw` before anything else: the allocation must never be
         // reachable through a `Box` again once readers can alias it.
@@ -227,11 +237,16 @@ impl<T: Send + Sync> SnapshotCell<T> {
             {
                 return true;
             }
-            // SAFETY: `ptr` came from `Box::into_raw` in `publish`, is not
-            // current, and no validated reader can hold it (module-docs
-            // proof: a validated guard's slot is visible to this scan).
-            // Frees happen only here and in `Drop`, each pointer exactly
-            // once (it is removed from `retained` as it is freed).
+            // SAFETY: this is step P2. `ptr` came from `Box::into_raw` in
+            // `publish`, is not `current` (checked above), and is in no
+            // hazard slot (checked above, SeqCst): any reader holding it
+            // completed A2 (slot store) before its A3 validate, and A3
+            // can only have succeeded while `ptr` was still current —
+            // i.e. before this writer's P1 — so its slot entry is visible
+            // to this scan. A reader whose A3 will fail re-announces and
+            // never dereferences. Frees happen only here and in `Drop`,
+            // each pointer exactly once (removed from `retained` as it is
+            // freed).
             drop(unsafe { Box::from_raw(ptr) });
             freed += 1;
             false
@@ -284,8 +299,10 @@ impl<T: Send + Sync> SnapshotCell<T> {
         if p.is_null() {
             None
         } else {
-            // SAFETY: a non-null `current` is always in `retained`, and
-            // frees only happen under the state lock we hold.
+            // SAFETY: a non-null `current` is always in `retained` (P1
+            // stores a pointer pushed there in the same lock scope), and
+            // the only frees — P2 reclaim and `Drop` — run under the
+            // state lock we hold, so `p` stays live for this clone.
             Some(unsafe { (*p).value.clone() })
         }
     }
@@ -380,9 +397,12 @@ impl<T> Drop for CellInner<T> {
             .get_mut()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         for ptr in state.retained.drain(..) {
-            // SAFETY: from `Box::into_raw` in `publish`, never freed
-            // elsewhere (reclaim removes pointers from `retained` as it
-            // frees them).
+            // SAFETY: `&mut self` proves no reader can be between A2 and
+            // guard drop (handles and guards hold an `Arc` to this
+            // `CellInner`), so no hazard slot pins `ptr`. Each pointer is
+            // from `Box::into_raw` in `publish` and never freed elsewhere
+            // (the P2 scan removes pointers from `retained` as it frees
+            // them), so this is the first and only free.
             drop(unsafe { Box::from_raw(ptr) });
         }
     }
@@ -402,9 +422,12 @@ pub struct ReaderHandle<T = ServingSnapshot> {
     candidate: *mut Node<T>,
 }
 
-/// SAFETY: `candidate` is just a pointer value (only dereferenced through
-/// a validated [`ReadGuard`] whose safety argument is in the module docs),
-/// and the slot/cell internals are `Send + Sync` for `T: Send + Sync`.
+/// SAFETY: `candidate` is just a pointer value — it is dereferenced only
+/// through a [`ReadGuard`], i.e. only after this same handle's A3
+/// validate succeeded, and moving the handle between threads cannot skip
+/// that step (announce/validate take `&mut self`, so no round spans the
+/// move). The slot/cell internals are `Send + Sync` for `T: Send + Sync`
+/// per the `CellInner` impls above.
 unsafe impl<T: Send + Sync> Send for ReaderHandle<T> {}
 
 impl<T: Send + Sync> ReaderHandle<T> {
@@ -491,9 +514,11 @@ impl<T> ReadGuard<'_, T> {
         if self.node.is_null() {
             None
         } else {
-            // SAFETY: validated + slot-pinned per the module-docs proof;
-            // the borrow cannot outlive the guard, and the guard keeps the
-            // pin until drop.
+            // SAFETY: this guard exists only because A3 validated `node`
+            // while it sat in the hazard slot (A2), and the slot keeps
+            // holding it until the guard drops — so every P2 reclaim scan
+            // between now and drop observes the pin (SeqCst) and retains
+            // the node. The borrow cannot outlive the guard.
             Some(unsafe { &(*self.node).value })
         }
     }
@@ -503,7 +528,7 @@ impl<T> ReadGuard<'_, T> {
         if self.node.is_null() {
             None
         } else {
-            // SAFETY: as in `get`.
+            // SAFETY: as in `get` — the A2 pin outlives this read.
             Some(unsafe { (*self.node).epoch })
         }
     }
@@ -527,12 +552,15 @@ pub struct TlsReader<T: Send + Sync + 'static> {
 impl<T: Send + Sync + 'static> std::ops::Deref for TlsReader<T> {
     type Target = ReaderHandle<T>;
     fn deref(&self) -> &ReaderHandle<T> {
+        // INVARIANT: `handle` is `Some` from construction in `tls_reader`
+        // until `Drop::drop` takes it; no other code writes the field.
         self.handle.as_ref().expect("present until drop")
     }
 }
 
 impl<T: Send + Sync + 'static> std::ops::DerefMut for TlsReader<T> {
     fn deref_mut(&mut self) -> &mut ReaderHandle<T> {
+        // INVARIANT: as in `deref` — `Some` until `Drop::drop`.
         self.handle.as_mut().expect("present until drop")
     }
 }

@@ -1,0 +1,155 @@
+//! atomics: every access in this module is `Ordering::Relaxed` on one
+//! `AtomicU64` holding `f64` bits. The EMA is a self-contained value —
+//! no other memory is published through it — so no acquire/release
+//! pairing is needed; the CAS loop in [`CostEma::record`] provides the
+//! read-modify-write atomicity (lost-update freedom), which is a
+//! property of the CAS itself, not of the memory ordering.
+//!
+//! Exponentially-weighted cost estimate shared by [`crate::ServeEngine`]
+//! and [`crate::ShardRouter`] deadline routing.
+//!
+//! Both previously folded exact-path latency samples with a racy
+//! load-then-store ("the EMA is a heuristic, the race is acceptable").
+//! The in-tree invariant audit (`cargo run -p regq_analysis -- check`)
+//! flagged the pattern, and it is in fact a genuine lost-update bug with
+//! an observable effect: two concurrent exact calls — one slow, one fast
+//! — can interleave so the fast sample's store *overwrites* (not folds)
+//! the slow sample, rolling the estimate back and flipping
+//! `should_degrade` from degrade to exact on the next deadline check.
+//! The fix is a compare-exchange fold: every sample lands exactly once,
+//! in some serial order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How much of the previous estimate survives each new sample.
+const DECAY: f64 = 0.8;
+
+/// A lock-free exponentially-weighted moving average of observed costs
+/// (microseconds), stored as `f64` bits in one atomic word. `0.0` (the
+/// initial state) means "no samples yet".
+#[derive(Debug, Default)]
+pub(crate) struct CostEma {
+    bits: AtomicU64,
+}
+
+/// One successful fold: the bit patterns consumed and produced. Under
+/// concurrency these pairs form a single chain from the initial state —
+/// the property the regression tests below pin down.
+pub(crate) type Transition = (u64, u64);
+
+/// The pure fold both the atomic path and the tests share: first sample
+/// seeds the average, later samples decay into it.
+pub(crate) fn fold(prev: f64, us: f64) -> f64 {
+    if prev > 0.0 {
+        DECAY * prev + (1.0 - DECAY) * us
+    } else {
+        us
+    }
+}
+
+impl CostEma {
+    pub(crate) const fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Fold one latency sample into the average. A CAS loop rather than
+    /// load-then-store: concurrent samples each land exactly once, in
+    /// some serial order, so no sample can silently erase another.
+    /// Returns the transition for the regression tests.
+    pub(crate) fn record(&self, us: f64) -> Transition {
+        let mut prev_bits = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next_bits = fold(f64::from_bits(prev_bits), us).to_bits();
+            match self.bits.compare_exchange_weak(
+                prev_bits,
+                next_bits,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return (prev_bits, next_bits),
+                Err(actual) => prev_bits = actual,
+            }
+        }
+    }
+
+    /// The current estimate, or `None` before the first sample.
+    pub(crate) fn estimate_us(&self) -> Option<f64> {
+        let ema = f64::from_bits(self.bits.load(Ordering::Relaxed));
+        (ema > 0.0).then_some(ema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_fold_is_bit_exact() {
+        let ema = CostEma::new();
+        assert_eq!(ema.estimate_us(), None);
+        let samples = [120.0, 80.0, 300.5, 42.25, 99.0];
+        let mut expect = 0.0;
+        for &s in &samples {
+            ema.record(s);
+            expect = fold(expect, s);
+            assert_eq!(ema.estimate_us(), Some(expect));
+        }
+    }
+
+    /// The regression test for the lost-update race the invariant audit
+    /// surfaced: every successful `record` returns its (prev, next) bit
+    /// transition, and with a CAS fold those transitions must form one
+    /// single chain from the initial state — each produced value is
+    /// consumed by exactly one later fold (or is the final value). The
+    /// old load-then-store version forks the chain whenever two threads
+    /// read the same `prev`, which this test catches deterministically
+    /// from the collected transitions (no timing luck needed in the
+    /// assertion itself).
+    #[test]
+    fn concurrent_records_form_one_transition_chain() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 500;
+        let ema = Arc::new(CostEma::new());
+        let transitions: Vec<Transition> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let ema = Arc::clone(&ema);
+                    s.spawn(move || {
+                        (0..PER_THREAD)
+                            // Disjoint per-thread sample ranges keep every
+                            // folded value distinct, so chain forks can't
+                            // hide behind coincidentally equal bits.
+                            .map(|i| ema.record(1.0 + (t * PER_THREAD + i) as f64 / 7.0))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+
+        assert_eq!(transitions.len(), THREADS * PER_THREAD);
+        // Build prev -> next; a duplicate prev is exactly a lost update.
+        let mut chain: HashMap<u64, u64> = HashMap::new();
+        for &(prev, next) in &transitions {
+            let clash = chain.insert(prev, next);
+            assert!(
+                clash.is_none(),
+                "two folds consumed the same previous value {prev:#x}: lost update"
+            );
+        }
+        // Walking the chain from the initial state must visit every
+        // transition and end at the published estimate.
+        let mut at = 0u64;
+        for _ in 0..transitions.len() {
+            at = *chain.get(&at).expect("chain is connected from the seed");
+        }
+        assert_eq!(Some(f64::from_bits(at)), ema.estimate_us());
+    }
+}

@@ -2,6 +2,15 @@
 //! snapshot and the exact DBMS backend, with the training loop closed in
 //! production.
 //!
+//! atomics: audited — every `Ordering::Relaxed` in this module is either
+//! a monotonic stat counter (`model_served`, `feedback_*`,
+//! `trainer_*`, `lock_poisonings`; read only for [`ServeStats`]) or the
+//! advisory `degraded` flag, whose readers tolerate staleness by design
+//! (it only biases routing until the next publish). No Relaxed access
+//! publishes memory: snapshot hand-off goes through the SeqCst
+//! [`SnapshotCell`] protocol, and the exact-cost EMA lives in
+//! `crate::cost::CostEma` with its own audit header.
+//!
 //! Query flow (the paper's desideratum D2 made operational):
 //!
 //! 1. resolve the current [`ServingSnapshot`] from the lock-free
@@ -42,6 +51,7 @@
 //! snapshot instead, explicitly flagged [`Route::Degraded`].
 
 use crate::cell::SnapshotCell;
+use crate::cost::CostEma;
 use crate::fault::{FaultKind, FaultPlan};
 use regq_core::{CoreError, LlmModel, LocalModel, Query, ServingSnapshot};
 use regq_exact::ExactEngine;
@@ -323,10 +333,10 @@ pub struct ServeEngine {
     /// Set on every trainer restart, cleared on the next publish: the
     /// served snapshot lags the (reset) trainer until then.
     degraded: AtomicBool,
-    /// Exact-path cost EMA in µs, stored as `f64` bits (0 = no sample
-    /// yet). Only maintained when a deadline budget or injected exact
-    /// latency makes it relevant.
-    exact_cost_bits: AtomicU64,
+    /// Exact-path cost EMA in µs (no sample yet until the first timed
+    /// exact call). Only maintained when a deadline budget or injected
+    /// exact latency makes it relevant.
+    exact_cost: CostEma,
     model_served: AtomicU64,
     exact_served: AtomicU64,
     feedback_fed: AtomicU64,
@@ -357,7 +367,7 @@ impl ServeEngine {
             fault: FaultPlan::new(),
             quarantine: Mutex::new(Vec::new()),
             degraded: AtomicBool::new(false),
-            exact_cost_bits: AtomicU64::new(0),
+            exact_cost: CostEma::new(),
             model_served: AtomicU64::new(0),
             exact_served: AtomicU64::new(0),
             feedback_fed: AtomicU64::new(0),
@@ -523,6 +533,10 @@ impl ServeEngine {
                 t.since_publish += 1;
                 if t.since_publish >= self.policy.publish_interval {
                     t.since_publish = 0;
+                    // INVARIANT: this arm is only reached when `train_step`
+                    // succeeded above, which requires `t.model` to be
+                    // `Some` (it is populated before the step and only
+                    // taken on trainer restart, under this same lock).
                     let snapshot = t.model.as_ref().expect("just trained").snapshot();
                     self.cell.publish(snapshot);
                     self.degraded.store(false, Ordering::Relaxed);
@@ -626,23 +640,13 @@ impl ServeEngine {
     }
 
     fn record_exact_cost(&self, us: f64) {
-        // Load/store race under concurrent exact calls is acceptable: the
-        // EMA is a routing heuristic, not an accounting counter.
-        let prev = f64::from_bits(self.exact_cost_bits.load(Ordering::Relaxed));
-        let next = if prev > 0.0 {
-            0.8 * prev + 0.2 * us
-        } else {
-            us
-        };
-        self.exact_cost_bits
-            .store(next.to_bits(), Ordering::Relaxed);
+        self.exact_cost.record(us);
     }
 
     /// The exact-path cost estimate driving [`RoutePolicy::deadline_us`]:
     /// the max of the measured EMA and any standing fault-plan hint.
     fn exact_cost_estimate_us(&self) -> Option<f64> {
-        let ema = f64::from_bits(self.exact_cost_bits.load(Ordering::Relaxed));
-        let measured = (ema > 0.0).then_some(ema);
+        let measured = self.exact_cost.estimate_us();
         match (measured, self.fault.exact_cost_hint_us()) {
             (Some(m), Some(h)) => Some(m.max(h)),
             (m, h) => m.or(h),

@@ -1,5 +1,12 @@
 //! Deterministic, seeded fault injection for the serve fabric.
 //!
+//! atomics: audited — the `seen` / `fired` occurrence counters are
+//! `Ordering::Relaxed`: each is an independent monotonic tally whose
+//! `fetch_add` atomicity alone decides "does occurrence *n* fire?", and
+//! the observability getters only report totals. The [`StallGate`]
+//! rendezvous flag stays SeqCst because it *does* order cross-thread
+//! progress (the test thread must observe the stalled section entered).
+//!
 //! A [`FaultPlan`] is a reproducible schedule of failures that the fabric
 //! components consult at well-defined *injection points*:
 //!
@@ -150,6 +157,10 @@ impl FaultPlan {
     }
 
     fn inner_mut(&mut self) -> &mut Inner {
+        // INVARIANT: builder methods take `self` by value before the plan
+        // is cloned/installed, so this `Arc` is still unique; violating
+        // that is a documented configuration panic (`# Panics` on every
+        // builder), not a serving-path hazard.
         Arc::get_mut(&mut self.inner).expect("configure a FaultPlan before sharing/installing it")
     }
 

@@ -79,6 +79,7 @@
 #![warn(clippy::all)]
 
 pub mod cell;
+pub(crate) mod cost;
 pub mod engine;
 pub mod fault;
 pub mod shard;

@@ -1,5 +1,14 @@
 //! [`ShardRouter`]: the sharded serve/train fabric.
 //!
+//! atomics: audited — every `Ordering::Relaxed` here is a monotonic stat
+//! counter (read only for [`RouterStats`]) or a per-shard advisory
+//! `degraded` flag whose readers tolerate staleness (it biases routing
+//! until the shard's next publish, nothing more). The two orderings that
+//! matter are explicit: `next_id` (the spawn ticket counter whose values
+//! become prototype identities) is SeqCst, and snapshot hand-off goes
+//! through the SeqCst [`SnapshotCell`] protocol. The exact-cost EMA
+//! lives in `crate::cost::CostEma` with its own audit header.
+//!
 //! One [`crate::ServeEngine`] serializes all training through a single
 //! trainer mutex — fine for one feedback stream, a bottleneck for many.
 //! The router partitions the **joint query space** `[x, θ]` (a kd-split
@@ -44,6 +53,7 @@
 //! budget or queue-pressure watermark ([`Route::Degraded`]).
 
 use crate::cell::SnapshotCell;
+use crate::cost::CostEma;
 use crate::engine::{Feedback, Route, RoutePolicy, ServeError, Served, QUARANTINE_CAP};
 use crate::fault::{FaultKind, FaultPlan};
 use regq_core::{
@@ -304,9 +314,10 @@ pub struct ShardRouter {
     /// Examples quarantined by panicking shard trainers (bounded at
     /// [`QUARANTINE_CAP`]; `trainer_panics` has the unbounded count).
     quarantine: Mutex<Vec<(Query, f64)>>,
-    /// Exact-path cost EMA in µs as `f64` bits (0 = no sample yet); only
-    /// maintained when a deadline budget / injected delay needs it.
-    exact_cost_bits: AtomicU64,
+    /// Exact-path cost EMA in µs (no sample until the first timed exact
+    /// call); only maintained when a deadline budget / injected delay
+    /// needs it.
+    exact_cost: CostEma,
     /// Next unassigned global prototype id (spawn ticket counter).
     next_id: AtomicUsize,
     model_served: AtomicU64,
@@ -378,7 +389,7 @@ impl ShardRouter {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             fault: FaultPlan::new(),
             quarantine: Mutex::new(Vec::new()),
-            exact_cost_bits: AtomicU64::new(0),
+            exact_cost: CostEma::new(),
             next_id: AtomicUsize::new(0),
             model_served: AtomicU64::new(0),
             exact_served: AtomicU64::new(0),
@@ -437,6 +448,9 @@ impl ShardRouter {
                 model.steps(),
                 model.is_frozen(),
             )
+            // INVARIANT: `from_parts_public` validates dimensions and
+            // finiteness, and every part here is a subset of a model that
+            // already passed that validation with the same config.
             .expect("subset of a valid model is valid");
             let snapshot = m.snapshot();
             lock(&shard.queue).clear();
@@ -499,6 +513,10 @@ impl ShardRouter {
         let protos = entries.into_iter().map(|(_, p)| p).collect();
         Some(
             LlmModel::from_parts_public(config, protos, steps, frozen)
+                // INVARIANT: every prototype being merged came out of a
+                // shard model that passed `from_parts_public` validation
+                // against a clone of this same config, so re-validation
+                // cannot fail.
                 .expect("merged shard parts are consistent"),
         )
     }
@@ -745,6 +763,8 @@ impl ShardRouter {
                 }
                 break;
             }
+            // INVARIANT: the `t.model.is_none()` requeue branch above
+            // breaks out of the loop, so reaching here implies `Some`.
             let model = t.model.as_mut().expect("checked above");
             let k_before = model.k();
             let boom = self.fault.fires(FaultKind::TrainerPanic);
@@ -760,6 +780,9 @@ impl ShardRouter {
             }));
             match step {
                 Ok(Ok(_)) => {
+                    // INVARIANT: this arm means `train_step` ran on
+                    // `t.model` above; nothing in between can take it
+                    // (we hold the shard trainer lock throughout).
                     if t.model.as_ref().expect("just trained").k() > k_before {
                         // Spawn appends exactly one prototype at the
                         // arena's end, so a fresh (globally unique,
@@ -910,23 +933,13 @@ impl ShardRouter {
     }
 
     fn record_exact_cost(&self, us: f64) {
-        // Load/store race under concurrent exact calls is acceptable: the
-        // EMA is a routing heuristic, not an accounting counter.
-        let prev = f64::from_bits(self.exact_cost_bits.load(Ordering::Relaxed));
-        let next = if prev > 0.0 {
-            0.8 * prev + 0.2 * us
-        } else {
-            us
-        };
-        self.exact_cost_bits
-            .store(next.to_bits(), Ordering::Relaxed);
+        self.exact_cost.record(us);
     }
 
     /// The exact-path cost estimate driving [`RoutePolicy::deadline_us`]:
     /// the max of the measured EMA and any standing fault-plan hint.
     fn exact_cost_estimate_us(&self) -> Option<f64> {
-        let ema = f64::from_bits(self.exact_cost_bits.load(Ordering::Relaxed));
-        let measured = (ema > 0.0).then_some(ema);
+        let measured = self.exact_cost.estimate_us();
         match (measured, self.fault.exact_cost_hint_us()) {
             (Some(m), Some(h)) => Some(m.max(h)),
             (m, h) => m.or(h),

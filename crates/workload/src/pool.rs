@@ -1,5 +1,11 @@
 //! Minimal `std::thread`-based parallel executors.
 //!
+//! atomics: audited — the single `Ordering::Relaxed` site is the
+//! work-stealing cursor: `fetch_add` atomicity guarantees each index is
+//! claimed exactly once, the claimed index only reads a shared immutable
+//! slice, and `thread::scope`'s join provides the final happens-before
+//! edge for the results.
+//!
 //! No external runtime (the shim policy in `shims/README.md` stands): both
 //! helpers fan work out over `std::thread::scope` and join before
 //! returning, so borrowed data flows in without `'static` bounds.

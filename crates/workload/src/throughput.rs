@@ -2,6 +2,12 @@
 //! §I: serving predictions "saves resources that can be devoted to support
 //! larger numbers of queries at any given point in time").
 //!
+//! atomics: audited — the `Ordering::Relaxed` sites are the work-claim
+//! cursors (`fetch_add` atomicity gives exactly-once claiming over a
+//! shared immutable query slice); the `drained` flag is Release/Acquire
+//! because the measuring thread reads the tallies the workers wrote
+//! before setting it.
+//!
 //! A frozen [`LlmModel`] is immutable and `Sync`, so any number of serving
 //! threads can answer queries from one shared instance with no locking;
 //! the exact engine can also serve concurrently (its access paths are
