@@ -26,13 +26,19 @@
 //!    distance tiles vs the scalar per-query loop over the same
 //!    snapshot (batch sizes × K), plus the shard fabric's `q1_batch`
 //!    vs per-query `q1` at shard counts {1, 2, 4};
-//! 9. the self-healing serve fabric under concept drift — the
-//!    deterministic drifting closed loop (`regq_workload::drift`) run
-//!    clean and with a seeded fault plan (trainer panics, lock
-//!    poisonings, overflow bursts) live: per-window model-share
-//!    trajectory, the dip → fallback-spike → retrain → recovery arc,
-//!    recovery-time-to-confidence in queries, and the recovery counters
-//!    proving every injected fault was answered.
+//! 9. the two-phase pruned serving path — block screening (bounding-box
+//!    bounds + expanded-form lower bounds under conservative slack)
+//!    vs the unpruned resolution on *clustered* prototype sets, scalar
+//!    and batched, with every pruned answer verified bit-identical
+//!    in-run and the screening telemetry (blocks screened / skipped /
+//!    verified — counted, never silent) in the ledger;
+//! 10. the self-healing serve fabric under concept drift — the
+//!     deterministic drifting closed loop (`regq_workload::drift`) run
+//!     clean and with a seeded fault plan (trainer panics, lock
+//!     poisonings, overflow bursts) live: per-window model-share
+//!     trajectory, the dip → fallback-spike → retrain → recovery arc,
+//!     recovery-time-to-confidence in queries, and the recovery counters
+//!     proving every injected fault was answered.
 //!
 //! The emitted JSON carries a `host` object (core count, `--smoke`,
 //! os/arch) so single-core-container runs are machine-readable.
@@ -49,7 +55,7 @@ use rand::RngExt;
 use regq_bench as bench;
 use regq_bench::Family;
 use regq_core::predict::reference;
-use regq_core::{LlmModel, ModelConfig, Query};
+use regq_core::{LlmModel, ModelConfig, Query, ScreenCounters};
 use regq_data::rng::seeded;
 use regq_exact::{fit_ols, fit_ols_design, q1_mean_materialized, ExactEngine};
 use regq_serve::{FaultKind, FaultPlan, RoutePolicy, ServeEngine, ShardRouter};
@@ -169,6 +175,34 @@ fn build_serving_model(k: usize, d: usize, seed: u64) -> LlmModel {
         let c: Vec<f64> = (0..d).map(|_| rng.random_range(0.0..1.0)).collect();
         // Paper-like workload: radii around 10 % of the unit domain.
         let r = rng.random_range(0.05..0.15);
+        let y = c.iter().sum::<f64>() + rng.random_range(-0.1..0.1);
+        let q = Query::new_unchecked(c, r);
+        m.train_step_plastic(&q, y).expect("spawn step");
+        m.train_step_plastic(&q, y).expect("update step");
+    }
+    assert_eq!(m.k(), k, "collided spawn centers");
+    m.freeze();
+    m
+}
+
+/// Clustered variant of [`build_serving_model`]: prototypes land in
+/// tight clusters around the given anchors instead of uniformly over the
+/// unit domain. This is the workload the pruned serving layout targets —
+/// spatial locality makes whole blocks provably irrelevant to a
+/// localized query — and mirrors trained models in practice, where
+/// prototypes concentrate on the hot regions of the query distribution.
+fn build_clustered_serving_model(k: usize, d: usize, anchors: &[Vec<f64>], seed: u64) -> LlmModel {
+    let mut cfg = ModelConfig::paper_defaults(d);
+    cfg.vigilance_override = Some(1e-12);
+    let mut m = LlmModel::new(cfg).expect("valid config");
+    let mut rng = seeded(seed);
+    for i in 0..k {
+        let a = &anchors[i % anchors.len()];
+        let c: Vec<f64> = a
+            .iter()
+            .map(|&x| x + rng.random_range(-0.02..0.02))
+            .collect();
+        let r = rng.random_range(0.005..0.02);
         let y = c.iter().sum::<f64>() + rng.random_range(-0.1..0.1);
         let q = Query::new_unchecked(c, r);
         m.train_step_plastic(&q, y).expect("spawn step");
@@ -574,6 +608,179 @@ fn main() {
         batched_shard_rows.push((shards, scalar_us, batch_us));
     }
 
+    // ---- Section 9: two-phase pruned serving — block screening (bbox
+    // bounds + expanded-form lower bounds under conservative slack) vs
+    // the unpruned resolution. Clustered prototype sets and localized
+    // queries: the workload where whole blocks are provably irrelevant
+    // and screening pays. Uniform sets (sections 5/8) leave little for
+    // the screen to discard — that regime is covered there; this section
+    // measures the pruning win itself. Every pruned answer is verified
+    // bit-identical to the unpruned path in-run before any timing, and
+    // every screening decision is counted into the ledger (never silent).
+    let pruned_anchor_n = 16usize;
+    let pruned_anchors: Vec<Vec<f64>> = {
+        let mut rng = seeded(31_337);
+        (0..pruned_anchor_n)
+            .map(|_| (0..serving_d).map(|_| rng.random_range(0.1..0.9)).collect())
+            .collect()
+    };
+    let pruned_queries: Vec<Query> = {
+        let mut rng = seeded(31_338);
+        (0..serving_queries.len())
+            .map(|i| {
+                let a = &pruned_anchors[i % pruned_anchors.len()];
+                let c: Vec<f64> = a
+                    .iter()
+                    .map(|&x| x + rng.random_range(-0.03..0.03))
+                    .collect();
+                Query::new_unchecked(c, rng.random_range(0.01..0.05))
+            })
+            .collect()
+    };
+    let pruned_batch = 64usize;
+    struct PrunedRow {
+        k: usize,
+        unpruned_us: f64,
+        pruned_us: f64,
+        batch_unpruned_us: f64,
+        batch_pruned_us: f64,
+        screen: ScreenCounters,
+    }
+    let mut pruned_rows: Vec<PrunedRow> = Vec::new();
+    for &k in serving_ks {
+        let model = build_clustered_serving_model(k, serving_d, &pruned_anchors, 13_000 + k as u64);
+        let snapshot = model.snapshot();
+        // Verification + counting pass. The screen decisions are
+        // deterministic per (layout, workload), so this pass's counters
+        // are exactly what any timed pass would record.
+        let mut screen = ScreenCounters::default();
+        for q in &pruned_queries {
+            let want = snapshot
+                .predict_q1_with_confidence(q)
+                .expect("trained model");
+            let got = snapshot
+                .predict_q1_with_confidence_pruned(q, &mut screen)
+                .expect("trained model");
+            assert_eq!(got.0.to_bits(), want.0.to_bits(), "pruned Q1 diverged");
+            assert_eq!(
+                got.1.score.to_bits(),
+                want.1.score.to_bits(),
+                "pruned confidence diverged"
+            );
+        }
+        assert_eq!(screen.blocks, screen.skipped + screen.verified);
+        // Interleaved min-of-passes, as in sections 5 and 8. The pruned
+        // loops feed a throwaway counter: production pays the same adds.
+        let serving_passes = passes.max(5);
+        let (mut unpruned_us, mut pruned_us) = (f64::INFINITY, f64::INFINITY);
+        let (mut batch_unpruned_us, mut batch_pruned_us) = (f64::INFINITY, f64::INFINITY);
+        let mut sink = ScreenCounters::default();
+        for warmup_and_passes in 0..=serving_passes {
+            let timed = warmup_and_passes > 0;
+            let t0 = Instant::now();
+            for q in &pruned_queries {
+                black_box(
+                    snapshot
+                        .predict_q1_with_confidence(q)
+                        .expect("trained model"),
+                );
+            }
+            if timed {
+                unpruned_us =
+                    unpruned_us.min(t0.elapsed().as_secs_f64() * 1e6 / pruned_queries.len() as f64);
+            }
+            let t0 = Instant::now();
+            for q in &pruned_queries {
+                black_box(
+                    snapshot
+                        .predict_q1_with_confidence_pruned(q, &mut sink)
+                        .expect("trained model"),
+                );
+            }
+            if timed {
+                pruned_us =
+                    pruned_us.min(t0.elapsed().as_secs_f64() * 1e6 / pruned_queries.len() as f64);
+            }
+            let t0 = Instant::now();
+            for chunk in pruned_queries.chunks(pruned_batch) {
+                black_box(
+                    snapshot
+                        .predict_q1_with_confidence_batch(chunk)
+                        .expect("trained model"),
+                );
+            }
+            if timed {
+                batch_unpruned_us = batch_unpruned_us
+                    .min(t0.elapsed().as_secs_f64() * 1e6 / pruned_queries.len() as f64);
+            }
+            let t0 = Instant::now();
+            for chunk in pruned_queries.chunks(pruned_batch) {
+                black_box(
+                    snapshot
+                        .predict_q1_with_confidence_batch_pruned(chunk, &mut sink)
+                        .expect("trained model"),
+                );
+            }
+            if timed {
+                batch_pruned_us = batch_pruned_us
+                    .min(t0.elapsed().as_secs_f64() * 1e6 / pruned_queries.len() as f64);
+            }
+        }
+        eprintln!(
+            "  pruned serving K={k}: unpruned {unpruned_us:.2} us -> pruned {pruned_us:.2} us \
+             ({:.2}x, {:.0} pred/s); batch {pruned_batch}: {batch_unpruned_us:.2} -> \
+             {batch_pruned_us:.2} us ({:.2}x); skip rate {:.0}%",
+            unpruned_us / pruned_us,
+            1e6 / pruned_us,
+            batch_unpruned_us / batch_pruned_us,
+            100.0 * screen.skipped as f64 / screen.blocks.max(1) as f64
+        );
+        pruned_rows.push(PrunedRow {
+            k,
+            unpruned_us,
+            pruned_us,
+            batch_unpruned_us,
+            batch_pruned_us,
+            screen,
+        });
+    }
+
+    // The fabric's lifetime screening atomics end to end: every query
+    // down the model route of a 2-shard router over the largest
+    // clustered set, then read back ShardRouter::stats() — the same
+    // counted-never-silent telemetry the serve path exposes in
+    // production.
+    let pruned_fabric_shards = 2usize;
+    let pruned_fabric_k = *serving_ks.last().expect("non-empty");
+    let pruned_fabric_stats = {
+        let router = ShardRouter::with_model(
+            ExactEngine::new(shard_exact_data.clone(), AccessPathKind::KdTree),
+            build_clustered_serving_model(pruned_fabric_k, serving_d, &pruned_anchors, 14_000),
+            RoutePolicy {
+                confidence_threshold: -1.0,
+                feedback: false,
+                publish_interval: usize::MAX,
+                ..RoutePolicy::default()
+            },
+            pruned_fabric_shards,
+        );
+        for q in &pruned_queries {
+            black_box(router.q1(q).expect("model route"));
+        }
+        router.stats()
+    };
+    assert!(
+        pruned_fabric_stats.blocks_skipped + pruned_fabric_stats.blocks_verified > 0,
+        "pruned fabric pass recorded no screening decisions"
+    );
+    eprintln!(
+        "  pruned fabric x{pruned_fabric_shards} shards (K={pruned_fabric_k}): \
+         {} screened / {} skipped / {} verified blocks",
+        pruned_fabric_stats.blocks_screened,
+        pruned_fabric_stats.blocks_skipped,
+        pruned_fabric_stats.blocks_verified
+    );
+
     // ---- Emit JSON (hand-rolled: the serde shim's derives are no-ops).
     let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     let mut json = String::new();
@@ -792,8 +999,61 @@ fn main() {
         );
     }
     json.push_str("    ]}\n  },\n");
+    let _ = writeln!(
+        json,
+        "  \"serving_pruned\": {{\n    \"dim\": {serving_d}, \"queries\": {}, \
+         \"anchors\": {pruned_anchor_n}, \"batch\": {pruned_batch}, \
+         \"note\": \"1-core host; clustered prototype sets + localized queries (the \
+         layout's target workload); every pruned answer verified bit-identical to the \
+         unpruned path in-run before timing; counters are totals over the verification \
+         pass with blocks = skipped + verified (counted, never silent)\",",
+        pruned_queries.len()
+    );
+    json.push_str("    \"by_k\": [\n");
+    for (i, r) in pruned_rows.iter().enumerate() {
+        let s = &r.screen;
+        let _ = writeln!(
+            json,
+            "      {{\"k\": {}, \"unpruned_us\": {}, \"pruned_us\": {}, \
+             \"unpruned_pred_per_s\": {}, \"pruned_pred_per_s\": {}, \"speedup\": {}, \
+             \"batch_unpruned_us\": {}, \"batch_pruned_us\": {}, \"batch_speedup\": {}, \
+             \"blocks\": {}, \"screened\": {}, \"skipped\": {}, \"verified\": {}, \
+             \"skip_rate\": {}}}{}",
+            r.k,
+            fmt_f(r.unpruned_us),
+            fmt_f(r.pruned_us),
+            fmt_f(1e6 / r.unpruned_us),
+            fmt_f(1e6 / r.pruned_us),
+            fmt_f(r.unpruned_us / r.pruned_us),
+            fmt_f(r.batch_unpruned_us),
+            fmt_f(r.batch_pruned_us),
+            fmt_f(r.batch_unpruned_us / r.batch_pruned_us),
+            s.blocks,
+            s.screened,
+            s.skipped,
+            s.verified,
+            fmt_f(s.skipped as f64 / s.blocks.max(1) as f64),
+            if i + 1 < pruned_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(
+        json,
+        "    \"fabric\": {{\"shards\": {pruned_fabric_shards}, \"k\": {pruned_fabric_k}, \
+         \"note\": \"ShardRouter lifetime screening atomics after a model-route-only \
+         pass over the clustered workload\", \"blocks_screened\": {}, \
+         \"blocks_skipped\": {}, \"blocks_verified\": {}, \"skip_rate\": {}}}\n  }},",
+        pruned_fabric_stats.blocks_screened,
+        pruned_fabric_stats.blocks_skipped,
+        pruned_fabric_stats.blocks_verified,
+        fmt_f(
+            pruned_fabric_stats.blocks_skipped as f64
+                / (pruned_fabric_stats.blocks_skipped + pruned_fabric_stats.blocks_verified).max(1)
+                    as f64
+        )
+    );
 
-    // ---- Section 9: drift recovery, clean and under injected faults.
+    // ---- Section 10: drift recovery, clean and under injected faults.
     let drift_total = if smoke { 2_000 } else { 8_000 };
     let drift_window = if smoke { 100 } else { 250 };
     let valley = ShiftingValley {

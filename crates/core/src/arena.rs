@@ -32,23 +32,10 @@
 
 use crate::prototype::Prototype;
 use crate::query::Query;
+use regq_linalg::simd;
+use regq_linalg::tune::{self, QUAD, QUERY_BLOCK, ROW_TILE};
 use regq_linalg::vector;
 use serde::{Deserialize, Serialize};
-
-/// Queries resolved per prototype pass of
-/// [`PrototypeArena::resolve_batch`]: the per-query winner state and
-/// overlap scratch for one block stay cache-resident while the packed
-/// prototype blocks stream past them, one [`ROW_TILE`] cut at a time.
-const QUERY_BLOCK: usize = 16;
-
-/// Prototype rows per cut of the packed center block (must stay a
-/// multiple of 4 so the fused kernel's quad boundaries line up with the
-/// scalar pass's — the bit-identity argument in
-/// [`PrototypeArena::resolve_batch`] depends on it). One cut is
-/// `ROW_TILE × d` doubles — 2 KiB at `d = 4` — so it stays L1-resident
-/// while every query in the block runs
-/// [`vector::winner_overlap_block`] over it.
-const ROW_TILE: usize = 64;
 
 /// The result of one fused batched winner/overlap pass
 /// ([`PrototypeArena::resolve_batch`]): per query, the winner `(index,
@@ -63,6 +50,13 @@ pub struct BatchResolution {
     entries: Vec<(usize, f64)>,
     // Scratch (retained capacity, contents meaningless between calls).
     block_sets: Vec<Vec<(usize, f64)>>,
+    // Pruned-path screening scratch ([`BlockLayout::resolve_batch_pruned`]):
+    // one expanded-distance row, per-block bounds/flags for one query, and
+    // the per-(query, block) survivor mask for one query chunk.
+    screen: Vec<f64>,
+    lbs: Vec<f64>,
+    ovl: Vec<bool>,
+    survive: Vec<bool>,
 }
 
 impl BatchResolution {
@@ -535,6 +529,7 @@ impl PrototypeArena {
             offsets,
             entries,
             block_sets,
+            ..
         } = out;
         offsets.push(0);
         while block_sets.len() < QUERY_BLOCK {
@@ -552,9 +547,11 @@ impl PrototypeArena {
             let mut k = 0usize;
             for rows in self.centers.chunks(ROW_TILE * d) {
                 let nr = rows.len() / d;
-                // `k` is a multiple of ROW_TILE (itself a multiple of 4),
-                // so quad boundaries inside the cut line up with the
-                // arena-global quad boundaries of the scalar kernels.
+                // `k` is a multiple of ROW_TILE (itself a multiple of
+                // `tune::QUAD`), so quad boundaries inside the cut line up
+                // with the arena-global quad boundaries of the scalar
+                // kernels.
+                tune::assert_tile_invariants(k);
                 let radii = &self.radii[k..k + nr];
                 for (qi, q) in block.iter().enumerate() {
                     vector::winner_overlap_block(
@@ -571,6 +568,512 @@ impl PrototypeArena {
                 k += nr;
             }
             for qi in 0..bq {
+                winners.push(best[qi]);
+                entries.extend_from_slice(&block_sets[qi]);
+                offsets.push(entries.len());
+            }
+        }
+    }
+
+    /// Build the clustered, bounds-cached serving layout over the current
+    /// prototypes ([`BlockLayout::build`]) — `O(dK + K log K)`, paid once
+    /// per immutable snapshot capture.
+    pub fn build_layout(&self) -> BlockLayout {
+        BlockLayout::build(self)
+    }
+}
+
+/// Counted — never silent — screening telemetry from the two-phase pruned
+/// resolution ([`BlockLayout::resolve_batch_pruned`]). One unit is one
+/// `(query, block)` visit; `blocks = skipped + verified` always holds, so
+/// a consumer can compute a skip rate without wondering whether some path
+/// forgot to count.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScreenCounters {
+    /// `(query, block)` visits considered (`queries × layout blocks`).
+    pub blocks: u64,
+    /// Visits whose expanded screening tile actually ran (the rest were
+    /// resolved by the cheap bounding-box bound alone).
+    pub screened: u64,
+    /// Visits pruned away — blocks never exact-verified for that query.
+    pub skipped: u64,
+    /// Visits exact-verified by the bit-exact AoSoA kernel.
+    pub verified: u64,
+}
+
+impl ScreenCounters {
+    /// Accumulate another counter set into this one.
+    pub fn merge(&mut self, other: &ScreenCounters) {
+        self.blocks += other.blocks;
+        self.screened += other.screened;
+        self.skipped += other.skipped;
+        self.verified += other.verified;
+    }
+
+    /// Fraction of block visits pruned away (`0.0` when nothing was
+    /// visited).
+    pub fn skip_rate(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / self.blocks as f64
+        }
+    }
+}
+
+/// Per-block metadata of a [`BlockLayout`]: slot range, padded AoSoA
+/// range, and the cached bounds the screening phase prunes with.
+#[derive(Debug, Clone)]
+struct BlockMeta {
+    /// First slot of this block in the permuted (unpadded) arrays.
+    start: usize,
+    /// Real rows in this block (`1 ..= ROW_TILE`).
+    len: usize,
+    /// First row of this block in the padded arrays (`radii_pad`, and
+    /// `× dim` into `aosoa`).
+    pad_row: usize,
+    /// `len` rounded up to a multiple of [`QUAD`].
+    padded_len: usize,
+    /// Smallest prototype radius in the block.
+    r_min: f64,
+    /// Largest prototype radius in the block.
+    r_max: f64,
+    /// Largest `‖center‖²` in the block (the slack scale contribution).
+    max_norm: f64,
+}
+
+/// The clustered, bounds-cached serving layout behind two-phase pruned
+/// resolution: [`PrototypeArena`] prototypes regrouped into spatially
+/// coherent blocks of at most [`ROW_TILE`] rows (recursive widest-axis
+/// median splits), each block carrying a cached center bounding box,
+/// radius range, and precomputed `‖r‖²` row norms, with centers stored
+/// both row-major (for the expanded screening tile) and AoSoA
+/// quad-interleaved (for the runtime-SIMD exact kernel, partial quads
+/// padded with `+inf` inert rows).
+///
+/// [`BlockLayout::resolve_batch_pruned`] runs winner/overlap as two
+/// phases — a conservative screening pass that discards blocks which
+/// provably cannot contain the winner or any overlapping ball, then the
+/// bit-exact kernel over survivors — and produces a [`BatchResolution`]
+/// **bit-identical** to [`PrototypeArena::resolve_batch`] on the source
+/// arena (the `pruned_equivalence` batteries pin this).
+///
+/// Why the permutation cannot change answers: every per-pair distance,
+/// joint distance and overlap degree is computed by the same
+/// bit-identical kernels; within a block, slots are sorted ascending by
+/// arena index, so the kernel's strict-`<` first-wins scan picks the
+/// lowest index per block; across blocks, per-block winners merge
+/// lexicographically by `(distance, index)` from the global seed
+/// `(∞, 0)`, which reproduces the ascending-scan tie-break; and overlap
+/// members are re-sorted into ascending arena order before the CSR is
+/// emitted, so the fusion fold sums in the scalar path's exact order.
+#[derive(Debug, Clone)]
+pub struct BlockLayout {
+    dim: usize,
+    len: usize,
+    /// Multiplier on the conservative screening slack — `1.0` in
+    /// production; a test hook ([`BlockLayout::with_slack_scale`]).
+    slack_scale: f64,
+    /// Largest `‖center‖²` across all blocks (overflow guard input).
+    max_norm_all: f64,
+    /// Largest prototype radius across all blocks (overflow guard input).
+    r_max_all: f64,
+    blocks: Vec<BlockMeta>,
+    /// Per-block bounding box, `nblocks × dim` each.
+    bbox_lo: Vec<f64>,
+    bbox_hi: Vec<f64>,
+    /// Permuted centers, row-major, `len × dim` (screening tile input).
+    centers_perm: Vec<f64>,
+    /// Cached `‖r‖²` per slot, `len` (screening tile input).
+    norms: Vec<f64>,
+    /// Permuted radii padded per block to `padded_len` (pad value `0.0`).
+    radii_pad: Vec<f64>,
+    /// AoSoA quad-interleaved centers padded per block (pad rows `+inf`).
+    aosoa: Vec<f64>,
+    /// Slot → arena index, `len`, ascending within each block.
+    gids: Vec<usize>,
+}
+
+impl BlockLayout {
+    /// Cluster the arena into the pruned serving layout (see the type
+    /// docs). `O(dK + K log K)`; call once per immutable capture.
+    pub fn build(arena: &PrototypeArena) -> Self {
+        let d = arena.dim();
+        let k = arena.len();
+        let mut order: Vec<usize> = (0..k).collect();
+        // Recursive widest-axis median splits until every leaf fits in
+        // one ROW_TILE cut. `select_nth_unstable` keeps this O(K log K)
+        // total without fully sorting any axis.
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let mut stack = if k == 0 {
+            Vec::new()
+        } else {
+            vec![(0usize, k)]
+        };
+        while let Some((lo, hi)) = stack.pop() {
+            let n = hi - lo;
+            if n <= ROW_TILE {
+                ranges.push((lo, hi));
+                continue;
+            }
+            let seg = &mut order[lo..hi];
+            let mut widest = 0usize;
+            let mut spread = f64::NEG_INFINITY;
+            for c in 0..d {
+                let mut mn = f64::INFINITY;
+                let mut mx = f64::NEG_INFINITY;
+                for &g in seg.iter() {
+                    let v = arena.center(g)[c];
+                    mn = mn.min(v);
+                    mx = mx.max(v);
+                }
+                if mx - mn > spread {
+                    spread = mx - mn;
+                    widest = c;
+                }
+            }
+            let mid = n / 2;
+            seg.select_nth_unstable_by(mid, |&a, &b| {
+                arena.center(a)[widest]
+                    .partial_cmp(&arena.center(b)[widest])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            stack.push((lo, lo + mid));
+            stack.push((lo + mid, hi));
+        }
+        ranges.sort_unstable();
+
+        let mut layout = BlockLayout {
+            dim: d,
+            len: k,
+            slack_scale: 1.0,
+            max_norm_all: 0.0,
+            r_max_all: 0.0,
+            blocks: Vec::with_capacity(ranges.len()),
+            bbox_lo: Vec::with_capacity(ranges.len() * d),
+            bbox_hi: Vec::with_capacity(ranges.len() * d),
+            centers_perm: Vec::with_capacity(k * d),
+            norms: Vec::with_capacity(k),
+            radii_pad: Vec::new(),
+            aosoa: Vec::new(),
+            gids: Vec::with_capacity(k),
+        };
+        let mut row_major = Vec::new();
+        let mut packed = Vec::new();
+        let mut pad_row = 0usize;
+        for &(lo, hi) in &ranges {
+            // Ascending arena order inside the block: the kernel's
+            // strict-`<` first-wins scan then picks the lowest arena
+            // index per block, as the unpruned scan does globally.
+            order[lo..hi].sort_unstable();
+            let n = hi - lo;
+            let padded = n.div_ceil(QUAD) * QUAD;
+            let start = layout.gids.len();
+            let (mut r_min, mut r_max) = (f64::INFINITY, f64::NEG_INFINITY);
+            let mut max_norm = f64::NEG_INFINITY;
+            let bbox_at = layout.bbox_lo.len();
+            layout.bbox_lo.resize(bbox_at + d, f64::INFINITY);
+            layout.bbox_hi.resize(bbox_at + d, f64::NEG_INFINITY);
+            for &g in &order[lo..hi] {
+                let center = arena.center(g);
+                layout.centers_perm.extend_from_slice(center);
+                let norm = vector::dot(center, center);
+                layout.norms.push(norm);
+                max_norm = max_norm.max(norm);
+                let radius = arena.radius(g);
+                r_min = r_min.min(radius);
+                r_max = r_max.max(radius);
+                layout.radii_pad.push(radius);
+                layout.gids.push(g);
+                for (c, &v) in center.iter().enumerate() {
+                    layout.bbox_lo[bbox_at + c] = layout.bbox_lo[bbox_at + c].min(v);
+                    layout.bbox_hi[bbox_at + c] = layout.bbox_hi[bbox_at + c].max(v);
+                }
+            }
+            layout.radii_pad.resize(pad_row + padded, 0.0);
+            // Pad partial quads with +inf rows — inert under both the
+            // strict-`<` winner update and the membership test (see
+            // `winner_overlap_block_aosoa`) — then repack AoSoA.
+            row_major.clear();
+            row_major.extend_from_slice(&layout.centers_perm[start * d..(start + n) * d]);
+            row_major.resize(padded * d, f64::INFINITY);
+            simd::pack_quads_aosoa(&row_major, d, &mut packed);
+            layout.aosoa.extend_from_slice(&packed);
+            layout.max_norm_all = layout.max_norm_all.max(max_norm);
+            layout.r_max_all = layout.r_max_all.max(r_max);
+            layout.blocks.push(BlockMeta {
+                start,
+                len: n,
+                pad_row,
+                padded_len: padded,
+                r_min,
+                r_max,
+                max_norm,
+            });
+            pad_row += padded;
+        }
+        layout
+    }
+
+    /// Number of prototypes covered by the layout.
+    pub fn k(&self) -> usize {
+        self.len
+    }
+
+    /// Input dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of clustered blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// **Test hook**: scale the conservative screening slack by `s`.
+    /// `1.0` (the production value) keeps the proven-conservative bound;
+    /// `0.0` deliberately under-slacks the screen so equivalence
+    /// batteries can demonstrate that the slack is load-bearing. Never
+    /// called on the serving path.
+    #[must_use]
+    pub fn with_slack_scale(mut self, s: f64) -> Self {
+        self.slack_scale = s;
+        self
+    }
+
+    /// Screening phase for one query: fill `lbs`/`ovl` with per-block
+    /// joint-distance lower bounds and overlap-possibility flags
+    /// (slack-adjusted, so both are conservative with respect to every
+    /// value the exact kernel can compute), then mark survivors.
+    #[allow(clippy::too_many_arguments)]
+    fn screen_query(
+        &self,
+        q: &Query,
+        lbs: &mut Vec<f64>,
+        ovl: &mut Vec<bool>,
+        screen: &mut Vec<f64>,
+        survive: &mut [bool],
+        counters: &mut ScreenCounters,
+    ) {
+        let d = self.dim;
+        let nb = self.blocks.len();
+        counters.blocks += nb as u64;
+        let q_sq = vector::dot(&q.center, &q.center);
+        // Overflow guard: the slack argument needs every intermediate of
+        // the expanded form to stay finite. `2·√(q²·r²)` bounds |2⟨q,r⟩|
+        // (Cauchy–Schwarz), so if this sum is finite no screening value
+        // can have overflowed. Otherwise pruning is disabled — slower,
+        // never wrong.
+        let guard = q_sq
+            + self.max_norm_all
+            + 2.0 * (q_sq * self.max_norm_all).sqrt()
+            + (q.radius + self.r_max_all) * (q.radius + self.r_max_all);
+        if !guard.is_finite() {
+            survive.fill(true);
+            counters.verified += nb as u64;
+            return;
+        }
+        lbs.clear();
+        ovl.clear();
+        for (b, meta) in self.blocks.iter().enumerate() {
+            let lo = &self.bbox_lo[b * d..(b + 1) * d];
+            let hi = &self.bbox_hi[b * d..(b + 1) * d];
+            let mut bb = 0.0;
+            for ((&l, &h), &qc) in lo.iter().zip(hi).zip(q.center.iter()) {
+                let gap = if qc < l {
+                    l - qc
+                } else if qc > h {
+                    qc - h
+                } else {
+                    0.0
+                };
+                bb += gap * gap;
+            }
+            let rad_lb = if q.radius < meta.r_min {
+                let t = meta.r_min - q.radius;
+                t * t
+            } else if q.radius > meta.r_max {
+                let t = q.radius - meta.r_max;
+                t * t
+            } else {
+                0.0
+            };
+            let slack = self.block_slack(q, q_sq, meta);
+            let rs = q.radius + meta.r_max;
+            lbs.push(bb + rad_lb - slack);
+            ovl.push(bb - slack <= rs * rs);
+        }
+        // Screen the cheapest-looking block first so `best_ub` starts
+        // tight and the bbox bound can discard most blocks without ever
+        // running their expanded tile.
+        let first = lbs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(b, _)| b)
+            .unwrap_or(0);
+        let mut best_ub = f64::INFINITY;
+        for b in std::iter::once(first).chain((0..nb).filter(|&b| b != first)) {
+            if lbs[b] > best_ub && !ovl[b] {
+                // Cheap skip: the bbox bound alone proves this block can
+                // contain neither the winner nor an overlap member, and
+                // `best_ub` only decreases, so the final filter below
+                // rejects it too.
+                continue;
+            }
+            counters.screened += 1;
+            let meta = &self.blocks[b];
+            let rows = &self.centers_perm[meta.start * d..(meta.start + meta.len) * d];
+            let norms = &self.norms[meta.start..meta.start + meta.len];
+            screen.clear();
+            screen.resize(meta.len, 0.0);
+            // SCREENING: expanded-form distances only ever *discard*
+            // blocks here, under the conservative `screening_slack`
+            // bound (≥ the expanded-vs-direct cancellation error at this
+            // scale), so no true winner or overlap member is screened
+            // out; every answer comes from the exact kernel over the
+            // surviving blocks.
+            vector::sq_dist_tile_expanded_with_norms(&q.center, 1, rows, d, norms, screen);
+            let radii = &self.radii_pad[meta.pad_row..meta.pad_row + meta.len];
+            let slack = self.block_slack(q, q_sq, meta);
+            let mut block_min = f64::INFINITY;
+            let mut row_ovl = false;
+            for (&e, &rk) in screen.iter().zip(radii) {
+                let dr = q.radius - rk;
+                let joint = e + dr * dr;
+                if joint < block_min {
+                    block_min = joint;
+                }
+                let rs = q.radius + rk;
+                row_ovl |= e <= rs * rs + slack;
+            }
+            if block_min - slack > lbs[b] {
+                lbs[b] = block_min - slack;
+            }
+            if block_min + slack < best_ub {
+                best_ub = block_min + slack;
+            }
+            ovl[b] = ovl[b] && row_ovl;
+        }
+        for b in 0..nb {
+            // `≤` (not `<`): boundary and slack-band ties always survive
+            // to the exact phase — pruning must only ever remove blocks
+            // that *provably* cannot matter.
+            let s = lbs[b] <= best_ub || ovl[b];
+            survive[b] = s;
+            if s {
+                counters.verified += 1;
+            } else {
+                counters.skipped += 1;
+            }
+        }
+    }
+
+    /// Conservative absolute slack for screening comparisons against
+    /// block `meta` — see [`vector::screening_slack`] for the bound it
+    /// must (and does, generously) dominate.
+    #[inline]
+    fn block_slack(&self, q: &Query, q_sq: f64, meta: &BlockMeta) -> f64 {
+        let rs = q.radius + meta.r_max;
+        vector::screening_slack(self.dim, q_sq + meta.max_norm + rs * rs) * self.slack_scale
+    }
+
+    /// Two-phase pruned batched resolution: screening
+    /// (`screen_query`, above) discards blocks that provably cannot
+    /// contain the winner or any overlapping ball, then the bit-exact
+    /// AoSoA kernel ([`vector::winner_overlap_block_aosoa`]) resolves the
+    /// survivors. The filled [`BatchResolution`] is **bit-identical** to
+    /// [`PrototypeArena::resolve_batch`] on the source arena for every
+    /// query (see the type docs for the argument); `counters` is
+    /// accumulated, never reset, so callers can aggregate across calls.
+    ///
+    /// Must be called on a non-empty layout with dimension-checked
+    /// queries (the snapshot layer enforces both).
+    pub fn resolve_batch_pruned(
+        &self,
+        queries: &[Query],
+        out: &mut BatchResolution,
+        counters: &mut ScreenCounters,
+    ) {
+        out.clear();
+        debug_assert!(self.len > 0, "resolve_batch_pruned: empty layout");
+        let d = self.dim;
+        let nb = self.blocks.len();
+        let BatchResolution {
+            winners,
+            offsets,
+            entries,
+            block_sets,
+            screen,
+            lbs,
+            ovl,
+            survive,
+        } = out;
+        offsets.push(0);
+        while block_sets.len() < QUERY_BLOCK {
+            block_sets.push(Vec::new());
+        }
+        for chunk in queries.chunks(QUERY_BLOCK) {
+            let bq = chunk.len();
+            survive.clear();
+            survive.resize(bq * nb, false);
+            for set in block_sets.iter_mut().take(bq) {
+                set.clear();
+            }
+            // Merged winner per query as `(arena index, squared joint)`,
+            // seeded like the unpruned scan's `(0, ∞)`.
+            let mut best = [(0usize, f64::INFINITY); QUERY_BLOCK];
+            for (qi, q) in chunk.iter().enumerate() {
+                debug_assert_eq!(
+                    q.center.len(),
+                    d,
+                    "resolve_batch_pruned: dimension mismatch"
+                );
+                self.screen_query(
+                    q,
+                    lbs,
+                    ovl,
+                    screen,
+                    &mut survive[qi * nb..(qi + 1) * nb],
+                    counters,
+                );
+            }
+            // Verify phase, block-outer: each surviving AoSoA tile stays
+            // hot while every query that kept it runs the exact kernel.
+            for (b, meta) in self.blocks.iter().enumerate() {
+                tune::assert_tile_invariants(meta.pad_row);
+                let quads = &self.aosoa[meta.pad_row * d..(meta.pad_row + meta.padded_len) * d];
+                let radii = &self.radii_pad[meta.pad_row..meta.pad_row + meta.padded_len];
+                for (qi, q) in chunk.iter().enumerate() {
+                    if !survive[qi * nb + b] {
+                        continue;
+                    }
+                    let mut local = (0usize, f64::INFINITY);
+                    let set = &mut block_sets[qi];
+                    let before = set.len();
+                    vector::winner_overlap_block_aosoa(
+                        &q.center, q.radius, quads, radii, d, 0, &mut local, set,
+                    );
+                    // Slot → arena index; +inf pad rows can never be
+                    // pushed, so every slot here is a real row.
+                    for e in set[before..].iter_mut() {
+                        e.0 = self.gids[meta.start + e.0];
+                    }
+                    let gid = self.gids[meta.start + local.0];
+                    let (best_gid, best_sq) = best[qi];
+                    // Lexicographic (distance, index) merge — reproduces
+                    // the ascending-scan strict-`<` tie-break across the
+                    // permuted blocks.
+                    if local.1 < best_sq || (local.1 == best_sq && gid < best_gid) {
+                        best[qi] = (gid, local.1);
+                    }
+                }
+            }
+            for qi in 0..bq {
+                // Ascending arena order restores the scalar path's exact
+                // fusion summation order; degrees are per-pair
+                // bit-identical, so the CSR equals the unpruned one.
+                block_sets[qi].sort_unstable_by_key(|e| e.0);
                 winners.push(best[qi]);
                 entries.extend_from_slice(&block_sets[qi]);
                 offsets.push(entries.len());
@@ -794,5 +1297,198 @@ mod tests {
         assert_eq!(p.b_x, &[0.0, 0.0]);
         assert_eq!(p.b_theta, 0.0);
         assert_eq!(p.updates, 1);
+    }
+
+    // --- Pruned serving layout (prefix `screening_` so the nightly Miri
+    // --- job can filter `-p regq_core screening_`).
+
+    /// Assert the layout permutation covers exactly `0..K` with ascending
+    /// arena indices inside each block.
+    fn assert_layout_well_formed(layout: &BlockLayout, k: usize, d: usize) {
+        assert_eq!(layout.k(), k);
+        assert_eq!(layout.dim(), d);
+        let mut seen = vec![false; k];
+        for meta in &layout.blocks {
+            assert!(meta.len >= 1 && meta.len <= ROW_TILE);
+            assert_eq!(meta.padded_len % QUAD, 0);
+            assert_eq!(meta.pad_row % QUAD, 0);
+            let gids = &layout.gids[meta.start..meta.start + meta.len];
+            for w in gids.windows(2) {
+                assert!(w[0] < w[1], "block gids must be strictly ascending");
+            }
+            for &g in gids {
+                assert!(!seen[g], "gid {g} appears twice");
+                seen[g] = true;
+            }
+            // Pad rows are +inf centers with 0.0 radii — inert.
+            for pad in meta.len..meta.padded_len {
+                assert_eq!(layout.radii_pad[meta.pad_row + pad], 0.0);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "layout must cover every gid");
+    }
+
+    #[test]
+    fn screening_layout_partitions_the_arena() {
+        for k in [1usize, 3, 4, 5, 63, 64, 65, 130, 257, 1000] {
+            let arena = PrototypeArena::from_prototypes(3, &random_protos(k, 3, 40 + k as u64));
+            let layout = arena.build_layout();
+            assert_layout_well_formed(&layout, k, 3);
+        }
+    }
+
+    #[test]
+    fn screening_resolve_pruned_matches_resolve_batch() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // K values straddling the quad and ROW_TILE boundaries, batch
+        // sizes straddling QUERY_BLOCK.
+        for k in [1usize, 3, 4, 5, 63, 64, 65, 130, 257] {
+            let arena = PrototypeArena::from_prototypes(3, &random_protos(k, 3, k as u64));
+            let layout = arena.build_layout();
+            assert_layout_well_formed(&layout, k, 3);
+            for nq in [1usize, 7, 16, 37] {
+                let queries: Vec<Query> = (0..nq)
+                    .map(|_| {
+                        let c: Vec<f64> = (0..3).map(|_| rng.random_range(-1.5..1.5)).collect();
+                        Query::new_unchecked(c, rng.random_range(0.01..1.0))
+                    })
+                    .collect();
+                let mut want = BatchResolution::new();
+                arena.resolve_batch(&queries, &mut want);
+                let mut got = BatchResolution::new();
+                let mut counters = ScreenCounters::default();
+                layout.resolve_batch_pruned(&queries, &mut got, &mut counters);
+                assert_eq!(got.len(), want.len());
+                for i in 0..queries.len() {
+                    let (wg, ws) = want.winner(i);
+                    let (gg, gs) = got.winner(i);
+                    assert_eq!((gg, gs.to_bits()), (wg, ws.to_bits()), "K={k} q{i} winner");
+                    let we = want.overlap(i);
+                    let ge = got.overlap(i);
+                    assert_eq!(ge.len(), we.len(), "K={k} q{i} overlap size");
+                    for (a, b) in ge.iter().zip(we) {
+                        assert_eq!((a.0, a.1.to_bits()), (b.0, b.1.to_bits()), "K={k} q{i}");
+                    }
+                }
+                // Counted — never silent: every visit lands in exactly
+                // one bucket and screening never exceeds visits.
+                assert_eq!(
+                    counters.blocks,
+                    (queries.len() * layout.num_blocks()) as u64
+                );
+                assert_eq!(counters.skipped + counters.verified, counters.blocks);
+                assert!(counters.screened <= counters.blocks);
+            }
+        }
+    }
+
+    #[test]
+    fn screening_skips_blocks_on_clustered_data() {
+        // Two tight, well-separated clusters: queries sitting inside one
+        // cluster must prune the other cluster's blocks.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut protos = Vec::new();
+        for cluster in 0..2 {
+            let off = cluster as f64 * 100.0;
+            for p in random_protos(256, 3, 70 + cluster as u64) {
+                let mut p = p;
+                for c in p.center.iter_mut() {
+                    *c = *c * 0.5 + off;
+                }
+                p.radius = 0.05;
+                protos.push(p);
+            }
+        }
+        let arena = PrototypeArena::from_prototypes(3, &protos);
+        let layout = arena.build_layout();
+        let queries: Vec<Query> = (0..32)
+            .map(|i| {
+                let off = (i % 2) as f64 * 100.0;
+                let c: Vec<f64> = (0..3).map(|_| rng.random_range(-0.5..0.5) + off).collect();
+                Query::new_unchecked(c, 0.05)
+            })
+            .collect();
+        let mut want = BatchResolution::new();
+        arena.resolve_batch(&queries, &mut want);
+        let mut got = BatchResolution::new();
+        let mut counters = ScreenCounters::default();
+        layout.resolve_batch_pruned(&queries, &mut got, &mut counters);
+        for i in 0..queries.len() {
+            assert_eq!(got.winner(i), want.winner(i), "q{i}");
+            assert_eq!(got.overlap(i), want.overlap(i), "q{i}");
+        }
+        // Each query must at least prune the far cluster (half the blocks).
+        assert!(
+            counters.skip_rate() >= 0.5,
+            "expected >= 50% skip rate on clustered data, got {:.3} ({counters:?})",
+            counters.skip_rate()
+        );
+    }
+
+    #[test]
+    fn screening_scratch_reuse_is_clean_across_calls() {
+        // Re-using one BatchResolution + counters across layouts of
+        // different block counts must not leak stale scratch.
+        let mut res = BatchResolution::new();
+        let mut counters = ScreenCounters::default();
+        let q = Query::new_unchecked(vec![0.1, -0.2, 0.3], 0.2);
+        let mut total_blocks = 0u64;
+        for k in [257usize, 4, 130] {
+            let arena = PrototypeArena::from_prototypes(3, &random_protos(k, 3, 90 + k as u64));
+            let layout = arena.build_layout();
+            layout.resolve_batch_pruned(std::slice::from_ref(&q), &mut res, &mut counters);
+            let mut want = BatchResolution::new();
+            arena.resolve_batch(std::slice::from_ref(&q), &mut want);
+            assert_eq!(res.len(), 1);
+            assert_eq!(res.winner(0), want.winner(0), "K={k}");
+            assert_eq!(res.overlap(0), want.overlap(0), "K={k}");
+            total_blocks += layout.num_blocks() as u64;
+        }
+        // Counters accumulate (never reset) across calls.
+        assert_eq!(counters.blocks, total_blocks);
+        assert_eq!(counters.skipped + counters.verified, counters.blocks);
+    }
+
+    #[test]
+    fn screening_overflow_guard_disables_pruning_not_correctness() {
+        // Centers near f64::MAX make the expanded form overflow; the
+        // guard must fall back to verifying every block.
+        let mut protos = random_protos(8, 2, 31);
+        protos[3].center = vec![1e200, -1e200];
+        let arena = PrototypeArena::from_prototypes(2, &protos);
+        let layout = arena.build_layout();
+        let q = Query::new_unchecked(vec![1e200, 0.0], 0.1);
+        let mut want = BatchResolution::new();
+        arena.resolve_batch(std::slice::from_ref(&q), &mut want);
+        let mut got = BatchResolution::new();
+        let mut counters = ScreenCounters::default();
+        layout.resolve_batch_pruned(std::slice::from_ref(&q), &mut got, &mut counters);
+        assert_eq!(got.winner(0), want.winner(0));
+        assert_eq!(got.overlap(0), want.overlap(0));
+        assert_eq!(counters.skipped, 0, "guard must disable pruning");
+        assert_eq!(counters.verified, counters.blocks);
+    }
+
+    #[test]
+    fn screening_counters_merge_and_rate() {
+        let mut a = ScreenCounters {
+            blocks: 10,
+            screened: 4,
+            skipped: 6,
+            verified: 4,
+        };
+        let b = ScreenCounters {
+            blocks: 2,
+            screened: 2,
+            skipped: 0,
+            verified: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.blocks, 12);
+        assert_eq!(a.skipped, 6);
+        assert_eq!(a.verified, 6);
+        assert_eq!(a.screened, 6);
+        assert!((a.skip_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(ScreenCounters::default().skip_rate(), 0.0);
     }
 }

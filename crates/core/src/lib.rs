@@ -70,7 +70,9 @@ pub mod query;
 pub mod schedule;
 pub mod snapshot;
 
-pub use arena::{BatchResolution, PrototypeArena, PrototypeRef, PrototypeRefMut};
+pub use arena::{
+    BatchResolution, BlockLayout, PrototypeArena, PrototypeRef, PrototypeRefMut, ScreenCounters,
+};
 pub use confidence::Confidence;
 pub use config::ModelConfig;
 pub use error::CoreError;
@@ -82,6 +84,9 @@ pub use prototype::Prototype;
 pub use query::Query;
 pub use schedule::LearningSchedule;
 pub use snapshot::{
-    sharded_q1_with_confidence, sharded_q1_with_confidence_batch, sharded_q2_with_confidence,
-    sharded_q2_with_confidence_batch, ServingSnapshot, ShardPart,
+    sharded_q1_with_confidence, sharded_q1_with_confidence_batch,
+    sharded_q1_with_confidence_batch_pruned, sharded_q1_with_confidence_pruned,
+    sharded_q2_with_confidence, sharded_q2_with_confidence_batch,
+    sharded_q2_with_confidence_batch_pruned, sharded_q2_with_confidence_pruned, ServingSnapshot,
+    ShardPart,
 };

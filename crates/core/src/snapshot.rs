@@ -21,7 +21,7 @@
 //! `ServingSnapshot` bumps an `Arc` (the reader cost, paid by threads that
 //! pin a version across queries).
 
-use crate::arena::{BatchResolution, PrototypeArena};
+use crate::arena::{BatchResolution, BlockLayout, PrototypeArena, ScreenCounters};
 use crate::confidence::{self, Confidence};
 use crate::config::ModelConfig;
 use crate::error::CoreError;
@@ -49,6 +49,11 @@ thread_local! {
 struct Inner {
     config: ModelConfig,
     arena: PrototypeArena,
+    /// The clustered, bounds-cached pruned serving layout over `arena` —
+    /// built once at capture (`O(dK + K log K)`, amortized over every
+    /// query served from this version) and immutable thereafter, like
+    /// everything else in the capture.
+    layout: BlockLayout,
     /// Training steps the source model had consumed at capture time — the
     /// snapshot's natural, monotonically increasing version.
     steps: u64,
@@ -64,12 +69,16 @@ pub struct ServingSnapshot {
 }
 
 impl ServingSnapshot {
-    /// Capture the model's current parameters (clones the arena; `O(dK)`).
+    /// Capture the model's current parameters (clones the arena and
+    /// builds the pruned serving layout; `O(dK + K log K)`).
     pub fn capture(model: &LlmModel) -> Self {
+        let arena = model.arena().clone();
+        let layout = arena.build_layout();
         ServingSnapshot {
             inner: Arc::new(Inner {
                 config: model.config().clone(),
-                arena: model.arena().clone(),
+                arena,
+                layout,
                 steps: model.steps(),
                 frozen: model.is_frozen(),
             }),
@@ -426,6 +435,144 @@ impl ServingSnapshot {
             (s, confidence::combine(wsq, rho, support_updates, info))
         })
     }
+
+    // ---- Two-phase pruned serving ----------------------------------------
+    //
+    // Same fusion folds as the batched path above, but the winner/overlap
+    // resolution comes from the capture-time [`BlockLayout`]: a
+    // conservative screening pass discards prototype blocks that provably
+    // cannot contain the winner or any overlapping ball, then the exact
+    // kernel runs over the survivors only. Answers stay **bit-identical**
+    // to the unpruned (and scalar) paths — the layout docs carry the
+    // argument, the `pruned_equivalence` battery pins it — while the work
+    // becomes output-sensitive on clustered prototype sets. Every pruning
+    // decision is counted into the caller's [`ScreenCounters`], never
+    // silent.
+
+    /// The capture-time pruned serving layout (blocked, bounds-cached
+    /// view of [`ServingSnapshot::arena`]).
+    pub fn layout(&self) -> &BlockLayout {
+        &self.inner.layout
+    }
+
+    /// [`Self::batch_fold`] with two-phase pruned resolution: identical
+    /// validation, scratch and per-query fold; only the resolver differs
+    /// (and its screening telemetry lands in `counters`).
+    fn batch_fold_pruned<T>(
+        &self,
+        queries: &[Query],
+        counters: &mut ScreenCounters,
+        mut per_query: impl FnMut(&PrototypeArena, &Query, (usize, f64), &[(usize, f64)]) -> T,
+    ) -> Result<Vec<T>, CoreError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        for q in queries {
+            self.check_query(q)?;
+        }
+        BATCH_SCRATCH.with(|scratch| {
+            let mut res = scratch.borrow_mut();
+            let arena = &self.inner.arena;
+            self.inner
+                .layout
+                .resolve_batch_pruned(queries, &mut res, counters);
+            Ok(queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| per_query(arena, q, res.winner(i), res.overlap(i)))
+                .collect())
+        })
+    }
+
+    /// Two-phase pruned Q1 + confidence — bit-identical to
+    /// [`ServingSnapshot::predict_q1_with_confidence`], with screening
+    /// telemetry accumulated into `counters`.
+    ///
+    /// # Errors
+    /// Same as [`ServingSnapshot::predict_q1`].
+    pub fn predict_q1_with_confidence_pruned(
+        &self,
+        q: &Query,
+        counters: &mut ScreenCounters,
+    ) -> Result<(f64, Confidence), CoreError> {
+        let mut out =
+            self.predict_q1_with_confidence_batch_pruned(std::slice::from_ref(q), counters)?;
+        // INVARIANT: the batch driver returns exactly one answer per
+        // query and we passed exactly one query.
+        Ok(out.pop().expect("one query in, one answer out"))
+    }
+
+    /// Two-phase pruned Q2 + confidence — bit-identical to
+    /// [`ServingSnapshot::predict_q2_with_confidence`], with screening
+    /// telemetry accumulated into `counters`.
+    ///
+    /// # Errors
+    /// Same as [`ServingSnapshot::predict_q1`].
+    pub fn predict_q2_with_confidence_pruned(
+        &self,
+        q: &Query,
+        counters: &mut ScreenCounters,
+    ) -> Result<(Vec<LocalModel>, Confidence), CoreError> {
+        let mut out =
+            self.predict_q2_with_confidence_batch_pruned(std::slice::from_ref(q), counters)?;
+        // INVARIANT: the batch driver returns exactly one answer per
+        // query and we passed exactly one query.
+        Ok(out.pop().expect("one query in, one answer out"))
+    }
+
+    /// Two-phase pruned batched Q1 + confidence: `out[i]` is
+    /// bit-identical to
+    /// [`ServingSnapshot::predict_q1_with_confidence`] on `queries[i]`.
+    ///
+    /// # Errors
+    /// Same as [`ServingSnapshot::predict_q1_batch`].
+    pub fn predict_q1_with_confidence_batch_pruned(
+        &self,
+        queries: &[Query],
+        counters: &mut ScreenCounters,
+    ) -> Result<Vec<(f64, Confidence)>, CoreError> {
+        let rho = self.inner.config.rho();
+        self.batch_fold_pruned(queries, counters, |arena, q, (wk, wsq), set| {
+            let mut yhat = 0.0;
+            let mut support_updates = 0.0;
+            let info = predict::fuse_weights_from_set(
+                set,
+                || wk,
+                |k, w| {
+                    yhat += w * arena.eval(k, &q.center, q.radius);
+                    support_updates += w * arena.updates(k) as f64;
+                },
+            );
+            (yhat, confidence::combine(wsq, rho, support_updates, info))
+        })
+    }
+
+    /// Two-phase pruned batched Q2 + confidence: `out[i]` is
+    /// bit-identical to
+    /// [`ServingSnapshot::predict_q2_with_confidence`] on `queries[i]`.
+    ///
+    /// # Errors
+    /// Same as [`ServingSnapshot::predict_q1_batch`].
+    pub fn predict_q2_with_confidence_batch_pruned(
+        &self,
+        queries: &[Query],
+        counters: &mut ScreenCounters,
+    ) -> Result<Vec<(Vec<LocalModel>, Confidence)>, CoreError> {
+        let rho = self.inner.config.rho();
+        self.batch_fold_pruned(queries, counters, |arena, _, (wk, wsq), set| {
+            let mut s = Vec::new();
+            let mut support_updates = 0.0;
+            let info = predict::fuse_weights_from_set(
+                set,
+                || wk,
+                |k, w| {
+                    s.push(predict::local_model_at(arena, k, w));
+                    support_updates += w * arena.updates(k) as f64;
+                },
+            );
+            (s, confidence::combine(wsq, rho, support_updates, info))
+        })
+    }
 }
 
 impl LlmModel {
@@ -597,6 +744,20 @@ pub fn sharded_q2_with_confidence(
 fn sharded_batch_drive<T>(
     parts: &[ShardPart<'_>],
     queries: &[Query],
+    per_query: impl FnMut(&Query, (usize, usize, f64), &[(usize, usize, usize, f64)]) -> T,
+) -> Vec<Option<T>> {
+    sharded_batch_drive_impl(parts, queries, None, per_query)
+}
+
+/// [`sharded_batch_drive`] with an optional two-phase pruned resolver:
+/// when `counters` is `Some`, every part resolves through its snapshot's
+/// capture-time [`BlockLayout`] (screening telemetry accumulated there)
+/// instead of the unpruned arena scan. Both resolvers fill bit-identical
+/// [`BatchResolution`]s, so the merge/fold below is shared verbatim.
+fn sharded_batch_drive_impl<T>(
+    parts: &[ShardPart<'_>],
+    queries: &[Query],
+    mut counters: Option<&mut ScreenCounters>,
     mut per_query: impl FnMut(&Query, (usize, usize, f64), &[(usize, usize, usize, f64)]) -> T,
 ) -> Vec<Option<T>> {
     if queries.is_empty() {
@@ -613,9 +774,18 @@ fn sharded_batch_drive<T>(
             if part.snapshot.k() == 0 {
                 continue;
             }
-            part.snapshot
-                .arena()
-                .resolve_batch(queries, &mut resolutions[pi]);
+            match counters.as_deref_mut() {
+                Some(c) => {
+                    part.snapshot
+                        .layout()
+                        .resolve_batch_pruned(queries, &mut resolutions[pi], c);
+                }
+                None => {
+                    part.snapshot
+                        .arena()
+                        .resolve_batch(queries, &mut resolutions[pi]);
+                }
+            }
         }
         queries
             .iter()
@@ -697,6 +867,89 @@ pub fn sharded_q2_with_confidence_batch(
         });
         (s, confidence::combine(wsq, rho, support_updates, info))
     })
+}
+
+/// Two-phase pruned batched Q1 + confidence across shards: `out[i]` is
+/// bit-identical to [`sharded_q1_with_confidence_batch`] on the same
+/// parts — each part resolves through its capture-time [`BlockLayout`],
+/// with screening telemetry from all parts accumulated into `counters`.
+pub fn sharded_q1_with_confidence_batch_pruned(
+    parts: &[ShardPart<'_>],
+    queries: &[Query],
+    counters: &mut ScreenCounters,
+) -> Vec<Option<(f64, Confidence)>> {
+    sharded_batch_drive_impl(
+        parts,
+        queries,
+        Some(counters),
+        |q, (wp, wl, wsq), entries| {
+            let rho = parts[wp].snapshot.config().rho();
+            let mut yhat = 0.0;
+            let mut support_updates = 0.0;
+            let info = fuse_sharded_entries(entries, (wp, wl), |pi, lk, w| {
+                let arena = parts[pi].snapshot.arena();
+                yhat += w * arena.eval(lk, &q.center, q.radius);
+                support_updates += w * arena.updates(lk) as f64;
+            });
+            (yhat, confidence::combine(wsq, rho, support_updates, info))
+        },
+    )
+}
+
+/// Two-phase pruned batched Q2 + confidence across shards: `out[i]` is
+/// bit-identical to [`sharded_q2_with_confidence_batch`] on the same
+/// parts, global prototype ids included.
+pub fn sharded_q2_with_confidence_batch_pruned(
+    parts: &[ShardPart<'_>],
+    queries: &[Query],
+    counters: &mut ScreenCounters,
+) -> Vec<Option<(Vec<LocalModel>, Confidence)>> {
+    sharded_batch_drive_impl(
+        parts,
+        queries,
+        Some(counters),
+        |_, (wp, wl, wsq), entries| {
+            let rho = parts[wp].snapshot.config().rho();
+            let mut s = Vec::new();
+            let mut support_updates = 0.0;
+            let info = fuse_sharded_entries(entries, (wp, wl), |pi, lk, w| {
+                let arena = parts[pi].snapshot.arena();
+                let mut lm = predict::local_model_at(arena, lk, w);
+                lm.prototype = parts[pi].ids[lk];
+                s.push(lm);
+                support_updates += w * arena.updates(lk) as f64;
+            });
+            (s, confidence::combine(wsq, rho, support_updates, info))
+        },
+    )
+}
+
+/// Two-phase pruned scalar Q1 + confidence across shards — bit-identical
+/// to [`sharded_q1_with_confidence`] (screening telemetry in `counters`).
+pub fn sharded_q1_with_confidence_pruned(
+    parts: &[ShardPart<'_>],
+    q: &Query,
+    counters: &mut ScreenCounters,
+) -> Option<(f64, Confidence)> {
+    sharded_q1_with_confidence_batch_pruned(parts, std::slice::from_ref(q), counters)
+        .pop()
+        // INVARIANT: the batch driver returns exactly one entry per
+        // query and we passed exactly one query.
+        .expect("one query in, one answer out")
+}
+
+/// Two-phase pruned scalar Q2 + confidence across shards — bit-identical
+/// to [`sharded_q2_with_confidence`] (screening telemetry in `counters`).
+pub fn sharded_q2_with_confidence_pruned(
+    parts: &[ShardPart<'_>],
+    q: &Query,
+    counters: &mut ScreenCounters,
+) -> Option<(Vec<LocalModel>, Confidence)> {
+    sharded_q2_with_confidence_batch_pruned(parts, std::slice::from_ref(q), counters)
+        .pop()
+        // INVARIANT: the batch driver returns exactly one entry per
+        // query and we passed exactly one query.
+        .expect("one query in, one answer out")
 }
 
 #[cfg(test)]
@@ -965,6 +1218,92 @@ mod tests {
             .iter()
             .all(Option::is_none));
         assert!(sharded_q1_with_confidence_batch(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn pruned_predictors_are_bit_identical_and_counted() {
+        let m = trained(41, 4_000);
+        let s = m.snapshot();
+        let probes = probe_grid();
+        let mut counters = ScreenCounters::default();
+        let q1 = s
+            .predict_q1_with_confidence_batch_pruned(&probes, &mut counters)
+            .unwrap();
+        let q2 = s
+            .predict_q2_with_confidence_batch_pruned(&probes, &mut counters)
+            .unwrap();
+        for (i, probe) in probes.iter().enumerate() {
+            assert_eq!(q1[i], s.predict_q1_with_confidence(probe).unwrap());
+            assert_eq!(q2[i], s.predict_q2_with_confidence(probe).unwrap());
+            let mut c = ScreenCounters::default();
+            assert_eq!(
+                s.predict_q1_with_confidence_pruned(probe, &mut c).unwrap(),
+                q1[i]
+            );
+            assert!(c.blocks > 0, "scalar pruned call must be counted");
+            assert_eq!(
+                s.predict_q2_with_confidence_pruned(probe, &mut c).unwrap(),
+                q2[i]
+            );
+        }
+        // Two batch passes over every probe, all visits accounted for.
+        assert_eq!(
+            counters.blocks,
+            2 * (probes.len() * s.layout().num_blocks()) as u64
+        );
+        assert_eq!(counters.skipped + counters.verified, counters.blocks);
+        // Errors match the unpruned path.
+        let mut c = ScreenCounters::default();
+        assert!(s
+            .predict_q1_with_confidence_batch_pruned(&[], &mut c)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            s.predict_q1_with_confidence_pruned(&q(&[0.5], 0.1), &mut c),
+            Err(CoreError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
+        );
+    }
+
+    #[test]
+    fn pruned_sharded_fusion_matches_unpruned_sharded_calls() {
+        let m = trained(42, 4_000);
+        let probes = probe_grid();
+        for n in [1usize, 2, 3, 5] {
+            let split = split_round_robin(&m, n);
+            let parts: Vec<ShardPart<'_>> = split
+                .iter()
+                .map(|(s, ids)| ShardPart { snapshot: s, ids })
+                .collect();
+            let mut counters = ScreenCounters::default();
+            let q1 = sharded_q1_with_confidence_batch_pruned(&parts, &probes, &mut counters);
+            let q2 = sharded_q2_with_confidence_batch_pruned(&parts, &probes, &mut counters);
+            for (i, probe) in probes.iter().enumerate() {
+                assert_eq!(q1[i], sharded_q1_with_confidence(&parts, probe), "n={n}");
+                assert_eq!(q2[i], sharded_q2_with_confidence(&parts, probe), "n={n}");
+                let mut c = ScreenCounters::default();
+                assert_eq!(
+                    sharded_q1_with_confidence_pruned(&parts, probe, &mut c),
+                    q1[i]
+                );
+                assert_eq!(
+                    sharded_q2_with_confidence_pruned(&parts, probe, &mut c),
+                    q2[i]
+                );
+            }
+            assert_eq!(counters.skipped + counters.verified, counters.blocks);
+            assert!(counters.blocks > 0);
+        }
+        // Empty parts → per-query None, counters untouched.
+        let mut c = ScreenCounters::default();
+        assert!(
+            sharded_q1_with_confidence_batch_pruned(&[], &probes, &mut c)
+                .iter()
+                .all(Option::is_none)
+        );
+        assert_eq!(c, ScreenCounters::default());
     }
 
     #[test]

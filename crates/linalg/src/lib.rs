@@ -20,6 +20,10 @@
 //!
 //! * [`vector`] — slice-level arithmetic, `L_p` distances and their
 //!   early-exit bounded variants (the radius-selection hot loop).
+//! * [`simd`] — runtime-dispatched (AVX2-or-scalar) distance kernels
+//!   over the AoSoA quad-interleaved layout.
+//! * [`tune`] — the serving-path tile-shape constants and their
+//!   divisibility invariants.
 //! * [`matrix`] — row-major dense [`Matrix`].
 //! * [`cholesky`] — SPD factorization, solves, inverse, log-determinant.
 //! * [`qr`] — Householder QR and least-squares solves for `m ≥ n`.
@@ -36,8 +40,10 @@ pub mod error;
 pub mod gram;
 pub mod matrix;
 pub mod qr;
+pub mod simd;
 pub mod solve;
 pub mod stats;
+pub mod tune;
 pub mod vector;
 
 pub use cholesky::Cholesky;

@@ -1,0 +1,249 @@
+//! Runtime-dispatched SIMD distance kernels over the **AoSoA**
+//! (quad-interleaved) center layout.
+//!
+//! The plain struct-of-arrays kernels ([`crate::vector::sq_dists4`]) keep
+//! four per-row accumulators in lockstep and rely on the compiler to map
+//! them onto vector registers. That mapping needs a transpose of each
+//! 4-row tile on every load, which the autovectorizer only performs
+//! profitably when AVX2 is assumed at compile time — the old
+//! `target-cpu=x86-64-v3` build flag. This module removes that
+//! assumption:
+//!
+//! * **AoSoA layout.** A quad of four rows is stored coordinate-major —
+//!   `quad[4·c + j]` is coordinate `c` of row `j` — so the four lanes of
+//!   one coordinate are contiguous and a 256-bit load needs no shuffle.
+//! * **Runtime dispatch.** [`sq_dists4_aosoa`] consults
+//!   `is_x86_feature_detected!("avx2")` (a cached atomic load after the
+//!   first call) and routes to a hand-written AVX2 kernel when available,
+//!   falling back to a scalar kernel otherwise. Release binaries are
+//!   therefore portable to any x86-64 (and any other architecture) while
+//!   still running 4-lane f64 SIMD on 2013+ hardware.
+//!
+//! **Bit-identity contract.** Both the scalar and the AVX2 kernel give
+//! each row its own accumulator and add the squared coordinate
+//! differences in coordinate order — exactly the operation sequence of a
+//! scalar [`crate::vector::sq_dist`] per row. The AVX2 path uses separate
+//! multiply and add instructions (never FMA, which would skip the
+//! intermediate rounding), so all three forms agree bit for bit — pinned
+//! by the tests below and by the serving equivalence batteries in
+//! `regq_core`.
+
+use crate::tune::QUAD;
+
+/// `true` when the AVX2 fast path is available on this host. The
+/// detection macro caches its CPUID result internally, so this is an
+/// atomic load plus a bit test after the first call. Under Miri the
+/// detection macro (and the intrinsics behind the fast path) are
+/// unsupported, so the scalar kernel is pinned unconditionally — the
+/// `screening_` batteries then run fully under the interpreter.
+#[inline]
+pub fn avx2_available() -> bool {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+    {
+        false
+    }
+}
+
+/// Repack `dim`-strided rows (row-major, a multiple of [`QUAD`] rows)
+/// into the AoSoA layout: per quad of four rows, coordinates interleave
+/// as `[r0[c], r1[c], r2[c], r3[c]]` for `c = 0..dim`. Output is
+/// appended to `out` (cleared first).
+///
+/// # Panics
+/// Panics in debug builds when the row count is not a multiple of
+/// [`QUAD`] (callers pad first) or the block is ragged.
+pub fn pack_quads_aosoa(rows: &[f64], dim: usize, out: &mut Vec<f64>) {
+    debug_assert!(dim > 0, "pack_quads_aosoa: dim must be positive");
+    debug_assert_eq!(rows.len() % dim, 0, "pack_quads_aosoa: ragged row block");
+    debug_assert_eq!(
+        (rows.len() / dim) % QUAD,
+        0,
+        "pack_quads_aosoa: row count must be a multiple of QUAD (pad first)"
+    );
+    out.clear();
+    out.reserve(rows.len());
+    for quad in rows.chunks_exact(QUAD * dim) {
+        let (r0, rest) = quad.split_at(dim);
+        let (r1, rest) = rest.split_at(dim);
+        let (r2, r3) = rest.split_at(dim);
+        for c in 0..dim {
+            out.push(r0[c]);
+            out.push(r1[c]);
+            out.push(r2[c]);
+            out.push(r3[c]);
+        }
+    }
+}
+
+/// Squared Euclidean distances of `q` against the four rows of one AoSoA
+/// quad (`quad.len() == 4 * q.len()`, layout per [`pack_quads_aosoa`]).
+///
+/// Bit-identical to [`crate::vector::sq_dists4`] on the same four rows in
+/// row-major layout (see the module docs for the contract); dispatches to
+/// AVX2 at runtime when available.
+#[inline]
+pub fn sq_dists4_aosoa(q: &[f64], quad: &[f64]) -> [f64; 4] {
+    debug_assert_eq!(
+        quad.len(),
+        QUAD * q.len(),
+        "sq_dists4_aosoa: quad length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 availability was verified by the runtime check on
+        // the line above, which is the only precondition of the
+        // `#[target_feature(enable = "avx2")]` kernel.
+        return unsafe { sq_dists4_aosoa_avx2(q, quad) };
+    }
+    sq_dists4_aosoa_scalar(q, quad)
+}
+
+/// Portable scalar form of [`sq_dists4_aosoa`]: four independent
+/// accumulators, coordinate-ordered additions — the reference operation
+/// sequence the AVX2 kernel must replay.
+#[inline]
+fn sq_dists4_aosoa_scalar(q: &[f64], quad: &[f64]) -> [f64; 4] {
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (lane, &qc) in quad.chunks_exact(QUAD).zip(q.iter()) {
+        let d0 = lane[0] - qc;
+        let d1 = lane[1] - qc;
+        let d2 = lane[2] - qc;
+        let d3 = lane[3] - qc;
+        a0 += d0 * d0;
+        a1 += d1 * d1;
+        a2 += d2 * d2;
+        a3 += d3 * d3;
+    }
+    [a0, a1, a2, a3]
+}
+
+/// AVX2 form of [`sq_dists4_aosoa`]: one 256-bit lane vector per
+/// coordinate, subtract a broadcast of `q[c]`, then separate multiply and
+/// add (**no FMA** — fusing would skip the product rounding and break
+/// bit-identity with the scalar kernels). Per lane this performs exactly
+/// the scalar kernel's operation sequence, so results agree bit for bit.
+///
+/// # Safety
+/// The caller must ensure the host supports AVX2 (checked via
+/// [`avx2_available`] at the dispatch site).
+// SAFETY: `unsafe fn` solely for `#[target_feature]`; the body's only
+// unchecked operations are the unaligned loads justified at their sites,
+// and the single caller verifies AVX2 before dispatching here.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn sq_dists4_aosoa_avx2(q: &[f64], quad: &[f64]) -> [f64; 4] {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setzero_pd,
+        _mm256_storeu_pd, _mm256_sub_pd,
+    };
+    debug_assert_eq!(quad.len(), QUAD * q.len());
+    let mut acc = _mm256_setzero_pd();
+    for (c, &qc) in q.iter().enumerate() {
+        let qv = _mm256_set1_pd(qc);
+        // SAFETY: `quad.len() == 4 * q.len()` (debug-asserted above,
+        // guaranteed by the dispatch wrapper), so the 4-wide unaligned
+        // load at offset `4 * c` is in bounds for every `c < q.len()`.
+        let lanes = _mm256_loadu_pd(quad.as_ptr().add(QUAD * c));
+        let d = _mm256_sub_pd(lanes, qv);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+    }
+    let mut out = [0.0f64; 4];
+    // SAFETY: `out` is exactly four f64s and the unaligned store has no
+    // alignment requirement.
+    _mm256_storeu_pd(out.as_mut_ptr(), acc);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+
+    /// Deterministic pseudo-random block (n rows of width dim).
+    fn random_rows(n: usize, dim: usize, seed: u64) -> Vec<f64> {
+        (0..n * dim)
+            .map(|i| ((i as f64 + seed as f64 * 0.61) * 0.83).sin() * 5.0)
+            .collect()
+    }
+
+    #[test]
+    fn pack_round_trips_coordinates() {
+        let rows = random_rows(8, 3, 1);
+        let mut aosoa = vec![999.0];
+        pack_quads_aosoa(&rows, 3, &mut aosoa);
+        assert_eq!(aosoa.len(), rows.len());
+        for quad in 0..2 {
+            for j in 0..4 {
+                for c in 0..3 {
+                    assert_eq!(
+                        aosoa[quad * 12 + 4 * c + j],
+                        rows[(quad * 4 + j) * 3 + c],
+                        "quad {quad} row {j} coord {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aosoa_distances_are_bit_identical_to_row_major_kernels() {
+        for dim in [1usize, 2, 3, 4, 5, 7, 8, 11, 24] {
+            let rows = random_rows(4, dim, 10 + dim as u64);
+            let q = random_rows(1, dim, 90 + dim as u64);
+            let mut aosoa = Vec::new();
+            pack_quads_aosoa(&rows, dim, &mut aosoa);
+            let want = vector::sq_dists4(&q, &rows, dim);
+            let got = sq_dists4_aosoa(&q, &aosoa);
+            for j in 0..4 {
+                assert_eq!(
+                    got[j].to_bits(),
+                    want[j].to_bits(),
+                    "dim {dim} lane {j}: {} vs {}",
+                    got[j],
+                    want[j]
+                );
+                assert_eq!(
+                    got[j].to_bits(),
+                    vector::sq_dist(&q, &rows[j * dim..(j + 1) * dim]).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_agrees_with_the_scalar_reference() {
+        // On AVX2 hosts this pins the SIMD kernel against the scalar one;
+        // elsewhere it is a self-comparison (still exercises dispatch).
+        for dim in [1usize, 3, 4, 6, 16, 33] {
+            let rows = random_rows(4, dim, 300 + dim as u64);
+            let q = random_rows(1, dim, 400 + dim as u64);
+            let mut aosoa = Vec::new();
+            pack_quads_aosoa(&rows, dim, &mut aosoa);
+            let scalar = sq_dists4_aosoa_scalar(&q, &aosoa);
+            let dispatched = sq_dists4_aosoa(&q, &aosoa);
+            for j in 0..4 {
+                assert_eq!(dispatched[j].to_bits(), scalar[j].to_bits(), "dim {dim}");
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_pad_rows_stay_inert_not_nan() {
+        // The pruned serving layout pads partial quads with +inf centers;
+        // a finite query against such a row must give +inf (never NaN).
+        let rows = [1.0, 2.0, f64::INFINITY, f64::INFINITY, 3.0, -1.0];
+        let mut padded = rows.to_vec();
+        padded.extend_from_slice(&[f64::INFINITY; 2]);
+        let mut aosoa = Vec::new();
+        pack_quads_aosoa(&padded, 2, &mut aosoa);
+        let got = sq_dists4_aosoa(&[0.5, 0.5], &aosoa);
+        assert!(got[0].is_finite());
+        assert_eq!(got[1], f64::INFINITY);
+        assert!(got[2].is_finite());
+        assert_eq!(got[3], f64::INFINITY);
+    }
+}

@@ -308,7 +308,7 @@ pub fn sq_dist_tile(queries: &[f64], nq: usize, rows: &[f64], dim: usize, out: &
         return;
     }
     // Queries outer, row quads inner: the caller keeps `rows` small enough
-    // to stay L1-resident (one ROW_TILE cut), so every query streams the
+    // to stay L1-resident (one `tune::ROW_TILE` cut), so every query streams the
     // same hot block while its output row fills contiguously — no strided
     // stores, and the zipped exact chunks elide every bounds check.
     for (q, orow) in queries
@@ -481,10 +481,11 @@ pub fn winner_overlap_block(
 /// form by cancellation error — tiny relative to `‖q‖² + ‖r‖²`, but
 /// unbounded relative to a small true distance (two nearly equal
 /// far-from-origin points can come out as any small non-negative number,
-/// including exact 0). The serving path therefore does **not** use this
-/// kernel; it exists for throughput work that tolerates a re-baselined
-/// guard (block skipping, runtime-SIMD GEMM backends) and for screening
-/// passes that re-check candidates with the exact kernel.
+/// including exact 0). The serving path therefore never lets this kernel
+/// decide an *answer*; it is legal there only as a screening pass under a
+/// `// SCREENING:` annotation stating the conservative slack
+/// ([`screening_slack`]) that accounts for the cancellation error before
+/// candidates are re-checked with the exact kernel.
 ///
 /// # Panics
 /// Same shape contract as [`sq_dist_tile`].
@@ -493,6 +494,28 @@ pub fn sq_dist_tile_expanded(
     nq: usize,
     rows: &[f64],
     dim: usize,
+    out: &mut [f64],
+) {
+    // ‖r‖² per row, hoisted: paid once per tile, amortized over nq.
+    let row_norms: Vec<f64> = rows.chunks_exact(dim).map(|r| dot(r, r)).collect();
+    sq_dist_tile_expanded_with_norms(queries, nq, rows, dim, &row_norms, out);
+}
+
+/// [`sq_dist_tile_expanded`] with the per-row `‖r‖²` norms supplied by
+/// the caller instead of recomputed per tile — the form the pruned
+/// serving layout uses, where norms are computed once at snapshot capture
+/// and amortized over every query thereafter. Same output (bit for bit)
+/// and the same *non*-bit-identical caveat as the recomputing form.
+///
+/// # Panics
+/// Same shape contract as [`sq_dist_tile`], plus `row_norms.len()` must
+/// equal the row count (debug-asserted).
+pub fn sq_dist_tile_expanded_with_norms(
+    queries: &[f64],
+    nq: usize,
+    rows: &[f64],
+    dim: usize,
+    row_norms: &[f64],
     out: &mut [f64],
 ) {
     debug_assert!(dim > 0, "sq_dist_tile_expanded: dim must be positive");
@@ -507,12 +530,15 @@ pub fn sq_dist_tile_expanded(
         "sq_dist_tile_expanded: ragged row block"
     );
     let nrows = rows.len() / dim;
+    debug_assert_eq!(
+        row_norms.len(),
+        nrows,
+        "sq_dist_tile_expanded: row/norm length mismatch"
+    );
     debug_assert!(
         out.len() >= nq * nrows,
         "sq_dist_tile_expanded: undersized out"
     );
-    // ‖r‖² per row, hoisted: paid once per tile, amortized over nq.
-    let row_norms: Vec<f64> = rows.chunks_exact(dim).map(|r| dot(r, r)).collect();
     for qi in 0..nq {
         let q = &queries[qi * dim..(qi + 1) * dim];
         let q_norm = dot(q, q);
@@ -524,6 +550,144 @@ pub fn sq_dist_tile_expanded(
             out_row[r] = (q_norm + rn - 2.0 * dot(q, row)).max(0.0);
         }
     }
+}
+
+/// Append `‖r‖²` of every `dim`-strided row to `out` (cleared first) —
+/// the cached-norm half of [`sq_dist_tile_expanded_with_norms`], paid
+/// once per layout build.
+///
+/// # Panics
+/// Panics in debug builds on a ragged row block.
+pub fn row_sq_norms_into(rows: &[f64], dim: usize, out: &mut Vec<f64>) {
+    debug_assert!(dim > 0, "row_sq_norms_into: dim must be positive");
+    debug_assert_eq!(rows.len() % dim, 0, "row_sq_norms_into: ragged row block");
+    out.clear();
+    out.reserve(rows.len() / dim);
+    out.extend(rows.chunks_exact(dim).map(|r| dot(r, r)));
+}
+
+/// Conservative absolute error slack for expanded-form screening values
+/// against their direct-form counterparts.
+///
+/// Both the direct kernel ([`sq_dist`], `d` additions of exactly rounded
+/// squares) and the expanded kernel ([`sq_dist_tile_expanded`], two norms
+/// plus a dot product and a 3-term combination) accumulate rounding error
+/// bounded by a small multiple of `d · ε` **relative to the magnitude of
+/// the intermediate terms** — `‖q‖² + ‖r‖²`, not the (possibly tiny)
+/// true distance. A screening comparison is therefore sound only with an
+/// absolute slack proportional to that magnitude: this helper returns
+/// `8 · (2d + 16) · ε · scale`, where `scale` must upper-bound every
+/// intermediate term of the values being compared (for the pruned serving
+/// path: `‖q‖² + max_block ‖r‖² + (θ_q + max θ_k)²`). The constant is
+/// deliberately generous — several times the worst-case textbook bound —
+/// because an oversized slack only costs skipped-block *count*, while an
+/// undersized one would break the bit-identity contract. A non-finite
+/// `scale` yields an infinite slack, which disables pruning entirely
+/// (still correct, never fast-and-wrong).
+#[inline]
+pub fn screening_slack(dim: usize, scale: f64) -> f64 {
+    8.0 * (2.0 * dim as f64 + 16.0) * f64::EPSILON * scale
+}
+
+/// [`winner_overlap_block`] over an **AoSoA** (quad-interleaved) center
+/// cut: same fused winner update and overlap membership per row, with the
+/// squared center distances coming from the runtime-dispatched
+/// [`crate::simd::sq_dists4_aosoa`] kernel instead of the row-major
+/// [`sq_dists4`] — bit-identical per pair (see `crate::simd`), so the
+/// two block kernels produce identical `(best, hits)` for the same rows.
+///
+/// `quads` holds `radii.len() / 4` AoSoA quads
+/// ([`crate::simd::pack_quads_aosoa`]); the row count must be a multiple
+/// of 4 — callers pad partial quads with `+inf` centers (and any finite
+/// radius), which can never win the strict-`<` update nor pass the
+/// membership test, so pad rows are inert.
+///
+/// `base` is the caller-space index of the first row, as in
+/// [`winner_overlap_block`].
+///
+/// # Panics
+/// Panics in debug builds on ragged blocks or `quads`/`radii` length
+/// disagreement.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn winner_overlap_block_aosoa(
+    q: &[f64],
+    q_radius: f64,
+    quads: &[f64],
+    radii: &[f64],
+    dim: usize,
+    base: usize,
+    best: &mut (usize, f64),
+    hits: &mut Vec<(usize, f64)>,
+) {
+    debug_assert!(dim > 0, "winner_overlap_block_aosoa: dim must be positive");
+    debug_assert_eq!(
+        quads.len() % (4 * dim),
+        0,
+        "winner_overlap_block_aosoa: ragged quad block"
+    );
+    debug_assert_eq!(
+        quads.len() / dim,
+        radii.len(),
+        "winner_overlap_block_aosoa: quads/radii length mismatch"
+    );
+    let (mut best_k, mut best_sq) = *best;
+    let mut k = base;
+    for (quad, r) in quads.chunks_exact(4 * dim).zip(radii.chunks_exact(4)) {
+        let sq = crate::simd::sq_dists4_aosoa(q, quad);
+        let d0 = q_radius - r[0];
+        let d1 = q_radius - r[1];
+        let d2 = q_radius - r[2];
+        let d3 = q_radius - r[3];
+        let j0 = sq[0] + d0 * d0;
+        let j1 = sq[1] + d1 * d1;
+        let j2 = sq[2] + d2 * d2;
+        let j3 = sq[3] + d3 * d3;
+        // Same branchless screens and rarely-taken slow paths as
+        // `winner_overlap_block` — see its comments for the bit-identity
+        // argument; only the distance-kernel layout differs.
+        let any_better = (j0 < best_sq) | (j1 < best_sq) | (j2 < best_sq) | (j3 < best_sq);
+        let s0 = q_radius + r[0];
+        let s1 = q_radius + r[1];
+        let s2 = q_radius + r[2];
+        let s3 = q_radius + r[3];
+        let any_hit =
+            (sq[0] <= s0 * s0) | (sq[1] <= s1 * s1) | (sq[2] <= s2 * s2) | (sq[3] <= s3 * s3);
+        if any_hit | any_better {
+            if any_better {
+                if j0 < best_sq {
+                    best_sq = j0;
+                    best_k = k;
+                }
+                if j1 < best_sq {
+                    best_sq = j1;
+                    best_k = k + 1;
+                }
+                if j2 < best_sq {
+                    best_sq = j2;
+                    best_k = k + 2;
+                }
+                if j3 < best_sq {
+                    best_sq = j3;
+                    best_k = k + 3;
+                }
+            }
+            if any_hit {
+                for (t, (&csq, &rk)) in sq.iter().zip(r).enumerate() {
+                    let radius_sum = q_radius + rk;
+                    if csq <= radius_sum * radius_sum {
+                        let spread = csq.sqrt().max((q_radius - rk).abs());
+                        let degree = 1.0 - spread / radius_sum;
+                        if degree > 0.0 {
+                            hits.push((k + t, degree));
+                        }
+                    }
+                }
+            }
+        }
+        k += 4;
+    }
+    *best = (best_k, best_sq);
 }
 
 /// [`sq_dists4`] with block skipping: the coordinate loop runs in blocks
@@ -928,6 +1092,143 @@ mod tests {
         for (r, &got) in quad.iter().enumerate() {
             assert!(got == sq_dist(&q, &rows[r * 9..(r + 1) * 9]), "row {r}");
         }
+    }
+
+    #[test]
+    fn expanded_with_norms_is_bit_identical_to_recomputing_form() {
+        for d in [1usize, 3, 4, 9] {
+            for nr in [1usize, 4, 11] {
+                let (_, rows) = row_block(nr, d);
+                let qs = query_block(2, d);
+                let mut norms = Vec::new();
+                row_sq_norms_into(&rows, d, &mut norms);
+                assert_eq!(norms.len(), nr);
+                for (r, &n) in norms.iter().enumerate() {
+                    let row = &rows[r * d..(r + 1) * d];
+                    assert_eq!(n.to_bits(), dot(row, row).to_bits());
+                }
+                let mut a = vec![f64::NAN; 2 * nr];
+                let mut b = vec![f64::NAN; 2 * nr];
+                sq_dist_tile_expanded(&qs, 2, &rows, d, &mut a);
+                sq_dist_tile_expanded_with_norms(&qs, 2, &rows, d, &norms, &mut b);
+                for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+                    assert_eq!(x.to_bits(), y.to_bits(), "d={d} nr={nr} pair {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn screening_slack_bounds_expanded_vs_direct_error() {
+        // The slack must dominate the observed expanded-vs-direct gap on
+        // every pair, including far-from-origin blocks where the
+        // cancellation error is large in absolute terms.
+        for scale_up in [1.0f64, 1e4, 1e8] {
+            for d in [1usize, 2, 4, 7, 25] {
+                let nr = 8usize;
+                let (_, mut rows) = row_block(nr, d);
+                let mut qs = query_block(3, d);
+                for v in rows.iter_mut().chain(qs.iter_mut()) {
+                    *v = v.mul_add(scale_up, scale_up);
+                }
+                let mut exact = vec![0.0; 3 * nr];
+                let mut approx = vec![0.0; 3 * nr];
+                sq_dist_tile(&qs, 3, &rows, d, &mut exact);
+                sq_dist_tile_expanded(&qs, 3, &rows, d, &mut approx);
+                for (i, (&e, &a)) in exact.iter().zip(approx.iter()).enumerate() {
+                    let qi = i / nr;
+                    let r = i % nr;
+                    let scale = dot(&qs[qi * d..(qi + 1) * d], &qs[qi * d..(qi + 1) * d])
+                        + dot(&rows[r * d..(r + 1) * d], &rows[r * d..(r + 1) * d]);
+                    let slack = screening_slack(d, scale);
+                    assert!(
+                        (a - e).abs() <= slack,
+                        "d={d} scale_up={scale_up} pair {i}: |{a} - {e}| > {slack}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn screening_slack_is_infinite_on_non_finite_scale() {
+        assert_eq!(screening_slack(4, f64::INFINITY), f64::INFINITY);
+        assert!(screening_slack(4, 0.0) == 0.0);
+        assert!(screening_slack(4, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn winner_overlap_block_aosoa_matches_row_major_kernel() {
+        for d in [1usize, 2, 3, 4, 7, 9] {
+            for nr in [4usize, 8, 16, 64] {
+                let (q, rows) = row_block(nr, d);
+                let radii: Vec<f64> = (0..nr)
+                    .map(|i| 0.3 + (i as f64 * 0.41).sin().abs())
+                    .collect();
+                for q_radius in [0.05, 0.4, 1.2] {
+                    let mut best_a = (0usize, f64::INFINITY);
+                    let mut best_b = (0usize, f64::INFINITY);
+                    let mut hits_a = Vec::new();
+                    let mut hits_b = Vec::new();
+                    winner_overlap_block(
+                        &q,
+                        q_radius,
+                        &rows,
+                        &radii,
+                        d,
+                        7,
+                        &mut best_a,
+                        &mut hits_a,
+                    );
+                    let mut aosoa = Vec::new();
+                    crate::simd::pack_quads_aosoa(&rows, d, &mut aosoa);
+                    winner_overlap_block_aosoa(
+                        &q,
+                        q_radius,
+                        &aosoa,
+                        &radii,
+                        d,
+                        7,
+                        &mut best_b,
+                        &mut hits_b,
+                    );
+                    assert_eq!(
+                        best_a.0, best_b.0,
+                        "d={d} nr={nr} θ={q_radius} winner index"
+                    );
+                    assert_eq!(best_a.1.to_bits(), best_b.1.to_bits(), "winner distance");
+                    assert_eq!(hits_a.len(), hits_b.len(), "d={d} nr={nr} hit count");
+                    for ((ka, da), (kb, db)) in hits_a.iter().zip(hits_b.iter()) {
+                        assert_eq!(ka, kb);
+                        assert_eq!(da.to_bits(), db.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aosoa_infinite_pad_rows_are_inert() {
+        let d = 3usize;
+        let (q, rows) = row_block(6, d);
+        let radii: Vec<f64> = (0..6).map(|i| 0.2 + i as f64 * 0.1).collect();
+        // Reference: exact kernel over the six real rows.
+        let mut best_want = (0usize, f64::INFINITY);
+        let mut hits_want = Vec::new();
+        winner_overlap_block(&q, 0.5, &rows, &radii, d, 0, &mut best_want, &mut hits_want);
+        // Pad to eight rows with +inf centers and zero radii.
+        let mut padded = rows.clone();
+        padded.extend_from_slice(&[f64::INFINITY; 6]);
+        let mut radii_pad = radii.clone();
+        radii_pad.extend_from_slice(&[0.0; 2]);
+        let mut aosoa = Vec::new();
+        crate::simd::pack_quads_aosoa(&padded, d, &mut aosoa);
+        let mut best = (0usize, f64::INFINITY);
+        let mut hits = Vec::new();
+        winner_overlap_block_aosoa(&q, 0.5, &aosoa, &radii_pad, d, 0, &mut best, &mut hits);
+        assert_eq!(best.0, best_want.0);
+        assert_eq!(best.1.to_bits(), best_want.1.to_bits());
+        assert_eq!(hits, hits_want);
     }
 
     #[test]

@@ -53,7 +53,7 @@
 use crate::cell::SnapshotCell;
 use crate::cost::CostEma;
 use crate::fault::{FaultKind, FaultPlan};
-use regq_core::{CoreError, LlmModel, LocalModel, Query, ServingSnapshot};
+use regq_core::{CoreError, LlmModel, LocalModel, Query, ScreenCounters, ServingSnapshot};
 use regq_exact::ExactEngine;
 use regq_linalg::LinalgError;
 use std::fmt;
@@ -107,6 +107,13 @@ pub struct Served<T> {
     /// panicking trainer. Always `false` on model and degraded routes and
     /// with feedback disabled.
     pub feedback_dropped: bool,
+    /// Screening telemetry of the two-phase pruned snapshot consultation
+    /// that produced (or rejected) the model answer: prototype blocks
+    /// considered / screened / skipped / verified. All-zero when no
+    /// snapshot was consulted; for batch entry points the counters of the
+    /// whole batch's single consultation are shared by every answer in
+    /// it. `screen.skip_rate()` is the query's pruning win.
+    pub screen: ScreenCounters,
 }
 
 impl<T> Served<T> {
@@ -117,6 +124,7 @@ impl<T> Served<T> {
             score: None,
             snapshot_version: None,
             feedback_dropped: false,
+            screen: ScreenCounters::default(),
         }
     }
 
@@ -129,6 +137,7 @@ impl<T> Served<T> {
             score: self.score,
             snapshot_version: self.snapshot_version,
             feedback_dropped: self.feedback_dropped,
+            screen: self.screen,
         }
     }
 }
@@ -210,6 +219,16 @@ pub struct ServeStats {
     /// Poisoned trainer locks encountered and healed (restart + poison
     /// cleared).
     pub lock_poisonings: u64,
+    /// Prototype blocks whose expanded screening tile ran during pruned
+    /// snapshot consultations ([`regq_core::ScreenCounters::screened`],
+    /// summed over all consultations).
+    pub blocks_screened: u64,
+    /// Prototype blocks pruned away — never exact-verified — by the
+    /// two-phase screening pass. The serving scan's output-sensitivity
+    /// win; `blocks_skipped + blocks_verified` is the total block visits.
+    pub blocks_skipped: u64,
+    /// Prototype blocks exact-verified by the bit-exact kernel.
+    pub blocks_verified: u64,
 }
 
 /// Outcome of offering one feedback example to the trainer
@@ -345,6 +364,9 @@ pub struct ServeEngine {
     trainer_panics: AtomicU64,
     trainer_restarts: AtomicU64,
     lock_poisonings: AtomicU64,
+    blocks_screened: AtomicU64,
+    blocks_skipped: AtomicU64,
+    blocks_verified: AtomicU64,
 }
 
 /// Most quarantined examples retained for inspection; the counter in
@@ -376,6 +398,9 @@ impl ServeEngine {
             trainer_panics: AtomicU64::new(0),
             trainer_restarts: AtomicU64::new(0),
             lock_poisonings: AtomicU64::new(0),
+            blocks_screened: AtomicU64::new(0),
+            blocks_skipped: AtomicU64::new(0),
+            blocks_verified: AtomicU64::new(0),
         }
     }
 
@@ -427,7 +452,24 @@ impl ServeEngine {
             trainer_panics: self.trainer_panics.load(Ordering::Relaxed),
             trainer_restarts: self.trainer_restarts.load(Ordering::Relaxed),
             lock_poisonings: self.lock_poisonings.load(Ordering::Relaxed),
+            blocks_screened: self.blocks_screened.load(Ordering::Relaxed),
+            blocks_skipped: self.blocks_skipped.load(Ordering::Relaxed),
+            blocks_verified: self.blocks_verified.load(Ordering::Relaxed),
         }
+    }
+
+    /// Fold one pruned consultation's screening telemetry into the
+    /// engine-lifetime counters (monotonic stats; Relaxed per the module
+    /// atomics audit).
+    fn record_screen(&self, c: &ScreenCounters) {
+        if c.blocks == 0 {
+            return;
+        }
+        self.blocks_screened
+            .fetch_add(c.screened, Ordering::Relaxed);
+        self.blocks_skipped.fetch_add(c.skipped, Ordering::Relaxed);
+        self.blocks_verified
+            .fetch_add(c.verified, Ordering::Relaxed);
     }
 
     /// Install a fault-injection plan (see [`crate::fault`]); also arms
@@ -662,7 +704,13 @@ impl ServeEngine {
         })
     }
 
-    fn degraded_serve<T>(&self, value: T, score: f64, version: u64) -> Served<T> {
+    fn degraded_serve<T>(
+        &self,
+        value: T,
+        score: f64,
+        version: u64,
+        screen: ScreenCounters,
+    ) -> Served<T> {
         self.degraded_served.fetch_add(1, Ordering::Relaxed);
         Served {
             value,
@@ -670,6 +718,7 @@ impl ServeEngine {
             score: Some(score),
             snapshot_version: Some(version),
             feedback_dropped: false,
+            screen,
         }
     }
 
@@ -715,7 +764,12 @@ impl ServeEngine {
     /// [`ServeError::Model`] on model-side failures (e.g. dimension
     /// mismatch).
     pub fn q1(&self, q: &Query) -> Result<Served<f64>, ServeError> {
-        match self.gate(q, ServingSnapshot::predict_q1_with_confidence) {
+        let mut screen = ScreenCounters::default();
+        let gate = self.gate(q, |snap, q| {
+            snap.predict_q1_with_confidence_pruned(q, &mut screen)
+        });
+        self.record_screen(&screen);
+        match gate {
             Gate::NoSnapshot => self.q1_exact(q),
             Gate::Hit {
                 value,
@@ -729,6 +783,7 @@ impl ServeEngine {
                     score: Some(score),
                     snapshot_version: Some(version),
                     feedback_dropped: false,
+                    screen,
                 })
             }
             Gate::Fallback {
@@ -737,11 +792,12 @@ impl ServeEngine {
                 version,
             } => {
                 if self.should_degrade() {
-                    return Ok(self.degraded_serve(value, score, version));
+                    return Ok(self.degraded_serve(value, score, version, screen));
                 }
                 let mut served = self.q1_exact(q)?;
                 served.score = Some(score);
                 served.snapshot_version = Some(version);
+                served.screen = screen;
                 Ok(served)
             }
             Gate::Failed(e) => Err(ServeError::Model(e)),
@@ -754,13 +810,15 @@ impl ServeEngine {
     /// [`ServeError::NoModel`] without a non-empty snapshot;
     /// [`ServeError::Model`] on prediction failures.
     pub fn q1_model(&self, q: &Query) -> Result<Served<f64>, ServeError> {
+        let mut screen = ScreenCounters::default();
         let (value, score, version) = self.cell.with_current(|snap| {
             let snap = snap.filter(|s| s.k() > 0).ok_or(ServeError::NoModel)?;
             let (y, conf) = snap
-                .predict_q1_with_confidence(q)
+                .predict_q1_with_confidence_pruned(q, &mut screen)
                 .map_err(ServeError::Model)?;
             Ok((y, conf.score, snap.version()))
         })?;
+        self.record_screen(&screen);
         self.model_served.fetch_add(1, Ordering::Relaxed);
         Ok(Served {
             value,
@@ -768,6 +826,7 @@ impl ServeEngine {
             score: Some(score),
             snapshot_version: Some(version),
             feedback_dropped: false,
+            screen,
         })
     }
 
@@ -794,7 +853,12 @@ impl ServeEngine {
     /// [`ServeError::EmptySubspace`] / [`ServeError::Numeric`] from the
     /// fallback; [`ServeError::Model`] from the snapshot.
     pub fn q2(&self, q: &Query) -> Result<Served<Vec<LocalModel>>, ServeError> {
-        match self.gate(q, ServingSnapshot::predict_q2_with_confidence) {
+        let mut screen = ScreenCounters::default();
+        let gate = self.gate(q, |snap, q| {
+            snap.predict_q2_with_confidence_pruned(q, &mut screen)
+        });
+        self.record_screen(&screen);
+        match gate {
             Gate::NoSnapshot => self.q2_exact(q),
             Gate::Hit {
                 value,
@@ -808,6 +872,7 @@ impl ServeEngine {
                     score: Some(score),
                     snapshot_version: Some(version),
                     feedback_dropped: false,
+                    screen,
                 })
             }
             Gate::Fallback {
@@ -816,11 +881,12 @@ impl ServeEngine {
                 version,
             } => {
                 if self.should_degrade() {
-                    return Ok(self.degraded_serve(value, score, version));
+                    return Ok(self.degraded_serve(value, score, version, screen));
                 }
                 let mut served = self.q2_exact(q)?;
                 served.score = Some(score);
                 served.snapshot_version = Some(version);
+                served.screen = screen;
                 Ok(served)
             }
             Gate::Failed(e) => Err(ServeError::Model(e)),
@@ -833,13 +899,15 @@ impl ServeEngine {
     /// [`ServeError::NoModel`] without a non-empty snapshot;
     /// [`ServeError::Model`] on prediction failures.
     pub fn q2_model(&self, q: &Query) -> Result<Served<Vec<LocalModel>>, ServeError> {
+        let mut screen = ScreenCounters::default();
         let (value, score, version) = self.cell.with_current(|snap| {
             let snap = snap.filter(|s| s.k() > 0).ok_or(ServeError::NoModel)?;
             let (s, conf) = snap
-                .predict_q2_with_confidence(q)
+                .predict_q2_with_confidence_pruned(q, &mut screen)
                 .map_err(ServeError::Model)?;
             Ok((s, conf.score, snap.version()))
         })?;
+        self.record_screen(&screen);
         self.model_served.fetch_add(1, Ordering::Relaxed);
         Ok(Served {
             value,
@@ -847,6 +915,7 @@ impl ServeEngine {
             score: Some(score),
             snapshot_version: Some(version),
             feedback_dropped: false,
+            screen,
         })
     }
 
@@ -975,6 +1044,7 @@ impl ServeEngine {
         predict: impl FnOnce(
             &ServingSnapshot,
             &[Query],
+            &mut ScreenCounters,
         ) -> Result<Vec<(T, regq_core::Confidence)>, CoreError>,
         mut exact: impl FnMut(&Query) -> Result<(T, f64), ServeError>,
     ) -> Result<Vec<Served<T>>, ServeError> {
@@ -990,6 +1060,7 @@ impl ServeEngine {
                 }));
             }
         }
+        let mut screen = ScreenCounters::default();
         let mut out: Vec<Served<T>> = Vec::with_capacity(queries.len());
         let mut fb_pairs: Vec<(Query, f64)> = Vec::new();
         let mut fb_slots: Vec<usize> = Vec::new();
@@ -1012,7 +1083,9 @@ impl ServeEngine {
             out.push(served);
             Ok(())
         };
-        match self.gate_batch(queries, predict) {
+        let gate = self.gate_batch(queries, |snap, qs| predict(snap, qs, &mut screen));
+        self.record_screen(&screen);
+        match gate {
             GateBatch::Failed(e) => return Err(ServeError::Model(e)),
             GateBatch::NoSnapshot => {
                 for q in queries {
@@ -1033,11 +1106,16 @@ impl ServeEngine {
                             score: Some(conf.score),
                             snapshot_version: Some(version),
                             feedback_dropped: false,
+                            screen,
                         });
                     } else if degrade {
-                        out.push(self.degraded_serve(value, conf.score, version));
+                        out.push(self.degraded_serve(value, conf.score, version, screen));
                     } else {
                         fallback(q, Some(conf.score), Some(version), &mut out, &mut exact)?;
+                        // The consultation covered this query too.
+                        if let Some(last) = out.last_mut() {
+                            last.screen = screen;
+                        }
                     }
                 }
             }
@@ -1063,7 +1141,7 @@ impl ServeEngine {
     pub fn q1_batch(&self, queries: &[Query]) -> Result<Vec<Served<f64>>, ServeError> {
         self.route_batch(
             queries,
-            ServingSnapshot::predict_q1_with_confidence_batch,
+            ServingSnapshot::predict_q1_with_confidence_batch_pruned,
             |q| {
                 let y = self.exact_q1_value(q)?;
                 Ok((y, y))
@@ -1081,7 +1159,7 @@ impl ServeEngine {
     pub fn q2_batch(&self, queries: &[Query]) -> Result<Vec<Served<Vec<LocalModel>>>, ServeError> {
         self.route_batch(
             queries,
-            ServingSnapshot::predict_q2_with_confidence_batch,
+            ServingSnapshot::predict_q2_with_confidence_batch_pruned,
             |q| {
                 let fit = self.timed_exact(|| {
                     self.exact
@@ -1437,10 +1515,16 @@ mod tests {
         assert!(degraded > 0, "probe set must exercise the fallback route");
         assert_eq!(slow.stats().degraded_served, degraded as u64);
         assert_eq!(plain.stats().degraded_served, 0);
-        // Batch path: same per-query routes and bits.
+        // Batch path: same per-query routes and bits. Screening counters
+        // differ by design (the batch shares one consultation's aggregate
+        // across its answers), so normalise them before comparing.
         let batch = slow.q1_batch(&probes).unwrap();
         for (probe, served) in probes.iter().zip(&batch) {
-            assert_eq!(*served, slow.q1(probe).unwrap());
+            let mut scalar = slow.q1(probe).unwrap();
+            let mut batched = served.clone();
+            scalar.screen = ScreenCounters::default();
+            batched.screen = ScreenCounters::default();
+            assert_eq!(batched, scalar);
         }
     }
 
@@ -1657,7 +1741,14 @@ mod tests {
         // Feedback off: the scalar loop must not retrain between calls,
         // so both paths consult the same frozen snapshot. `Served`
         // derives `PartialEq`, so this compares value, route, score,
-        // version and the feedback flag in one shot.
+        // version and the feedback flag in one shot — after normalising
+        // `screen`, which legitimately differs: a batch shares its single
+        // consultation's aggregate counters across every answer, while a
+        // scalar call carries its own one-query counters.
+        fn descreened<T>(mut s: Served<T>) -> Served<T> {
+            s.screen = ScreenCounters::default();
+            s
+        }
         let exact = exact_engine(20_000, 1);
         let model = trained_model(&exact, 30_000, 2);
         let policy = RoutePolicy {
@@ -1668,8 +1759,17 @@ mod tests {
         let probes = mixed_probes(&engine);
         let batch = engine.q1_batch(&probes).unwrap();
         assert_eq!(batch.len(), probes.len());
+        // Every answer in one batch carries the same aggregate screening
+        // counters, covering the whole batch's consultation.
+        let shared = batch[0].screen;
+        assert_eq!(shared.blocks, shared.skipped + shared.verified);
+        assert!(shared.blocks > 0, "batch consulted a snapshot");
         for (query, served) in probes.iter().zip(&batch) {
-            assert_eq!(*served, engine.q1(query).unwrap());
+            assert_eq!(served.screen, shared);
+            assert_eq!(
+                descreened(served.clone()),
+                descreened(engine.q1(query).unwrap())
+            );
         }
         let model_routes = batch.iter().filter(|s| s.route == Route::Model).count();
         assert!(
@@ -1679,9 +1779,13 @@ mod tests {
         );
         let batch2 = engine.q2_batch(&probes).unwrap();
         for (query, served) in probes.iter().zip(&batch2) {
-            assert_eq!(*served, engine.q2(query).unwrap());
+            assert_eq!(
+                descreened(served.clone()),
+                descreened(engine.q2(query).unwrap())
+            );
         }
-        // A singleton batch is the scalar call.
+        // A singleton batch is the scalar call — including its counters,
+        // because a one-query batch IS one consultation.
         for query in &probes {
             assert_eq!(
                 engine.q1_batch(std::slice::from_ref(query)).unwrap()[0],

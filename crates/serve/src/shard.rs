@@ -57,8 +57,8 @@ use crate::cost::CostEma;
 use crate::engine::{Feedback, Route, RoutePolicy, ServeError, Served, QUARANTINE_CAP};
 use crate::fault::{FaultKind, FaultPlan};
 use regq_core::{
-    sharded_q1_with_confidence, sharded_q2_with_confidence, CoreError, LlmModel, LocalModel,
-    Prototype, Query, ServingSnapshot, ShardPart,
+    sharded_q1_with_confidence_pruned, sharded_q2_with_confidence_pruned, CoreError, LlmModel,
+    LocalModel, Prototype, Query, ScreenCounters, ServingSnapshot, ShardPart,
 };
 use regq_exact::ExactEngine;
 use regq_linalg::LinalgError;
@@ -298,6 +298,14 @@ pub struct RouterStats {
     /// Shards currently flagged degraded (restarted trainer awaiting its
     /// next publish).
     pub degraded_shards: usize,
+    /// Prototype blocks whose expanded screening tile ran during pruned
+    /// snapshot consultations, summed over every shard consulted.
+    pub blocks_screened: u64,
+    /// Prototype blocks pruned away by the two-phase screening pass —
+    /// the fabric's output-sensitivity win.
+    pub blocks_skipped: u64,
+    /// Prototype blocks exact-verified by the bit-exact kernel.
+    pub blocks_verified: u64,
 }
 
 /// The sharded serve/train fabric (see module docs). API mirrors
@@ -330,6 +338,9 @@ pub struct ShardRouter {
     trainer_restarts: AtomicU64,
     lock_poisonings: AtomicU64,
     feedback_retried: AtomicU64,
+    blocks_screened: AtomicU64,
+    blocks_skipped: AtomicU64,
+    blocks_verified: AtomicU64,
 }
 
 /// The gate decision, mirroring the unsharded engine's.
@@ -401,6 +412,9 @@ impl ShardRouter {
             trainer_restarts: AtomicU64::new(0),
             lock_poisonings: AtomicU64::new(0),
             feedback_retried: AtomicU64::new(0),
+            blocks_screened: AtomicU64::new(0),
+            blocks_skipped: AtomicU64::new(0),
+            blocks_verified: AtomicU64::new(0),
         }
     }
 
@@ -563,7 +577,24 @@ impl ShardRouter {
                 .iter()
                 .filter(|s| s.degraded.load(Ordering::Relaxed))
                 .count(),
+            blocks_screened: self.blocks_screened.load(Ordering::Relaxed),
+            blocks_skipped: self.blocks_skipped.load(Ordering::Relaxed),
+            blocks_verified: self.blocks_verified.load(Ordering::Relaxed),
         }
+    }
+
+    /// Fold one pruned consultation's screening telemetry into the
+    /// router-lifetime counters (monotonic stats; Relaxed per the module
+    /// atomics audit).
+    fn record_screen(&self, c: &ScreenCounters) {
+        if c.blocks == 0 {
+            return;
+        }
+        self.blocks_screened
+            .fetch_add(c.screened, Ordering::Relaxed);
+        self.blocks_skipped.fetch_add(c.skipped, Ordering::Relaxed);
+        self.blocks_verified
+            .fetch_add(c.verified, Ordering::Relaxed);
     }
 
     /// Arm a [`FaultPlan`] on the router and every shard's snapshot cell
@@ -964,7 +995,13 @@ impl ShardRouter {
         })
     }
 
-    fn degraded_serve<T>(&self, value: T, score: f64, version: u64) -> Served<T> {
+    fn degraded_serve<T>(
+        &self,
+        value: T,
+        score: f64,
+        version: u64,
+        screen: ScreenCounters,
+    ) -> Served<T> {
         self.degraded_served.fetch_add(1, Ordering::Relaxed);
         Served {
             value,
@@ -972,6 +1009,7 @@ impl ShardRouter {
             score: Some(score),
             snapshot_version: Some(version),
             feedback_dropped: false,
+            screen,
         }
     }
 
@@ -985,7 +1023,12 @@ impl ShardRouter {
     /// empty; [`ServeError::Model`] on a dimension mismatch.
     pub fn q1(&self, q: &Query) -> Result<Served<f64>, ServeError> {
         self.check_dim(q)?;
-        match self.gate(q, sharded_q1_with_confidence) {
+        let mut screen = ScreenCounters::default();
+        let gate = self.gate(q, |parts, q| {
+            sharded_q1_with_confidence_pruned(parts, q, &mut screen)
+        });
+        self.record_screen(&screen);
+        match gate {
             Gate::NoSnapshot => self.q1_exact(q),
             Gate::Hit {
                 value,
@@ -999,6 +1042,7 @@ impl ShardRouter {
                     score: Some(score),
                     snapshot_version: Some(version),
                     feedback_dropped: false,
+                    screen,
                 })
             }
             Gate::Fallback {
@@ -1007,11 +1051,12 @@ impl ShardRouter {
                 version,
             } => {
                 if self.should_degrade(q) {
-                    return Ok(self.degraded_serve(value, score, version));
+                    return Ok(self.degraded_serve(value, score, version, screen));
                 }
                 let mut served = self.q1_exact(q)?;
                 served.score = Some(score);
                 served.snapshot_version = Some(version);
+                served.screen = screen;
                 Ok(served)
             }
         }
@@ -1024,10 +1069,13 @@ impl ShardRouter {
     /// [`ServeError::Model`] on a dimension mismatch.
     pub fn q1_model(&self, q: &Query) -> Result<Served<f64>, ServeError> {
         self.check_dim(q)?;
+        let mut screen = ScreenCounters::default();
         let (value, score, version) = self.with_parts(|parts, version| {
-            let (y, conf) = sharded_q1_with_confidence(parts, q).ok_or(ServeError::NoModel)?;
+            let (y, conf) = sharded_q1_with_confidence_pruned(parts, q, &mut screen)
+                .ok_or(ServeError::NoModel)?;
             Ok::<_, ServeError>((y, conf.score, version))
         })?;
+        self.record_screen(&screen);
         self.model_served.fetch_add(1, Ordering::Relaxed);
         Ok(Served {
             value,
@@ -1035,6 +1083,7 @@ impl ShardRouter {
             score: Some(score),
             snapshot_version: Some(version),
             feedback_dropped: false,
+            screen,
         })
     }
 
@@ -1054,6 +1103,7 @@ impl ShardRouter {
             score: None,
             snapshot_version: None,
             feedback_dropped: dropped,
+            screen: ScreenCounters::default(),
         })
     }
 
@@ -1066,7 +1116,12 @@ impl ShardRouter {
     /// fallback; [`ServeError::Model`] on a dimension mismatch.
     pub fn q2(&self, q: &Query) -> Result<Served<Vec<LocalModel>>, ServeError> {
         self.check_dim(q)?;
-        match self.gate(q, sharded_q2_with_confidence) {
+        let mut screen = ScreenCounters::default();
+        let gate = self.gate(q, |parts, q| {
+            sharded_q2_with_confidence_pruned(parts, q, &mut screen)
+        });
+        self.record_screen(&screen);
+        match gate {
             Gate::NoSnapshot => self.q2_exact(q),
             Gate::Hit {
                 value,
@@ -1080,6 +1135,7 @@ impl ShardRouter {
                     score: Some(score),
                     snapshot_version: Some(version),
                     feedback_dropped: false,
+                    screen,
                 })
             }
             Gate::Fallback {
@@ -1088,11 +1144,12 @@ impl ShardRouter {
                 version,
             } => {
                 if self.should_degrade(q) {
-                    return Ok(self.degraded_serve(value, score, version));
+                    return Ok(self.degraded_serve(value, score, version, screen));
                 }
                 let mut served = self.q2_exact(q)?;
                 served.score = Some(score);
                 served.snapshot_version = Some(version);
+                served.screen = screen;
                 Ok(served)
             }
         }
@@ -1105,10 +1162,13 @@ impl ShardRouter {
     /// [`ServeError::Model`] on a dimension mismatch.
     pub fn q2_model(&self, q: &Query) -> Result<Served<Vec<LocalModel>>, ServeError> {
         self.check_dim(q)?;
+        let mut screen = ScreenCounters::default();
         let (value, score, version) = self.with_parts(|parts, version| {
-            let (s, conf) = sharded_q2_with_confidence(parts, q).ok_or(ServeError::NoModel)?;
+            let (s, conf) = sharded_q2_with_confidence_pruned(parts, q, &mut screen)
+                .ok_or(ServeError::NoModel)?;
             Ok::<_, ServeError>((s, conf.score, version))
         })?;
+        self.record_screen(&screen);
         self.model_served.fetch_add(1, Ordering::Relaxed);
         Ok(Served {
             value,
@@ -1116,6 +1176,7 @@ impl ShardRouter {
             score: Some(score),
             snapshot_version: Some(version),
             feedback_dropped: false,
+            screen,
         })
     }
 
@@ -1150,6 +1211,7 @@ impl ShardRouter {
             score: None,
             snapshot_version: None,
             feedback_dropped: dropped,
+            screen: ScreenCounters::default(),
         })
     }
 
@@ -1222,7 +1284,11 @@ impl ShardRouter {
     fn route_batch<T>(
         &self,
         queries: &[Query],
-        predict: impl FnOnce(&[ShardPart<'_>], &[Query]) -> Vec<Option<(T, regq_core::Confidence)>>,
+        predict: impl FnOnce(
+            &[ShardPart<'_>],
+            &[Query],
+            &mut ScreenCounters,
+        ) -> Vec<Option<(T, regq_core::Confidence)>>,
         mut exact: impl FnMut(&Query) -> Result<(T, f64), ServeError>,
     ) -> Result<Vec<Served<T>>, ServeError> {
         if queries.is_empty() {
@@ -1231,7 +1297,10 @@ impl ShardRouter {
         for q in queries {
             self.check_dim(q)?;
         }
-        let (gates, version) = self.with_parts(|parts, version| (predict(parts, queries), version));
+        let mut screen = ScreenCounters::default();
+        let (gates, version) =
+            self.with_parts(|parts, version| (predict(parts, queries, &mut screen), version));
+        self.record_screen(&screen);
         debug_assert_eq!(gates.len(), queries.len());
         let mut out: Vec<Served<T>> = Vec::with_capacity(queries.len());
         let mut fb_pairs: Vec<(Query, f64)> = Vec::new();
@@ -1246,13 +1315,14 @@ impl ShardRouter {
                         score: Some(conf.score),
                         snapshot_version: Some(version),
                         feedback_dropped: false,
+                        screen,
                     });
                 }
                 Some((value, conf)) if self.should_degrade(q) => {
                     // Below threshold but the exact fallback is over
                     // budget (or this query's shard queue is at the
                     // watermark): flagged snapshot answer.
-                    out.push(self.degraded_serve(value, conf.score, version));
+                    out.push(self.degraded_serve(value, conf.score, version, screen));
                 }
                 gate => {
                     // Below threshold (`Some`) or every shard empty
@@ -1265,12 +1335,15 @@ impl ShardRouter {
                         fb_slots.push(out.len());
                     }
                     self.exact_served.fetch_add(1, Ordering::Relaxed);
+                    // The batch's single consultation covered this query
+                    // too, so it carries the same aggregate counters.
                     out.push(Served {
                         value,
                         route: Route::Exact,
                         score,
                         snapshot_version: score.is_some().then_some(version),
                         feedback_dropped: false,
+                        screen,
                     });
                 }
             }
@@ -1293,10 +1366,14 @@ impl ShardRouter {
     /// As [`ShardRouter::q1`]; the typed dimension mismatch is checked
     /// up front for every query before any work runs.
     pub fn q1_batch(&self, queries: &[Query]) -> Result<Vec<Served<f64>>, ServeError> {
-        self.route_batch(queries, regq_core::sharded_q1_with_confidence_batch, |q| {
-            let y = self.exact_q1_value(q)?;
-            Ok((y, y))
-        })
+        self.route_batch(
+            queries,
+            regq_core::sharded_q1_with_confidence_batch_pruned,
+            |q| {
+                let y = self.exact_q1_value(q)?;
+                Ok((y, y))
+            },
+        )
     }
 
     /// **Batched auto-routed Q2** across the shard fabric — same
@@ -1307,27 +1384,31 @@ impl ShardRouter {
     /// # Errors
     /// As [`ShardRouter::q2`], plus the up-front batched dimension check.
     pub fn q2_batch(&self, queries: &[Query]) -> Result<Vec<Served<Vec<LocalModel>>>, ServeError> {
-        self.route_batch(queries, regq_core::sharded_q2_with_confidence_batch, |q| {
-            let fit = self
-                .exact
-                .q1_reg_fused(&q.center, q.radius)
-                .map_err(|e| match e {
-                    LinalgError::Empty => ServeError::EmptySubspace,
-                    other => ServeError::Numeric(other),
-                })?;
-            let y = fit.moments.mean;
-            Ok((
-                vec![LocalModel {
-                    intercept: fit.model.intercept,
-                    slope: fit.model.slope,
-                    prototype: 0,
-                    weight: 1.0,
-                    center: q.center.clone(),
-                    radius: q.radius,
-                }],
-                y,
-            ))
-        })
+        self.route_batch(
+            queries,
+            regq_core::sharded_q2_with_confidence_batch_pruned,
+            |q| {
+                let fit = self
+                    .exact
+                    .q1_reg_fused(&q.center, q.radius)
+                    .map_err(|e| match e {
+                        LinalgError::Empty => ServeError::EmptySubspace,
+                        other => ServeError::Numeric(other),
+                    })?;
+                let y = fit.moments.mean;
+                Ok((
+                    vec![LocalModel {
+                        intercept: fit.model.intercept,
+                        slope: fit.model.slope,
+                        prototype: 0,
+                        weight: 1.0,
+                        center: q.center.clone(),
+                        radius: q.radius,
+                    }],
+                    y,
+                ))
+            },
+        )
     }
 }
 
